@@ -1,0 +1,24 @@
+# Convenience targets for the reproduction repository.
+
+.PHONY: install test bench bench-small report examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+bench-small:
+	REPRO_BENCH_SCALE=small pytest benchmarks/ --benchmark-only -s
+
+report:
+	python -m repro.cli reproduce -o REPORT.txt
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python "$$f"; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis build *.egg-info src/*.egg-info

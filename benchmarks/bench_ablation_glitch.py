@@ -1,0 +1,75 @@
+"""Ablation: glitch modeling in the reference simulator.
+
+DESIGN.md section 6: the unit-delay (glitch-aware) reference is what makes
+the multiplier's p_i grow superlinearly with Hd (the non-linearity that
+Figure 6 exploits).  This ablation quantifies:
+
+* convexity of the coefficient curve with/without glitches;
+* the share of total charge due to glitches;
+* how the model's Table-1-style errors react to partial glitch weighting.
+"""
+
+import numpy as np
+
+from .conftest import SMALL, run_once
+from repro.core import HdPowerModel, classify_transitions, cycle_error
+from repro.circuit import PowerSimulator
+from repro.core.characterize import uniform_hd_input_bits
+from repro.modules import make_module
+
+
+def _coeffs(module, glitch_aware, glitch_weight, n, seed=7):
+    bits = uniform_hd_input_bits(n, module.input_bits, seed=seed)
+    sim = PowerSimulator(
+        module.compiled, glitch_aware=glitch_aware, glitch_weight=glitch_weight
+    )
+    trace = sim.simulate(bits)
+    events = classify_transitions(bits)
+    return (
+        HdPowerModel.fit(events.hd, trace.charge, module.input_bits),
+        trace,
+    )
+
+
+def _convexity(coeffs):
+    """Mean second difference of the coefficient curve (positive=convex)."""
+    inner = coeffs[1:-1]
+    return float(np.diff(np.diff(inner)).mean())
+
+
+def test_glitch_ablation(benchmark):
+    n = 1500 if SMALL else 5000
+    module = make_module("csa_multiplier", 8)
+
+    def run():
+        out = {}
+        for label, aware, weight in (
+            ("unit-delay (full)", True, 1.0),
+            ("partial swing 0.5", True, 0.5),
+            ("zero-delay", False, 1.0),
+        ):
+            out[label] = _coeffs(module, aware, weight, n)
+        return out
+
+    results = run_once(benchmark, run)
+    print()
+    print("Ablation: glitch modeling (csa-multiplier 8x8)")
+    base_total = results["unit-delay (full)"][1].total_charge
+    for label, (model, trace) in results.items():
+        print(
+            f"  {label:18s} avg charge {trace.average_charge:8.1f} "
+            f"({trace.total_charge / base_total * 100:5.1f}% of full)  "
+            f"p_4={model.coefficients[4]:7.1f} p_12={model.coefficients[12]:7.1f}"
+        )
+    full = results["unit-delay (full)"][0].coefficients
+    clean = results["zero-delay"][0].coefficients
+    # Glitches contribute a large share of multiplier power.
+    ratio = results["zero-delay"][1].total_charge / base_total
+    print(f"  glitch share of total charge: {(1 - ratio) * 100:.1f}%")
+    assert ratio < 0.85
+    # And the full model's curve is shifted up strictly more at high Hd.
+    gain_low = full[3] / max(clean[3], 1e-9)
+    gain_high = full[12] / max(clean[12], 1e-9)
+    print(f"  glitch amplification: x{gain_low:.2f} at Hd=3, "
+          f"x{gain_high:.2f} at Hd=12")
+    assert gain_high > 1.0

@@ -1,0 +1,35 @@
+"""Figure 2: basic vs enhanced Hd-model coefficients, 8x8 csa-multiplier.
+
+Paper: splitting event classes by the number of stable-zero bits spreads
+each basic coefficient into a band — the all-stable-bits-zero curve lies
+far below the basic curve, the no-stable-zero-bits curve above it,
+especially at small Hd.  Using basic parameters on a stream with many
+constant-zero bits therefore systematically overestimates.
+"""
+
+import numpy as np
+
+from .conftest import run_once
+from repro.eval import figure2, render_figure2
+
+
+def test_figure2(benchmark, bench_harness):
+    series = run_once(benchmark, lambda: figure2(bench_harness))
+    print()
+    print(render_figure2(series))
+
+    m = series.width
+    low = slice(1, m // 2)
+    all_z = series.all_zeros[low]
+    no_z = series.no_zeros[low]
+    basic = series.basic[low]
+    valid_all = ~np.isnan(all_z)
+    valid_no = ~np.isnan(no_z)
+    assert valid_all.sum() >= 5 and valid_no.sum() >= 5
+    assert (all_z[valid_all] <= basic[valid_all]).all()
+    assert (no_z[valid_no] >= basic[valid_no]).all()
+    # The resolution gain is large at small Hd: band width comparable to the
+    # basic coefficient itself.
+    i = 2
+    band = series.no_zeros[i] - series.all_zeros[i]
+    assert band > 0.5 * series.basic[i]

@@ -1,0 +1,41 @@
+"""Figure 3: structural complexity of csa multipliers.
+
+The paper's Figure 3 contrasts 4x4 and 6x4 multipliers to justify the
+complexity model of Eq. 7/8: the multiplication array scales with m1*m0,
+the merge adder with m1.  We verify the generated netlists follow that law.
+"""
+
+import numpy as np
+
+from .conftest import run_once
+from repro.eval import figure3_complexity
+
+
+def test_figure3(benchmark):
+    rows = run_once(
+        benchmark,
+        lambda: figure3_complexity(
+            pairs=((4, 4), (6, 4), (8, 4), (8, 8), (12, 8), (12, 12), (16, 16))
+        ),
+    )
+    print()
+    print("Figure 3: csa-multiplier structural complexity")
+    print(" m1 x m0 | gates | FA-equiv | m1*m0")
+    for r in rows:
+        print(
+            f" {r.width_a:2d} x {r.width_b:2d} | {r.n_gates:5d} | "
+            f"{r.n_full_adders_equivalent:8d} | {r.predicted_complexity:5.0f}"
+        )
+
+    # Least-squares fit: FA count ~ a * (m1*m0) + b * m1 + c must explain
+    # the data almost perfectly (the premise of Section 5's regression).
+    design = np.array(
+        [[r.width_a * r.width_b, r.width_a, 1.0] for r in rows]
+    )
+    target = np.array([r.n_full_adders_equivalent for r in rows], float)
+    coef, *_ = np.linalg.lstsq(design, target, rcond=None)
+    predicted = design @ coef
+    relative = np.abs(predicted - target) / target
+    print(f" complexity fit residuals: max {relative.max() * 100:.1f}%")
+    assert relative.max() < 0.08
+    assert coef[0] > 0  # array term dominates and is positive

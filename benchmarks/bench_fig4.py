@@ -1,0 +1,43 @@
+"""Figure 4: coefficients from instance characterization vs regression.
+
+Paper: regressed p_i(w) track the instance-characterized coefficients
+within 5-10% for csa-multiplier and ripple-adder families, even for the
+reduced prototype sets.
+"""
+
+import numpy as np
+
+from .conftest import run_once
+from repro.eval import figure4
+from repro.eval.report import sparkline
+
+
+def test_figure4(benchmark, bench_harness, prototype_patterns):
+    series = run_once(
+        benchmark,
+        lambda: figure4(
+            bench_harness, n_prototype_patterns=prototype_patterns
+        ),
+    )
+    print()
+    print("Figure 4: instance vs regressed coefficients")
+    for s in series:
+        print(f"  {s.kind} p_{s.class_index}")
+        print(f"    widths    : {s.widths.tolist()}")
+        print(f"    instance  : {np.round(s.instance, 1).tolist()}")
+        for subset, values in s.regression.items():
+            rel = np.abs(values - s.instance) / s.instance * 100
+            print(
+                f"    {subset:3s}       : {np.round(values, 1).tolist()} "
+                f"(max err {rel.max():.1f}%)"
+            )
+
+    for s in series:
+        rel_all = (
+            np.abs(s.regression["ALL"] - s.instance) / s.instance
+        )
+        assert rel_all.mean() < 0.10, (s.kind, s.class_index)
+        rel_thi = (
+            np.abs(s.regression["THI"] - s.instance) / s.instance
+        )
+        assert rel_thi.mean() < 0.15, (s.kind, s.class_index)

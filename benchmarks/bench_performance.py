@@ -1,0 +1,88 @@
+"""Performance: the macro-model's raison d'être.
+
+Section 1/6: the point of the Hd model is *fast* power analysis — once a
+module family is characterized, estimating a stream costs a Hamming
+classification plus a table lookup, and the fully analytic path costs only
+word-level statistics.  These benchmarks measure each stage's throughput
+(real pytest-benchmark timing loops, not pedantic one-shots) and print the
+speedup of the model over the reference simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import PowerSimulator
+from repro.core import PowerEstimator, characterize_module, classify_transitions
+from repro.modules import make_module
+from repro.signals import make_operand_streams, module_stimulus
+
+N_PATTERNS = 2000
+
+
+@pytest.fixture(scope="module")
+def setup():
+    module = make_module("csa_multiplier", 8)
+    result = characterize_module(module, n_patterns=3000, seed=1)
+    streams = make_operand_streams(module, "III", N_PATTERNS, seed=2)
+    bits = module_stimulus(module, streams)
+    simulator = PowerSimulator(module.compiled)
+    estimator = PowerEstimator(result.model)
+    return module, result, streams, bits, simulator, estimator
+
+
+def test_reference_simulation_speed(benchmark, setup):
+    module, result, streams, bits, simulator, estimator = setup
+    trace = benchmark(lambda: simulator.simulate(bits))
+    assert trace.n_cycles == N_PATTERNS - 1
+
+
+def test_model_estimation_speed(benchmark, setup):
+    module, result, streams, bits, simulator, estimator = setup
+    out = benchmark(lambda: estimator.estimate_from_bits(bits))
+    assert out.average_charge > 0
+
+
+def test_analytic_estimation_speed(benchmark, setup):
+    module, result, streams, bits, simulator, estimator = setup
+    out = benchmark(
+        lambda: estimator.estimate_analytic_from_streams(module, streams)
+    )
+    assert out.average_charge > 0
+
+
+def test_characterization_speed(benchmark, setup):
+    module = make_module("ripple_adder", 8)
+    result = benchmark.pedantic(
+        lambda: characterize_module(module, n_patterns=2000, seed=3),
+        rounds=1, iterations=1,
+    )
+    assert result.model.coefficients[-1] > 0
+
+
+def test_event_classification_speed(benchmark, setup):
+    module, result, streams, bits, simulator, estimator = setup
+    events = benchmark(lambda: classify_transitions(bits))
+    assert events.n_cycles == N_PATTERNS - 1
+
+
+def test_speedup_report(setup):
+    """Not a timing loop: prints the model-vs-simulator speedup."""
+    import time
+
+    module, result, streams, bits, simulator, estimator = setup
+    t0 = time.perf_counter()
+    simulator.simulate(bits)
+    t_sim = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    estimator.estimate_from_bits(bits)
+    t_model = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    estimator.estimate_analytic_from_streams(module, streams)
+    t_analytic = time.perf_counter() - t0
+    print()
+    print(
+        f"  reference sim: {t_sim*1e3:8.1f} ms | trace model: "
+        f"{t_model*1e3:7.1f} ms (x{t_sim/t_model:.0f}) | analytic: "
+        f"{t_analytic*1e3:7.1f} ms (x{t_sim/t_analytic:.0f})"
+    )
+    assert t_model < t_sim

@@ -1,0 +1,71 @@
+"""Extension experiment: pipelining as a glitch-power lever.
+
+The glitch ablation shows spurious transitions carry half the multiplier's
+charge; the architectural remedy is a register boundary inside the array.
+This bench pipelines the csa multiplier between the carry-save array and
+the vector-merge adder, measures the saving, and checks the macro-model
+methodology still applies per stage (each stage is just another
+combinational module to characterize).
+"""
+
+import numpy as np
+
+from .conftest import SMALL, run_once
+from repro.circuit import PowerSimulator
+from repro.circuit.sequential import PipelinedCircuit, split_multiplier_pipeline
+from repro.core import HdPowerModel, classify_transitions
+from repro.modules import make_module
+
+
+def test_pipelining_saving(benchmark):
+    n = 1200 if SMALL else 4000
+    width = 8
+
+    def run():
+        flat = make_module("csa_multiplier", width)
+        stage1, stage2 = split_multiplier_pipeline(width)
+        pipe = PipelinedCircuit([stage1, stage2])
+        rng = np.random.default_rng(5)
+        bits = flat.pack_inputs(
+            rng.integers(0, 256, n), rng.integers(0, 256, n)
+        )
+        flat_avg = PowerSimulator(flat.compiled).simulate(bits).average_charge
+        trace = pipe.simulate(bits)
+
+        # Per-stage macro-models: fit on each stage's own input stream.
+        streams = pipe.stage_input_streams(bits)
+        stage_models = []
+        for compiled, stream, charge in zip(
+            pipe.stages, streams, trace.stage_charge
+        ):
+            events = classify_transitions(stream)
+            stage_models.append(
+                HdPowerModel.fit(
+                    events.hd, charge, stream.shape[1],
+                    name=compiled.netlist.name,
+                )
+            )
+        return flat_avg, trace, stage_models, streams
+
+    flat_avg, trace, stage_models, streams = run_once(benchmark, run)
+    comb = trace.combinational_average
+    total = trace.total_average
+    print()
+    print(f"Pipelining study (csa-multiplier {width}x{width})")
+    print(f"  flat multiplier       : {flat_avg:9.1f} per op")
+    print(f"  pipelined (comb only) : {comb:9.1f} "
+          f"({(1 - comb / flat_avg) * 100:.1f}% saved)")
+    print(f"  pipelined (+registers): {total:9.1f} "
+          f"({(1 - total / flat_avg) * 100:.1f}% saved)")
+    for model in stage_models:
+        print(f"  stage model {model.name}: eps = "
+              f"{model.total_average_deviation * 100:.1f}%")
+
+    assert comb < flat_avg
+    assert total < flat_avg
+    assert (1 - total / flat_avg) > 0.10
+    # The macro-model remains applicable per stage: the merge stage's
+    # coefficients are far smaller than the array stage's.
+    assert (
+        stage_models[1].coefficients[4] < stage_models[0].coefficients[4]
+    )

@@ -1,0 +1,75 @@
+"""Eq. 8: rectangular multiplier parameterization (m1 != m0).
+
+Section 5 generalizes the complexity regression to different operand
+widths: ``p_i(m1, m0) = r2 (m1 m0) + r1 m1 + r0`` (Eq. 8; Figure 3 shows
+the 4x4-vs-6x4 structures).  The bench fits prototypes over a few shapes
+and predicts held-out rectangular instances, both at the coefficient level
+and for end-to-end average-power estimation.
+"""
+
+import numpy as np
+
+from .conftest import SMALL, run_once
+from repro.core import (
+    PowerEstimator,
+    characterize_rect_prototype_set,
+    fit_rect_regression,
+)
+from repro.circuit import PowerSimulator
+from repro.modules import make_rect_multiplier
+from repro.signals import make_operand_streams, module_stimulus
+
+
+def test_rect_regression(benchmark):
+    n = 1500 if SMALL else 3000
+    train_shapes = [(4, 4), (8, 4), (8, 8), (12, 8), (12, 12)]
+    test_shapes = [(6, 4), (10, 6), (12, 4)]
+
+    def run():
+        prototypes = characterize_rect_prototype_set(
+            "csa_multiplier", train_shapes, n_patterns=n, seed=5
+        )
+        regression = fit_rect_regression("csa_multiplier", prototypes)
+        held_out = characterize_rect_prototype_set(
+            "csa_multiplier", test_shapes, n_patterns=n, seed=99
+        )
+        rows = []
+        for shape in test_shapes:
+            instance = held_out[shape]
+            coeff_errors = []
+            for i in range(2, instance.width - 1):
+                reference = float(instance.coefficients[i])
+                if reference <= 0:
+                    continue
+                predicted = regression.coefficient(i, *shape)
+                coeff_errors.append(
+                    abs(predicted - reference) / reference * 100
+                )
+            # End-to-end: estimate a speech workload with the regressed
+            # model vs gate-level reference.
+            module = make_rect_multiplier("csa_multiplier", *shape)
+            model = regression.predict_model(*shape)
+            streams = make_operand_streams(module, "I", n, seed=7)
+            bits = module_stimulus(module, streams)
+            reference_charge = PowerSimulator(module.compiled).simulate(
+                bits
+            ).average_charge
+            estimate = PowerEstimator(model).estimate_from_bits(bits)
+            est_error = (
+                estimate.average_charge / reference_charge - 1
+            ) * 100
+            rows.append((shape, float(np.mean(coeff_errors)), est_error))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print("Eq. 8 rectangular regression (trained on "
+          f"{train_shapes}, tested on held-out shapes)")
+    print("  shape   | mean coeff err % | est err (random data) %")
+    for shape, coeff_err, est_err in rows:
+        print(f"  {shape[0]:2d}x{shape[1]:<2d}   | {coeff_err:16.1f} | "
+              f"{est_err:+12.1f}")
+
+    for shape, coeff_err, est_err in rows:
+        assert coeff_err < 15.0, shape
+        assert abs(est_err) < 10.0, shape

@@ -1,0 +1,62 @@
+"""Extension experiment: continuous error maps over the statistics space.
+
+The paper samples five stream classes; these sweeps trace the basic model's
+error continuously over correlation, amplitude and width — locating the
+operating region where the Hd abstraction is trustworthy.
+"""
+
+import numpy as np
+
+from .conftest import SMALL, run_once
+from repro.eval.sweeps import (
+    amplitude_sweep,
+    correlation_sweep,
+    render_sweep,
+    width_sweep,
+)
+
+
+def test_correlation_sweep(benchmark, bench_harness):
+    n = 1500 if SMALL else 4000
+    points = run_once(
+        benchmark,
+        lambda: correlation_sweep(bench_harness, n=n),
+    )
+    print()
+    print("Sweep: error vs correlation (csa-mult 8x8, sigma = 0.25 FS)")
+    print(render_sweep(points, "rho"))
+    by_rho = {p.parameter: p for p in points}
+    # Errors grow monotonically-ish with correlation...
+    assert abs(by_rho[0.0].average_error) < 5
+    assert abs(by_rho[0.99].average_error) > abs(by_rho[0.3].average_error)
+    # ... and power drops as streams slow down.
+    assert by_rho[0.99].reference_charge < by_rho[0.0].reference_charge
+
+
+def test_amplitude_sweep(benchmark, bench_harness):
+    n = 1500 if SMALL else 4000
+    points = run_once(
+        benchmark,
+        lambda: amplitude_sweep(bench_harness, n=n),
+    )
+    print()
+    print("Sweep: error vs amplitude (csa-mult 8x8, rho = 0.9)")
+    print(render_sweep(points, "sigma/FS"))
+    small, large = points[0], points[-1]
+    # Small-amplitude streams (idle sign regions) are the hard case.
+    assert abs(small.average_error) > abs(large.average_error)
+
+
+def test_width_sweep(benchmark, bench_harness):
+    widths = (4, 6, 8) if SMALL else (4, 6, 8, 10, 12)
+    points = run_once(
+        benchmark,
+        lambda: width_sweep(bench_harness, widths=widths),
+    )
+    print()
+    print("Sweep: power and error vs width (csa-mult, speech stream)")
+    print(render_sweep(points, "width"))
+    charges = [p.reference_charge for p in points]
+    # Reference power scales superlinearly with width (the m^2 array).
+    ratios = [b / a for a, b in zip(charges, charges[1:])]
+    assert all(r > 1.5 for r in ratios)

@@ -1,0 +1,46 @@
+"""Table 3: coefficient and estimation errors per regression prototype set.
+
+Paper (csa-multiplier 8x8 and ripple adder 8; errors in %):
+
+    csa-mult  ALL: p1=1 p5=0 p8=2 avg=2 | est I=3  III=10 V=27
+              SEC: p1=1 p5=1 p8=1 avg=4 | est I=1  III=15 V=29
+              THI: p1=5 p5=2 p8=4 avg=4 | est I=1  III=7  V=24
+    rpl-adder ALL: p1=1 p5=2 p8=5 avg=5 | est I=5  III=9  V=22
+              SEC: p1=5 p5=3 p8=5 avg=3 | est I=3  III=10 V=24
+              THI: p1=0 p5=7 p8=1 avg=5 | est I=3  III=14 V=24
+
+Expected shape: regressed coefficients land within ~10% of the instance
+characterization even for the sparsest prototype set (THI), and the
+downstream estimation errors barely move relative to the instance row.
+"""
+
+import numpy as np
+
+from .conftest import run_once
+from repro.eval import render_table3, table3
+
+
+def test_table3(benchmark, bench_harness, prototype_patterns):
+    rows = run_once(
+        benchmark,
+        lambda: table3(
+            bench_harness, n_prototype_patterns=prototype_patterns
+        ),
+    )
+    print()
+    print(render_table3(rows))
+
+    by_key = {(r.kind, r.source): r for r in rows}
+    for kind in ("csa_multiplier", "ripple_adder"):
+        inst = by_key[(kind, "inst")]
+        for subset in ("ALL", "SEC", "THI"):
+            row = by_key[(kind, subset)]
+            assert row.parameter_errors["avg"] < 15.0, (
+                f"{kind}/{subset}: regressed coefficients should be close"
+            )
+            # Estimation errors must stay near the instance-model errors.
+            for dt in ("I", "III", "V"):
+                drift = abs(
+                    row.estimation_errors[dt] - inst.estimation_errors[dt]
+                )
+                assert drift < 15.0, (kind, subset, dt)

@@ -1,0 +1,61 @@
+"""Extension experiment: the Hd model across arithmetic topologies.
+
+"The model can be applied to a wide variety of typical datapath
+components" — quantified here across three multiplier topologies (CSA
+array, Booth-Wallace, Dadda) and three adder topologies (ripple, CLA,
+Kogge-Stone): structure, reference power, and the macro-model's
+within-class resolution ε for each.
+"""
+
+import numpy as np
+
+from .conftest import SMALL, run_once
+from repro.core import characterize_module
+from repro.modules import make_module
+
+
+def test_topology_comparison(benchmark):
+    n = 1500 if SMALL else 4000
+    kinds = (
+        "csa_multiplier", "booth_wallace_multiplier", "dadda_multiplier",
+        "ripple_adder", "cla_adder", "kogge_stone_adder",
+    )
+
+    def run():
+        rows = []
+        for kind in kinds:
+            module = make_module(kind, 8)
+            result = characterize_module(module, n_patterns=n, seed=3)
+            rows.append(
+                (
+                    kind,
+                    module.netlist.n_gates,
+                    module.netlist.depth(),
+                    result.average_charge,
+                    result.model.total_average_deviation,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print("Topology study (operand width 8, random characterization)")
+    print(f"  {'kind':26s} {'gates':>6s} {'depth':>6s} "
+          f"{'avg charge':>11s} {'model eps':>10s}")
+    for kind, gates, depth, charge, eps in rows:
+        print(f"  {kind:26s} {gates:6d} {depth:6d} {charge:11.1f} "
+              f"{eps * 100:9.1f}%")
+
+    by_kind = {r[0]: r for r in rows}
+    # Dadda is the leanest multiplier; Kogge-Stone the shallowest adder.
+    assert by_kind["dadda_multiplier"][1] < by_kind["csa_multiplier"][1]
+    assert (
+        by_kind["kogge_stone_adder"][2] < by_kind["ripple_adder"][2]
+    )
+    # The Hd model resolves every topology with comparable deviation.
+    for kind, *_rest, eps in rows:
+        assert eps < 0.40, kind
+    # Multipliers burn an order of magnitude more than adders.
+    assert (
+        by_kind["csa_multiplier"][3] > 5 * by_kind["cla_adder"][3]
+    )

@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures.
+
+Every benchmark reproduces one table or figure of the paper at full
+experiment scale (characterization and evaluation stream lengths matching
+Section 4.2's 5000-10000 patterns).  Set ``REPRO_BENCH_SCALE=small`` to run
+a reduced configuration, e.g. in CI.
+
+Benchmarks print their reproduced table/figure next to the paper's
+published numbers; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the output.
+"""
+
+import os
+
+import pytest
+
+from repro.eval import ExperimentConfig, Harness
+
+SMALL = os.environ.get("REPRO_BENCH_SCALE", "full") == "small"
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    if SMALL:
+        return ExperimentConfig(n_characterization=1500, n_eval=1500)
+    return ExperimentConfig(n_characterization=5000, n_eval=5000)
+
+
+@pytest.fixture(scope="session")
+def bench_harness(bench_config):
+    return Harness(bench_config)
+
+
+@pytest.fixture(scope="session")
+def prototype_patterns():
+    return 1500 if SMALL else 4000
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

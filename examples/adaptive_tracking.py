@@ -1,0 +1,66 @@
+"""Scenario: online coefficient adaptation under statistics drift.
+
+Section 4.2 of the paper: when the input statistics drift far from the
+characterization statistics (the binary-counter stream being the extreme
+case), it proposes "coefficient adaptation techniques [4]".  This example
+runs the normalized-LMS adaptive model: a csa-multiplier characterized on
+random data is exposed to a counter workload with sparse reference
+observations (as if a low-level simulation were sampled every K cycles),
+and the adapted model's error collapses while the static model stays
+biased.
+
+Run:  python examples/adaptive_tracking.py
+"""
+
+import numpy as np
+
+from repro.circuit import PowerSimulator
+from repro.core import (
+    AdaptiveHdModel,
+    characterize_module,
+    classify_transitions,
+)
+from repro.modules import make_module
+from repro.signals import make_operand_streams, module_stimulus
+
+OBSERVE_EVERY = 10  # one reference observation per 10 cycles
+
+
+def main() -> None:
+    module = make_module("csa_multiplier", 8)
+    print("characterizing on random patterns ...")
+    result = characterize_module(module, n_patterns=5000, seed=1)
+
+    streams = make_operand_streams(module, "V", n=6000, seed=2)
+    bits = module_stimulus(module, streams)
+    reference = PowerSimulator(module.compiled).simulate(bits)
+    events = classify_transitions(bits)
+
+    adaptive = AdaptiveHdModel(result.model, learning_rate=0.05)
+    static_est = result.model.predict_cycle(events.hd)
+
+    n = events.n_cycles
+    window = 500
+    print(f"\ncounter workload, observing the reference every "
+          f"{OBSERVE_EVERY} cycles")
+    print(f"{'cycles':>8s} {'static err':>11s} {'adaptive err':>13s} "
+          f"{'coeff drift':>12s}")
+    for start in range(0, n - window + 1, window):
+        stop = start + window
+        # Sparse observations inside this window drive the adaptation.
+        for j in range(start, stop, OBSERVE_EVERY):
+            adaptive.observe(int(events.hd[j]), float(reference.charge[j]))
+        adaptive_est = adaptive.predict_cycle(events.hd[start:stop])
+        ref = reference.charge[start:stop]
+        static_err = (static_est[start:stop].sum() / ref.sum() - 1) * 100
+        adaptive_err = (adaptive_est.sum() / ref.sum() - 1) * 100
+        print(f"{stop:8d} {static_err:+10.1f}% {adaptive_err:+12.1f}% "
+              f"{adaptive.drift() * 100:11.1f}%")
+
+    print("\nthe static model keeps its characterization-time bias; the "
+          "adaptive model re-centers the active coefficient classes within "
+          "a few hundred observations (ref [4]'s behaviour).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Scenario: compare a multiplier's power across DSP input classes.
+
+The intro of the paper motivates high-level power analysis for DSP
+datapaths: the same multiplier consumes very different power depending on
+the data statistics feeding it.  This example quantifies that for an 8x8
+Booth-Wallace multiplier across the paper's five stimulus classes, and
+shows that the Hd macro-model tracks the trend at a fraction of the
+simulation cost.
+
+Run:  python examples/audio_codec_power.py
+"""
+
+import time
+
+from repro.circuit import PowerSimulator
+from repro.core import PowerEstimator, characterize_module
+from repro.modules import make_module
+from repro.signals import (
+    DATA_TYPE_DESCRIPTIONS,
+    DATA_TYPES,
+    make_operand_streams,
+    module_stimulus,
+)
+
+
+def main() -> None:
+    module = make_module("booth_wallace_multiplier", 8)
+    print(f"module: {module.netlist.name} ({module.netlist.n_gates} gates)")
+    result = characterize_module(module, n_patterns=5000, seed=7)
+    estimator = PowerEstimator(result.model)
+    simulator = PowerSimulator(module.compiled)
+
+    print(f"\n{'type':4s} {'description':45s} "
+          f"{'simulated':>10s} {'Hd model':>10s} {'error':>8s}")
+    sim_time = model_time = 0.0
+    for data_type in DATA_TYPES:
+        streams = make_operand_streams(module, data_type, n=5000, seed=11)
+        bits = module_stimulus(module, streams)
+
+        t0 = time.perf_counter()
+        reference = simulator.simulate(bits).average_charge
+        sim_time += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        estimate = estimator.estimate_from_bits(bits).average_charge
+        model_time += time.perf_counter() - t0
+
+        err = (estimate / reference - 1) * 100
+        print(f"{data_type:4s} {DATA_TYPE_DESCRIPTIONS[data_type]:45s} "
+              f"{reference:10.1f} {estimate:10.1f} {err:+7.1f}%")
+
+    print(f"\nsimulation time: {sim_time:.2f}s, model time: "
+          f"{model_time:.3f}s  (speedup x{sim_time / model_time:.0f})")
+    print("note the correlated streams (III/IV) and especially the counter "
+          "(V) consume far less than random data — exactly the trend an "
+          "architect exploits when choosing data encodings.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Scenario: resource binding for low power, driven by the Hd model.
+
+The paper's introduction motivates the model with exactly this task
+(refs [5-8]): when several operations share a pool of functional units,
+*which* operation runs on *which* unit each cycle determines the Hamming
+distance each unit sees — and hence its power.  The macro-model makes the
+cost of every candidate assignment computable in microseconds, so a binder
+can search; gate-level simulation then confirms the decision.
+
+Here three streams of multiplications (two slowly-varying speech-like
+channels and one random channel) share three 8x8 multipliers.
+
+Run:  python examples/low_power_binding.py
+"""
+
+import numpy as np
+
+from repro.core import characterize_module
+from repro.modules import make_module
+from repro.opt import (
+    BindingProblem,
+    evaluate_binding,
+    greedy_binding,
+    identity_binding,
+    random_binding,
+)
+from repro.signals import make_stream
+
+
+def main() -> None:
+    module = make_module("csa_multiplier", 8)
+    print(f"unit: {module.netlist.name} ({module.netlist.n_gates} gates), "
+          "3 instances")
+    model = characterize_module(module, n_patterns=5000, seed=1).model
+
+    operations = []
+    labels = []
+    for kind, seed in (("III", 3), ("III", 4), ("I", 5)):
+        a = make_stream(kind, 8, 2000, seed=seed).unsigned()
+        b = make_stream(kind, 8, 2000, seed=seed + 50).unsigned()
+        operations.append((a, b))
+        labels.append({"III": "speech", "I": "random"}[kind])
+    print("operations:", ", ".join(labels))
+    problem = BindingProblem(module, model, tuple(operations))
+
+    bindings = {
+        "identity (fixed)": identity_binding(problem),
+        "random": random_binding(problem, seed=9),
+        "greedy (Hd-model driven)": greedy_binding(problem),
+    }
+    print(f"\n{'binding':26s} {'model estimate':>15s} "
+          f"{'gate-level':>12s} {'saving':>8s}")
+    reference = None
+    for label, assignment in bindings.items():
+        result = evaluate_binding(problem, assignment, gate_level=True)
+        if reference is None:
+            reference = result.simulated_total
+        saving = (1 - result.simulated_total / reference) * 100
+        print(f"{label:26s} {result.estimated_total:15.0f} "
+              f"{result.simulated_total:12.0f} {saving:+7.1f}%")
+
+    print("\nthe greedy binder keeps each correlated stream on 'its' unit "
+          "(small Hd) instead of ping-ponging operands across units, and "
+          "the gate-level numbers confirm the model-driven choice.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: characterize a datapath module and estimate its power.
+
+Walks the three estimation paths of the library on an 8-bit carry-lookahead
+adder fed with a speech-like stream:
+
+1. reference gate-level simulation (the accuracy yardstick),
+2. trace-based Hd-model estimation,
+3. fully analytic estimation from word-level statistics (no simulation).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.circuit import PowerSimulator
+from repro.core import PowerEstimator, characterize_module
+from repro.modules import make_module
+from repro.signals import make_operand_streams, module_stimulus
+
+
+def main() -> None:
+    # 1. Build a module from the library (DesignWare-style generator).
+    module = make_module("cla_adder", 8)
+    print(f"module: {module.netlist.name}  "
+          f"({module.netlist.n_gates} gates, {module.input_bits} input bits)")
+
+    # 2. Characterize it once with random patterns (Section 4.1 of the
+    #    paper).  This fits one power coefficient per Hamming-distance
+    #    class.
+    result = characterize_module(module, n_patterns=4000, seed=0)
+    model = result.model
+    print(f"characterized with {result.n_patterns} patterns "
+          f"(converged: {result.converged})")
+    print("coefficients p_i:",
+          [round(float(p), 1) for p in model.coefficients])
+    print(f"total average deviation eps = "
+          f"{model.total_average_deviation * 100:.1f}%")
+
+    # 3. Build a workload: one speech-class stream per operand.
+    streams = make_operand_streams(module, "III", n=5000, seed=42)
+    bits = module_stimulus(module, streams)
+
+    # 4. Reference: glitch-aware gate-level power simulation.
+    reference = PowerSimulator(module.compiled).simulate(bits)
+    print(f"\nreference average charge : {reference.average_charge:10.2f}")
+
+    # 5. Hd-model estimate from the concrete trace.
+    estimator = PowerEstimator(model)
+    trace_est = estimator.estimate_from_streams(module, streams)
+    err = (trace_est.average_charge / reference.average_charge - 1) * 100
+    print(f"trace-based estimate     : {trace_est.average_charge:10.2f} "
+          f"({err:+.1f}%)")
+
+    # 6. Fully analytic: word-level statistics -> DBT model -> Hd
+    #    distribution (Eq. 18) -> power.  No simulation anywhere.
+    analytic = estimator.estimate_analytic_from_streams(module, streams)
+    err = (analytic.average_charge / reference.average_charge - 1) * 100
+    print(f"analytic estimate        : {analytic.average_charge:10.2f} "
+          f"({err:+.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

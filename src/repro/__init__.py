@@ -1,0 +1,38 @@
+"""repro: Hamming-distance power macro-models for datapath components.
+
+Reproduction of Jochens, Kruse, Schmidt, Nebel, "A New Parameterizable
+Power Macro-Model for Datapath Components", DATE 1999.
+
+Subpackages:
+    circuit   gate-level substrate: netlists, glitch-aware power
+              simulation, hotspots, Verilog I/O, pipelining, units
+    modules   parameterizable datapath generators (adders, multipliers,
+              absval, MAC, shifters, counters, ...)
+    signals   stimulus classes I-V, encodings, bus codes
+    stats     word/bit-level statistics, Landman DBT model, dataflow
+              statistics propagation, goodness-of-fit metrics
+    core      the paper's contribution: Hd power models (basic, enhanced,
+              per-operand), characterization, width regression, analytic
+              Hd distributions, estimation, adaptation, persistence
+    eval      experiment harness reproducing every table and figure
+    flow      model libraries and dataflow power budgeting
+    opt       model-driven low-power optimization (binding, reordering)
+    cli       the `repro-power` command line
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "circuit",
+    "cli",
+    "core",
+    "eval",
+    "flow",
+    "modules",
+    "opt",
+    "signals",
+    "stats",
+]

@@ -1,0 +1,45 @@
+"""Gate-level circuit substrate: netlists, simulation and power accounting.
+
+This subpackage is the offline stand-in for the transistor-level power
+simulator (PowerMill) and the structural views of the Synopsys DesignWare
+modules used in the paper.  See DESIGN.md section 2 for the substitution
+rationale.
+"""
+
+from .builder import NetlistBuilder
+from .compiled import CompiledNetlist
+from .hotspots import NetHotspot, net_power_breakdown, render_hotspots
+from .netlist import CONST0, CONST1, Gate, Netlist, NetlistError
+from .power import PowerSimulator, PowerTrace
+from .simulate import (
+    evaluate_outputs,
+    functional_values,
+    unit_delay_transition,
+    zero_delay_toggles,
+)
+from .technology import GATE_TYPES, GateType, gate_type
+from .units import CAP_UNIT_FARAD, OperatingPoint
+
+__all__ = [
+    "CAP_UNIT_FARAD",
+    "CONST0",
+    "CONST1",
+    "CompiledNetlist",
+    "Gate",
+    "GateType",
+    "GATE_TYPES",
+    "NetHotspot",
+    "Netlist",
+    "NetlistBuilder",
+    "NetlistError",
+    "OperatingPoint",
+    "PowerSimulator",
+    "PowerTrace",
+    "evaluate_outputs",
+    "functional_values",
+    "gate_type",
+    "net_power_breakdown",
+    "render_hotspots",
+    "unit_delay_transition",
+    "zero_delay_toggles",
+]

@@ -1,0 +1,331 @@
+"""Ergonomic construction of gate netlists.
+
+:class:`NetlistBuilder` wraps the raw :class:`~repro.circuit.netlist.Netlist`
+data model with net allocation, gate emission helpers and the handful of
+composite cells (half adder, full adder) every datapath generator needs.
+Constant inputs are folded at build time so generators can wire ``CONST0`` /
+``CONST1`` freely without leaving dead logic behind.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .netlist import CONST0, CONST1, Gate, Netlist
+from .technology import gate_type
+
+
+class NetlistBuilder:
+    """Incrementally builds a validated :class:`Netlist`.
+
+    Example:
+        >>> b = NetlistBuilder("toy")
+        >>> a, c = b.add_inputs(2)
+        >>> y = b.gate("XOR2", a, c)
+        >>> netlist = b.build(outputs=[y])
+        >>> netlist.n_gates
+        1
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._n_nets = 2  # CONST0, CONST1
+        self._inputs: List[int] = []
+        self._gates: List[Gate] = []
+        self._net_names: Dict[int, str] = {CONST0: "const0", CONST1: "const1"}
+        self._inputs_frozen = False
+
+    # ------------------------------------------------------------------
+    # Nets and primary inputs
+    # ------------------------------------------------------------------
+    def new_net(self, name: Optional[str] = None) -> int:
+        """Allocate a fresh internal net id."""
+        net = self._n_nets
+        self._n_nets += 1
+        if name:
+            self._net_names[net] = name
+        return net
+
+    def add_input(self, name: Optional[str] = None) -> int:
+        """Declare one primary-input net."""
+        if self._inputs_frozen:
+            raise ValueError("inputs must be declared before any gate")
+        net = self.new_net(name)
+        self._inputs.append(net)
+        return net
+
+    def add_inputs(self, count: int, prefix: str = "in") -> List[int]:
+        """Declare ``count`` primary inputs named ``prefix[i]``."""
+        return [self.add_input(f"{prefix}[{i}]") for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # Gate emission with constant folding
+    # ------------------------------------------------------------------
+    def gate(self, type_name: str, *inputs: int, name: Optional[str] = None) -> int:
+        """Emit a gate; returns the output net.
+
+        Constant inputs are folded: e.g. ``AND2(x, CONST0)`` returns
+        ``CONST0`` without emitting a gate, ``XOR2(x, CONST1)`` becomes an
+        inverter.  Folding keeps generated arithmetic arrays (Baugh-Wooley
+        rows, Booth correction bits) free of degenerate logic.
+        """
+        self._inputs_frozen = True
+        gtype = gate_type(type_name)
+        if len(inputs) != gtype.n_inputs:
+            raise ValueError(
+                f"{type_name} takes {gtype.n_inputs} inputs, got {len(inputs)}"
+            )
+        folded = self._fold(type_name, tuple(inputs))
+        if folded is not None:
+            return folded
+        out = self.new_net(name)
+        self._gates.append(Gate(type_name, tuple(inputs), out))
+        return out
+
+    def _fold(self, type_name: str, ins: Tuple[int, ...]) -> Optional[int]:
+        """Return a pre-existing net equivalent to the gate, or None."""
+        consts = {CONST0: False, CONST1: True}
+
+        def known(net: int) -> Optional[bool]:
+            return consts.get(net)
+
+        k = [known(n) for n in ins]
+        if type_name == "INV":
+            if k[0] is not None:
+                return CONST0 if k[0] else CONST1
+        elif type_name == "BUF":
+            if k[0] is not None:
+                return ins[0]
+        elif type_name in ("AND2", "AND3"):
+            if any(v is False for v in k):
+                return CONST0
+            live = [n for n, v in zip(ins, k) if v is not True]
+            if not live:
+                return CONST1
+            if len(live) == 1:
+                return live[0]
+            if len(live) == 2 and type_name == "AND3":
+                return self.gate("AND2", *live)
+        elif type_name in ("OR2", "OR3"):
+            if any(v is True for v in k):
+                return CONST1
+            live = [n for n, v in zip(ins, k) if v is not False]
+            if not live:
+                return CONST0
+            if len(live) == 1:
+                return live[0]
+            if len(live) == 2 and type_name == "OR3":
+                return self.gate("OR2", *live)
+        elif type_name == "NAND2":
+            if any(v is False for v in k):
+                return CONST1
+            if k[0] is True and k[1] is True:
+                return CONST0
+            if k[0] is True:
+                return self.gate("INV", ins[1])
+            if k[1] is True:
+                return self.gate("INV", ins[0])
+        elif type_name == "NOR2":
+            if any(v is True for v in k):
+                return CONST0
+            if k[0] is False and k[1] is False:
+                return CONST1
+            if k[0] is False:
+                return self.gate("INV", ins[1])
+            if k[1] is False:
+                return self.gate("INV", ins[0])
+        elif type_name in ("XOR2", "XOR3"):
+            live = [n for n, v in zip(ins, k) if v is None]
+            if type_name == "XOR2" and len(live) == 2:
+                return None  # nothing to fold
+            parity = sum(1 for v in k if v is True) % 2
+            if not live:
+                return CONST1 if parity else CONST0
+            if len(live) == 1:
+                return self.gate("INV", live[0]) if parity else live[0]
+            if len(live) == 2:
+                out = self.gate("XOR2", *live)
+                return self.gate("INV", out) if parity else out
+        elif type_name == "XNOR2":
+            if k[0] is not None or k[1] is not None:
+                inner = self.gate("XOR2", *ins)
+                return self.gate("INV", inner)
+        elif type_name == "MAJ3":
+            trues = sum(1 for v in k if v is True)
+            falses = sum(1 for v in k if v is False)
+            live = [n for n, v in zip(ins, k) if v is None]
+            if trues >= 2:
+                return CONST1
+            if falses >= 2:
+                return CONST0
+            if trues == 1 and falses == 1:
+                return live[0]
+            if trues == 1:
+                return self.gate("OR2", *live)
+            if falses == 1:
+                return self.gate("AND2", *live)
+        elif type_name == "MUX2":
+            sel, a, b = ins
+            if known(sel) is False:
+                return a
+            if known(sel) is True:
+                return b
+            if a == b:
+                return a
+            if known(a) is not None or known(b) is not None:
+                ka, kb = known(a), known(b)
+                if ka is False and kb is True:
+                    return sel
+                if ka is True and kb is False:
+                    return self.gate("INV", sel)
+                if ka is False:
+                    return self.gate("AND2", sel, b)
+                if ka is True:
+                    return self.gate("OR2", b, self.gate("INV", sel))
+                if kb is False:
+                    return self.gate("AND2", a, self.gate("INV", sel))
+                if kb is True:
+                    return self.gate("OR2", a, sel)
+        elif type_name == "AOI21":
+            a, b, c = ins
+            if known(c) is True:
+                return CONST0
+            if known(a) is False or known(b) is False:
+                inner_c = c
+                return self.gate("INV", inner_c) if known(c) is None else CONST1
+            if known(c) is False:
+                return self.gate("NAND2", a, b)
+            if known(a) is True:
+                return self.gate("NOR2", b, c)
+            if known(b) is True:
+                return self.gate("NOR2", a, c)
+        elif type_name == "OAI21":
+            a, b, c = ins
+            if known(c) is False:
+                return CONST1
+            if known(a) is True or known(b) is True:
+                return self.gate("INV", c) if known(c) is None else CONST0
+            if known(c) is True:
+                return self.gate("NOR2", a, b)
+            if known(a) is False:
+                return self.gate("NAND2", b, c)
+            if known(b) is False:
+                return self.gate("NAND2", a, c)
+        elif type_name in ("NAND3", "NOR3"):
+            if any(v is not None for v in k):
+                base = "AND3" if type_name == "NAND3" else "OR3"
+                return self.gate("INV", self.gate(base, *ins))
+        return None
+
+    # ------------------------------------------------------------------
+    # Composite cells
+    # ------------------------------------------------------------------
+    def half_adder(self, a: int, b: int) -> Tuple[int, int]:
+        """Return ``(sum, carry)`` of a half adder."""
+        return self.gate("XOR2", a, b), self.gate("AND2", a, b)
+
+    def full_adder(self, a: int, b: int, cin: int) -> Tuple[int, int]:
+        """Return ``(sum, carry)`` of a full adder (XOR/XOR + MAJ3)."""
+        s = self.gate("XOR3", a, b, cin)
+        cout = self.gate("MAJ3", a, b, cin)
+        return s, cout
+
+    def invert_bus(self, bits: Sequence[int]) -> List[int]:
+        """Invert every bit of a bus."""
+        return [self.gate("INV", b) for b in bits]
+
+    def buffer(self, net: int) -> int:
+        """Emit an explicit buffer (used to legalize const outputs)."""
+        if net in (CONST0, CONST1):
+            # A buffered constant never toggles, so it costs nothing
+            # dynamically; it only legalizes the single-driver invariant.
+            return self._const_buf(net)
+        return self.gate("BUF", net)
+
+    def _const_buf(self, net: int) -> int:
+        out = self.new_net()
+        self._gates.append(Gate("BUF", (net,), out))
+        return out
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def build(self, outputs: Sequence[int], validate: bool = True) -> Netlist:
+        """Finalize the netlist with the given primary outputs.
+
+        Output nets that are constants or aliases of primary inputs are
+        legalized with a buffer so that ``validate`` invariants hold for
+        every generated module.
+        """
+        legal_outputs: List[int] = []
+        for net in outputs:
+            if net in (CONST0, CONST1):
+                legal_outputs.append(self._const_buf(net))
+            else:
+                legal_outputs.append(net)
+        netlist = Netlist(
+            name=self.name,
+            n_nets=self._n_nets,
+            inputs=list(self._inputs),
+            outputs=legal_outputs,
+            gates=list(self._gates),
+            net_names=dict(self._net_names),
+        )
+        netlist = _prune_dangling(netlist)
+        if validate:
+            netlist.validate()
+        return netlist
+
+
+def _prune_dangling(netlist: Netlist) -> Netlist:
+    """Drop gates whose outputs reach no primary output (dead logic).
+
+    Constant folding can orphan intermediate nets; dangling nets would both
+    fail validation and distort power accounting, so they are removed and the
+    netlist is renumbered densely.
+    """
+    driver = {g.output: g for g in netlist.gates}
+    live = set(netlist.outputs) | {CONST0, CONST1} | set(netlist.inputs)
+    stack = [n for n in netlist.outputs]
+    while stack:
+        net = stack.pop()
+        gate = driver.get(net)
+        if gate is None:
+            continue
+        for src in gate.inputs:
+            if src not in live:
+                live.add(src)
+                stack.append(src)
+
+    keep_gates = [g for g in netlist.gates if g.output in live]
+    # Renumber: constants keep 0/1, inputs keep their slots (all inputs stay,
+    # even unused ones — a module port exists regardless of internal use).
+    old_to_new: Dict[int, int] = {CONST0: CONST0, CONST1: CONST1}
+    next_id = 2
+    for net in netlist.inputs:
+        old_to_new[net] = next_id
+        next_id += 1
+    for gate in keep_gates:
+        if gate.output not in old_to_new:
+            old_to_new[gate.output] = next_id
+            next_id += 1
+
+    def remap(net: int) -> int:
+        return old_to_new[net]
+
+    new_gates = [
+        Gate(g.type_name, tuple(remap(i) for i in g.inputs), remap(g.output))
+        for g in keep_gates
+    ]
+    return Netlist(
+        name=netlist.name,
+        n_nets=next_id,
+        inputs=[remap(n) for n in netlist.inputs],
+        outputs=[remap(n) for n in netlist.outputs],
+        gates=new_gates,
+        net_names={
+            remap(n): name
+            for n, name in netlist.net_names.items()
+            if n in old_to_new
+        },
+    )

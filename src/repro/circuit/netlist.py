@@ -1,0 +1,180 @@
+"""Structural netlist data model.
+
+A :class:`Netlist` is a flat, single-output-per-gate, acyclic network of
+library gates over integer-numbered nets.  It is deliberately minimal: module
+generators build netlists through :class:`repro.circuit.builder.NetlistBuilder`
+and the simulator consumes them through
+:class:`repro.circuit.compiled.CompiledNetlist`.
+
+Net numbering convention:
+    * net ``0`` is constant 0, net ``1`` is constant 1 (always present);
+    * primary inputs come next, in declaration order;
+    * internal nets follow in creation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .technology import GATE_TYPES, GateType, gate_type
+
+CONST0 = 0
+CONST1 = 1
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance: a library cell wired to nets.
+
+    Attributes:
+        type_name: Name of the library cell (key into the technology library).
+        inputs: Net ids feeding the input pins, in pin order.
+        output: Net id driven by the gate.
+    """
+
+    type_name: str
+    inputs: Tuple[int, ...]
+    output: int
+
+    @property
+    def gate_type(self) -> GateType:
+        return GATE_TYPES[self.type_name]
+
+
+class NetlistError(ValueError):
+    """Raised when a netlist is structurally invalid."""
+
+
+@dataclass
+class Netlist:
+    """A combinational gate network.
+
+    Attributes:
+        name: Human-readable module name.
+        n_nets: Total number of nets (constants + inputs + internal).
+        inputs: Primary-input net ids, in port order.
+        outputs: Primary-output net ids, in port order.
+        gates: Gate instances.
+        net_names: Optional debug names for nets.
+    """
+
+    name: str
+    n_nets: int
+    inputs: List[int]
+    outputs: List[int]
+    gates: List[Gate]
+    net_names: Dict[int, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def n_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gates)
+
+    def cell_counts(self) -> Dict[str, int]:
+        """Return a ``{cell name: instance count}`` histogram."""
+        counts: Dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.type_name] = counts.get(gate.type_name, 0) + 1
+        return counts
+
+    def driver_of(self) -> Dict[int, Gate]:
+        """Map each gate-driven net to its driving gate."""
+        return {g.output: g for g in self.gates}
+
+    def fanout_counts(self) -> List[int]:
+        """Number of gate input pins attached to each net."""
+        fanout = [0] * self.n_nets
+        for gate in self.gates:
+            for net in gate.inputs:
+                fanout[net] += 1
+        return fanout
+
+    # ------------------------------------------------------------------
+    # Validation and levelization
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural well-formedness.
+
+        Raises:
+            NetlistError: On out-of-range nets, multiple drivers, undriven
+                internal nets, unknown cells, wrong pin counts, or
+                combinational cycles.
+        """
+        driven = [False] * self.n_nets
+        driven[CONST0] = driven[CONST1] = True
+        for net in self.inputs:
+            if not 0 <= net < self.n_nets:
+                raise NetlistError(f"input net {net} out of range")
+            if driven[net]:
+                raise NetlistError(f"input net {net} declared twice or constant")
+            driven[net] = True
+        for gate in self.gates:
+            gtype = gate_type(gate.type_name)
+            if len(gate.inputs) != gtype.n_inputs:
+                raise NetlistError(
+                    f"{gate.type_name} expects {gtype.n_inputs} inputs, "
+                    f"got {len(gate.inputs)}"
+                )
+            for net in gate.inputs:
+                if not 0 <= net < self.n_nets:
+                    raise NetlistError(f"gate input net {net} out of range")
+            if not 0 <= gate.output < self.n_nets:
+                raise NetlistError(f"gate output net {gate.output} out of range")
+            if driven[gate.output]:
+                raise NetlistError(f"net {gate.output} has multiple drivers")
+            driven[gate.output] = True
+        for net in self.outputs:
+            if not 0 <= net < self.n_nets:
+                raise NetlistError(f"output net {net} out of range")
+            if not driven[net]:
+                raise NetlistError(f"output net {net} is undriven")
+        for net in range(self.n_nets):
+            if not driven[net]:
+                raise NetlistError(f"net {net} is undriven (dangling)")
+        self.levelize()  # raises on cycles
+
+    def levelize(self) -> List[int]:
+        """Assign a topological level to every net.
+
+        Constants and primary inputs are level 0; a gate output is one more
+        than the maximum level of its inputs.
+
+        Returns:
+            Per-net level list.
+
+        Raises:
+            NetlistError: If the gate graph contains a combinational cycle.
+        """
+        level: List[Optional[int]] = [None] * self.n_nets
+        level[CONST0] = level[CONST1] = 0
+        for net in self.inputs:
+            level[net] = 0
+        remaining = list(self.gates)
+        while remaining:
+            progressed = False
+            still: List[Gate] = []
+            for gate in remaining:
+                in_levels = [level[n] for n in gate.inputs]
+                if all(lv is not None for lv in in_levels):
+                    level[gate.output] = 1 + max(in_levels)  # type: ignore[arg-type]
+                    progressed = True
+                else:
+                    still.append(gate)
+            if not progressed:
+                raise NetlistError(
+                    f"combinational cycle involving {len(still)} gates"
+                )
+            remaining = still
+        return [lv if lv is not None else 0 for lv in level]
+
+    def depth(self) -> int:
+        """Longest combinational path length, in gate levels."""
+        levels = self.levelize()
+        return max(levels) if levels else 0

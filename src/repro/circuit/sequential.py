@@ -1,0 +1,185 @@
+"""Pipelined (registered) datapath simulation.
+
+The unit-delay engine shows that glitches dominate arithmetic-array power;
+the classic architectural countermeasure is **pipelining**: register
+boundaries stop glitch propagation between stages, trading latency for a
+large cut in spurious switching.  :class:`PipelinedCircuit` chains
+combinational stages through ideal register ranks and accounts charge per
+stage, so that trade-off is measurable with the same machinery the rest of
+the library uses.
+
+Registers are modeled as ideal sampling elements whose own dynamic cost is
+one input-capacitance charge per toggling bit (the register-bank model);
+clock-tree power is out of scope, as it is in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .compiled import CompiledNetlist
+from .netlist import Netlist
+from .power import PowerSimulator, PowerTrace
+from .technology import GATE_TYPES
+
+#: Capacitance charged per register input bit toggle (a DFF D-pin).
+REGISTER_PIN_CAP = GATE_TYPES["BUF"].input_cap
+
+
+@dataclass(frozen=True)
+class PipelineTrace:
+    """Per-stage and total charge of a pipelined run.
+
+    Attributes:
+        stage_charge: ``stage_charge[k]`` is the per-cycle charge array of
+            combinational stage ``k`` (aligned to the input stream; early
+            cycles before the pipeline fills are included).
+        register_charge: Charge of each register rank per cycle.
+    """
+
+    stage_charge: Tuple[np.ndarray, ...]
+    register_charge: Tuple[np.ndarray, ...]
+
+    @property
+    def total_average(self) -> float:
+        total = sum(float(c.mean()) for c in self.stage_charge)
+        total += sum(float(c.mean()) for c in self.register_charge)
+        return total
+
+    @property
+    def combinational_average(self) -> float:
+        return sum(float(c.mean()) for c in self.stage_charge)
+
+
+class PipelinedCircuit:
+    """A chain of combinational stages separated by register ranks.
+
+    Stage ``k``'s outputs are registered and feed stage ``k+1``'s inputs;
+    widths must match (``stage[k].outputs == stage[k+1].inputs``).
+
+    Args:
+        stages: Combinational netlists in pipeline order.
+        glitch_aware: Reference engine selection for the stages.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Netlist],
+        glitch_aware: bool = True,
+    ):
+        if not stages:
+            raise ValueError("need at least one stage")
+        self.stages = [CompiledNetlist(s) for s in stages]
+        for k in range(len(stages) - 1):
+            produced = len(stages[k].outputs)
+            consumed = len(stages[k + 1].inputs)
+            if produced != consumed:
+                raise ValueError(
+                    f"stage {k} produces {produced} bits but stage "
+                    f"{k + 1} consumes {consumed}"
+                )
+        self.glitch_aware = glitch_aware
+        self._simulators = [
+            PowerSimulator(c, glitch_aware=glitch_aware) for c in self.stages
+        ]
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.stages[0].netlist.inputs)
+
+    # ------------------------------------------------------------------
+    def stage_input_streams(self, input_bits: np.ndarray) -> List[np.ndarray]:
+        """Input stream seen by each stage (after register retiming).
+
+        Because registers are ideal, stage ``k`` simply sees the settled
+        outputs of stage ``k-1``, delayed by one cycle; the delay does not
+        change the *set* of consecutive pairs, so for power purposes each
+        stage can be simulated on the undelayed stream of its
+        predecessor's outputs.
+        """
+        from .simulate import evaluate_outputs
+
+        streams = [np.asarray(input_bits, dtype=bool)]
+        for compiled in self.stages[:-1]:
+            outputs = evaluate_outputs(compiled, streams[-1])
+            streams.append(outputs)
+        return streams
+
+    def simulate(self, input_bits: np.ndarray) -> PipelineTrace:
+        """Per-stage power of the pipeline under an input stream."""
+        streams = self.stage_input_streams(input_bits)
+        stage_charge: List[np.ndarray] = []
+        register_charge: List[np.ndarray] = []
+        for simulator, stream in zip(self._simulators, streams):
+            stage_charge.append(simulator.simulate(stream).charge)
+        # Register ranks sit between stages: rank k samples stage k's
+        # outputs (streams[k+1] are exactly those settled outputs).
+        for stream in streams[1:]:
+            toggles = (stream[1:] != stream[:-1]).sum(axis=1)
+            register_charge.append(toggles * REGISTER_PIN_CAP)
+        return PipelineTrace(
+            stage_charge=tuple(stage_charge),
+            register_charge=tuple(register_charge),
+        )
+
+
+def split_multiplier_pipeline(width: int) -> Tuple[Netlist, Netlist]:
+    """A two-stage pipelined csa multiplier: array stage + merge stage.
+
+    Stage 1 computes the Baugh-Wooley carry-save array and exposes the
+    (sum, carry) vectors; stage 2 is the vector-merge ripple adder.  The
+    register boundary between them stops array glitches from rippling
+    through the merge adder — the pipelining experiment's subject.
+    """
+    from ..circuit.builder import NetlistBuilder
+    from ..circuit.netlist import CONST0
+    from ..modules.multipliers import _baugh_wooley_rows
+
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    product_width = 2 * width
+
+    # --- stage 1: array, outputs sum/carry vectors ---
+    b1 = NetlistBuilder(f"csa_array_stage_{width}")
+    a_bits = b1.add_inputs(width, "a")
+    b_bits = b1.add_inputs(width, "b")
+    rows = _baugh_wooley_rows(b1, a_bits, b_bits)
+    sum_vec: List[int] = [CONST0] * product_width
+    carry_vec: List[int] = [CONST0] * product_width
+    for row in rows:
+        passes: List[dict] = []
+        for col, bits in row.items():
+            for depth, bit in enumerate(bits):
+                while len(passes) <= depth:
+                    passes.append({})
+                passes[depth][col] = bit
+        for row_pass in passes:
+            new_sum = list(sum_vec)
+            new_carry: List[int] = [CONST0] * product_width
+            for col in range(product_width):
+                bit = row_pass.get(col, CONST0)
+                s, cout = b1.full_adder(sum_vec[col], carry_vec[col], bit)
+                new_sum[col] = s
+                if col + 1 < product_width:
+                    new_carry[col + 1] = cout
+            sum_vec, carry_vec = new_sum, new_carry
+    stage1 = b1.build(outputs=sum_vec + carry_vec)
+
+    # --- stage 2: vector-merge adder ---
+    b2 = NetlistBuilder(f"csa_merge_stage_{width}")
+    s_in = b2.add_inputs(product_width, "s")
+    c_in = b2.add_inputs(product_width, "c")
+    outputs: List[int] = []
+    carry = CONST0
+    for col in range(product_width):
+        s, carry = b2.full_adder(s_in[col], c_in[col], carry)
+        outputs.append(s)
+    stage2 = b2.build(outputs=outputs)
+    return stage1, stage2

@@ -1,0 +1,159 @@
+"""Gate library and technology parameters for the gate-level power substrate.
+
+The paper characterized modules with PowerMill on a transistor-level netlist.
+Offline we replace that with a normalized CMOS gate library: every gate type
+has a logic function, a per-input pin capacitance and an output self
+capacitance.  Charge per output toggle of a net is the total capacitance
+hanging on that net (driver self cap + fanout pin caps + per-fanout wire cap),
+so per-cycle charge is classic switched-capacitance power up to a constant
+factor.  The paper itself treats power and charge as synonymous up to a
+constant, so normalized units are sufficient: only *relative* errors are ever
+compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+# Wire capacitance added to a net per fanout pin (routing estimate).
+WIRE_CAP_PER_FANOUT = 0.15
+# Capacitance charged on a primary-input net per pin it drives is counted the
+# same way as internal nets; the external driver is modeled as ideal.
+
+
+def _inv(a):
+    return ~a
+
+
+def _buf(a):
+    return a.copy() if isinstance(a, np.ndarray) else a
+
+
+def _and2(a, b):
+    return a & b
+
+
+def _or2(a, b):
+    return a | b
+
+
+def _nand2(a, b):
+    return ~(a & b)
+
+
+def _nor2(a, b):
+    return ~(a | b)
+
+
+def _xor2(a, b):
+    return a ^ b
+
+
+def _xnor2(a, b):
+    return ~(a ^ b)
+
+
+def _and3(a, b, c):
+    return a & b & c
+
+
+def _or3(a, b, c):
+    return a | b | c
+
+
+def _nand3(a, b, c):
+    return ~(a & b & c)
+
+
+def _nor3(a, b, c):
+    return ~(a | b | c)
+
+
+def _xor3(a, b, c):
+    return a ^ b ^ c
+
+
+def _maj3(a, b, c):
+    return (a & b) | (a & c) | (b & c)
+
+
+def _mux2(sel, a, b):
+    """Output ``a`` when ``sel`` is 0, ``b`` when ``sel`` is 1."""
+    return (a & ~sel) | (b & sel)
+
+
+def _aoi21(a, b, c):
+    """NOT((a AND b) OR c)."""
+    return ~((a & b) | c)
+
+
+def _oai21(a, b, c):
+    """NOT((a OR b) AND c)."""
+    return ~((a | b) & c)
+
+
+@dataclass(frozen=True)
+class GateType:
+    """Static description of one gate type in the technology library.
+
+    Attributes:
+        name: Library cell name (e.g. ``"NAND2"``).
+        n_inputs: Number of input pins.
+        func: Vectorized boolean function (numpy arrays in, array out).
+        input_cap: Capacitance presented by each input pin, in normalized
+            femto-farad-like units.
+        output_cap: Self capacitance of the output node.
+    """
+
+    name: str
+    n_inputs: int
+    func: Callable[..., np.ndarray]
+    input_cap: float
+    output_cap: float
+
+
+# The capacitance figures are loosely modeled after a generic standard-cell
+# library: XOR-class cells are heavier than NAND-class cells, multi-input
+# cells are heavier than two-input cells.  Absolute values are arbitrary.
+_LIBRARY: Tuple[GateType, ...] = (
+    GateType("INV", 1, _inv, input_cap=1.0, output_cap=0.5),
+    GateType("BUF", 1, _buf, input_cap=1.0, output_cap=0.7),
+    GateType("AND2", 2, _and2, input_cap=1.0, output_cap=0.8),
+    GateType("OR2", 2, _or2, input_cap=1.0, output_cap=0.8),
+    GateType("NAND2", 2, _nand2, input_cap=1.0, output_cap=0.6),
+    GateType("NOR2", 2, _nor2, input_cap=1.0, output_cap=0.6),
+    GateType("XOR2", 2, _xor2, input_cap=1.6, output_cap=1.1),
+    GateType("XNOR2", 2, _xnor2, input_cap=1.6, output_cap=1.1),
+    GateType("AND3", 3, _and3, input_cap=1.1, output_cap=0.9),
+    GateType("OR3", 3, _or3, input_cap=1.1, output_cap=0.9),
+    GateType("NAND3", 3, _nand3, input_cap=1.1, output_cap=0.7),
+    GateType("NOR3", 3, _nor3, input_cap=1.1, output_cap=0.7),
+    GateType("XOR3", 3, _xor3, input_cap=1.8, output_cap=1.4),
+    GateType("MAJ3", 3, _maj3, input_cap=1.4, output_cap=1.0),
+    GateType("MUX2", 3, _mux2, input_cap=1.3, output_cap=1.0),
+    GateType("AOI21", 3, _aoi21, input_cap=1.1, output_cap=0.7),
+    GateType("OAI21", 3, _oai21, input_cap=1.1, output_cap=0.7),
+)
+
+GATE_TYPES: Dict[str, GateType] = {g.name: g for g in _LIBRARY}
+
+#: Stable integer id per gate type, used by the compiled simulator.
+GATE_TYPE_IDS: Dict[str, int] = {g.name: i for i, g in enumerate(_LIBRARY)}
+GATE_TYPE_LIST: Tuple[GateType, ...] = _LIBRARY
+
+
+def gate_type(name: str) -> GateType:
+    """Look up a :class:`GateType` by name.
+
+    Raises:
+        KeyError: If ``name`` is not a known library cell.
+    """
+    try:
+        return GATE_TYPES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown gate type {name!r}; known: {sorted(GATE_TYPES)}"
+        ) from None

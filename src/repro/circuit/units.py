@@ -1,0 +1,59 @@
+"""Physical-unit conversion for normalized charge figures.
+
+The simulator reports *switched capacitance* in normalized units (1 unit =
+``CAP_UNIT_FARAD``).  The paper treats power and charge as synonymous up to
+a constant factor; these helpers make that factor explicit so estimates can
+be reported in watts for a chosen supply voltage and clock frequency:
+
+    Q_cycle [C]  = switched_cap * CAP_UNIT_FARAD * VDD
+    E_cycle [J]  = switched_cap * CAP_UNIT_FARAD * VDD^2
+    P_avg   [W]  = E_cycle * f_clk
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Capacitance represented by one normalized unit (1 fF).
+CAP_UNIT_FARAD = 1e-15
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Supply voltage and clock frequency of a deployment.
+
+    Attributes:
+        vdd: Supply voltage in volts.
+        f_clk: Clock frequency in hertz.
+    """
+
+    vdd: float = 2.5  # a late-90s process, matching the paper's era
+    f_clk: float = 50e6
+
+    def __post_init__(self):
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if self.f_clk <= 0:
+            raise ValueError("f_clk must be positive")
+
+    def cycle_charge(self, switched_cap: np.ndarray | float) -> np.ndarray | float:
+        """Charge per cycle in coulombs."""
+        return np.asarray(switched_cap) * CAP_UNIT_FARAD * self.vdd
+
+    def cycle_energy(self, switched_cap: np.ndarray | float) -> np.ndarray | float:
+        """Energy per cycle in joules (``C V^2``; full-swing switching)."""
+        return np.asarray(switched_cap) * CAP_UNIT_FARAD * self.vdd**2
+
+    def average_power(self, average_switched_cap: float) -> float:
+        """Average power in watts for a mean per-cycle switched capacitance."""
+        return float(self.cycle_energy(average_switched_cap)) * self.f_clk
+
+    def scaled(self, vdd: float | None = None,
+               f_clk: float | None = None) -> "OperatingPoint":
+        """A copy with some parameters replaced (voltage/frequency scaling)."""
+        return OperatingPoint(
+            vdd=self.vdd if vdd is None else vdd,
+            f_clk=self.f_clk if f_clk is None else f_clk,
+        )

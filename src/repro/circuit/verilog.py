@@ -1,0 +1,179 @@
+"""Structural Verilog export/import for generated netlists.
+
+The generators produce netlists an engineer may want to inspect, synthesize
+or hand to another power tool; :func:`to_verilog` writes a flat structural
+module over a small cell library (one primitive per
+:mod:`repro.circuit.technology` gate type), and :func:`from_verilog` parses
+that same subset back — the round trip is exact up to net renaming.
+
+The emitted dialect is deliberately tiny: one ``module``, ``input``/
+``output``/``wire`` declarations, constant assigns (``1'b0``/``1'b1``),
+and cell instantiations with named port connections ``.A/.B/.C/.Y``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .netlist import CONST0, CONST1, Gate, Netlist
+from .technology import GATE_TYPES
+
+_PIN_NAMES = ("A", "B", "C")
+
+
+def _net_token(netlist: Netlist, net: int) -> str:
+    if net == CONST0:
+        return "const0"
+    if net == CONST1:
+        return "const1"
+    if net in netlist.net_names:
+        sanitized = re.sub(r"[^A-Za-z0-9_]", "_", netlist.net_names[net])
+        return f"n{net}_{sanitized}"
+    return f"n{net}"
+
+
+def to_verilog(netlist: Netlist, module_name: str | None = None) -> str:
+    """Render a netlist as flat structural Verilog.
+
+    Args:
+        netlist: A validated netlist.
+        module_name: Verilog module name; defaults to the netlist name.
+    """
+    name = module_name or re.sub(r"[^A-Za-z0-9_]", "_", netlist.name)
+    inputs = [_net_token(netlist, n) for n in netlist.inputs]
+    driver = netlist.driver_of()
+
+    # Outputs need dedicated port nets: a gate-driven net may be both an
+    # internal wire and an output; emit assigns for aliased outputs.
+    out_tokens: List[str] = []
+    assigns: List[str] = []
+    for index, net in enumerate(netlist.outputs):
+        port = f"out{index}"
+        out_tokens.append(port)
+        assigns.append(f"  assign {port} = {_net_token(netlist, net)};")
+
+    lines: List[str] = []
+    lines.append(f"module {name} (")
+    ports = [f"  input  wire {tok}" for tok in inputs]
+    ports += [f"  output wire {tok}" for tok in out_tokens]
+    lines.append(",\n".join(ports))
+    lines.append(");")
+    lines.append("  wire const0;")
+    lines.append("  wire const1;")
+    lines.append("  assign const0 = 1'b0;")
+    lines.append("  assign const1 = 1'b1;")
+    internal = sorted(
+        {g.output for g in netlist.gates} - set(netlist.inputs)
+    )
+    for net in internal:
+        lines.append(f"  wire {_net_token(netlist, net)};")
+    for index, gate in enumerate(netlist.gates):
+        pins = [
+            f".{_PIN_NAMES[k]}({_net_token(netlist, pin)})"
+            for k, pin in enumerate(gate.inputs)
+        ]
+        pins.append(f".Y({_net_token(netlist, gate.output)})")
+        lines.append(
+            f"  {gate.type_name} u{index} ({', '.join(pins)});"
+        )
+    lines.extend(assigns)
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_MODULE_RE = re.compile(
+    r"module\s+(?P<name>\w+)\s*\((?P<ports>.*?)\);(?P<body>.*)endmodule",
+    re.DOTALL,
+)
+_PORT_RE = re.compile(r"(input|output)\s+wire\s+(\w+)")
+_INST_RE = re.compile(
+    r"(?P<cell>[A-Z][A-Z0-9]*)\s+(?P<inst>\w+)\s*\((?P<pins>[^;]*)\)\s*;"
+)
+_PIN_RE = re.compile(r"\.(\w+)\(\s*(\w+)\s*\)")
+_ASSIGN_RE = re.compile(r"assign\s+(\w+)\s*=\s*([\w']+)\s*;")
+
+
+def from_verilog(text: str) -> Netlist:
+    """Parse structural Verilog written by :func:`to_verilog`.
+
+    Returns:
+        A validated :class:`Netlist` equivalent to the original (net ids
+        are re-assigned; output aliasing via ``assign`` is resolved, with a
+        BUF inserted where an output directly aliases an input or
+        constant).
+    """
+    match = _MODULE_RE.search(text)
+    if not match:
+        raise ValueError("no module found")
+    ports_text, body = match.group("ports"), match.group("body")
+
+    input_names: List[str] = []
+    output_names: List[str] = []
+    for direction, port in _PORT_RE.findall(ports_text):
+        (input_names if direction == "input" else output_names).append(port)
+
+    name_to_net: Dict[str, int] = {"const0": CONST0, "const1": CONST1}
+    next_net = 2
+
+    def net_of(token: str) -> int:
+        nonlocal next_net
+        if token == "1'b0":
+            return CONST0
+        if token == "1'b1":
+            return CONST1
+        if token not in name_to_net:
+            name_to_net[token] = next_net
+            next_net += 1
+        return name_to_net[token]
+
+    inputs = [net_of(tok) for tok in input_names]
+
+    gates: List[Gate] = []
+    for inst in _INST_RE.finditer(body):
+        cell = inst.group("cell")
+        if cell not in GATE_TYPES:
+            raise ValueError(f"unknown cell {cell!r}")
+        pins = dict(_PIN_RE.findall(inst.group("pins")))
+        if "Y" not in pins:
+            raise ValueError(f"instance {inst.group('inst')} has no .Y pin")
+        n_in = GATE_TYPES[cell].n_inputs
+        ins = []
+        for k in range(n_in):
+            pin = _PIN_NAMES[k]
+            if pin not in pins:
+                raise ValueError(
+                    f"instance {inst.group('inst')} missing pin .{pin}"
+                )
+            ins.append(net_of(pins[pin]))
+        gates.append(Gate(cell, tuple(ins), net_of(pins["Y"])))
+
+    # Resolve assigns: alias map from LHS name to RHS net.
+    alias: Dict[str, str] = {}
+    for lhs, rhs in _ASSIGN_RE.findall(body):
+        if lhs in ("const0", "const1"):
+            continue
+        alias[lhs] = rhs
+
+    driven = {g.output for g in gates} | set(inputs) | {CONST0, CONST1}
+    outputs: List[int] = []
+    for port in output_names:
+        target = alias.get(port, port)
+        net = net_of(target)
+        if net in (CONST0, CONST1) or net in inputs:
+            # Output directly aliases an input/constant: legalize with BUF.
+            buf_out = next_net
+            next_net += 1
+            gates.append(Gate("BUF", (net,), buf_out))
+            net = buf_out
+        outputs.append(net)
+
+    netlist = Netlist(
+        name=match.group("name"),
+        n_nets=next_net,
+        inputs=inputs,
+        outputs=outputs,
+        gates=gates,
+    )
+    netlist.validate()
+    return netlist

@@ -1,0 +1,342 @@
+"""Command-line interface.
+
+Usage examples::
+
+    repro-power list-modules
+    repro-power characterize --kind csa_multiplier --width 8 -o model.json
+    repro-power estimate --model model.json --kind csa_multiplier \\
+        --width 8 --data-type III
+    repro-power table 1
+    repro-power figure 9
+    repro-power reproduce -o report.txt
+    repro-power verilog --kind csa_multiplier --width 8 -o mult.v
+    repro-power hotspots --kind csa_multiplier --width 8 --data-type III
+    repro-power budget my_filter.json --models ./model_cache
+
+The ``table``/``figure``/``reproduce`` subcommands regenerate the paper's
+evaluation artifacts (see EXPERIMENTS.md); ``--scale small`` trades
+fidelity for speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-power",
+        description="Hamming-distance power macro-models (DATE 1999 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-modules", help="list datapath module kinds")
+
+    p = sub.add_parser("characterize", help="characterize a module")
+    p.add_argument("--kind", required=True)
+    p.add_argument("--width", type=int, required=True)
+    p.add_argument("--patterns", type=int, default=4000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--enhanced", action="store_true")
+    p.add_argument("--stimulus", default="uniform_hd",
+                   choices=["random", "uniform_hd", "mixed", "corner"])
+    p.add_argument("-o", "--output", help="write the model as JSON")
+
+    p = sub.add_parser("estimate", help="estimate power for a data stream")
+    p.add_argument("--kind", required=True)
+    p.add_argument("--width", type=int, required=True)
+    p.add_argument("--data-type", default="I", choices=list("I II III IV V".split()))
+    p.add_argument("--patterns", type=int, default=5000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--model", help="JSON model from 'characterize' "
+                                   "(characterizes on the fly if omitted)")
+    p.add_argument("--method", default="trace",
+                   choices=["trace", "distribution", "avg-hd"])
+    p.add_argument("--reference", action="store_true",
+                   help="also run the gate-level reference simulation")
+    p.add_argument("--vdd", type=float, help="report watts at this supply")
+    p.add_argument("--f-clk", type=float, default=50e6)
+
+    p = sub.add_parser("verilog", help="export a module as structural Verilog")
+    p.add_argument("--kind", required=True)
+    p.add_argument("--width", type=int, required=True)
+    p.add_argument("-o", "--output", help="write to a file instead of stdout")
+
+    p = sub.add_parser("hotspots", help="per-net power breakdown")
+    p.add_argument("--kind", required=True)
+    p.add_argument("--width", type=int, required=True)
+    p.add_argument("--data-type", default="I",
+                   choices=list("I II III IV V".split()))
+    p.add_argument("--patterns", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=15)
+
+    p = sub.add_parser(
+        "budget", help="power-budget a JSON dataflow graph"
+    )
+    p.add_argument("graph", help="JSON graph description (see "
+                                 "repro.flow.graph_io for the schema)")
+    p.add_argument("--width", type=int, default=8,
+                   help="default operand width")
+    p.add_argument("--patterns", type=int, default=3000)
+    p.add_argument("--models", help="directory for persisted model library")
+
+    p = sub.add_parser(
+        "reproduce", help="regenerate every table and figure"
+    )
+    p.add_argument("--scale", default="full", choices=["full", "small"])
+    p.add_argument("-o", "--output", help="write the report to a file")
+
+    p = sub.add_parser("table", help="reproduce a paper table")
+    p.add_argument("number", type=int, choices=[1, 2, 3])
+    p.add_argument("--scale", default="full", choices=["full", "small"])
+
+    p = sub.add_parser("figure", help="reproduce a paper figure")
+    p.add_argument("number", type=int, choices=[1, 2, 3, 4, 6, 9])
+    p.add_argument("--scale", default="full", choices=["full", "small"])
+
+    return parser
+
+
+def _make_harness(scale: str):
+    from .eval import ExperimentConfig, Harness
+
+    if scale == "small":
+        return Harness(ExperimentConfig(n_characterization=1500, n_eval=1500))
+    return Harness(ExperimentConfig(n_characterization=5000, n_eval=5000))
+
+
+def _cmd_list_modules(args) -> int:
+    from .modules import MODULE_KINDS, PAPER_MODULE_KINDS, make_module
+
+    print(f"{'kind':26s} {'features':14s} {'gates@w=8':>9s}")
+    for name in sorted(MODULE_KINDS):
+        entry = MODULE_KINDS[name]
+        try:
+            gates = make_module(name, 8).netlist.n_gates
+        except ValueError:
+            gates = -1
+        star = "*" if name in PAPER_MODULE_KINDS else " "
+        features = "(" + ", ".join(entry.feature_names) + ")"
+        print(f"{star}{name:25s} {features:14s} {gates:9d}")
+    print("\n* = module types evaluated in the paper's Table 1")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from .core import characterize_module
+    from .core.serialize import save_model
+    from .modules import make_module
+
+    module = make_module(args.kind, args.width)
+    result = characterize_module(
+        module, n_patterns=args.patterns, seed=args.seed,
+        enhanced=args.enhanced, stimulus=args.stimulus,
+    )
+    model = result.model
+    print(f"characterized {module.netlist.name}: {result.n_patterns} patterns"
+          f" (converged: {result.converged})")
+    print(f"total average deviation eps = "
+          f"{model.total_average_deviation * 100:.1f}%")
+    print("p_i:", np.array2string(model.coefficients, precision=1))
+    if args.output:
+        target = result.enhanced if args.enhanced else model
+        save_model(args.output, target)
+        print(f"model written to {args.output}")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    from .circuit import OperatingPoint, PowerSimulator
+    from .core import PowerEstimator, characterize_module
+    from .core.serialize import load_model
+    from .core.hd_model import HdPowerModel
+    from .core.enhanced import EnhancedHdModel
+    from .modules import make_module
+    from .signals import make_operand_streams, module_stimulus
+
+    module = make_module(args.kind, args.width)
+    enhanced = None
+    if args.model:
+        loaded = load_model(args.model)
+        if isinstance(loaded, EnhancedHdModel):
+            enhanced, model = loaded, loaded.fallback
+        elif isinstance(loaded, HdPowerModel):
+            model = loaded
+        else:
+            print("error: unsupported model type for estimation",
+                  file=sys.stderr)
+            return 2
+        if model.width != module.input_bits:
+            print(
+                f"error: model width {model.width} does not match module "
+                f"input bits {module.input_bits}", file=sys.stderr,
+            )
+            return 2
+    else:
+        model = characterize_module(
+            module, n_patterns=args.patterns, seed=args.seed
+        ).model
+
+    streams = make_operand_streams(module, args.data_type, args.patterns,
+                                   seed=args.seed + 1)
+    estimator = PowerEstimator(model, enhanced=enhanced)
+    if args.method == "trace":
+        estimate = estimator.estimate_from_streams(module, streams)
+    elif args.method == "distribution":
+        estimate = estimator.estimate_analytic_from_streams(module, streams)
+    else:
+        estimate = estimator.estimate_analytic_from_streams(
+            module, streams, use_distribution=False
+        )
+    print(f"method            : {estimate.method}")
+    print(f"estimated charge  : {estimate.average_charge:.2f} per cycle")
+    if args.vdd:
+        op = OperatingPoint(vdd=args.vdd, f_clk=args.f_clk)
+        watts = op.average_power(estimate.average_charge)
+        print(f"estimated power   : {watts * 1e6:.2f} uW "
+              f"@ {args.vdd}V, {args.f_clk / 1e6:.0f}MHz")
+    if args.reference:
+        bits = module_stimulus(module, streams)
+        reference = PowerSimulator(module.compiled).simulate(bits)
+        err = (estimate.average_charge / reference.average_charge - 1) * 100
+        print(f"reference charge  : {reference.average_charge:.2f} "
+              f"(error {err:+.1f}%)")
+    return 0
+
+
+def _cmd_verilog(args) -> int:
+    from .circuit.verilog import to_verilog
+    from .modules import make_module
+
+    module = make_module(args.kind, args.width)
+    text = to_verilog(module.netlist)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} "
+              f"({module.netlist.n_gates} cells)")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_hotspots(args) -> int:
+    from .circuit import net_power_breakdown, render_hotspots
+    from .modules import make_module
+    from .signals import make_operand_streams, module_stimulus
+
+    module = make_module(args.kind, args.width)
+    streams = make_operand_streams(
+        module, args.data_type, args.patterns, seed=args.seed
+    )
+    bits = module_stimulus(module, streams)
+    hotspots = net_power_breakdown(module.compiled, bits, top=args.top)
+    print(render_hotspots(
+        hotspots,
+        title=f"{module.netlist.name}, data type {args.data_type}: "
+              f"top {args.top} nets",
+    ))
+    return 0
+
+
+def _cmd_budget(args) -> int:
+    from .flow import DatapathPower, ModelLibrary, load_graph
+
+    graph, widths = load_graph(args.graph)
+    library = ModelLibrary(
+        n_patterns=args.patterns, directory=args.models
+    )
+    budgeter = DatapathPower(graph, library, default_width=args.width)
+    for node, width in widths.items():
+        budgeter.set_width(node, width)
+    print(budgeter.estimate_analytic().render())
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from .eval import render_report, reproduce_all
+
+    report = render_report(reproduce_all(scale=args.scale))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from .eval import (
+        render_table1, render_table2, render_table3,
+        table1, table2, table3,
+    )
+
+    harness = _make_harness(args.scale)
+    if args.number == 1:
+        print(render_table1(table1(harness)))
+    elif args.number == 2:
+        print(render_table2(table2(harness)))
+    else:
+        n = 1500 if args.scale == "small" else 3000
+        print(render_table3(table3(harness, n_prototype_patterns=n)))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .eval import (
+        figure1, figure2, figure3_complexity, figure4, figure6, figure9,
+        render_figure1, render_figure2, render_figure6, render_figure9,
+    )
+
+    harness = _make_harness(args.scale)
+    if args.number == 1:
+        print(render_figure1(figure1(harness)))
+    elif args.number == 2:
+        print(render_figure2(figure2(harness)))
+    elif args.number == 3:
+        for row in figure3_complexity():
+            print(f"{row.width_a:2d}x{row.width_b:2d}: {row.n_gates} gates, "
+                  f"{row.n_full_adders_equivalent} FA-equiv "
+                  f"(m1*m0 = {row.predicted_complexity:.0f})")
+    elif args.number == 4:
+        n = 1200 if args.scale == "small" else 3000
+        for s in figure4(harness, n_prototype_patterns=n):
+            print(f"{s.kind} p_{s.class_index}: instance "
+                  f"{np.round(s.instance, 1).tolist()}")
+            for subset, values in s.regression.items():
+                print(f"  {subset}: {np.round(values, 1).tolist()}")
+    elif args.number == 6:
+        print(render_figure6(figure6(harness)))
+    else:
+        n = 3000 if args.scale == "small" else 10000
+        print(render_figure9(figure9(n=n)))
+    return 0
+
+
+_COMMANDS = {
+    "list-modules": _cmd_list_modules,
+    "characterize": _cmd_characterize,
+    "estimate": _cmd_estimate,
+    "verilog": _cmd_verilog,
+    "hotspots": _cmd_hotspots,
+    "budget": _cmd_budget,
+    "reproduce": _cmd_reproduce,
+    "table": _cmd_table,
+    "figure": _cmd_figure,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

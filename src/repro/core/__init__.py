@@ -1,0 +1,80 @@
+"""The paper's contribution: the parameterizable Hd power macro-model."""
+
+from .adaptation import AdaptiveHdModel
+from .characterize import (
+    CharacterizationResult,
+    characterize_module,
+    corner_input_bits,
+    mixed_input_bits,
+    random_input_bits,
+)
+from .distribution import (
+    average_hd_from_dbt,
+    binomial_distribution,
+    compose_hd_distributions,
+    compose_joint_distributions,
+    distribution_mean,
+    gaussian_negative_prob,
+    hd_distribution_from_dbt,
+    joint_hd_stable_zeros,
+    module_hd_distribution,
+    module_joint_distribution,
+    sign_region_distribution,
+)
+from .enhanced import EnhancedHdModel
+from .estimator import EstimationResult, PowerEstimator
+from .events import TransitionEvents, classify_transitions
+from .hd_model import HdPowerModel
+from .metrics import average_error, average_error_scalar, cycle_error
+from .operand_model import OperandHdModel, operand_hamming_distances
+from .regression import (
+    RectRegression,
+    WidthRegression,
+    characterize_rect_prototype_set,
+    fit_rect_regression,
+    average_coefficient_error,
+    characterize_prototype_set,
+    coefficient_errors,
+    fit_width_regression,
+    prototype_widths,
+)
+
+__all__ = [
+    "AdaptiveHdModel",
+    "CharacterizationResult",
+    "EnhancedHdModel",
+    "EstimationResult",
+    "HdPowerModel",
+    "OperandHdModel",
+    "PowerEstimator",
+    "RectRegression",
+    "TransitionEvents",
+    "WidthRegression",
+    "average_coefficient_error",
+    "average_error",
+    "average_error_scalar",
+    "average_hd_from_dbt",
+    "binomial_distribution",
+    "characterize_module",
+    "characterize_prototype_set",
+    "characterize_rect_prototype_set",
+    "fit_rect_regression",
+    "classify_transitions",
+    "coefficient_errors",
+    "compose_hd_distributions",
+    "compose_joint_distributions",
+    "corner_input_bits",
+    "cycle_error",
+    "distribution_mean",
+    "mixed_input_bits",
+    "fit_width_regression",
+    "gaussian_negative_prob",
+    "hd_distribution_from_dbt",
+    "joint_hd_stable_zeros",
+    "module_hd_distribution",
+    "module_joint_distribution",
+    "operand_hamming_distances",
+    "prototype_widths",
+    "random_input_bits",
+    "sign_region_distribution",
+]

@@ -1,0 +1,101 @@
+"""Adaptive LMS coefficient adaptation (Bogliolo et al. [4]).
+
+Section 4.2 proposes "coefficient adaptation techniques" as the remedy when
+input statistics drift far from the characterization statistics (e.g. the
+binary-counter stream).  This module implements the normalized LMS scheme of
+reference [4] specialized to the Hd model: the activator vector Δ of Eq. 2 is
+one-hot (exactly one event class fires per cycle), so the normalized update
+touches only the active coefficient:
+
+    p_i  <-  p_i + μ (Q_ref - p_i)      when class i fired.
+
+Given occasional reference charges (e.g. from sporadic low-level
+simulations), the model tracks the new statistics online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from .hd_model import HdPowerModel
+
+
+@dataclass
+class AdaptiveHdModel:
+    """An Hd model whose coefficients adapt online with normalized LMS.
+
+    Attributes:
+        base: The initial (characterized) model; never mutated.
+        learning_rate: LMS step size μ in (0, 1].
+        coefficients: Current adapted coefficient vector.
+        updates: Number of update steps applied per class.
+    """
+
+    base: HdPowerModel
+    learning_rate: float = 0.1
+    coefficients: np.ndarray = field(init=False)
+    updates: np.ndarray = field(init=False)
+
+    def __post_init__(self):
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        self.coefficients = self.base.coefficients.copy()
+        self.updates = np.zeros(self.base.width + 1, dtype=np.int64)
+
+    @property
+    def width(self) -> int:
+        return self.base.width
+
+    # ------------------------------------------------------------------
+    def predict_cycle(self, hd: np.ndarray) -> np.ndarray:
+        """Per-cycle estimate with the current (adapted) coefficients."""
+        hd = np.asarray(hd, dtype=np.int64)
+        return self.coefficients[hd]
+
+    def observe(self, hd: int, reference_charge: float) -> float:
+        """One LMS step from an observed (class, reference charge) pair.
+
+        Returns:
+            The a-priori error ``Q_ref - p_i`` before the update.
+        """
+        if not 0 <= hd <= self.width:
+            raise ValueError(f"Hd {hd} out of range 0..{self.width}")
+        error = float(reference_charge) - float(self.coefficients[hd])
+        if hd > 0:  # p_0 stays pinned at 0
+            self.coefficients[hd] += self.learning_rate * error
+            self.updates[hd] += 1
+        return error
+
+    def observe_trace(
+        self, hd: np.ndarray, reference_charge: np.ndarray
+    ) -> np.ndarray:
+        """Sequential LMS over a trace; returns the a-priori error series."""
+        hd = np.asarray(hd, dtype=np.int64)
+        reference_charge = np.asarray(reference_charge, dtype=np.float64)
+        if hd.shape != reference_charge.shape:
+            raise ValueError("hd and reference_charge must align")
+        errors = np.empty(len(hd), dtype=np.float64)
+        for j in range(len(hd)):
+            errors[j] = self.observe(int(hd[j]), float(reference_charge[j]))
+        return errors
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> HdPowerModel:
+        """Freeze the adapted coefficients into a plain :class:`HdPowerModel`."""
+        return HdPowerModel(
+            name=f"{self.base.name}(adapted)",
+            width=self.width,
+            coefficients=self.coefficients.copy(),
+            deviations=self.base.deviations.copy(),
+            counts=self.updates.copy(),
+        )
+
+    def drift(self) -> float:
+        """Mean relative coefficient movement away from the base model."""
+        base = self.base.coefficients[1:]
+        current = self.coefficients[1:]
+        denom = np.where(np.abs(base) > 0, np.abs(base), 1.0)
+        return float(np.mean(np.abs(current - base) / denom))

@@ -1,0 +1,255 @@
+"""Model characterization (Section 4.1).
+
+A module prototype is stimulated with random patterns, the reference power
+simulator provides per-transition charges, and the model coefficients are
+per-class averages (Eq. 4).  Characterization proceeds in batches and is
+"finished after the coefficient values have converged": after each batch the
+cumulative coefficients are refitted and the maximum relative change over
+well-populated classes is compared against a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..circuit.power import PowerSimulator
+from ..modules.library import DatapathModule
+from .enhanced import EnhancedHdModel
+from .events import classify_transitions
+from .hd_model import HdPowerModel
+
+
+@dataclass
+class CharacterizationResult:
+    """Outcome of a characterization run.
+
+    Attributes:
+        model: The fitted basic Hd model.
+        enhanced: The fitted enhanced model (if requested).
+        n_patterns: Characterization patterns consumed.
+        converged: Whether the convergence criterion was met before the
+            pattern budget ran out.
+        history: Max relative coefficient change after each batch.
+        average_charge: Mean reference cycle charge of the run.
+    """
+
+    model: HdPowerModel
+    enhanced: Optional[EnhancedHdModel]
+    n_patterns: int
+    converged: bool
+    history: List[float] = field(default_factory=list)
+    average_charge: float = 0.0
+
+
+def random_input_bits(
+    n_patterns: int, width: int, seed: int = 0
+) -> np.ndarray:
+    """Uniform random module input vectors (the characterization stream)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=(n_patterns, width), dtype=np.int8).astype(bool)
+
+
+def uniform_hd_input_bits(
+    n_patterns: int, width: int, seed: int = 0
+) -> np.ndarray:
+    """Hd-stratified random walk: every event class converges equally fast.
+
+    Uniform random patterns concentrate the Hamming distance binomially
+    around ``m/2``, so for wide modules the low- and high-Hd classes are
+    never observed and their coefficients would be extrapolations.  This
+    stream starts from a uniform random vector and XORs, per step, a mask of
+    ``h`` uniformly-chosen bit positions with ``h`` drawn uniformly from
+    ``1..m``.  The marginal stays uniform and, conditioned on ``Hd = h``,
+    the toggled positions are uniform — i.e. the same class-conditional
+    distribution as the plain random stream — so the fitted ``p_i`` are
+    unbiased while every class receives ``~n/m`` samples (importance
+    sampling over event classes).
+    """
+    rng = np.random.default_rng(seed)
+    bits = np.empty((max(n_patterns, 1), width), dtype=bool)
+    current = rng.integers(0, 2, size=width).astype(bool)
+    bits[0] = current
+    for j in range(1, len(bits)):
+        h = int(rng.integers(1, width + 1))
+        positions = rng.choice(width, size=h, replace=False)
+        current = current.copy()
+        current[positions] = ~current[positions]
+        bits[j] = current
+    return bits[:n_patterns]
+
+
+def corner_input_bits(
+    n_patterns: int, width: int, seed: int = 0
+) -> np.ndarray:
+    """Structured vectors that exercise extreme stable-zero subclasses.
+
+    Uniform random patterns almost never produce transitions where *all*
+    non-switching bits are 0 (or all are 1) — exactly the subclasses the
+    enhanced model's Figure-2 curves need.  This stream emits pairs
+    ``(u, u ^ mask)`` whose support is a random subset ``S`` while the bits
+    outside ``S`` are all-zero, all-one or random, cycling through the three
+    fill styles.
+    """
+    rng = np.random.default_rng(seed)
+    bits = np.zeros((max(n_patterns, 2), width), dtype=bool)
+    row = 0
+    style = 0
+    while row + 1 < len(bits):
+        hd = int(rng.integers(1, width + 1))
+        support = rng.choice(width, size=hd, replace=False)
+        if style == 0:
+            fill = np.zeros(width, dtype=bool)
+        elif style == 1:
+            fill = np.ones(width, dtype=bool)
+        else:
+            fill = rng.integers(0, 2, size=width).astype(bool)
+        style = (style + 1) % 3
+        u = fill.copy()
+        u[support] = rng.integers(0, 2, size=hd).astype(bool)
+        v = u.copy()
+        v[support] = ~v[support]
+        bits[row] = u
+        bits[row + 1] = v
+        row += 2
+    return bits[:n_patterns]
+
+
+def mixed_input_bits(
+    n_patterns: int, width: int, seed: int = 0, corner_fraction: float = 0.5
+) -> np.ndarray:
+    """Hd-stratified patterns interleaved with corner pairs (enhanced stream).
+
+    The seam transitions between blocks are ordinary transitions and simply
+    land in their own event classes, so interleaving loses nothing.
+    """
+    n_corner = int(n_patterns * corner_fraction)
+    blocks = [
+        uniform_hd_input_bits(n_patterns - n_corner, width, seed),
+        corner_input_bits(n_corner, width, seed + 1),
+    ]
+    return np.vstack([b for b in blocks if len(b)])
+
+
+def characterize_module(
+    module: DatapathModule,
+    n_patterns: int = 4000,
+    seed: int = 0,
+    enhanced: bool = False,
+    cluster_size: int = 1,
+    batch_size: int = 1000,
+    tolerance: float = 0.02,
+    min_class_count: int = 20,
+    glitch_aware: bool = True,
+    glitch_weight: float = 1.0,
+    stimulus: str = "uniform_hd",
+    max_patterns: Optional[int] = None,
+) -> CharacterizationResult:
+    """Characterize one module prototype with random patterns.
+
+    Args:
+        module: The module to characterize.
+        n_patterns: Initial pattern budget; characterization may extend up
+            to ``max_patterns`` if the coefficients have not converged.
+        seed: RNG seed for the characterization stream.
+        enhanced: Also fit the enhanced (stable-zeros) model.
+        cluster_size: Zero-count clustering for the enhanced model.
+        batch_size: Patterns per convergence-check batch.
+        tolerance: Convergence threshold on the max relative coefficient
+            change over classes with at least ``min_class_count`` samples.
+        min_class_count: Classes with fewer samples are ignored by the
+            convergence check (their coefficients are interpolated anyway).
+        glitch_aware: Use the unit-delay (glitchy) reference simulator.
+        glitch_weight: Charge weight of glitch toggles (see
+            :class:`~repro.circuit.power.PowerSimulator`).
+        stimulus: ``"uniform_hd"`` (default: Hd-stratified random walk so
+            every event class converges — unbiased per class, see
+            :func:`uniform_hd_input_bits`), ``"random"`` (the paper's plain
+            random stream), ``"mixed"`` (uniform_hd + corner pairs,
+            recommended for the enhanced model) or ``"corner"``.
+        max_patterns: Hard budget; defaults to ``4 * n_patterns``.
+
+    Returns:
+        A :class:`CharacterizationResult`.
+    """
+    if max_patterns is None:
+        max_patterns = 4 * n_patterns
+    generators = {
+        "random": random_input_bits,
+        "uniform_hd": uniform_hd_input_bits,
+        "mixed": mixed_input_bits,
+        "corner": corner_input_bits,
+    }
+    if stimulus not in generators:
+        raise ValueError(f"unknown stimulus {stimulus!r}; use {sorted(generators)}")
+    make_bits = generators[stimulus]
+    width = module.input_bits
+    simulator = PowerSimulator(
+        module.compiled, glitch_aware=glitch_aware, glitch_weight=glitch_weight
+    )
+    rng = np.random.default_rng(seed)
+
+    all_hd: List[np.ndarray] = []
+    all_zeros: List[np.ndarray] = []
+    all_charge: List[np.ndarray] = []
+    previous: Optional[np.ndarray] = None
+    history: List[float] = []
+    converged = False
+    consumed = 0
+    last_vector: Optional[np.ndarray] = None
+
+    batch_index = 0
+    while consumed < max_patterns:
+        batch = min(batch_size, max_patterns - consumed)
+        bits = make_bits(batch, width, seed=int(rng.integers(0, 2**31)))
+        batch_index += 1
+        if last_vector is not None:
+            # Stitch batches so no transition is lost at the seam.
+            bits = np.vstack([last_vector[None, :], bits])
+        last_vector = bits[-1]
+        consumed += batch
+        trace = simulator.simulate(bits)
+        events = classify_transitions(bits)
+        all_hd.append(events.hd)
+        all_zeros.append(events.stable_zeros)
+        all_charge.append(trace.charge)
+
+        hd = np.concatenate(all_hd)
+        charge = np.concatenate(all_charge)
+        model = HdPowerModel.fit(hd, charge, width, name=module.netlist.name)
+        if previous is not None:
+            mask = model.counts >= min_class_count
+            mask[0] = False
+            if mask.any():
+                prev = previous[mask]
+                cur = model.coefficients[mask]
+                denom = np.where(np.abs(prev) > 0, np.abs(prev), 1.0)
+                change = float(np.max(np.abs(cur - prev) / denom))
+            else:
+                change = float("inf")
+            history.append(change)
+            if consumed >= n_patterns and change < tolerance:
+                converged = True
+                break
+        previous = model.coefficients.copy()
+
+    hd = np.concatenate(all_hd)
+    zeros = np.concatenate(all_zeros)
+    charge = np.concatenate(all_charge)
+    model = HdPowerModel.fit(hd, charge, width, name=module.netlist.name)
+    enhanced_model = None
+    if enhanced:
+        enhanced_model = EnhancedHdModel.fit(
+            hd, zeros, charge, width,
+            cluster_size=cluster_size, name=module.netlist.name,
+        )
+    return CharacterizationResult(
+        model=model,
+        enhanced=enhanced_model,
+        n_patterns=consumed,
+        converged=converged,
+        history=history,
+        average_charge=float(charge.mean()),
+    )

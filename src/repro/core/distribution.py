@@ -1,0 +1,230 @@
+"""Analytic Hamming-distance statistics from word-level statistics
+(Section 6.2 and 6.3, Eq. 11-18).
+
+With the reduced two-region DBT model (``n_rand`` random bits, ``n_sign``
+sign bits):
+
+* the random region contributes a binomial(``n_rand``, 1/2) Hamming
+  distance (Eq. 12);
+* the sign region contributes an all-or-nothing two-point distribution —
+  0 with probability ``1 - t_sign`` or ``n_sign`` with ``t_sign``;
+* the word's distribution is their convolution, written out per region in
+  Eq. 15-17 and unified in Eq. 18.
+
+Multi-operand modules convolve the per-operand distributions (closing
+remark of Section 6.3, valid for uncorrelated operand streams).
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Sequence
+
+import numpy as np
+
+from ..stats.dbt import DbtModel
+from ..stats.wordstats import WordStats
+
+
+def binomial_distribution(n: int, p: float = 0.5) -> np.ndarray:
+    """Binomial pmf over ``0..n`` (Eq. 12 with ``p = 1/2``)."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    k = np.arange(n + 1)
+    coefficients = np.array([comb(n, int(i)) for i in k], dtype=np.float64)
+    with np.errstate(divide="ignore"):
+        pmf = coefficients * (p ** k) * ((1.0 - p) ** (n - k))
+    return pmf
+
+
+def sign_region_distribution(n_sign: int, t_sign: float) -> np.ndarray:
+    """Two-point sign-region pmf over ``0..n_sign`` (Section 6.3).
+
+    All sign bits switch together: mass ``1 - t_sign`` at 0 and ``t_sign``
+    at ``n_sign``.
+    """
+    pmf = np.zeros(n_sign + 1)
+    pmf[0] = 1.0 - t_sign
+    pmf[n_sign] += t_sign
+    return pmf
+
+
+def hd_distribution_from_dbt(model: DbtModel) -> np.ndarray:
+    """Word-level Hamming-distance distribution ``p(Hd = i)`` (Eq. 18).
+
+    Implemented literally as the unified formula: the random-region
+    binomial shifted by 0 (no sign switch, weight ``p^sign_0``) plus the
+    binomial shifted by ``n_sign`` (sign switch, weight ``p^sign_{n_sign}``).
+
+    Returns:
+        pmf of length ``model.width + 1``.
+    """
+    m = model.width
+    n_rand, n_sign, t_sign = model.n_rand, model.n_sign, model.t_sign
+    p_rand = binomial_distribution(n_rand)
+    pmf = np.zeros(m + 1)
+    # delta_{not SS} term: i <= n_rand, weight (1 - t_sign).
+    pmf[: n_rand + 1] += p_rand * (1.0 - t_sign)
+    # delta_{SS} term: i >= n_sign, weight t_sign, binomial index i - n_sign.
+    pmf[n_sign : n_sign + n_rand + 1] += p_rand * t_sign
+    return pmf
+
+
+def average_hd_from_dbt(model: DbtModel) -> float:
+    """Average Hamming distance (Eq. 11, reduced two-region form)."""
+    return model.average_hd()
+
+
+def compose_hd_distributions(distributions: Sequence[np.ndarray]) -> np.ndarray:
+    """Hd distribution of concatenated uncorrelated words (Section 6.3).
+
+    The Hamming distance of a concatenation is the sum of the per-word
+    Hamming distances, so the pmfs convolve.
+    """
+    if not distributions:
+        raise ValueError("need at least one distribution")
+    result = np.asarray(distributions[0], dtype=np.float64)
+    for pmf in distributions[1:]:
+        result = np.convolve(result, np.asarray(pmf, dtype=np.float64))
+    return result
+
+
+def module_hd_distribution(
+    operand_stats: Sequence[WordStats], operand_widths: Sequence[int]
+) -> np.ndarray:
+    """Analytic input Hd distribution of a multi-operand module.
+
+    Args:
+        operand_stats: Word statistics per operand.
+        operand_widths: Bit width per operand.
+
+    Returns:
+        pmf over ``0..sum(widths)``.
+    """
+    if len(operand_stats) != len(operand_widths):
+        raise ValueError("stats and widths must align")
+    pmfs = [
+        hd_distribution_from_dbt(DbtModel.from_wordstats(stats, width))
+        for stats, width in zip(operand_stats, operand_widths)
+    ]
+    return compose_hd_distributions(pmfs)
+
+
+def distribution_mean(pmf: np.ndarray) -> float:
+    """Mean of an integer-valued pmf."""
+    pmf = np.asarray(pmf, dtype=np.float64)
+    return float(pmf @ np.arange(len(pmf)))
+
+
+# ----------------------------------------------------------------------
+# Joint (Hd, stable-zeros) distribution — analytic enhanced estimation
+# ----------------------------------------------------------------------
+def joint_hd_stable_zeros(
+    model: DbtModel, negative_prob: float | None = None
+) -> np.ndarray:
+    """Joint pmf of (Hamming distance, stable-zero count) for one word.
+
+    Extends Eq. 18 to the enhanced model's event classes: with the reduced
+    two-region word,
+
+    * each **random-region** bit independently toggles (p = 1/2), stays 0
+      (p = 1/4) or stays 1 (p = 1/4) — a trinomial over ``n_rand`` bits;
+    * the **sign region** is stable-at-0 (positive value, probability
+      ``1 - q - t_sign/2``), stable-at-1 (negative, ``q - t_sign/2``) or
+      switches entirely (``t_sign``), where ``q = P(x < 0)``.
+
+    Args:
+        model: Fitted DBT model.
+        negative_prob: ``P(x < 0)``; defaults to 0.5 (zero-mean signal).
+
+    Returns:
+        ``[m+1, m+1]`` matrix ``J[i, k] = p(Hd = i, zeros = k)`` summing
+        to 1 with support on ``i + k <= m``.
+    """
+    from math import lgamma
+
+    q = 0.5 if negative_prob is None else float(negative_prob)
+    t_sign = model.t_sign
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("negative_prob must be in [0, 1]")
+    stable_neg = max(q - t_sign / 2.0, 0.0)
+    stable_pos = max(1.0 - q - t_sign / 2.0, 0.0)
+    total = stable_neg + stable_pos + t_sign
+    stable_neg, stable_pos = stable_neg / total, stable_pos / total
+    t_norm = t_sign / total
+
+    n = model.n_rand
+    m = model.width
+    # Trinomial over the random region.
+    rand = np.zeros((n + 1, n + 1))
+    log_half, log_quarter = np.log(0.5), np.log(0.25)
+    for i in range(n + 1):
+        for k in range(n - i + 1):
+            j = n - i - k
+            log_coef = (
+                lgamma(n + 1) - lgamma(i + 1) - lgamma(k + 1) - lgamma(j + 1)
+            )
+            rand[i, k] = np.exp(
+                log_coef + i * log_half + (k + j) * log_quarter
+            )
+    joint = np.zeros((m + 1, m + 1))
+    n_sign = model.n_sign
+    # Sign region contributions: (hd, zeros) offsets and weights.
+    contributions = [
+        (0, n_sign, stable_pos),
+        (0, 0, stable_neg),
+        (n_sign, 0, t_norm),
+    ]
+    for dh, dz, weight in contributions:
+        if weight <= 0.0:
+            continue
+        joint[dh : dh + n + 1, dz : dz + n + 1] += weight * rand
+    return joint
+
+
+def gaussian_negative_prob(mean: float, sigma: float) -> float:
+    """``P(x < 0)`` for a Gaussian word-level model."""
+    from math import erf, sqrt
+
+    if sigma <= 0.0:
+        return 1.0 if mean < 0 else 0.0
+    return 0.5 * (1.0 - erf(mean / (sigma * sqrt(2.0))))
+
+
+def compose_joint_distributions(joints: Sequence[np.ndarray]) -> np.ndarray:
+    """Joint (Hd, zeros) pmf of concatenated uncorrelated words (2-D
+    convolution along both axes)."""
+    if not joints:
+        raise ValueError("need at least one distribution")
+    result = np.asarray(joints[0], dtype=np.float64)
+    for joint in joints[1:]:
+        joint = np.asarray(joint, dtype=np.float64)
+        out = np.zeros(
+            (result.shape[0] + joint.shape[0] - 1,
+             result.shape[1] + joint.shape[1] - 1)
+        )
+        for i in range(joint.shape[0]):
+            row = joint[i]
+            nz = np.nonzero(row)[0]
+            for k in nz:
+                out[i : i + result.shape[0], k : k + result.shape[1]] += (
+                    row[k] * result
+                )
+        result = out
+    return result
+
+
+def module_joint_distribution(
+    operand_stats: Sequence[WordStats], operand_widths: Sequence[int]
+) -> np.ndarray:
+    """Analytic joint (Hd, stable-zeros) pmf of a multi-operand module."""
+    if len(operand_stats) != len(operand_widths):
+        raise ValueError("stats and widths must align")
+    joints = []
+    for stats, width in zip(operand_stats, operand_widths):
+        model = DbtModel.from_wordstats(stats, width)
+        q = gaussian_negative_prob(stats.mean, stats.sigma)
+        joints.append(joint_hd_stable_zeros(model, q))
+    return compose_joint_distributions(joints)

@@ -1,0 +1,173 @@
+"""High-level power estimation API.
+
+Three estimation paths, in increasing abstraction (decreasing cost):
+
+1. **Trace-based** — classify a concrete input bit stream and apply the
+   model per cycle (what Table 1/2 evaluate).
+2. **Distribution-based** — apply the model to an analytic Hamming-distance
+   distribution computed from word-level statistics (Section 6.3; the
+   accurate fast path).
+3. **Average-Hd** — interpolate the model at the scalar average Hamming
+   distance (Section 6.2; the fast path the paper shows can err by ~30%
+   when coefficients are non-linear and the distribution is asymmetric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..modules.library import DatapathModule
+from ..signals.streams import PatternStream, module_stimulus
+from ..stats.wordstats import WordStats, word_stats
+from .distribution import distribution_mean, module_hd_distribution
+from .enhanced import EnhancedHdModel
+from .events import classify_transitions
+from .hd_model import HdPowerModel
+
+
+@dataclass(frozen=True)
+class EstimationResult:
+    """A power estimate with its provenance.
+
+    Attributes:
+        average_charge: Estimated mean cycle charge.
+        method: ``"trace"``, ``"distribution"`` or ``"average_hd"``.
+        cycle_charge: Per-cycle estimates (trace method only).
+        hd_distribution: The distribution used (distribution method only).
+        average_hd: The scalar Hd used (average_hd method only).
+    """
+
+    average_charge: float
+    method: str
+    cycle_charge: Optional[np.ndarray] = None
+    hd_distribution: Optional[np.ndarray] = None
+    average_hd: Optional[float] = None
+
+
+class PowerEstimator:
+    """Applies a fitted Hd model to stimuli at several abstraction levels.
+
+    Args:
+        model: Basic Hd model of the target module instance.
+        enhanced: Optional enhanced model; when present, trace-based
+            estimation uses the (Hd, stable-zeros) subclasses.
+    """
+
+    def __init__(
+        self,
+        model: HdPowerModel,
+        enhanced: Optional[EnhancedHdModel] = None,
+    ):
+        self.model = model
+        self.enhanced = enhanced
+
+    # ------------------------------------------------------------------
+    def estimate_from_bits(self, bits: np.ndarray) -> EstimationResult:
+        """Trace-based estimation over a concrete input bit matrix."""
+        events = classify_transitions(bits)
+        if events.width != self.model.width:
+            raise ValueError(
+                f"bit matrix has {events.width} inputs, model expects "
+                f"{self.model.width}"
+            )
+        if self.enhanced is not None:
+            cycle = self.enhanced.predict_cycle(events.hd, events.stable_zeros)
+        else:
+            cycle = self.model.predict_cycle(events.hd)
+        return EstimationResult(
+            average_charge=float(cycle.mean()) if cycle.size else 0.0,
+            method="trace",
+            cycle_charge=cycle,
+        )
+
+    def estimate_from_streams(
+        self, module: DatapathModule, streams: Sequence[PatternStream]
+    ) -> EstimationResult:
+        """Trace-based estimation from per-operand pattern streams."""
+        return self.estimate_from_bits(module_stimulus(module, streams))
+
+    # ------------------------------------------------------------------
+    def estimate_from_distribution(
+        self, hd_distribution: np.ndarray
+    ) -> EstimationResult:
+        """Distribution-based estimation (Section 6.3 fast path)."""
+        average = self.model.average_from_distribution(hd_distribution)
+        return EstimationResult(
+            average_charge=average,
+            method="distribution",
+            hd_distribution=np.asarray(hd_distribution, dtype=np.float64),
+        )
+
+    def estimate_from_average_hd(self, average_hd: float) -> EstimationResult:
+        """Average-Hd estimation (Section 6.2 baseline)."""
+        return EstimationResult(
+            average_charge=self.model.interpolate(average_hd),
+            method="average_hd",
+            average_hd=float(average_hd),
+        )
+
+    # ------------------------------------------------------------------
+    def estimate_analytic(
+        self,
+        module: DatapathModule,
+        operand_stats: Sequence[WordStats],
+        use_distribution: bool = True,
+    ) -> EstimationResult:
+        """Fully analytic estimation from word-level statistics.
+
+        Builds the DBT model per operand, composes the module-level Hd
+        distribution and applies the power model — no simulation anywhere.
+
+        Args:
+            module: Target module (supplies operand widths).
+            operand_stats: Word statistics per operand.
+            use_distribution: If False, collapse to the average-Hd baseline
+                (for the Figure 6 comparison).
+        """
+        widths = [w for _, w in module.operand_specs]
+        pmf = module_hd_distribution(operand_stats, widths)
+        if use_distribution:
+            return self.estimate_from_distribution(pmf)
+        return self.estimate_from_average_hd(distribution_mean(pmf))
+
+    def estimate_analytic_enhanced(
+        self,
+        module: DatapathModule,
+        operand_stats: Sequence[WordStats],
+    ) -> EstimationResult:
+        """Analytic estimation through the *enhanced* model.
+
+        Derives the joint (Hd, stable-zeros) distribution from the DBT
+        model per operand — the trinomial/sign-region extension of Eq. 18 —
+        and applies the enhanced coefficients.  Requires an enhanced model.
+        """
+        if self.enhanced is None:
+            raise ValueError("no enhanced model attached to this estimator")
+        from .distribution import module_joint_distribution
+
+        widths = [w for _, w in module.operand_specs]
+        joint = module_joint_distribution(operand_stats, widths)
+        average = self.enhanced.average_from_joint(joint)
+        return EstimationResult(
+            average_charge=average,
+            method="distribution",
+            hd_distribution=joint.sum(axis=1),
+        )
+
+    def estimate_analytic_from_streams(
+        self,
+        module: DatapathModule,
+        streams: Sequence[PatternStream],
+        use_distribution: bool = True,
+    ) -> EstimationResult:
+        """Analytic estimation with statistics measured from sample streams.
+
+        The streams are used only to extract (μ, σ², ρ) — the estimation
+        itself never simulates and never looks at bit patterns, mirroring
+        the paper's "word-level simulation" use case.
+        """
+        stats = [word_stats(s.words) for s in streams]
+        return self.estimate_analytic(module, stats, use_distribution)

@@ -1,0 +1,59 @@
+"""Switching-event classification (Section 3).
+
+Every consecutive input-vector pair is assigned to a switching event class:
+by Hamming distance alone for the basic model (``E_i``), or by
+(Hamming distance, stable-zero count) for the enhanced model
+(``E_{i,z}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..stats.bitstats import (
+    hamming_distances,
+    stable_one_counts,
+    stable_zero_counts,
+)
+
+
+@dataclass(frozen=True)
+class TransitionEvents:
+    """Classified switching events of an input bit matrix.
+
+    Attributes:
+        width: Number of module input bits ``m``.
+        hd: Per-cycle Hamming distance (length ``n - 1``).
+        stable_zeros: Per-cycle count of bits stable at 0.
+        stable_ones: Per-cycle count of bits stable at 1.
+    """
+
+    width: int
+    hd: np.ndarray
+    stable_zeros: np.ndarray
+    stable_ones: np.ndarray
+
+    @property
+    def n_cycles(self) -> int:
+        return len(self.hd)
+
+    def class_counts(self) -> np.ndarray:
+        """Occurrences of each Hd class ``E_0 .. E_m``."""
+        return np.bincount(self.hd, minlength=self.width + 1)
+
+
+def classify_transitions(bits: np.ndarray) -> TransitionEvents:
+    """Classify all consecutive transitions of a bit matrix.
+
+    Args:
+        bits: ``[n, m]`` boolean input-vector matrix (n >= 2).
+    """
+    bits = np.asarray(bits, dtype=bool)
+    return TransitionEvents(
+        width=bits.shape[1],
+        hd=hamming_distances(bits),
+        stable_zeros=stable_zero_counts(bits),
+        stable_ones=stable_one_counts(bits),
+    )

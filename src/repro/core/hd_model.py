@@ -1,0 +1,211 @@
+"""The basic Hd power macro-model (Section 3, Eq. 2; Section 4.1, Eq. 4-5).
+
+One coefficient ``p_i`` per Hamming-distance class ``E_i``: the cycle charge
+of a transition with Hamming distance ``i`` is estimated as ``p_i``, and the
+coefficients are fitted as per-class averages of characterization charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+def _fill_missing(values: np.ndarray) -> np.ndarray:
+    """Interpolate/extrapolate NaN entries of a coefficient vector.
+
+    Characterization with random patterns rarely exercises the extreme
+    Hamming-distance classes (Hd near 0 or m); missing coefficients are
+    filled by linear interpolation between observed neighbours and linear
+    extrapolation at the ends, preserving the observed entries exactly.
+    """
+    values = values.astype(np.float64, copy=True)
+    index = np.arange(len(values))
+    known = ~np.isnan(values)
+    if known.sum() == 0:
+        raise ValueError("no observed coefficient classes at all")
+    if known.sum() == 1:
+        values[~known] = values[known][0]
+        return values
+    xk, yk = index[known], values[known]
+    inside = (index >= xk[0]) & (index <= xk[-1])
+    values[~known & inside] = np.interp(index[~known & inside], xk, yk)
+    # Linear extrapolation from the two outermost observed points.
+    if (~known & (index < xk[0])).any():
+        slope = (yk[1] - yk[0]) / (xk[1] - xk[0])
+        left = index[~known & (index < xk[0])]
+        values[left] = np.maximum(yk[0] + slope * (left - xk[0]), 0.0)
+    if (~known & (index > xk[-1])).any():
+        slope = (yk[-1] - yk[-2]) / (xk[-1] - xk[-2])
+        right = index[~known & (index > xk[-1])]
+        values[right] = np.maximum(yk[-1] + slope * (right - xk[-1]), 0.0)
+    return values
+
+
+@dataclass(frozen=True)
+class HdPowerModel:
+    """Basic Hamming-distance power macro-model of one module instance.
+
+    Attributes:
+        name: Module label (e.g. ``"csa_multiplier_8x8"``).
+        width: Number of module input bits ``m``; valid Hd classes are
+            ``0..m`` (the paper indexes ``E_1..E_m``; ``E_0`` — no input
+            change — has charge 0 by definition and is stored explicitly).
+        coefficients: ``p_i`` for ``i = 0..m`` (normalized charge units).
+        deviations: Per-class average absolute deviation ``ε_i`` (Eq. 5);
+            NaN for classes never observed during characterization.
+        counts: Characterization sample count per class.
+        standard_errors: Standard error of each ``p_i``
+            (``σ_i / sqrt(n_i)``); NaN for unobserved or single-sample
+            classes.  Quantifies characterization confidence beyond the
+            paper's ε_i.
+    """
+
+    name: str
+    width: int
+    coefficients: np.ndarray
+    deviations: np.ndarray = field(default=None)  # type: ignore[assignment]
+    counts: np.ndarray = field(default=None)  # type: ignore[assignment]
+    standard_errors: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        coefficients = np.asarray(self.coefficients, dtype=np.float64)
+        if coefficients.shape != (self.width + 1,):
+            raise ValueError(
+                f"need {self.width + 1} coefficients, got {coefficients.shape}"
+            )
+        object.__setattr__(self, "coefficients", coefficients)
+        if self.deviations is None:
+            object.__setattr__(
+                self, "deviations", np.full(self.width + 1, np.nan)
+            )
+        if self.counts is None:
+            object.__setattr__(
+                self, "counts", np.zeros(self.width + 1, dtype=np.int64)
+            )
+        if self.standard_errors is None:
+            object.__setattr__(
+                self, "standard_errors", np.full(self.width + 1, np.nan)
+            )
+
+    # ------------------------------------------------------------------
+    # Fitting (Eq. 4 and Eq. 5)
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        hd: np.ndarray,
+        charge: np.ndarray,
+        width: int,
+        name: str = "",
+    ) -> "HdPowerModel":
+        """Fit coefficients from a characterization trace.
+
+        Args:
+            hd: Per-cycle Hamming distances.
+            charge: Per-cycle reference charges (same length).
+            width: Module input bit count ``m``.
+            name: Model label.
+
+        ``p_i`` is the average charge of class-``i`` transitions (Eq. 4);
+        ``ε_i`` the average absolute relative deviation within the class
+        (Eq. 5).  Unobserved classes are interpolated; ``p_0`` is pinned
+        to 0 (a combinational module without input change consumes no
+        dynamic charge).
+        """
+        hd = np.asarray(hd, dtype=np.int64)
+        charge = np.asarray(charge, dtype=np.float64)
+        if hd.shape != charge.shape:
+            raise ValueError("hd and charge must have the same length")
+        if hd.size == 0:
+            raise ValueError("empty characterization trace")
+        if hd.min() < 0 or hd.max() > width:
+            raise ValueError(f"Hd values out of range 0..{width}")
+        counts = np.bincount(hd, minlength=width + 1)
+        sums = np.bincount(hd, weights=charge, minlength=width + 1)
+        with np.errstate(invalid="ignore"):
+            p = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        # Per-class deviations (Eq. 5) and coefficient standard errors.
+        eps = np.full(width + 1, np.nan)
+        stderr = np.full(width + 1, np.nan)
+        for i in np.nonzero(counts)[0]:
+            pi = p[i]
+            cls_charge = charge[hd == i]
+            if pi > 0:
+                eps[i] = float(np.abs((cls_charge - pi) / pi).mean())
+            elif pi == 0:
+                eps[i] = 0.0
+            if len(cls_charge) > 1:
+                stderr[i] = float(
+                    cls_charge.std(ddof=1) / np.sqrt(len(cls_charge))
+                )
+        p[0] = 0.0  # E_0: no input transition, no dynamic charge
+        p = _fill_missing(p)
+        return cls(name=name, width=width, coefficients=p,
+                   deviations=eps, counts=counts, standard_errors=stderr)
+
+    # ------------------------------------------------------------------
+    # Prediction (Eq. 2)
+    # ------------------------------------------------------------------
+    def predict_cycle(self, hd: np.ndarray) -> np.ndarray:
+        """Per-cycle charge estimate ``Q[j] = p_{Hd[j]}``."""
+        hd = np.asarray(hd, dtype=np.int64)
+        if hd.size and (hd.min() < 0 or hd.max() > self.width):
+            raise ValueError(f"Hd values out of range 0..{self.width}")
+        return self.coefficients[hd]
+
+    def predict_average(self, hd: np.ndarray) -> float:
+        """Average charge over a Hamming-distance sequence."""
+        values = self.predict_cycle(hd)
+        return float(values.mean()) if values.size else 0.0
+
+    def interpolate(self, hd_value: float, method: str = "linear") -> float:
+        """Charge for a real-valued Hamming distance (Section 6.2).
+
+        ``Hd^avg`` from the data model is a real number, so the integer
+        coefficients are interpolated — the paper's "standard interpolation
+        techniques".
+
+        Args:
+            hd_value: Real-valued Hamming distance (clipped to ``[0, m]``).
+            method: ``"linear"`` (default) or ``"pchip"`` — a monotone
+                cubic that respects the curvature of convex coefficient
+                curves (requires scipy).
+        """
+        x = float(np.clip(hd_value, 0.0, self.width))
+        grid = np.arange(self.width + 1)
+        if method == "linear":
+            return float(np.interp(x, grid, self.coefficients))
+        if method == "pchip":
+            from scipy.interpolate import PchipInterpolator
+
+            return float(PchipInterpolator(grid, self.coefficients)(x))
+        raise ValueError(f"unknown interpolation method {method!r}")
+
+    def average_from_distribution(self, distribution: np.ndarray) -> float:
+        """Average charge given a Hamming-distance distribution (Section 6.2).
+
+        ``P_avg = Σ_i p(Hd = i) · p_i`` — the paper's Figure 6 "field III"
+        summation.
+        """
+        distribution = np.asarray(distribution, dtype=np.float64)
+        if distribution.shape != (self.width + 1,):
+            raise ValueError(
+                f"distribution must have length {self.width + 1}, "
+                f"got {distribution.shape}"
+            )
+        return float(distribution @ self.coefficients)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_average_deviation(self) -> float:
+        """``ε = (1/m) Σ ε_i`` over observed classes (Section 4.1)."""
+        observed = self.deviations[~np.isnan(self.deviations)]
+        return float(observed.mean()) if observed.size else float("nan")
+
+    @property
+    def n_parameters(self) -> int:
+        """Number of model coefficients (``m``; ``p_0`` is pinned)."""
+        return self.width

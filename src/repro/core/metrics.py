@@ -1,0 +1,54 @@
+"""Estimation error metrics of Section 4.2.
+
+* ``ε_a`` — average absolute per-cycle error of the model against the
+  reference simulator;
+* ``ε`` — signed error of the total (equivalently average) charge.
+
+Cycles whose reference charge is (numerically) zero cannot enter the
+relative per-cycle error; they are excluded, mirroring how a relative
+error against a PowerMill trace is only defined on active cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cycle_error(
+    estimated: np.ndarray, reference: np.ndarray, atol: float = 1e-12
+) -> float:
+    """Average absolute cycle-charge error ``ε_a`` in percent.
+
+    Args:
+        estimated: Per-cycle model charges.
+        reference: Per-cycle reference charges (same length).
+        atol: Reference cycles with ``|Q| <= atol`` are skipped.
+    """
+    estimated = np.asarray(estimated, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if estimated.shape != reference.shape:
+        raise ValueError("estimated and reference must align")
+    active = np.abs(reference) > atol
+    if not active.any():
+        return 0.0
+    ratio = np.abs(
+        (estimated[active] - reference[active]) / reference[active]
+    )
+    return float(ratio.mean() * 100.0)
+
+
+def average_error(estimated: np.ndarray, reference: np.ndarray) -> float:
+    """Signed average-charge error ``ε`` in percent."""
+    estimated = np.asarray(estimated, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    total_ref = reference.sum()
+    if total_ref == 0.0:
+        return 0.0
+    return float((estimated.sum() - total_ref) / total_ref * 100.0)
+
+
+def average_error_scalar(estimated: float, reference: float) -> float:
+    """Signed error of two scalar average powers, in percent."""
+    if reference == 0.0:
+        return 0.0
+    return float((estimated - reference) / reference * 100.0)

@@ -1,0 +1,169 @@
+"""Per-operand Hd model — the Section-3 "word level" enhancement.
+
+Section 3 of the paper notes the model can be enhanced "by considering word
+level statistics or additional bit level information" and works out the
+stable-zeros criterion.  This module implements the other natural split:
+classifying a switching event by the *per-operand* Hamming distances
+``(Hd_a, Hd_b, ...)`` instead of their sum.
+
+The split matters whenever the operands play structurally different roles —
+in a multiplier, toggling bits of the multiplicand excites different logic
+than toggling the multiplier — and especially when their statistics are
+asymmetric (a near-constant coefficient operand against an active data
+operand, the common DSP case).  The basic model is kept as a fallback for
+unseen class combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .hd_model import HdPowerModel
+
+
+def operand_hamming_distances(
+    bits: np.ndarray, operand_widths: Sequence[int]
+) -> np.ndarray:
+    """Per-cycle, per-operand Hamming distances.
+
+    Args:
+        bits: ``[n, m]`` module input bit matrix (operands concatenated in
+            port order).
+        operand_widths: Bit width of each operand; must sum to ``m``.
+
+    Returns:
+        ``[n - 1, n_operands]`` integer matrix.
+    """
+    bits = np.asarray(bits, dtype=bool)
+    if bits.shape[0] < 2:
+        raise ValueError("need at least 2 patterns")
+    if sum(operand_widths) != bits.shape[1]:
+        raise ValueError(
+            f"operand widths sum to {sum(operand_widths)}, bit matrix has "
+            f"{bits.shape[1]} columns"
+        )
+    toggles = bits[1:] != bits[:-1]
+    columns = []
+    offset = 0
+    for width in operand_widths:
+        columns.append(toggles[:, offset : offset + width].sum(axis=1))
+        offset += width
+    return np.stack(columns, axis=1).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class OperandHdModel:
+    """Hd model with per-operand event classes.
+
+    Attributes:
+        name: Module label.
+        operand_widths: Bit width per operand.
+        cluster_size: Per-operand Hd bucket width (1 = full resolution).
+        coefficients: Map ``(bucket_a, bucket_b, ...) -> p``.
+        counts: Characterization samples per class.
+        fallback: Basic (total-Hd) model for unseen classes.
+    """
+
+    name: str
+    operand_widths: Tuple[int, ...]
+    cluster_size: int
+    coefficients: Dict[Tuple[int, ...], float]
+    counts: Dict[Tuple[int, ...], int]
+    fallback: HdPowerModel
+
+    @classmethod
+    def fit(
+        cls,
+        operand_hd: np.ndarray,
+        charge: np.ndarray,
+        operand_widths: Sequence[int],
+        cluster_size: int = 1,
+        name: str = "",
+    ) -> "OperandHdModel":
+        """Fit per-operand-class coefficients from a characterization trace.
+
+        Args:
+            operand_hd: ``[n, n_operands]`` per-operand Hamming distances.
+            charge: Per-cycle reference charges (length ``n``).
+            operand_widths: Bit width per operand.
+            cluster_size: Hd bucket width per operand (>= 1).
+            name: Model label.
+        """
+        if cluster_size < 1:
+            raise ValueError("cluster_size must be >= 1")
+        operand_hd = np.asarray(operand_hd, dtype=np.int64)
+        charge = np.asarray(charge, dtype=np.float64)
+        if operand_hd.ndim != 2 or operand_hd.shape[0] != charge.shape[0]:
+            raise ValueError("operand_hd and charge must align")
+        if operand_hd.shape[1] != len(operand_widths):
+            raise ValueError("operand_hd columns must match operand_widths")
+        for k, width in enumerate(operand_widths):
+            if operand_hd[:, k].max(initial=0) > width:
+                raise ValueError(f"operand {k} Hd exceeds its width {width}")
+        total_hd = operand_hd.sum(axis=1)
+        fallback = HdPowerModel.fit(
+            total_hd, charge, int(sum(operand_widths)), name=name
+        )
+        buckets = operand_hd // cluster_size
+        coefficients: Dict[Tuple[int, ...], float] = {}
+        counts: Dict[Tuple[int, ...], int] = {}
+        order = np.lexsort(buckets.T[::-1])
+        sorted_keys = buckets[order]
+        sorted_charge = charge[order]
+        boundaries = (
+            np.nonzero(np.any(np.diff(sorted_keys, axis=0) != 0, axis=1))[0]
+            + 1
+        )
+        for group in np.split(np.arange(len(order)), boundaries):
+            key = tuple(int(v) for v in sorted_keys[group[0]])
+            values = sorted_charge[group]
+            coefficients[key] = float(values.mean())
+            counts[key] = int(len(values))
+        return cls(
+            name=name,
+            operand_widths=tuple(int(w) for w in operand_widths),
+            cluster_size=cluster_size,
+            coefficients=coefficients,
+            counts=counts,
+            fallback=fallback,
+        )
+
+    # ------------------------------------------------------------------
+    def predict_cycle(self, operand_hd: np.ndarray) -> np.ndarray:
+        """Per-cycle estimate; unseen classes fall back to the total-Hd
+        model (nearest-class lookup would bias asymmetric streams)."""
+        operand_hd = np.asarray(operand_hd, dtype=np.int64)
+        buckets = operand_hd // self.cluster_size
+        total = operand_hd.sum(axis=1)
+        out = np.empty(len(operand_hd), dtype=np.float64)
+        cache: Dict[Tuple[int, ...], float] = {}
+        for j in range(len(operand_hd)):
+            key = tuple(int(v) for v in buckets[j])
+            value = cache.get(key)
+            if value is None:
+                direct = self.coefficients.get(key)
+                if direct is None:
+                    direct = float(self.fallback.coefficients[int(total[j])])
+                cache[key] = direct
+                value = direct
+            out[j] = value
+        return out
+
+    def predict_average(self, operand_hd: np.ndarray) -> float:
+        values = self.predict_cycle(operand_hd)
+        return float(values.mean()) if values.size else 0.0
+
+    @property
+    def n_parameters(self) -> int:
+        return len(self.coefficients)
+
+    @property
+    def n_parameters_full(self) -> int:
+        """Theoretical class count ``prod(w_k / cluster + 1)``."""
+        total = 1
+        for width in self.operand_widths:
+            total *= width // self.cluster_size + 1
+        return total

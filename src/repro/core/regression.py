@@ -1,0 +1,294 @@
+"""Bit-width parameterization by complexity regression (Section 5).
+
+The coefficients ``p_i`` of a module *family* are regressed against
+structural complexity functions of the operand width (Eq. 6-10): linear
+``[m, 1]`` for ripple adders, quadratic ``[m², m, 1]`` for array
+multipliers.  A small *prototype set* of characterized instances then
+predicts the coefficients of any other width.
+
+Coefficient indexing across widths: class ``E_i`` exists for every
+prototype whose input bit count is at least ``i``; the regression for
+``r_i`` uses exactly those prototypes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..modules.library import MODULE_KINDS, make_module
+from .characterize import CharacterizationResult, characterize_module
+from .hd_model import HdPowerModel, _fill_missing
+
+
+@dataclass(frozen=True)
+class WidthRegression:
+    """Regressed coefficient model ``p_i(m) = R_i^T · M(m)`` (Eq. 9).
+
+    Attributes:
+        kind: Module kind name (keys the complexity feature function).
+        rows: ``rows[i]`` is the regression vector ``R_i`` for Hd class
+            ``i`` (None where no prototype data existed).
+        prototype_widths: Operand widths used for the fit.
+    """
+
+    kind: str
+    rows: Tuple[Optional[np.ndarray], ...]
+    prototype_widths: Tuple[int, ...]
+
+    @property
+    def n_features(self) -> int:
+        entry = MODULE_KINDS[self.kind]
+        return len(entry.complexity_features(4))
+
+    def coefficient(self, i: int, width: int) -> float:
+        """Predict ``p_i`` for an instance of the given operand width."""
+        if i >= len(self.rows) or self.rows[i] is None:
+            raise ValueError(f"no regression data for Hd class {i}")
+        features = MODULE_KINDS[self.kind].complexity_features(width)
+        return float(self.rows[i] @ features)
+
+    def predict_model(self, width: int, input_bits: int) -> HdPowerModel:
+        """Predict a full :class:`HdPowerModel` for an unseen width.
+
+        Args:
+            width: Operand width of the target instance.
+            input_bits: Input bit count ``m`` of the target instance.
+
+        Classes beyond the regression's reach (larger than any prototype's
+        input bit count) are extrapolated from the filled coefficient
+        vector; negative predictions are clamped to zero.
+        """
+        coefficients = np.full(input_bits + 1, np.nan)
+        coefficients[0] = 0.0
+        features = MODULE_KINDS[self.kind].complexity_features(width)
+        for i in range(1, min(len(self.rows), input_bits + 1)):
+            row = self.rows[i]
+            if row is not None:
+                coefficients[i] = max(float(row @ features), 0.0)
+        coefficients = _fill_missing(coefficients)
+        return HdPowerModel(
+            name=f"{self.kind}_{width}(regressed)",
+            width=input_bits,
+            coefficients=np.maximum(coefficients, 0.0),
+        )
+
+
+def fit_width_regression(
+    kind: str,
+    prototypes: Dict[int, HdPowerModel],
+    min_class_count: int = 5,
+) -> WidthRegression:
+    """Least-squares fit of ``R_i`` over characterized prototypes (Eq. 10).
+
+    Args:
+        kind: Module kind (supplies the complexity feature function).
+        prototypes: Map ``operand width -> characterized basic model``.
+        min_class_count: Prototype classes with fewer characterization
+            samples than this still participate (their coefficients were
+            interpolated during fitting), but classes missing entirely do
+            not.
+
+    For class indices supported by fewer prototypes than there are
+    features, ``numpy.linalg.lstsq`` returns the minimum-norm solution —
+    exactly determined or underdetermined fits degrade gracefully.
+    """
+    if kind not in MODULE_KINDS:
+        raise KeyError(f"unknown module kind {kind!r}")
+    if not prototypes:
+        raise ValueError("need at least one prototype")
+    entry = MODULE_KINDS[kind]
+    max_class = max(model.width for model in prototypes.values())
+    rows: List[Optional[np.ndarray]] = [None] * (max_class + 1)
+    for i in range(1, max_class + 1):
+        feats: List[np.ndarray] = []
+        targets: List[float] = []
+        for width, model in sorted(prototypes.items()):
+            if model.width >= i:
+                feats.append(entry.complexity_features(width))
+                targets.append(float(model.coefficients[i]))
+        if not feats:
+            continue
+        design = np.asarray(feats, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.float64)
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        rows[i] = solution
+    return WidthRegression(
+        kind=kind,
+        rows=tuple(rows),
+        prototype_widths=tuple(sorted(prototypes)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Prototype-set construction (Section 5's ALL / SEC / THI experiment)
+# ----------------------------------------------------------------------
+def prototype_widths(
+    full: Sequence[int] = (4, 6, 8, 10, 12, 14, 16), subset: str = "ALL"
+) -> Tuple[int, ...]:
+    """Prototype width subsets as defined in Section 5.
+
+    * ``ALL`` — every width (4..16 step 2 by default),
+    * ``SEC`` — every second prototype (4, 8, 12, 16),
+    * ``THI`` — every third prototype (4, 10, 16).
+    """
+    full = tuple(full)
+    if subset == "ALL":
+        return full
+    if subset == "SEC":
+        return full[::2]
+    if subset == "THI":
+        return full[::3]
+    raise ValueError(f"unknown subset {subset!r}; use ALL, SEC or THI")
+
+
+def characterize_prototype_set(
+    kind: str,
+    widths: Sequence[int],
+    n_patterns: int = 3000,
+    seed: int = 0,
+    glitch_aware: bool = True,
+) -> Dict[int, HdPowerModel]:
+    """Characterize a family at several widths (the paper's prototype set)."""
+    models: Dict[int, HdPowerModel] = {}
+    for width in widths:
+        module = make_module(kind, width)
+        result = characterize_module(
+            module, n_patterns=n_patterns, seed=seed + width,
+            glitch_aware=glitch_aware,
+        )
+        models[width] = result.model
+    return models
+
+
+def coefficient_errors(
+    regression: WidthRegression,
+    instance: HdPowerModel,
+    width: int,
+    class_indices: Sequence[int],
+) -> Dict[int, float]:
+    """Relative error (%) of regressed vs instance coefficients (Table 3)."""
+    errors: Dict[int, float] = {}
+    for i in class_indices:
+        if i > instance.width:
+            continue
+        reference = float(instance.coefficients[i])
+        if reference == 0.0:
+            continue
+        predicted = regression.coefficient(i, width)
+        errors[i] = abs(predicted - reference) / reference * 100.0
+    return errors
+
+
+def average_coefficient_error(
+    regression: WidthRegression, instance: HdPowerModel, width: int
+) -> float:
+    """Mean relative coefficient error (%) over all classes (Table 3 col 6)."""
+    errors = coefficient_errors(
+        regression, instance, width, range(1, instance.width + 1)
+    )
+    return float(np.mean(list(errors.values()))) if errors else 0.0
+
+
+# ----------------------------------------------------------------------
+# Rectangular multipliers (Eq. 8): p_i(m1, m0) = r2 m1 m0 + r1 m1 + r0
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RectRegression:
+    """Regressed coefficients over rectangular multiplier shapes.
+
+    Attributes:
+        kind: Multiplier family name.
+        rows: ``rows[i]`` is the Eq. 8 regression vector for class ``i``.
+        prototype_shapes: ``(m1, m0)`` pairs used for the fit.
+    """
+
+    kind: str
+    rows: Tuple[Optional[np.ndarray], ...]
+    prototype_shapes: Tuple[Tuple[int, int], ...]
+
+    def coefficient(self, i: int, width_a: int, width_b: int) -> float:
+        """Predict ``p_i`` for an ``m1 x m0`` instance."""
+        from ..modules.library import rect_complexity_features
+
+        if i >= len(self.rows) or self.rows[i] is None:
+            raise ValueError(f"no regression data for Hd class {i}")
+        return float(self.rows[i] @ rect_complexity_features(width_a, width_b))
+
+    def predict_model(self, width_a: int, width_b: int) -> HdPowerModel:
+        """Predict a full model for an unseen rectangular shape."""
+        from ..modules.library import rect_complexity_features
+
+        input_bits = width_a + width_b
+        coefficients = np.full(input_bits + 1, np.nan)
+        coefficients[0] = 0.0
+        features = rect_complexity_features(width_a, width_b)
+        for i in range(1, min(len(self.rows), input_bits + 1)):
+            row = self.rows[i]
+            if row is not None:
+                coefficients[i] = max(float(row @ features), 0.0)
+        coefficients = _fill_missing(coefficients)
+        return HdPowerModel(
+            name=f"{self.kind}_{width_a}x{width_b}(regressed)",
+            width=input_bits,
+            coefficients=np.maximum(coefficients, 0.0),
+        )
+
+
+def fit_rect_regression(
+    kind: str,
+    prototypes: Dict[Tuple[int, int], HdPowerModel],
+) -> RectRegression:
+    """Least-squares fit of Eq. 8 over rectangular prototypes.
+
+    Args:
+        kind: Multiplier family.
+        prototypes: Map ``(m1, m0) -> characterized model``.
+    """
+    from ..modules.library import rect_complexity_features
+
+    if not prototypes:
+        raise ValueError("need at least one prototype")
+    max_class = max(model.width for model in prototypes.values())
+    rows: List[Optional[np.ndarray]] = [None] * (max_class + 1)
+    for i in range(1, max_class + 1):
+        feats: List[np.ndarray] = []
+        targets: List[float] = []
+        for (wa, wb), model in sorted(prototypes.items()):
+            if model.width >= i:
+                feats.append(rect_complexity_features(wa, wb))
+                targets.append(float(model.coefficients[i]))
+        if not feats:
+            continue
+        design = np.asarray(feats, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.float64)
+        solution, *_ = np.linalg.lstsq(design, y, rcond=None)
+        rows[i] = solution
+    return RectRegression(
+        kind=kind,
+        rows=tuple(rows),
+        prototype_shapes=tuple(sorted(prototypes)),
+    )
+
+
+def characterize_rect_prototype_set(
+    kind: str,
+    shapes: Sequence[Tuple[int, int]],
+    n_patterns: int = 3000,
+    seed: int = 0,
+    glitch_aware: bool = True,
+) -> Dict[Tuple[int, int], HdPowerModel]:
+    """Characterize rectangular multiplier prototypes."""
+    from ..modules.library import make_rect_multiplier
+
+    models: Dict[Tuple[int, int], HdPowerModel] = {}
+    for wa, wb in shapes:
+        module = make_rect_multiplier(kind, wa, wb)
+        result = characterize_module(
+            module, n_patterns=n_patterns, seed=seed + 13 * wa + wb,
+            glitch_aware=glitch_aware,
+        )
+        models[(wa, wb)] = result.model
+    return models

@@ -1,0 +1,93 @@
+"""Renderings of the paper's explanatory figures (5, 7 and 8).
+
+These figures carry no measurements — they explain the data model — but
+rendering them *from live model objects* documents that the implementation
+realizes exactly the structures the paper draws:
+
+* Figure 5 — the three bit regions of a data word (uncorrelated LSBs,
+  correlated middle, sign bits) with the breakpoints BP0/BP1;
+* Figure 7 — the possible switching events of the reduced two-region word
+  and their probabilities;
+* Figure 8 — the three regions of the Hamming-distance distribution and
+  which conditional terms populate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..stats.dbt import DbtModel
+
+
+def render_figure5(model: DbtModel) -> str:
+    """Bit-region map of a word under a fitted DBT model (paper Fig. 5)."""
+    width = model.width
+    cells = []
+    for i in range(width):
+        position = i + 0.5
+        if position <= model.bp0:
+            cells.append("U")  # uncorrelated
+        elif position >= model.bp1:
+            cells.append("S")  # sign
+        else:
+            cells.append("c")  # correlated / intermediate
+    lines = ["Figure 5: bit regions (LSB left, MSB right)"]
+    lines.append("  bit : " + " ".join(f"{i:>2d}" for i in range(width)))
+    lines.append("  reg : " + " ".join(f"{c:>2s}" for c in cells))
+    lines.append(
+        f"  BP0 = {model.bp0:.2f}, BP1 = {model.bp1:.2f}; reduced regions: "
+        f"{model.n_rand} random + {model.n_sign} sign bits"
+    )
+    legend = "  U = uncorrelated (t = 0.5), c = correlated, S = sign bits"
+    lines.append(legend + f" (t_sign = {model.t_sign:.3f})")
+    return "\n".join(lines)
+
+
+def render_figure7(model: DbtModel) -> str:
+    """Switching events of the reduced word and their probabilities."""
+    lines = ["Figure 7: switching events of the reduced two-region word"]
+    lines.append(
+        f"  word = [{model.n_rand} random bits | {model.n_sign} sign bits]"
+    )
+    lines.append(
+        f"  sign region : all stable  with p = {1 - model.t_sign:.3f}"
+    )
+    lines.append(
+        f"                all switch  with p = {model.t_sign:.3f}"
+    )
+    lines.append(
+        f"  random bits : each switches independently with p = 0.5 "
+        f"(binomial over {model.n_rand})"
+    )
+    return "\n".join(lines)
+
+
+def render_figure8(model: DbtModel) -> str:
+    """Regions of the Hd distribution and the Eq. 15-17 terms per region."""
+    m = model.width
+    n_rand, n_sign = model.n_rand, model.n_sign
+    lines = ["Figure 8: regions of the Hd-distribution"]
+    if n_sign <= n_rand:
+        lines.append(
+            f"  region I   : 0 <= Hd < {n_sign}: "
+            "p_rand(i) * p_sign(0)                     (Eq. 15)"
+        )
+        lines.append(
+            f"  region II  : {n_sign} <= Hd <= {n_rand}: "
+            "p_rand(i) * p_sign(0) + p_rand(i - n_sign) * p_sign(n_sign)"
+            " (Eq. 16)"
+        )
+        lines.append(
+            f"  region III : {n_rand} < Hd <= {m}: "
+            "p_rand(i - n_sign) * p_sign(n_sign)       (Eq. 17)"
+        )
+    else:
+        lines.append(
+            f"  n_sign ({n_sign}) > n_rand ({n_rand}): unified Eq. 18 form "
+            "with an empty overlap region"
+        )
+        lines.append(
+            f"  Hd <= {n_rand}: no-sign-switch term only; "
+            f"Hd >= {n_sign}: sign-switch term only; gap in between"
+        )
+    return "\n".join(lines)

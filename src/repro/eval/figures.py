@@ -1,0 +1,313 @@
+"""Data series behind the paper's Figures 1, 2, 3, 4, 6 and 9.
+
+Each function returns a plain dataclass of numpy series, so benchmarks can
+both print an ASCII rendition (via :mod:`repro.eval.report`) and assert on
+the qualitative shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.distribution import (
+    distribution_mean,
+    hd_distribution_from_dbt,
+    module_hd_distribution,
+)
+from ..core.metrics import average_error_scalar
+from ..core.regression import (
+    characterize_prototype_set,
+    fit_width_regression,
+    prototype_widths,
+)
+from ..modules.library import make_module
+from ..signals.registry import make_operand_streams, make_stream
+from ..stats.bitstats import empirical_hd_distribution
+from ..stats.dbt import DbtModel
+from ..stats.wordstats import word_stats
+from .harness import Harness
+
+
+# ----------------------------------------------------------------------
+# Figure 1: coefficients p_i with deviations, 16-input-bit prototypes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure1Series:
+    kind: str
+    operand_width: int
+    coefficients: np.ndarray  # p_i, i = 0..16
+    deviations: np.ndarray  # eps_i
+
+
+def figure1(
+    harness: Harness,
+    kinds_and_widths: Sequence[Tuple[str, int]] = (
+        ("ripple_adder", 8),
+        ("cla_adder", 8),
+        ("absval", 16),
+        ("csa_multiplier", 8),
+        ("booth_wallace_multiplier", 8),
+    ),
+) -> Tuple[Figure1Series, ...]:
+    """Model coefficients for the m = 16 input-bit module variants."""
+    series: List[Figure1Series] = []
+    for kind, width in kinds_and_widths:
+        model = harness.characterization(kind, width).model
+        series.append(
+            Figure1Series(
+                kind=kind,
+                operand_width=width,
+                coefficients=model.coefficients,
+                deviations=model.deviations,
+            )
+        )
+    return tuple(series)
+
+
+# ----------------------------------------------------------------------
+# Figure 2: basic vs enhanced coefficients, 8x8 csa multiplier
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure2Series:
+    basic: np.ndarray  # basic p_i
+    all_zeros: np.ndarray  # enhanced p_{i, z=m-i} (all stable bits are 0)
+    no_zeros: np.ndarray  # enhanced p_{i, z=0} (no stable bit is 0)
+    width: int
+
+
+def figure2(
+    harness: Harness, kind: str = "csa_multiplier", width: int = 8
+) -> Figure2Series:
+    """Basic vs enhanced model coefficient curves (paper Figure 2).
+
+    The solid curves of the paper are the enhanced subclasses where *none*
+    or *all* of the non-switching bits are zero; entries are NaN where the
+    characterization stream produced no sample for the subclass.
+    """
+    characterization = harness.characterization(kind, width, enhanced=True)
+    enhanced = characterization.enhanced
+    assert enhanced is not None
+    m = enhanced.width
+    all_zeros = np.full(m + 1, np.nan)
+    no_zeros = np.full(m + 1, np.nan)
+    for i in range(1, m + 1):
+        top = enhanced.coefficients.get((i, m - i))
+        bottom = enhanced.coefficients.get((i, 0))
+        if top is not None:
+            all_zeros[i] = top
+        if bottom is not None:
+            no_zeros[i] = bottom
+    return Figure2Series(
+        basic=characterization.model.coefficients,
+        all_zeros=all_zeros,
+        no_zeros=no_zeros,
+        width=m,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3: structural complexity of csa multipliers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure3Row:
+    width_a: int
+    width_b: int
+    n_gates: int
+    n_full_adders_equivalent: int
+    predicted_complexity: float  # m1*m0 cell model
+
+
+def figure3_complexity(
+    pairs: Sequence[Tuple[int, int]] = ((4, 4), (6, 4), (8, 4), (8, 8), (12, 8)),
+) -> Tuple[Figure3Row, ...]:
+    """Structural evidence for the Eq. 7/8 complexity model (paper Fig. 3).
+
+    Counts generated cells of ``m1 x m0`` csa multipliers and compares
+    against the ``m1*m0`` array-cell prediction.
+    """
+    from ..modules.multipliers import csa_multiplier
+
+    rows: List[Figure3Row] = []
+    for wa, wb in pairs:
+        netlist = csa_multiplier(wa, wb)
+        counts = netlist.cell_counts()
+        fa_equiv = counts.get("XOR3", 0) + counts.get("MAJ3", 0)
+        rows.append(
+            Figure3Row(
+                width_a=wa,
+                width_b=wb,
+                n_gates=netlist.n_gates,
+                n_full_adders_equivalent=fa_equiv,
+                predicted_complexity=float(wa * wb),
+            )
+        )
+    return tuple(rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 4: instance vs regression coefficients
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure4Series:
+    kind: str
+    class_index: int
+    widths: np.ndarray
+    instance: np.ndarray  # p_i from instance characterization
+    regression: Dict[str, np.ndarray]  # subset -> regressed p_i(w)
+
+
+def figure4(
+    harness: Harness,
+    kinds: Sequence[str] = ("csa_multiplier", "ripple_adder"),
+    class_indices: Sequence[int] = (2, 5, 8),
+    full_widths: Sequence[int] = (4, 6, 8, 10, 12, 14, 16),
+    n_prototype_patterns: int = 3000,
+) -> Tuple[Figure4Series, ...]:
+    """Instance-characterized vs regressed coefficients (paper Figure 4)."""
+    series: List[Figure4Series] = []
+    for kind in kinds:
+        prototypes = characterize_prototype_set(
+            kind,
+            full_widths,
+            n_patterns=n_prototype_patterns,
+            seed=harness.config.seed + 7,
+            glitch_aware=harness.config.glitch_aware,
+        )
+        regressions = {
+            subset: fit_width_regression(
+                kind,
+                {w: prototypes[w] for w in prototype_widths(full_widths, subset)},
+            )
+            for subset in ("ALL", "SEC", "THI")
+        }
+        for i in class_indices:
+            widths = np.asarray(full_widths)
+            instance = np.array(
+                [float(prototypes[w].coefficients[i]) for w in full_widths]
+            )
+            regressed = {
+                subset: np.array(
+                    [regression.coefficient(i, w) for w in full_widths]
+                )
+                for subset, regression in regressions.items()
+            }
+            series.append(
+                Figure4Series(
+                    kind=kind,
+                    class_index=i,
+                    widths=widths,
+                    instance=instance,
+                    regression=regressed,
+                )
+            )
+    return tuple(series)
+
+
+# ----------------------------------------------------------------------
+# Figure 6: distribution-based vs average-Hd estimation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure6Result:
+    """The three fields of paper Figure 6 plus the headline error.
+
+    Attributes:
+        hd_probabilities: field I — p(Hd = i) of the stimulus.
+        coefficients: field II — model coefficients p_i.
+        products: field III — p(Hd = i) * p_i.
+        distribution_estimate: Σ field III (the accurate estimate).
+        average_hd: scalar mean Hamming distance.
+        average_hd_estimate: p(Hd_avg) by interpolation.
+        average_hd_error_percent: error of the avg-Hd shortcut relative to
+            the distribution-based estimate (the paper's ~30% example).
+    """
+
+    hd_probabilities: np.ndarray
+    coefficients: np.ndarray
+    products: np.ndarray
+    distribution_estimate: float
+    average_hd: float
+    average_hd_estimate: float
+    average_hd_error_percent: float
+
+
+def figure6(
+    harness: Harness,
+    kind: str = "csa_multiplier",
+    width: int = 8,
+    data_type: str = "III",
+    analytic_distribution: bool = False,
+) -> Figure6Result:
+    """Average-Hd vs Hd-distribution estimation error (paper Figure 6).
+
+    Args:
+        harness: Shared harness.
+        kind: Module family (a multiplier, as in the paper's example).
+        width: Operand width.
+        data_type: Audio-class stimulus ("III" speech by default).
+        analytic_distribution: Use the DBT-derived distribution (Eq. 18)
+            instead of the extracted one.
+    """
+    model = harness.characterization(kind, width).model
+    module = harness.module(kind, width)
+    if analytic_distribution:
+        streams = make_operand_streams(
+            module, data_type, harness.config.n_eval, seed=harness.config.seed
+        )
+        stats = [word_stats(s.words) for s in streams]
+        pmf = module_hd_distribution(stats, [w for _, w in module.operand_specs])
+    else:
+        events, _ = harness.evaluation_data(kind, width, data_type)
+        pmf = np.bincount(events.hd, minlength=model.width + 1).astype(float)
+        pmf /= pmf.sum()
+    products = pmf * model.coefficients
+    distribution_estimate = float(products.sum())
+    hd_avg = distribution_mean(pmf)
+    avg_estimate = model.interpolate(hd_avg)
+    return Figure6Result(
+        hd_probabilities=pmf,
+        coefficients=model.coefficients,
+        products=products,
+        distribution_estimate=distribution_estimate,
+        average_hd=hd_avg,
+        average_hd_estimate=avg_estimate,
+        average_hd_error_percent=average_error_scalar(
+            avg_estimate, distribution_estimate
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 9: extracted vs estimated Hd distribution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure9Result:
+    width: int
+    extracted: np.ndarray
+    estimated: np.ndarray
+    dbt: DbtModel
+    total_variation: float  # 0.5 * L1 distance between the curves
+
+
+def figure9(
+    width: int = 16,
+    n: int = 10000,
+    seed: int = 1999,
+    data_type: str = "III",
+) -> Figure9Result:
+    """Extracted vs analytically estimated Hd distribution (paper Fig. 9)."""
+    stream = make_stream(data_type, width, n, seed=seed)
+    bits = stream.bits()
+    extracted = empirical_hd_distribution(bits)
+    dbt = DbtModel.from_words(stream.words, width)
+    estimated = hd_distribution_from_dbt(dbt)
+    tv = 0.5 * float(np.abs(extracted - estimated).sum())
+    return Figure9Result(
+        width=width,
+        extracted=extracted,
+        estimated=estimated,
+        dbt=dbt,
+        total_variation=tv,
+    )

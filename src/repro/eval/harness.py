@@ -1,0 +1,193 @@
+"""Experiment harness: characterize-once, evaluate-many pipelines.
+
+Every table and figure in the paper shares the same two building blocks:
+a characterized model per (module kind, width) and a reference power trace
+per (module, data type).  The :class:`Harness` caches both so the benchmark
+suite does not re-simulate shared prerequisites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.power import PowerSimulator, PowerTrace
+from ..core.characterize import CharacterizationResult, characterize_module
+from ..core.events import TransitionEvents, classify_transitions
+from ..core.metrics import average_error, cycle_error
+from ..modules.library import DatapathModule, make_module
+from ..signals.registry import make_operand_streams
+from ..signals.streams import PatternStream, module_stimulus
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    Attributes:
+        n_characterization: Random patterns per characterization run.
+        n_eval: Patterns per evaluation stream (the paper used 5000-10000).
+        seed: Base RNG seed; all sub-seeds derive from it deterministically.
+        glitch_aware: Reference simulator engine selection.
+        glitch_weight: Charge weight of glitch toggles.
+        basic_stimulus: Characterization stream for the basic model
+            ("uniform_hd" stratifies event classes; "random" is the paper's
+            literal stream).
+        enhanced_stimulus: Characterization stream for the enhanced model.
+    """
+
+    n_characterization: int = 4000
+    n_eval: int = 5000
+    seed: int = 1999
+    glitch_aware: bool = True
+    glitch_weight: float = 1.0
+    basic_stimulus: str = "uniform_hd"
+    enhanced_stimulus: str = "mixed"
+
+
+@dataclass(frozen=True)
+class EvaluationRow:
+    """Model-vs-reference errors for one (module, data type) pair.
+
+    All errors in percent, as reported in the paper's tables.
+    """
+
+    kind: str
+    operand_width: int
+    data_type: str
+    cycle_error_basic: float
+    average_error_basic: float
+    cycle_error_enhanced: Optional[float] = None
+    average_error_enhanced: Optional[float] = None
+    reference_average_charge: float = 0.0
+
+
+class Harness:
+    """Caching pipeline runner for all paper experiments."""
+
+    def __init__(self, config: ExperimentConfig | None = None):
+        self.config = config or ExperimentConfig()
+        self._modules: Dict[Tuple[str, int], DatapathModule] = {}
+        self._characterizations: Dict[
+            Tuple[str, int, bool], CharacterizationResult
+        ] = {}
+        self._eval_data: Dict[
+            Tuple[str, int, str], Tuple[TransitionEvents, PowerTrace]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Cached building blocks
+    # ------------------------------------------------------------------
+    def module(self, kind: str, width: int) -> DatapathModule:
+        key = (kind, width)
+        if key not in self._modules:
+            self._modules[key] = make_module(kind, width)
+        return self._modules[key]
+
+    def simulator(self, kind: str, width: int) -> PowerSimulator:
+        module = self.module(kind, width)
+        return PowerSimulator(
+            module.compiled,
+            glitch_aware=self.config.glitch_aware,
+            glitch_weight=self.config.glitch_weight,
+        )
+
+    def characterization(
+        self, kind: str, width: int, enhanced: bool = False
+    ) -> CharacterizationResult:
+        """Characterize (cached) one module instance."""
+        key = (kind, width, enhanced)
+        if key not in self._characterizations:
+            module = self.module(kind, width)
+            self._characterizations[key] = characterize_module(
+                module,
+                n_patterns=self.config.n_characterization,
+                seed=self.config.seed + width * 17 + (1 if enhanced else 0),
+                enhanced=enhanced,
+                glitch_aware=self.config.glitch_aware,
+                glitch_weight=self.config.glitch_weight,
+                stimulus=(self.config.enhanced_stimulus if enhanced
+                          else self.config.basic_stimulus),
+            )
+        return self._characterizations[key]
+
+    def evaluation_data(
+        self, kind: str, width: int, data_type: str
+    ) -> Tuple[TransitionEvents, PowerTrace]:
+        """Events + reference trace (cached) for one evaluation stream."""
+        key = (kind, width, data_type)
+        if key not in self._eval_data:
+            module = self.module(kind, width)
+            # Stable per-data-type seed (str hash() is randomized per run).
+            dt_seed = sum(ord(c) for c in data_type)
+            streams = make_operand_streams(
+                module, data_type, self.config.n_eval,
+                seed=self.config.seed + dt_seed,
+            )
+            bits = module_stimulus(module, streams)
+            trace = self.simulator(kind, width).simulate(bits)
+            events = classify_transitions(bits)
+            self._eval_data[key] = (events, trace)
+        return self._eval_data[key]
+
+    # ------------------------------------------------------------------
+    # One table cell
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        kind: str,
+        width: int,
+        data_type: str,
+        enhanced: bool = False,
+    ) -> EvaluationRow:
+        """Model-vs-reference errors for one module and data type."""
+        characterization = self.characterization(kind, width, enhanced=enhanced)
+        events, trace = self.evaluation_data(kind, width, data_type)
+        basic = characterization.model.predict_cycle(events.hd)
+        row = dict(
+            kind=kind,
+            operand_width=width,
+            data_type=data_type,
+            cycle_error_basic=cycle_error(basic, trace.charge),
+            average_error_basic=average_error(basic, trace.charge),
+            reference_average_charge=trace.average_charge,
+        )
+        if enhanced and characterization.enhanced is not None:
+            est = characterization.enhanced.predict_cycle(
+                events.hd, events.stable_zeros
+            )
+            row["cycle_error_enhanced"] = cycle_error(est, trace.charge)
+            row["average_error_enhanced"] = average_error(est, trace.charge)
+        return EvaluationRow(**row)
+
+    def evaluate_streams(
+        self,
+        kind: str,
+        width: int,
+        streams: Sequence[PatternStream],
+        enhanced: bool = False,
+    ) -> EvaluationRow:
+        """Like :meth:`evaluate` but with caller-provided operand streams."""
+        module = self.module(kind, width)
+        bits = module_stimulus(module, streams)
+        trace = self.simulator(kind, width).simulate(bits)
+        events = classify_transitions(bits)
+        characterization = self.characterization(kind, width, enhanced=enhanced)
+        basic = characterization.model.predict_cycle(events.hd)
+        row = dict(
+            kind=kind,
+            operand_width=width,
+            data_type=",".join(s.name for s in streams),
+            cycle_error_basic=cycle_error(basic, trace.charge),
+            average_error_basic=average_error(basic, trace.charge),
+            reference_average_charge=trace.average_charge,
+        )
+        if enhanced and characterization.enhanced is not None:
+            est = characterization.enhanced.predict_cycle(
+                events.hd, events.stable_zeros
+            )
+            row["cycle_error_enhanced"] = cycle_error(est, trace.charge)
+            row["average_error_enhanced"] = average_error(est, trace.charge)
+        return EvaluationRow(**row)

@@ -1,0 +1,109 @@
+"""The paper's published numbers, machine-readable.
+
+Transcribed from the DATE 1999 text so benchmarks can print and correlate
+measured results against the originals cell by cell.  All values are
+percentages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Table 1 — estimation error of the basic Hd-model.
+#: (module kind, operand width) -> {"cycle": {I..V}, "average": {I..V}}.
+PAPER_TABLE1: Dict[Tuple[str, int], Dict[str, Dict[str, float]]] = {
+    ("ripple_adder", 8): {
+        "cycle": {"I": 12, "II": 33, "III": 35, "IV": 32, "V": 44},
+        "average": {"I": 3, "II": 3, "III": 7, "IV": 2, "V": 12},
+    },
+    ("ripple_adder", 12): {
+        "cycle": {"I": 7, "II": 29, "III": 28, "IV": 36, "V": 39},
+        "average": {"I": 1, "II": 3, "III": 11, "IV": 7, "V": 19},
+    },
+    ("ripple_adder", 16): {
+        "cycle": {"I": 14, "II": 30, "III": 46, "IV": 31, "V": 68},
+        "average": {"I": 2, "II": 1, "III": 14, "IV": 5, "V": 31},
+    },
+    ("cla_adder", 8): {
+        "cycle": {"I": 9, "II": 25, "III": 27, "IV": 22, "V": 38},
+        "average": {"I": 1, "II": 6, "III": 7, "IV": 14, "V": 13},
+    },
+    ("cla_adder", 12): {
+        "cycle": {"I": 17, "II": 22, "III": 35, "IV": 24, "V": 41},
+        "average": {"I": 1, "II": 3, "III": 2, "IV": 10, "V": 9},
+    },
+    ("cla_adder", 16): {
+        "cycle": {"I": 12, "II": 19, "III": 29, "IV": 35, "V": 58},
+        "average": {"I": 1, "II": 2, "III": 12, "IV": 9, "V": 14},
+    },
+    ("absval", 8): {
+        "cycle": {"I": 10, "II": 33, "III": 21, "IV": 24, "V": 41},
+        "average": {"I": 2, "II": 5, "III": 4, "IV": 6, "V": 13},
+    },
+    ("absval", 12): {
+        "cycle": {"I": 24, "II": 27, "III": 24, "IV": 31, "V": 40},
+        "average": {"I": 1, "II": 3, "III": 9, "IV": 6, "V": 12},
+    },
+    ("absval", 16): {
+        "cycle": {"I": 23, "II": 22, "III": 28, "IV": 33, "V": 44},
+        "average": {"I": 1, "II": 7, "III": 13, "IV": 10, "V": 15},
+    },
+    ("csa_multiplier", 8): {
+        "cycle": {"I": 28, "II": 27, "III": 25, "IV": 29, "V": 43},
+        "average": {"I": 1, "II": 3, "III": 10, "IV": 8, "V": 23},
+    },
+    ("csa_multiplier", 12): {
+        "cycle": {"I": 18, "II": 32, "III": 23, "IV": 22, "V": 52},
+        "average": {"I": 1, "II": 5, "III": 8, "IV": 8, "V": 23},
+    },
+    ("csa_multiplier", 16): {
+        "cycle": {"I": 14, "II": 30, "III": 34, "IV": 38, "V": 62},
+        "average": {"I": 2, "II": 6, "III": 14, "IV": 6, "V": 34},
+    },
+    ("booth_wallace_multiplier", 8): {
+        "cycle": {"I": 18, "II": 21, "III": 45, "IV": 37, "V": 34},
+        "average": {"I": 4, "II": 1, "III": 6, "IV": 12, "V": 19},
+    },
+    ("booth_wallace_multiplier", 12): {
+        "cycle": {"I": 12, "II": 25, "III": 23, "IV": 41, "V": 37},
+        "average": {"I": 1, "II": 3, "III": 11, "IV": 10, "V": 21},
+    },
+    ("booth_wallace_multiplier", 16): {
+        "cycle": {"I": 34, "II": 16, "III": 29, "IV": 44, "V": 58},
+        "average": {"I": 3, "II": 7, "III": 13, "IV": 16, "V": 24},
+    },
+}
+
+#: Table 1 bottom row (column averages).
+PAPER_TABLE1_AVERAGES = {
+    "cycle": {"I": 17, "II": 26, "III": 30, "IV": 32, "V": 47},
+    "average": {"I": 2, "II": 4, "III": 9, "IV": 9, "V": 18},
+}
+
+#: Table 2 — basic vs enhanced (csa-multiplier 8x8):
+#: data type -> (cycle basic, cycle enhanced, avg basic, avg enhanced).
+PAPER_TABLE2: Dict[str, Tuple[float, float, float, float]] = {
+    "I": (28, 14, 1, 0.11),
+    "III": (25, 18, 10, 7),
+    "V": (43, 42, 23, 7),
+}
+
+#: Table 3 — (kind, source) -> {"p1","p5","p8","avg","I","III","V"}.
+PAPER_TABLE3: Dict[Tuple[str, str], Dict[str, float]] = {
+    ("csa_multiplier", "inst"): {
+        "p1": 0, "p5": 0, "p8": 0, "avg": 0, "I": 1, "III": 10, "V": 23},
+    ("csa_multiplier", "ALL"): {
+        "p1": 1, "p5": 0, "p8": 2, "avg": 2, "I": 3, "III": 10, "V": 27},
+    ("csa_multiplier", "SEC"): {
+        "p1": 1, "p5": 1, "p8": 1, "avg": 4, "I": 1, "III": 15, "V": 29},
+    ("csa_multiplier", "THI"): {
+        "p1": 5, "p5": 2, "p8": 4, "avg": 4, "I": 1, "III": 7, "V": 24},
+    ("ripple_adder", "inst"): {
+        "p1": 0, "p5": 0, "p8": 0, "avg": 0, "I": 1, "III": 11, "V": 19},
+    ("ripple_adder", "ALL"): {
+        "p1": 1, "p5": 2, "p8": 5, "avg": 5, "I": 5, "III": 9, "V": 22},
+    ("ripple_adder", "SEC"): {
+        "p1": 5, "p5": 3, "p8": 5, "avg": 3, "I": 3, "III": 10, "V": 24},
+    ("ripple_adder", "THI"): {
+        "p1": 0, "p5": 7, "p8": 1, "avg": 5, "I": 3, "III": 14, "V": 24},
+}

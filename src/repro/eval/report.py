@@ -1,0 +1,183 @@
+"""ASCII rendering of tables and figure series for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .figures import (
+    Figure1Series,
+    Figure2Series,
+    Figure6Result,
+    Figure9Result,
+)
+from .tables import Table1, Table2Row, Table3Row
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Simple fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(v) for v in row] for row in rows
+    ]
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "-"
+        return f"{value:.1f}"
+    return str(value)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """One-line bar rendition of a non-negative series."""
+    blocks = " .:-=+*#%@"
+    values = np.asarray(
+        [0.0 if (v is None or np.isnan(v)) else float(v) for v in values]
+    )
+    top = values.max() if values.size and values.max() > 0 else 1.0
+    scaled = np.clip(values / top * (len(blocks) - 1), 0, len(blocks) - 1)
+    return "".join(blocks[int(s)] for s in scaled)
+
+
+# ----------------------------------------------------------------------
+def render_table1(table: Table1) -> str:
+    """Render the Table 1 reproduction as a fixed-width ASCII table."""
+    headers = (
+        ["module", "width"]
+        + [f"cyc {dt}" for dt in table.data_types]
+        + [f"avg {dt}" for dt in table.data_types]
+    )
+    rows = []
+    for row in table.rows:
+        rows.append(
+            [row.kind, row.operand_width]
+            + [row.cycle_errors[dt] for dt in table.data_types]
+            + [row.average_errors[dt] for dt in table.data_types]
+        )
+    cyc, avg = table.averages()
+    rows.append(
+        ["average", ""]
+        + [cyc[dt] for dt in table.data_types]
+        + [avg[dt] for dt in table.data_types]
+    )
+    return format_table(
+        headers, rows, title="Table 1: estimation error of the Hd-model (%)"
+    )
+
+
+def render_table2(rows: Sequence[Table2Row]) -> str:
+    """Render the Table 2 (basic vs enhanced) reproduction."""
+    headers = ["data type", "cyc basic", "cyc enhanced", "avg basic",
+               "avg enhanced"]
+    body = [
+        [r.data_type, r.cycle_error_basic, r.cycle_error_enhanced,
+         r.average_error_basic, r.average_error_enhanced]
+        for r in rows
+    ]
+    return format_table(
+        headers, body,
+        title="Table 2: basic vs enhanced Hd-model, csa-multiplier (%)",
+    )
+
+
+def render_table3(rows: Sequence[Table3Row]) -> str:
+    """Render the Table 3 (regression prototype sets) reproduction."""
+    headers = ["module", "params from", "p1", "p5", "p8", "avg(p_i)",
+               "est I", "est III", "est V"]
+    body = []
+    for r in rows:
+        body.append(
+            [
+                r.kind,
+                r.source,
+                r.parameter_errors.get("p1", float("nan")),
+                r.parameter_errors.get("p5", float("nan")),
+                r.parameter_errors.get("p8", float("nan")),
+                r.parameter_errors.get("avg", float("nan")),
+                r.estimation_errors.get("I", float("nan")),
+                r.estimation_errors.get("III", float("nan")),
+                r.estimation_errors.get("V", float("nan")),
+            ]
+        )
+    return format_table(
+        headers, body,
+        title="Table 3: coefficient and estimation errors per regression set (%)",
+    )
+
+
+def render_figure1(series: Sequence[Figure1Series]) -> str:
+    """Render the Figure 1 coefficient/deviation series as sparklines."""
+    lines = ["Figure 1: coefficients p_i (16 input-bit prototypes)"]
+    for s in series:
+        lines.append(f"  {s.kind} (w={s.operand_width})")
+        lines.append(f"    p_i : {sparkline(s.coefficients)}  "
+                     f"max={np.nanmax(s.coefficients):.0f}")
+        dev = np.where(np.isnan(s.deviations), 0.0, s.deviations)
+        lines.append(f"    eps : {sparkline(dev)}  "
+                     f"mean={np.nanmean(s.deviations):.2f}")
+    return "\n".join(lines)
+
+
+def render_figure2(series: Figure2Series) -> str:
+    """Render the Figure 2 basic-vs-enhanced coefficient comparison."""
+    lines = ["Figure 2: basic vs enhanced coefficients (csa-multiplier)"]
+    lines.append(f"  basic     : {sparkline(series.basic)}")
+    lines.append(f"  all zeros : {sparkline(series.all_zeros)}")
+    lines.append(f"  no zeros  : {sparkline(series.no_zeros)}")
+    header = "  i     basic  p(all z=0)  p(no z=0)"
+    rows = [header]
+    for i in range(series.width + 1):
+        rows.append(
+            f"  {i:2d} {series.basic[i]:9.1f} "
+            f"{series.all_zeros[i]:11.1f} {series.no_zeros[i]:10.1f}"
+        )
+    lines.extend(rows)
+    return "\n".join(lines)
+
+
+def render_figure6(result: Figure6Result) -> str:
+    """Render the three fields of Figure 6 plus the avg-Hd-only error."""
+    lines = ["Figure 6: avg-Hd vs Hd-distribution estimation"]
+    lines.append(f"  I   p(Hd)    : {sparkline(result.hd_probabilities)}")
+    lines.append(f"  II  p_i      : {sparkline(result.coefficients)}")
+    lines.append(f"  III product  : {sparkline(result.products)}")
+    lines.append(
+        f"  distribution estimate = {result.distribution_estimate:.1f}"
+    )
+    lines.append(
+        f"  avg-Hd estimate       = {result.average_hd_estimate:.1f} "
+        f"(Hd_avg = {result.average_hd:.2f})"
+    )
+    lines.append(
+        f"  avg-Hd-only error     = {result.average_hd_error_percent:+.1f}%"
+    )
+    return "\n".join(lines)
+
+
+def render_figure9(result: Figure9Result) -> str:
+    """Render extracted vs estimated Hd distributions (Figure 9)."""
+    lines = ["Figure 9: extracted vs estimated Hd distribution"]
+    lines.append(f"  extracted : {sparkline(result.extracted)}")
+    lines.append(f"  estimated : {sparkline(result.estimated)}")
+    lines.append(
+        f"  DBT: n_rand={result.dbt.n_rand} n_sign={result.dbt.n_sign} "
+        f"t_sign={result.dbt.t_sign:.3f}"
+    )
+    lines.append(f"  total variation distance = {result.total_variation:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Parameter sweeps beyond the paper's fixed evaluation points.
+
+The paper evaluates five fixed stream classes; these sweeps map the model's
+error *continuously* over the statistics space, answering "where does the
+Hd model work?":
+
+* :func:`correlation_sweep` — average-error vs lag-1 correlation ρ;
+* :func:`amplitude_sweep` — average-error vs relative signal level σ;
+* :func:`width_sweep` — reference power and model error vs operand width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.metrics import average_error, cycle_error
+from ..signals.generators import gaussian_stream
+from ..signals.streams import module_stimulus
+from .harness import Harness
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample."""
+
+    parameter: float
+    cycle_error: float
+    average_error: float
+    reference_charge: float
+
+
+def _evaluate_stream_pair(
+    harness: Harness, kind: str, width: int, stream_a, stream_b
+) -> Tuple[float, float, float]:
+    module = harness.module(kind, width)
+    model = harness.characterization(kind, width).model
+    bits = module_stimulus(module, [stream_a, stream_b])
+    trace = harness.simulator(kind, width).simulate(bits)
+    from ..core.events import classify_transitions
+
+    events = classify_transitions(bits)
+    estimated = model.predict_cycle(events.hd)
+    return (
+        cycle_error(estimated, trace.charge),
+        average_error(estimated, trace.charge),
+        trace.average_charge,
+    )
+
+
+def correlation_sweep(
+    harness: Harness,
+    kind: str = "csa_multiplier",
+    width: int = 8,
+    rhos: Sequence[float] = (0.0, 0.3, 0.6, 0.8, 0.9, 0.95, 0.99),
+    relative_sigma: float = 0.25,
+    n: int = 4000,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Model error vs stream correlation at fixed amplitude."""
+    points: List[SweepPoint] = []
+    for rho in rhos:
+        a = gaussian_stream(width, n, rho=rho, relative_sigma=relative_sigma,
+                            seed=seed + 1)
+        b = gaussian_stream(width, n, rho=rho, relative_sigma=relative_sigma,
+                            seed=seed + 2)
+        cyc, avg, ref = _evaluate_stream_pair(harness, kind, width, a, b)
+        points.append(SweepPoint(rho, cyc, avg, ref))
+    return points
+
+
+def amplitude_sweep(
+    harness: Harness,
+    kind: str = "csa_multiplier",
+    width: int = 8,
+    sigmas: Sequence[float] = (0.05, 0.1, 0.2, 0.3, 0.4),
+    rho: float = 0.9,
+    n: int = 4000,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Model error vs signal amplitude at fixed correlation."""
+    points: List[SweepPoint] = []
+    for sigma in sigmas:
+        a = gaussian_stream(width, n, rho=rho, relative_sigma=sigma,
+                            seed=seed + 1)
+        b = gaussian_stream(width, n, rho=rho, relative_sigma=sigma,
+                            seed=seed + 2)
+        cyc, avg, ref = _evaluate_stream_pair(harness, kind, width, a, b)
+        points.append(SweepPoint(sigma, cyc, avg, ref))
+    return points
+
+
+def width_sweep(
+    harness: Harness,
+    kind: str = "csa_multiplier",
+    widths: Sequence[int] = (4, 6, 8, 10, 12),
+    data_type: str = "III",
+) -> List[SweepPoint]:
+    """Reference power scaling and model error vs operand width."""
+    points: List[SweepPoint] = []
+    for width in widths:
+        row = harness.evaluate(kind, width, data_type)
+        points.append(
+            SweepPoint(
+                float(width),
+                row.cycle_error_basic,
+                row.average_error_basic,
+                row.reference_average_charge,
+            )
+        )
+    return points
+
+
+def render_sweep(points: Sequence[SweepPoint], parameter_name: str) -> str:
+    """ASCII rendition of a sweep."""
+    lines = [f"{parameter_name:>10s} {'cyc err %':>10s} {'avg err %':>10s} "
+             f"{'ref charge':>11s}"]
+    for p in points:
+        lines.append(
+            f"{p.parameter:10.3g} {p.cycle_error:10.1f} "
+            f"{p.average_error:+10.1f} {p.reference_charge:11.1f}"
+        )
+    return "\n".join(lines)

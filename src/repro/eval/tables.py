@@ -1,0 +1,203 @@
+"""Reproduction of the paper's Tables 1, 2 and 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.metrics import average_error, cycle_error
+from ..core.regression import (
+    WidthRegression,
+    average_coefficient_error,
+    characterize_prototype_set,
+    coefficient_errors,
+    fit_width_regression,
+    prototype_widths,
+)
+from ..modules.library import PAPER_MODULE_KINDS
+from ..signals.registry import DATA_TYPES
+from .harness import EvaluationRow, Harness
+
+
+# ----------------------------------------------------------------------
+# Table 1: estimation error of the basic Hd-model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table1Row:
+    """One module row: errors (%) per data type, cycle and average."""
+
+    kind: str
+    operand_width: int
+    cycle_errors: Dict[str, float]
+    average_errors: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class Table1:
+    rows: Tuple[Table1Row, ...]
+    data_types: Tuple[str, ...]
+
+    def averages(self) -> Tuple[Dict[str, float], Dict[str, float]]:
+        """Column averages (the paper's final row); |ε| for averages."""
+        cycle: Dict[str, float] = {}
+        avg: Dict[str, float] = {}
+        for dt in self.data_types:
+            cycle[dt] = float(
+                np.mean([r.cycle_errors[dt] for r in self.rows])
+            )
+            avg[dt] = float(
+                np.mean([abs(r.average_errors[dt]) for r in self.rows])
+            )
+        return cycle, avg
+
+
+def table1(
+    harness: Harness,
+    kinds: Sequence[str] = PAPER_MODULE_KINDS,
+    widths: Sequence[int] = (8, 12, 16),
+    data_types: Sequence[str] = DATA_TYPES,
+) -> Table1:
+    """Estimation errors of the basic model (paper Table 1).
+
+    Five module types x operand widths {8, 12, 16} x data types I-V,
+    reporting the average absolute cycle error ε_a and the signed average
+    charge error ε, both in percent.
+    """
+    rows: List[Table1Row] = []
+    for kind in kinds:
+        for width in widths:
+            cycle_errors: Dict[str, float] = {}
+            average_errors: Dict[str, float] = {}
+            for dt in data_types:
+                result = harness.evaluate(kind, width, dt)
+                cycle_errors[dt] = result.cycle_error_basic
+                average_errors[dt] = result.average_error_basic
+            rows.append(
+                Table1Row(kind, width, cycle_errors, average_errors)
+            )
+    return Table1(rows=tuple(rows), data_types=tuple(data_types))
+
+
+# ----------------------------------------------------------------------
+# Table 2: basic vs enhanced model for a csa-multiplier
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table2Row:
+    data_type: str
+    cycle_error_basic: float
+    cycle_error_enhanced: float
+    average_error_basic: float
+    average_error_enhanced: float
+
+
+def table2(
+    harness: Harness,
+    kind: str = "csa_multiplier",
+    width: int = 8,
+    data_types: Sequence[str] = ("I", "III", "V"),
+) -> Tuple[Table2Row, ...]:
+    """Basic vs enhanced Hd-model (paper Table 2): csa multiplier, I/III/V."""
+    rows: List[Table2Row] = []
+    for dt in data_types:
+        result = harness.evaluate(kind, width, dt, enhanced=True)
+        rows.append(
+            Table2Row(
+                data_type=dt,
+                cycle_error_basic=result.cycle_error_basic,
+                cycle_error_enhanced=result.cycle_error_enhanced,
+                average_error_basic=result.average_error_basic,
+                average_error_enhanced=result.average_error_enhanced,
+            )
+        )
+    return tuple(rows)
+
+
+# ----------------------------------------------------------------------
+# Table 3: regression prototype-set study
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table3Row:
+    """One (module, coefficient source) row of paper Table 3."""
+
+    kind: str
+    source: str  # "inst", "ALL", "SEC", "THI"
+    parameter_errors: Dict[str, float]  # "p1", "p5", "p8", "avg"
+    estimation_errors: Dict[str, float]  # data type -> avg power error (%)
+
+
+def table3(
+    harness: Harness,
+    kinds: Sequence[str] = ("csa_multiplier", "ripple_adder"),
+    target_width: int = 8,
+    full_widths: Sequence[int] = (4, 6, 8, 10, 12, 14, 16),
+    data_types: Sequence[str] = ("I", "III", "V"),
+    n_prototype_patterns: int = 3000,
+    tracked_classes: Sequence[int] = (1, 5, 8),
+) -> Tuple[Table3Row, ...]:
+    """Coefficient and estimation errors for regression sets (paper Table 3).
+
+    For each module family: characterize prototypes over ``full_widths``,
+    fit regressions on the ALL / SEC / THI subsets, and compare (a) the
+    regressed coefficients ``p_1, p_5, p_8`` against the instance
+    characterization of the target width and (b) the resulting average-power
+    estimation errors on data types I / III / V.
+    """
+    rows: List[Table3Row] = []
+    for kind in kinds:
+        instance = harness.characterization(kind, target_width).model
+        prototypes = characterize_prototype_set(
+            kind,
+            full_widths,
+            n_patterns=n_prototype_patterns,
+            seed=harness.config.seed + 7,
+            glitch_aware=harness.config.glitch_aware,
+        )
+        # Instance row: zero parameter error by construction.
+        estimation = _estimation_errors(harness, kind, target_width,
+                                        instance, data_types)
+        rows.append(
+            Table3Row(
+                kind=kind,
+                source="inst",
+                parameter_errors={"p1": 0.0, "p5": 0.0, "p8": 0.0, "avg": 0.0},
+                estimation_errors=estimation,
+            )
+        )
+        for subset in ("ALL", "SEC", "THI"):
+            widths = prototype_widths(full_widths, subset)
+            regression = fit_width_regression(
+                kind, {w: prototypes[w] for w in widths}
+            )
+            errors = coefficient_errors(
+                regression, instance, target_width, tracked_classes
+            )
+            params = {
+                f"p{i}": errors.get(i, float("nan")) for i in tracked_classes
+            }
+            params["avg"] = average_coefficient_error(
+                regression, instance, target_width
+            )
+            module = harness.module(kind, target_width)
+            model = regression.predict_model(target_width, module.input_bits)
+            estimation = _estimation_errors(harness, kind, target_width,
+                                            model, data_types)
+            rows.append(
+                Table3Row(
+                    kind=kind,
+                    source=subset,
+                    parameter_errors=params,
+                    estimation_errors=estimation,
+                )
+            )
+    return tuple(rows)
+
+
+def _estimation_errors(harness, kind, width, model, data_types):
+    errors: Dict[str, float] = {}
+    for dt in data_types:
+        events, trace = harness.evaluation_data(kind, width, dt)
+        estimated = model.predict_cycle(events.hd)
+        errors[dt] = average_error(estimated, trace.charge)
+    return errors

@@ -1,0 +1,122 @@
+"""JSON description of dataflow graphs (for CLI-driven budgeting).
+
+Schema::
+
+    {
+      "inputs": {
+        "x": {"mean": 0.0, "variance": 400.0, "rho": 0.9}
+      },
+      "nodes": [
+        {"name": "x1", "op": "delay", "inputs": ["x"]},
+        {"name": "p0", "op": "cmul", "inputs": ["x"], "coefficient": 0.5},
+        {"name": "y",  "op": "add", "inputs": ["p0", "x1"], "width": 10}
+      ]
+    }
+
+Per-node ``width`` overrides the budgeting default; ``select_prob`` applies
+to mux nodes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Tuple, Union
+
+from ..stats.propagate import DataflowGraph
+from ..stats.wordstats import WordStats
+
+PathLike = Union[str, Path]
+
+_ARITY = {"add": 2, "sub": 2, "mux": 2, "cmul": 1, "delay": 1}
+
+
+def graph_from_dict(data: Dict[str, Any]) -> Tuple[DataflowGraph, Dict[str, int]]:
+    """Build a :class:`DataflowGraph` from the JSON schema.
+
+    Returns:
+        ``(graph, widths)`` where ``widths`` maps node names to explicit
+        per-node operand widths (empty for nodes without one).
+    """
+    graph = DataflowGraph()
+    widths: Dict[str, int] = {}
+    inputs = data.get("inputs")
+    if not inputs:
+        raise ValueError("graph needs at least one input")
+    for name, stats in inputs.items():
+        try:
+            word_stats = WordStats(
+                mean=float(stats["mean"]),
+                variance=float(stats["variance"]),
+                rho=float(stats.get("rho", 0.0)),
+            )
+        except KeyError as missing:
+            raise ValueError(
+                f"input {name!r} is missing {missing}"
+            ) from None
+        graph.add_input(name, word_stats)
+    for node in data.get("nodes", []):
+        try:
+            name, op = node["name"], node["op"]
+        except KeyError as missing:
+            raise ValueError(f"node is missing {missing}") from None
+        sources = node.get("inputs", [])
+        if op not in _ARITY:
+            raise ValueError(f"unknown op {op!r} in node {name!r}")
+        if len(sources) != _ARITY[op]:
+            raise ValueError(
+                f"node {name!r}: op {op!r} takes {_ARITY[op]} inputs, "
+                f"got {len(sources)}"
+            )
+        if op == "add":
+            graph.add(name, *sources)
+        elif op == "sub":
+            graph.sub(name, *sources)
+        elif op == "cmul":
+            graph.cmul(name, sources[0], float(node.get("coefficient", 1.0)))
+        elif op == "delay":
+            graph.delay(name, sources[0])
+        elif op == "mux":
+            graph.mux(name, *sources,
+                      select_prob=float(node.get("select_prob", 0.5)))
+        if "width" in node:
+            widths[name] = int(node["width"])
+    return graph, widths
+
+
+def load_graph(path: PathLike) -> Tuple[DataflowGraph, Dict[str, int]]:
+    """Load a JSON graph description from disk."""
+    return graph_from_dict(json.loads(Path(path).read_text()))
+
+
+def graph_to_dict(graph: DataflowGraph,
+                  widths: Dict[str, int] | None = None) -> Dict[str, Any]:
+    """Serialize a graph (with input statistics) back to the JSON schema."""
+    widths = widths or {}
+    inputs: Dict[str, Any] = {}
+    nodes = []
+    for name in graph.names():
+        node = graph.node(name)
+        if node.op == "input":
+            stats = node.stats
+            if stats is None:
+                raise ValueError(f"input {name!r} has no statistics")
+            inputs[name] = {
+                "mean": stats.mean,
+                "variance": stats.variance,
+                "rho": stats.rho,
+            }
+            continue
+        entry: Dict[str, Any] = {
+            "name": name,
+            "op": node.op,
+            "inputs": list(node.inputs),
+        }
+        if node.op == "cmul":
+            entry["coefficient"] = node.coefficient
+        if node.op == "mux":
+            entry["select_prob"] = node.select_prob
+        if name in widths:
+            entry["width"] = widths[name]
+        nodes.append(entry)
+    return {"inputs": inputs, "nodes": nodes}

@@ -1,0 +1,95 @@
+"""Macro-model library: characterize once, reuse everywhere.
+
+A :class:`ModelLibrary` is the deployment artifact of the paper's flow: a
+cache of characterized :class:`~repro.core.hd_model.HdPowerModel` instances
+per (module kind, operand width), optionally persisted to a directory of
+JSON files so a design team characterizes each module family exactly once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..core.characterize import characterize_module
+from ..core.hd_model import HdPowerModel
+from ..core.serialize import load_model, save_model
+from ..modules.library import DatapathModule, make_module
+
+PathLike = Union[str, Path]
+
+
+class ModelLibrary:
+    """Cache of characterized Hd models, optionally disk-backed.
+
+    Args:
+        n_patterns: Characterization pattern budget per model.
+        seed: Base seed; per-model seeds derive deterministically.
+        directory: If given, models are loaded from / saved to
+            ``<directory>/<kind>_<width>.json``.
+        glitch_aware: Reference simulator selection.
+    """
+
+    def __init__(
+        self,
+        n_patterns: int = 4000,
+        seed: int = 0,
+        directory: Optional[PathLike] = None,
+        glitch_aware: bool = True,
+    ):
+        self.n_patterns = n_patterns
+        self.seed = seed
+        self.directory = Path(directory) if directory is not None else None
+        self.glitch_aware = glitch_aware
+        self._models: Dict[Tuple[str, int], HdPowerModel] = {}
+        self._modules: Dict[Tuple[str, int], DatapathModule] = {}
+
+    # ------------------------------------------------------------------
+    def module(self, kind: str, width: int) -> DatapathModule:
+        key = (kind, width)
+        if key not in self._modules:
+            self._modules[key] = make_module(kind, width)
+        return self._modules[key]
+
+    def _path(self, kind: str, width: int) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{kind}_{width}.json"
+
+    def model(self, kind: str, width: int) -> HdPowerModel:
+        """Fetch (characterizing or loading on demand) one model."""
+        key = (kind, width)
+        if key in self._models:
+            return self._models[key]
+        path = self._path(kind, width)
+        if path is not None and path.exists():
+            loaded = load_model(path)
+            if not isinstance(loaded, HdPowerModel):
+                raise TypeError(f"{path} does not hold a basic Hd model")
+            self._models[key] = loaded
+            return loaded
+        module = self.module(kind, width)
+        result = characterize_module(
+            module,
+            n_patterns=self.n_patterns,
+            seed=self.seed + 31 * width + sum(map(ord, kind)),
+            glitch_aware=self.glitch_aware,
+        )
+        model = result.model
+        self._models[key] = model
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            save_model(path, model)
+        return model
+
+    def register(self, kind: str, width: int, model: HdPowerModel) -> None:
+        """Inject an externally produced model (e.g. from regression)."""
+        if model.width != self.module(kind, width).input_bits:
+            raise ValueError(
+                f"model width {model.width} does not match {kind}/{width}"
+            )
+        self._models[(kind, width)] = model
+
+    def cached(self) -> Tuple[Tuple[str, int], ...]:
+        """Keys currently held in memory."""
+        return tuple(sorted(self._models))

@@ -1,0 +1,41 @@
+"""Absolute-value module (two's complement conditional negate)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuit.builder import NetlistBuilder
+from ..circuit.netlist import Netlist
+
+
+def absval(width: int) -> Netlist:
+    """``|x|`` for a signed ``width``-bit input.
+
+    Structure: XOR every bit with the sign, then conditionally increment
+    (ripple half-adder chain seeded with the sign bit) — the canonical
+    DesignWare-style conditional-negate.  Note ``abs(-2^(w-1))`` wraps to
+    ``2^(w-1)`` (the usual two's-complement overflow).
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2 for a signed absval")
+    b = NetlistBuilder(f"absval_{width}")
+    a_bits = b.add_inputs(width, "a")
+    sign = a_bits[-1]
+    flipped = [b.gate("XOR2", bit, sign) for bit in a_bits]
+    carry = sign
+    outputs: List[int] = []
+    for bit in flipped:
+        s, carry = b.half_adder(bit, carry)
+        outputs.append(s)
+    return b.build(outputs=outputs)
+
+
+def golden_absval(width: int):
+    """Golden function: unsigned bit pattern in, ``|x| mod 2^w`` out."""
+
+    def fn(ua: int) -> int:
+        mask = (1 << width) - 1
+        x = ua - (1 << width) if ua >= (1 << (width - 1)) else ua
+        return (-x if x < 0 else x) & mask
+
+    return fn

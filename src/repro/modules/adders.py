@@ -1,0 +1,230 @@
+"""Adder-family netlist generators.
+
+All generators return raw :class:`~repro.circuit.netlist.Netlist` objects plus
+a golden integer function; the :mod:`repro.modules.library` registry wraps
+them into :class:`~repro.modules.library.DatapathModule` instances.
+
+Port convention (shared by the whole package): operand ``a`` bits LSB-first,
+then operand ``b`` bits LSB-first.  Output bits LSB-first, carry last.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..circuit.builder import NetlistBuilder
+from ..circuit.netlist import CONST0, CONST1, Netlist
+
+
+def ripple_adder(width: int) -> Netlist:
+    """Ripple-carry adder: ``width`` full adders in a chain.
+
+    Inputs: ``a[0..w-1], b[0..w-1]``; outputs: ``sum[0..w-1], cout``.
+    Complexity is linear in the operand width (Eq. 6 of the paper).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"ripple_adder_{width}")
+    a_bits = b.add_inputs(width, "a")
+    b_bits = b.add_inputs(width, "b")
+    carry = CONST0
+    sums: List[int] = []
+    for i in range(width):
+        s, carry = b.full_adder(a_bits[i], b_bits[i], carry)
+        sums.append(s)
+    return b.build(outputs=sums + [carry])
+
+
+def ripple_subtractor(width: int) -> Netlist:
+    """Two's-complement subtractor ``a - b`` (invert b, carry-in 1).
+
+    Outputs: ``diff[0..w-1], cout`` (cout = NOT borrow).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"ripple_subtractor_{width}")
+    a_bits = b.add_inputs(width, "a")
+    b_bits = b.add_inputs(width, "b")
+    nb = b.invert_bus(b_bits)
+    carry = CONST1
+    sums: List[int] = []
+    for i in range(width):
+        s, carry = b.full_adder(a_bits[i], nb[i], carry)
+        sums.append(s)
+    return b.build(outputs=sums + [carry])
+
+
+def _cla_block(
+    b: NetlistBuilder, p: List[int], g: List[int], cin: int
+) -> Tuple[List[int], int]:
+    """Carry-lookahead over one block.
+
+    Computes every internal carry directly from ``cin`` in two-ish gate
+    levels using cumulative propagate products — the classic lookahead
+    structure with O(k^2) gates for a k-bit block.
+
+    Returns:
+        (list of per-bit carries ``c[0..k-1]`` with ``c[0] = cin``, block
+        carry-out).
+    """
+    k = len(p)
+    carries = [cin]
+    for j in range(1, k + 1):
+        # c_j = g_{j-1} | p_{j-1} g_{j-2} | ... | (p_{j-1}..p_0) cin
+        terms: List[int] = [g[j - 1]]
+        prod = p[j - 1]
+        for t in range(j - 2, -1, -1):
+            terms.append(b.gate("AND2", prod, g[t]))
+            prod = b.gate("AND2", prod, p[t])
+        terms.append(b.gate("AND2", prod, cin))
+        acc = terms[0]
+        for term in terms[1:]:
+            acc = b.gate("OR2", acc, term)
+        carries.append(acc)
+    return carries[:k], carries[k]
+
+
+def cla_adder(width: int, block_size: int = 4) -> Netlist:
+    """Carry-lookahead adder with ``block_size``-bit lookahead blocks.
+
+    Carries inside a block come from the two-level lookahead network; block
+    carry-outs ripple between blocks (block-level carry chain), which is the
+    standard DesignWare-style CLA topology.  Complexity is linear in the
+    width with a larger per-bit constant than the ripple adder.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    b = NetlistBuilder(f"cla_adder_{width}")
+    a_bits = b.add_inputs(width, "a")
+    b_bits = b.add_inputs(width, "b")
+    p = [b.gate("XOR2", a_bits[i], b_bits[i]) for i in range(width)]
+    g = [b.gate("AND2", a_bits[i], b_bits[i]) for i in range(width)]
+    sums: List[int] = []
+    cin = CONST0
+    for start in range(0, width, block_size):
+        stop = min(start + block_size, width)
+        carries, cin = _cla_block(b, p[start:stop], g[start:stop], cin)
+        for i, c in zip(range(start, stop), carries):
+            sums.append(b.gate("XOR2", p[i], c))
+    return b.build(outputs=sums + [cin])
+
+
+def carry_select_adder(width: int, block_size: int = 4) -> Netlist:
+    """Carry-select adder: duplicate ripple blocks, select by block carry.
+
+    Included as an additional datapath component beyond the paper's five
+    module types (the model claims applicability to "a wide variety" of
+    components).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"carry_select_adder_{width}")
+    a_bits = b.add_inputs(width, "a")
+    b_bits = b.add_inputs(width, "b")
+
+    def ripple_block(bits_a, bits_b, cin):
+        carry = cin
+        out = []
+        for x, y in zip(bits_a, bits_b):
+            s, carry = b.full_adder(x, y, carry)
+            out.append(s)
+        return out, carry
+
+    sums: List[int] = []
+    carry = CONST0
+    first = True
+    for start in range(0, width, block_size):
+        stop = min(start + block_size, width)
+        blk_a, blk_b = a_bits[start:stop], b_bits[start:stop]
+        if first:
+            out, carry = ripple_block(blk_a, blk_b, carry)
+            sums.extend(out)
+            first = False
+            continue
+        out0, c0 = ripple_block(blk_a, blk_b, CONST0)
+        out1, c1 = ripple_block(blk_a, blk_b, CONST1)
+        for s0, s1 in zip(out0, out1):
+            sums.append(b.gate("MUX2", carry, s0, s1))
+        carry = b.gate("MUX2", carry, c0, c1)
+    return b.build(outputs=sums + [carry])
+
+
+def incrementer(width: int) -> Netlist:
+    """``a + 1``: half-adder chain.  Outputs ``sum[0..w-1], cout``."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"incrementer_{width}")
+    a_bits = b.add_inputs(width, "a")
+    carry = CONST1
+    sums: List[int] = []
+    for i in range(width):
+        s, carry = b.half_adder(a_bits[i], carry)
+        sums.append(s)
+    return b.build(outputs=sums + [carry])
+
+
+# ----------------------------------------------------------------------
+# Golden integer semantics (operands given as unsigned bit patterns)
+# ----------------------------------------------------------------------
+def golden_adder(width: int):
+    """Golden function: ``(ua, ub) -> ua + ub`` over ``width+1`` output bits."""
+
+    def fn(ua: int, ub: int) -> int:
+        return (ua + ub) & ((1 << (width + 1)) - 1)
+
+    return fn
+
+
+def golden_subtractor(width: int):
+    """Golden function for ``a - b`` with cout = NOT borrow."""
+
+    def fn(ua: int, ub: int) -> int:
+        mask = (1 << width) - 1
+        return (ua + ((~ub) & mask) + 1) & ((1 << (width + 1)) - 1)
+
+    return fn
+
+
+def golden_incrementer(width: int):
+    """Golden integer reference for the matching module kind."""
+    def fn(ua: int) -> int:
+        return (ua + 1) & ((1 << (width + 1)) - 1)
+
+    return fn
+
+
+def kogge_stone_adder(width: int) -> Netlist:
+    """Kogge-Stone parallel-prefix adder.
+
+    Log-depth carry network with O(w log w) (generate, propagate) cells —
+    the opposite corner of the adder design space from the ripple chain,
+    giving the Hd model a shallow, wide-glitch-profile client.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"kogge_stone_adder_{width}")
+    a_bits = b.add_inputs(width, "a")
+    b_bits = b.add_inputs(width, "b")
+    p = [b.gate("XOR2", a_bits[i], b_bits[i]) for i in range(width)]
+    g = [b.gate("AND2", a_bits[i], b_bits[i]) for i in range(width)]
+    # Prefix network: (G, P) o (G', P') = (G | P & G', P & P').
+    gen = list(g)
+    prop = list(p)
+    distance = 1
+    while distance < width:
+        new_gen = list(gen)
+        new_prop = list(prop)
+        for i in range(distance, width):
+            new_gen[i] = b.gate(
+                "OR2", gen[i], b.gate("AND2", prop[i], gen[i - distance])
+            )
+            new_prop[i] = b.gate("AND2", prop[i], prop[i - distance])
+        gen, prop = new_gen, new_prop
+        distance *= 2
+    # gen[i] is the carry *out* of position i; sum uses carry-in.
+    sums = [p[0]]
+    for i in range(1, width):
+        sums.append(b.gate("XOR2", p[i], gen[i - 1]))
+    return b.build(outputs=sums + [gen[width - 1]])

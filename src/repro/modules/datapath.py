@@ -1,0 +1,184 @@
+"""Additional datapath components beyond the paper's five module types.
+
+The paper claims the Hd-model "can be applied to a wide variety of typical
+datapath components"; these generators let the test suite and examples back
+that claim: comparator, ALU, barrel shifter and word multiplexer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..circuit.builder import NetlistBuilder
+from ..circuit.netlist import CONST0, CONST1, Netlist
+
+
+def comparator(width: int) -> Netlist:
+    """Signed comparator: outputs ``(eq, lt)`` for operands ``a, b``.
+
+    ``eq`` is an XNOR/AND tree; ``lt`` (signed ``a < b``) comes from the
+    borrow of ``a - b`` corrected by the operand signs.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"comparator_{width}")
+    a_bits = b.add_inputs(width, "a")
+    b_bits = b.add_inputs(width, "b")
+    # Equality: balanced AND tree over per-bit XNORs.
+    eq_bits = [b.gate("XNOR2", x, y) for x, y in zip(a_bits, b_bits)]
+    while len(eq_bits) > 1:
+        nxt = []
+        for i in range(0, len(eq_bits) - 1, 2):
+            nxt.append(b.gate("AND2", eq_bits[i], eq_bits[i + 1]))
+        if len(eq_bits) % 2:
+            nxt.append(eq_bits[-1])
+        eq_bits = nxt
+    eq = eq_bits[0]
+    # a - b: ripple subtract, keep top sum bit and carry-out.
+    carry = CONST1
+    diff_msb = CONST0
+    for i in range(width):
+        nb = b.gate("INV", b_bits[i])
+        s = b.gate("XOR3", a_bits[i], nb, carry)
+        carry = b.gate("MAJ3", a_bits[i], nb, carry)
+        if i == width - 1:
+            diff_msb = s
+    if width == 1:
+        # Single signed bit: a in {0, -1}; a < b iff a = -1 (bit 1) and b = 0.
+        lt = b.gate("AND2", a_bits[0], b.gate("INV", b_bits[0]))
+    else:
+        # Signed less-than: sign(diff) XOR overflow; overflow occurs when the
+        # operand signs differ and the result sign equals b's sign.
+        sign_a, sign_b = a_bits[-1], b_bits[-1]
+        signs_differ = b.gate("XOR2", sign_a, sign_b)
+        ovf = b.gate("AND2", signs_differ, b.gate("XNOR2", diff_msb, sign_b))
+        lt = b.gate("XOR2", diff_msb, ovf)
+    return b.build(outputs=[eq, lt])
+
+
+def golden_comparator(width: int):
+    """Golden integer reference for the matching module kind."""
+    def fn(ua: int, ub: int) -> int:
+        half = 1 << (width - 1)
+        xa = ua - (1 << width) if width > 1 and ua >= half else (-ua if width == 1 else ua)
+        xb = ub - (1 << width) if width > 1 and ub >= half else (-ub if width == 1 else ub)
+        eq = 1 if ua == ub else 0
+        lt = 1 if xa < xb else 0
+        return eq | (lt << 1)
+
+    return fn
+
+
+def alu(width: int) -> Netlist:
+    """Small ALU: op[1:0] selects ADD / SUB / AND / XOR.
+
+    Inputs: ``a[w], b[w], op[2]``; outputs: ``result[w], cout``.
+    ``op``: 0 = a+b, 1 = a-b, 2 = a AND b, 3 = a XOR b (cout = 0 for the
+    logic operations).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"alu_{width}")
+    a_bits = b.add_inputs(width, "a")
+    b_bits = b.add_inputs(width, "b")
+    op0 = b.add_input("op[0]")
+    op1 = b.add_input("op[1]")
+    # Arithmetic core: b XOR op0 realizes subtract when op0 = 1.
+    carry = op0
+    arith: List[int] = []
+    for i in range(width):
+        yb = b.gate("XOR2", b_bits[i], op0)
+        s, carry = b.full_adder(a_bits[i], yb, carry)
+        arith.append(s)
+    outputs: List[int] = []
+    for i in range(width):
+        logic = b.gate(
+            "MUX2", op0, b.gate("AND2", a_bits[i], b_bits[i]),
+            b.gate("XOR2", a_bits[i], b_bits[i]),
+        )
+        outputs.append(b.gate("MUX2", op1, arith[i], logic))
+    cout = b.gate("AND2", carry, b.gate("INV", op1))
+    return b.build(outputs=outputs + [cout])
+
+
+def golden_alu(width: int):
+    """Golden integer reference for the matching module kind."""
+    def fn(ua: int, ub: int, op: int) -> int:
+        mask = (1 << width) - 1
+        op0, op1 = op & 1, (op >> 1) & 1
+        if op1 == 0:
+            raw = ua + (ub if op0 == 0 else ((~ub) & mask) + 1)
+            return raw & ((1 << (width + 1)) - 1)
+        value = (ua & ub) if op0 == 0 else (ua ^ ub)
+        return value & mask
+
+    return fn
+
+
+def barrel_shifter(width: int) -> Netlist:
+    """Logical left barrel shifter: ``a << sh`` with log2(width) MUX stages.
+
+    Inputs: ``a[w], sh[ceil(log2 w)]``; output: shifted word (bits shifted
+    past the top are dropped).
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    n_stages = max(1, math.ceil(math.log2(width)))
+    b = NetlistBuilder(f"barrel_shifter_{width}")
+    a_bits = b.add_inputs(width, "a")
+    sh_bits = b.add_inputs(n_stages, "sh")
+    current = list(a_bits)
+    for stage in range(n_stages):
+        amount = 1 << stage
+        nxt: List[int] = []
+        for i in range(width):
+            shifted = current[i - amount] if i - amount >= 0 else CONST0
+            nxt.append(b.gate("MUX2", sh_bits[stage], current[i], shifted))
+        current = nxt
+    return b.build(outputs=current)
+
+
+def golden_barrel_shifter(width: int):
+    """Golden integer reference for the matching module kind."""
+    n_stages = max(1, math.ceil(math.log2(width)))
+
+    def fn(ua: int, sh: int) -> int:
+        mask = (1 << width) - 1
+        return (ua << (sh & ((1 << n_stages) - 1))) & mask
+
+    return fn
+
+
+def mux_word(width: int, n_words: int = 2) -> Netlist:
+    """Word multiplexer over ``n_words`` operands (power of two).
+
+    Inputs: ``w0[w] .. w{k-1}[w], sel[log2 k]``; output: selected word.
+    """
+    if n_words < 2 or n_words & (n_words - 1):
+        raise ValueError("n_words must be a power of two >= 2")
+    n_sel = n_words.bit_length() - 1
+    b = NetlistBuilder(f"mux_word_{width}x{n_words}")
+    words = [b.add_inputs(width, f"w{k}") for k in range(n_words)]
+    sel = b.add_inputs(n_sel, "sel")
+    layer = words
+    for s in range(n_sel):
+        nxt = []
+        for k in range(0, len(layer), 2):
+            nxt.append(
+                [b.gate("MUX2", sel[s], lo, hi)
+                 for lo, hi in zip(layer[k], layer[k + 1])]
+            )
+        layer = nxt
+    return b.build(outputs=layer[0])
+
+
+def golden_mux_word(width: int, n_words: int = 2):
+    """Golden integer reference for the matching module kind."""
+    n_sel = n_words.bit_length() - 1
+
+    def fn(*args: int) -> int:
+        words, sel = args[:n_words], args[n_words] & ((1 << n_sel) - 1)
+        return words[sel]
+
+    return fn

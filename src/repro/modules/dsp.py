@@ -1,0 +1,232 @@
+"""Further DSP-oriented datapath components.
+
+These extend the library beyond the paper's five evaluated module types:
+multiply-accumulate, signed min/max, population count, parity and
+leading-zero count — all combinational, all parameterizable in width, all
+usable with the Hd macro-model machinery unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..circuit.builder import NetlistBuilder
+from ..circuit.netlist import CONST0, CONST1, Netlist
+from .multipliers import _baugh_wooley_rows
+
+
+def mac(width: int) -> Netlist:
+    """Multiply-accumulate: ``a * b + c`` (all signed).
+
+    Inputs: ``a[w], b[w], c[2w]``; output: ``(a*b + c) mod 2^(2w)``.
+    The accumulator operand is merged into the Baugh-Wooley carry-save
+    array as an extra addend row, so the structure is a true fused MAC
+    (array + one extra CSA row + merge adder), not a multiplier followed
+    by an adder.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    b = NetlistBuilder(f"mac_{width}")
+    a_bits = b.add_inputs(width, "a")
+    b_bits = b.add_inputs(width, "b")
+    c_bits = b.add_inputs(2 * width, "c")
+    product_width = 2 * width
+    rows = _baugh_wooley_rows(b, a_bits, b_bits)
+    # Accumulator as the initial partial sum.
+    sum_vec: List[int] = list(c_bits)
+    carry_vec: List[int] = [CONST0] * product_width
+    for row in rows:
+        passes: List[dict] = []
+        for col, bits in row.items():
+            for depth, bit in enumerate(bits):
+                while len(passes) <= depth:
+                    passes.append({})
+                passes[depth][col] = bit
+        for row_pass in passes:
+            new_sum = list(sum_vec)
+            new_carry: List[int] = [CONST0] * product_width
+            for col in range(product_width):
+                bit = row_pass.get(col, CONST0)
+                s, cout = b.full_adder(sum_vec[col], carry_vec[col], bit)
+                new_sum[col] = s
+                if col + 1 < product_width:
+                    new_carry[col + 1] = cout
+            sum_vec, carry_vec = new_sum, new_carry
+    outputs: List[int] = []
+    carry = CONST0
+    for col in range(product_width):
+        s, carry = b.full_adder(sum_vec[col], carry_vec[col], carry)
+        outputs.append(s)
+    return b.build(outputs=outputs)
+
+
+def golden_mac(width: int):
+    """Golden integer reference for the matching module kind."""
+    def fn(ua: int, ub: int, uc: int) -> int:
+        half = 1 << (width - 1)
+        xa = ua - (1 << width) if ua >= half else ua
+        xb = ub - (1 << width) if ub >= half else ub
+        mask = (1 << (2 * width)) - 1
+        xc = uc - (1 << (2 * width)) if uc >= (1 << (2 * width - 1)) else uc
+        return (xa * xb + xc) & mask
+
+    return fn
+
+
+def min_max(width: int) -> Netlist:
+    """Signed min/max unit: outputs ``min(a, b)`` then ``max(a, b)``.
+
+    Built from one subtract-based signed comparison and two word muxes.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    b = NetlistBuilder(f"min_max_{width}")
+    a_bits = b.add_inputs(width, "a")
+    b_bits = b.add_inputs(width, "b")
+    # a - b with signed overflow handling (as in the comparator).
+    carry = CONST1
+    diff_msb = CONST0
+    for i in range(width):
+        nb = b.gate("INV", b_bits[i])
+        s = b.gate("XOR3", a_bits[i], nb, carry)
+        carry = b.gate("MAJ3", a_bits[i], nb, carry)
+        if i == width - 1:
+            diff_msb = s
+    signs_differ = b.gate("XOR2", a_bits[-1], b_bits[-1])
+    ovf = b.gate("AND2", signs_differ, b.gate("XNOR2", diff_msb, b_bits[-1]))
+    a_lt_b = b.gate("XOR2", diff_msb, ovf)
+    mins = [b.gate("MUX2", a_lt_b, y, x) for x, y in zip(a_bits, b_bits)]
+    maxs = [b.gate("MUX2", a_lt_b, x, y) for x, y in zip(a_bits, b_bits)]
+    return b.build(outputs=mins + maxs)
+
+
+def golden_min_max(width: int):
+    """Golden integer reference for the matching module kind."""
+    def fn(ua: int, ub: int) -> int:
+        half = 1 << (width - 1)
+        xa = ua - (1 << width) if ua >= half else ua
+        xb = ub - (1 << width) if ub >= half else ub
+        lo, hi = (ua, ub) if xa <= xb else (ub, ua)
+        return lo | (hi << width)
+
+    return fn
+
+
+def _ones_counter(b: NetlistBuilder, bits: List[int]) -> List[int]:
+    """Compress a list of equal-weight bits to a binary count (FA tree)."""
+    columns: List[List[int]] = [list(bits)]
+    # Repeatedly 3:2-compress column 0, promoting carries to column 1, etc.
+    col = 0
+    while col < len(columns):
+        current = columns[col]
+        while len(current) > 1:
+            if len(current) >= 3:
+                a, c, d = current.pop(), current.pop(), current.pop()
+                s, carry = b.full_adder(a, c, d)
+            else:
+                a, c = current.pop(), current.pop()
+                s, carry = b.half_adder(a, c)
+            current.append(s)
+            if col + 1 >= len(columns):
+                columns.append([])
+            columns[col + 1].append(carry)
+        col += 1
+    return [c[0] if c else CONST0 for c in columns]
+
+
+def popcount(width: int) -> Netlist:
+    """Population count: number of set bits, as a binary word."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"popcount_{width}")
+    bits = b.add_inputs(width, "a")
+    outputs = _ones_counter(b, list(bits))
+    return b.build(outputs=outputs)
+
+
+def golden_popcount(width: int):
+    """Golden integer reference for the matching module kind."""
+    def fn(ua: int) -> int:
+        return bin(ua).count("1")
+
+    return fn
+
+
+def parity(width: int) -> Netlist:
+    """Odd-parity bit: XOR reduction tree."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"parity_{width}")
+    bits = list(b.add_inputs(width, "a"))
+    while len(bits) > 1:
+        nxt = []
+        for i in range(0, len(bits) - 1, 2):
+            nxt.append(b.gate("XOR2", bits[i], bits[i + 1]))
+        if len(bits) % 2:
+            nxt.append(bits[-1])
+        bits = nxt
+    return b.build(outputs=bits)
+
+
+def golden_parity(width: int):
+    """Golden integer reference for the matching module kind."""
+    def fn(ua: int) -> int:
+        return bin(ua).count("1") % 2
+
+    return fn
+
+
+def leading_zero_counter(width: int) -> Netlist:
+    """Count of leading zeros (from the MSB) of an unsigned word.
+
+    A prefix "still all zero" chain from the MSB feeds a ones counter, so
+    the output is ``width`` for the all-zero input.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"leading_zero_counter_{width}")
+    bits = b.add_inputs(width, "a")
+    prefix_zero: List[int] = []
+    state = CONST1
+    for k in range(width - 1, -1, -1):  # MSB downward
+        state = b.gate("AND2", state, b.gate("INV", bits[k]))
+        prefix_zero.append(state)
+    outputs = _ones_counter(b, prefix_zero)
+    return b.build(outputs=outputs)
+
+
+def golden_leading_zero_counter(width: int):
+    """Golden integer reference for the matching module kind."""
+    def fn(ua: int) -> int:
+        count = 0
+        for k in range(width - 1, -1, -1):
+            if (ua >> k) & 1:
+                break
+            count += 1
+        return count
+
+    return fn
+
+
+def register_bank(width: int) -> Netlist:
+    """Register bank proxy: per-bit buffers.
+
+    A D-register's dynamic power is driven by its input Hamming distance
+    (clock power aside), which makes it the textbook Hd-model client.  The
+    combinational proxy is one buffer per bit, so the simulator charges
+    exactly the per-bit toggles plus pin capacitance.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    b = NetlistBuilder(f"register_bank_{width}")
+    bits = b.add_inputs(width, "d")
+    outputs = [b.gate("BUF", bit) for bit in bits]
+    return b.build(outputs=outputs)
+
+
+def golden_register_bank(width: int):
+    """Golden integer reference for the matching module kind."""
+    def fn(ua: int) -> int:
+        return ua
+
+    return fn

@@ -1,0 +1,393 @@
+"""Multiplier netlist generators.
+
+Two signed (two's complement) multiplier topologies from the paper's module
+set, plus a constant multiplier used by the statistics-propagation examples:
+
+* :func:`csa_multiplier` — Baugh-Wooley partial products reduced row by row
+  with carry-save adder rows and a final ripple vector-merge adder.  The
+  array scales with ``m1 * m0`` and the merge adder with ``m1`` — exactly the
+  complexity split the paper's Figure 3 and Eq. 7/8 rely on.
+* :func:`booth_wallace_multiplier` — radix-4 Booth recoding of operand ``b``
+  with a Wallace-tree (3:2 compressor) reduction and a ripple merge adder.
+* :func:`constant_multiplier` — shift-and-add network for a fixed signed
+  constant (CSD recoded).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..circuit.builder import NetlistBuilder
+from ..circuit.netlist import CONST0, CONST1, Netlist
+
+
+# ----------------------------------------------------------------------
+# Baugh-Wooley carry-save array multiplier
+# ----------------------------------------------------------------------
+def _baugh_wooley_rows(
+    b: NetlistBuilder,
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+) -> List[Dict[int, List[int]]]:
+    """Partial-product rows for a signed multiply, as column->bits maps.
+
+    Row ``j`` carries the Baugh-Wooley form of ``a * b_j * 2^j``: plain AND
+    terms in the interior, complemented NAND terms along the sign row and
+    sign column, the ``a_{m-1} b_{n-1}`` AND at the top corner, and the
+    correction ones (at columns ``m-1``, ``n-1`` and ``m+n-1``) folded into
+    the first row.
+    """
+    m, n = len(a_bits), len(b_bits)
+    product_width = m + n
+    rows: List[Dict[int, List[int]]] = []
+    for j in range(n):
+        row: Dict[int, List[int]] = {}
+        for i in range(m):
+            col = i + j
+            if col >= product_width:
+                continue
+            last_a = i == m - 1
+            last_b = j == n - 1
+            if last_a ^ last_b:
+                bit = b.gate("NAND2", a_bits[i], b_bits[j])
+            else:
+                bit = b.gate("AND2", a_bits[i], b_bits[j])
+            row.setdefault(col, []).append(bit)
+        rows.append(row)
+    # Correction constants: +2^(m-1) + 2^(n-1) + 2^(m+n-1).
+    corrections = [m - 1, n - 1, product_width - 1]
+    for col in corrections:
+        rows[0].setdefault(col, []).append(CONST1)
+    return rows
+
+
+def csa_multiplier(width_a: int, width_b: int | None = None) -> Netlist:
+    """Signed carry-save array multiplier (Baugh-Wooley).
+
+    Args:
+        width_a: Width of the multiplicand ``a`` (``m1`` in the paper).
+        width_b: Width of the multiplier ``b`` (``m0``); defaults to
+            ``width_a``.
+
+    Inputs ``a[0..m1-1], b[0..m0-1]``; output is the full ``m1+m0``-bit
+    two's-complement product.
+    """
+    if width_b is None:
+        width_b = width_a
+    if width_a < 2 or width_b < 2:
+        raise ValueError("signed multiplier widths must be >= 2")
+    b = NetlistBuilder(f"csa_multiplier_{width_a}x{width_b}")
+    a_bits = b.add_inputs(width_a, "a")
+    b_bits = b.add_inputs(width_b, "b")
+    product_width = width_a + width_b
+    rows = _baugh_wooley_rows(b, a_bits, b_bits)
+
+    # Array accumulation: (sum, carry) per column; each row is one FA row.
+    sum_vec: List[int] = [CONST0] * product_width
+    carry_vec: List[int] = [CONST0] * product_width
+    for row in rows:
+        # Split multi-bit columns into consecutive FA passes.
+        passes: List[Dict[int, int]] = []
+        for col, bits in row.items():
+            for depth, bit in enumerate(bits):
+                while len(passes) <= depth:
+                    passes.append({})
+                passes[depth][col] = bit
+        for row_pass in passes:
+            new_sum = list(sum_vec)
+            new_carry: List[int] = [CONST0] * product_width
+            for col in range(product_width):
+                bit = row_pass.get(col, CONST0)
+                s, cout = b.full_adder(sum_vec[col], carry_vec[col], bit)
+                new_sum[col] = s
+                if col + 1 < product_width:
+                    new_carry[col + 1] = cout
+            sum_vec, carry_vec = new_sum, new_carry
+
+    # Vector-merge: final ripple adder over (sum, carry).
+    outputs: List[int] = []
+    carry = CONST0
+    for col in range(product_width):
+        s, carry = b.full_adder(sum_vec[col], carry_vec[col], carry)
+        outputs.append(s)
+    return b.build(outputs=outputs)
+
+
+# ----------------------------------------------------------------------
+# Radix-4 Booth / Wallace-tree multiplier
+# ----------------------------------------------------------------------
+def _booth_digits(
+    b: NetlistBuilder, b_bits: Sequence[int]
+) -> List[Tuple[int, int, int]]:
+    """Radix-4 Booth recode: per digit, nets ``(one, two, neg)``.
+
+    Digit ``j`` is formed from bits ``(b[2j+1], b[2j], b[2j-1])`` with
+    ``b[-1] = 0``; for odd widths the top bit is sign-extended.
+    """
+    n = len(b_bits)
+    padded = [CONST0] + list(b_bits)
+    if n % 2 == 1:
+        padded.append(b_bits[-1])  # sign extension for odd widths
+    n_digits = (n + 1) // 2
+    digits = []
+    for j in range(n_digits):
+        lo = padded[2 * j]
+        mid = padded[2 * j + 1]
+        hi = padded[2 * j + 2]
+        one = b.gate("XOR2", mid, lo)
+        two = b.gate("AND2", b.gate("XNOR2", mid, lo), b.gate("XOR2", hi, mid))
+        neg = hi
+        digits.append((one, two, neg))
+    return digits
+
+
+def _wallace_reduce(
+    b: NetlistBuilder,
+    columns: List[List[int]],
+) -> Tuple[List[int], List[int]]:
+    """Wallace-tree reduction of bit columns down to two rows.
+
+    Repeatedly applies 3:2 compressors (full adders) and 2:2 compressors
+    (half adders) per column until every column holds at most two bits.
+    """
+    width = len(columns)
+    cols = [list(c) for c in columns]
+    while any(len(c) > 2 for c in cols):
+        next_cols: List[List[int]] = [[] for _ in range(width)]
+        for col in range(width):
+            bits = cols[col]
+            idx = 0
+            while len(bits) - idx >= 3:
+                s, cout = b.full_adder(bits[idx], bits[idx + 1], bits[idx + 2])
+                next_cols[col].append(s)
+                if col + 1 < width:
+                    next_cols[col + 1].append(cout)
+                idx += 3
+            remaining = len(bits) - idx
+            if remaining == 2 and len(bits) > 2:
+                s, cout = b.half_adder(bits[idx], bits[idx + 1])
+                next_cols[col].append(s)
+                if col + 1 < width:
+                    next_cols[col + 1].append(cout)
+            else:
+                next_cols[col].extend(bits[idx:])
+        cols = next_cols
+    sum_vec = [c[0] if len(c) > 0 else CONST0 for c in cols]
+    carry_vec = [c[1] if len(c) > 1 else CONST0 for c in cols]
+    return sum_vec, carry_vec
+
+
+def booth_wallace_multiplier(width_a: int, width_b: int | None = None) -> Netlist:
+    """Signed radix-4 Booth-coded Wallace-tree multiplier.
+
+    Inputs ``a[0..m1-1], b[0..m0-1]``; output is the ``m1+m0``-bit signed
+    product.  Partial products are sign-extended to the full product width
+    (net sharing, no extra gates per extension bit) and negative digits are
+    completed with a ``+neg`` correction bit at the digit's column.
+    """
+    if width_b is None:
+        width_b = width_a
+    if width_a < 2 or width_b < 2:
+        raise ValueError("signed multiplier widths must be >= 2")
+    b = NetlistBuilder(f"booth_wallace_multiplier_{width_a}x{width_b}")
+    a_bits = b.add_inputs(width_a, "a")
+    b_bits = b.add_inputs(width_b, "b")
+    product_width = width_a + width_b
+
+    digits = _booth_digits(b, b_bits)
+    # Sign-extended multiplicand (one extra bit so +/-2a fits).
+    ae = list(a_bits) + [a_bits[-1]]
+
+    columns: List[List[int]] = [[] for _ in range(product_width)]
+    for j, (one, two, neg) in enumerate(digits):
+        shift = 2 * j
+        # Row bits: (ae_i & one) | (ae_{i-1} & two), XOR neg; the row is a
+        # (width_a + 1)-bit two's-complement value, sign-extended upward.
+        row_bits: List[int] = []
+        for i in range(width_a + 1):
+            low = ae[i] if i < len(ae) else ae[-1]
+            below = ae[i - 1] if i - 1 >= 0 else CONST0
+            picked = b.gate(
+                "OR2", b.gate("AND2", low, one), b.gate("AND2", below, two)
+            )
+            row_bits.append(b.gate("XOR2", picked, neg))
+        sign_bit = row_bits[-1]
+        for col in range(shift, product_width):
+            i = col - shift
+            bit = row_bits[i] if i < len(row_bits) else sign_bit
+            columns[col].append(bit)
+        # Two's-complement completion of negated rows.
+        columns[shift].append(neg)
+
+    sum_vec, carry_vec = _wallace_reduce(b, columns)
+
+    outputs: List[int] = []
+    carry = CONST0
+    for col in range(product_width):
+        s, carry = b.full_adder(sum_vec[col], carry_vec[col], carry)
+        outputs.append(s)
+    return b.build(outputs=outputs)
+
+
+# ----------------------------------------------------------------------
+# Constant multiplier (CSD shift-add network)
+# ----------------------------------------------------------------------
+def _csd_digits(constant: int) -> List[Tuple[int, int]]:
+    """Canonical signed-digit recoding: list of ``(shift, +1/-1)`` terms."""
+    if constant == 0:
+        return []
+    digits: List[Tuple[int, int]] = []
+    value = constant
+    shift = 0
+    while value != 0:
+        if value & 1:
+            # Choose +1 or -1 so the remaining value becomes even "longer".
+            rem = value & 3
+            digit = 1 if rem == 1 else -1
+            digits.append((shift, digit))
+            value -= digit
+        value >>= 1
+        shift += 1
+    return digits
+
+
+def constant_multiplier(width: int, constant: int, out_width: int | None = None) -> Netlist:
+    """Multiply a signed ``width``-bit input by a fixed integer constant.
+
+    Built as a CSD shift-add/subtract network of ripple adders over the
+    sign-extended input.  Output width defaults to
+    ``width + bit_length(|constant|) + 1``.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if out_width is None:
+        out_width = width + max(abs(constant).bit_length(), 1) + 1
+    b = NetlistBuilder(f"constant_multiplier_{width}_by_{constant}")
+    a_bits = b.add_inputs(width, "a")
+
+    def extended(bit_index: int) -> int:
+        return a_bits[bit_index] if bit_index < width else a_bits[-1]
+
+    digits = _csd_digits(constant)
+    if not digits:
+        return b.build(outputs=[CONST0] * out_width)
+
+    # Accumulate terms with ripple adders/subtractors.  The builder folds
+    # INV of constants, so shifted-in zeros cost nothing.
+    acc: List[int] | None = None
+    for shift, sign in digits:
+        term = [CONST0] * shift + [extended(i) for i in range(out_width - shift)]
+        term = term[:out_width]
+        if acc is None:
+            if sign > 0:
+                acc = term
+            else:
+                # acc = -term = ~term + 1
+                inv = [b.gate("INV", t) for t in term]
+                carry = CONST1
+                acc = []
+                for t in inv:
+                    s, carry = b.half_adder(t, carry)
+                    acc.append(s)
+            continue
+        carry = CONST0 if sign > 0 else CONST1
+        rhs = term if sign > 0 else [b.gate("INV", t) for t in term]
+        new_acc: List[int] = []
+        for x, y in zip(acc, rhs):
+            s, carry = b.full_adder(x, y, carry)
+            new_acc.append(s)
+        acc = new_acc
+    assert acc is not None
+    return b.build(outputs=acc)
+
+
+# ----------------------------------------------------------------------
+# Golden integer semantics
+# ----------------------------------------------------------------------
+def _to_signed(u: int, width: int) -> int:
+    return u - (1 << width) if u >= (1 << (width - 1)) else u
+
+
+def golden_multiplier(width_a: int, width_b: int):
+    """Golden function for signed multipliers: bit-pattern in, pattern out."""
+
+    def fn(ua: int, ub: int) -> int:
+        xa = _to_signed(ua, width_a)
+        xb = _to_signed(ub, width_b)
+        return (xa * xb) & ((1 << (width_a + width_b)) - 1)
+
+    return fn
+
+
+def golden_constant_multiplier(width: int, constant: int, out_width: int):
+    """Golden integer reference for the matching module kind."""
+    def fn(ua: int) -> int:
+        xa = _to_signed(ua, width)
+        return (xa * constant) & ((1 << out_width) - 1)
+
+    return fn
+
+
+# ----------------------------------------------------------------------
+# Dadda multiplier
+# ----------------------------------------------------------------------
+def _dadda_heights(max_height: int) -> List[int]:
+    """Dadda stage targets: descending members of 2, 3, 4, 6, 9, 13, ...
+    strictly below ``max_height``."""
+    sequence = [2]
+    while sequence[-1] < max_height:
+        sequence.append((sequence[-1] * 3) // 2)
+    return [d for d in reversed(sequence) if d < max_height]
+
+
+def dadda_multiplier(width_a: int, width_b: int | None = None) -> Netlist:
+    """Signed Dadda-tree multiplier (Baugh-Wooley partial products).
+
+    Dadda reduction compresses each column only as far as the stage target
+    requires, using the minimum number of counters — fewer cells than
+    Wallace for the same log depth, the third classic multiplier topology
+    after the array (csa) and Wallace tree.
+    """
+    if width_b is None:
+        width_b = width_a
+    if width_a < 2 or width_b < 2:
+        raise ValueError("signed multiplier widths must be >= 2")
+    b = NetlistBuilder(f"dadda_multiplier_{width_a}x{width_b}")
+    a_bits = b.add_inputs(width_a, "a")
+    b_bits = b.add_inputs(width_b, "b")
+    product_width = width_a + width_b
+    rows = _baugh_wooley_rows(b, a_bits, b_bits)
+    columns: List[List[int]] = [[] for _ in range(product_width)]
+    for row in rows:
+        for col, bits in row.items():
+            columns[col].extend(bits)
+
+    max_height = max(len(c) for c in columns)
+    for target in _dadda_heights(max_height):
+        # LSB-to-MSB sweep: carries emitted into column c+1 are included in
+        # that column's height for this very stage (the Dadda discipline of
+        # compressing *just enough* to reach the target).
+        pending: List[List[int]] = [[] for _ in range(product_width + 1)]
+        next_columns: List[List[int]] = [[] for _ in range(product_width)]
+        for col in range(product_width):
+            bits = columns[col] + pending[col]
+            while len(bits) > target:
+                if len(bits) >= target + 2:
+                    x, y, z = bits.pop(), bits.pop(), bits.pop()
+                    s, cout = b.full_adder(x, y, z)
+                else:
+                    x, y = bits.pop(), bits.pop()
+                    s, cout = b.half_adder(x, y)
+                bits.append(s)
+                pending[col + 1].append(cout)  # dropped past the top column
+            next_columns[col] = bits
+        columns = next_columns
+
+    sum_vec = [c[0] if len(c) > 0 else CONST0 for c in columns]
+    carry_vec = [c[1] if len(c) > 1 else CONST0 for c in columns]
+    outputs: List[int] = []
+    carry = CONST0
+    for col in range(product_width):
+        s, carry = b.full_adder(sum_vec[col], carry_vec[col], carry)
+        outputs.append(s)
+    return b.build(outputs=outputs)

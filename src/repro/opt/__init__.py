@@ -1,0 +1,25 @@
+"""Model-driven low-power optimization (the paper's motivating use case)."""
+
+from .reorder import nearest_neighbor_order, order_cost, reorder_report
+from .binding import (
+    BindingEvaluation,
+    BindingProblem,
+    evaluate_binding,
+    greedy_binding,
+    identity_binding,
+    random_binding,
+    unit_streams,
+)
+
+__all__ = [
+    "BindingEvaluation",
+    "BindingProblem",
+    "evaluate_binding",
+    "greedy_binding",
+    "identity_binding",
+    "nearest_neighbor_order",
+    "order_cost",
+    "random_binding",
+    "reorder_report",
+    "unit_streams",
+]

@@ -1,0 +1,67 @@
+"""Stimulus generation: pattern streams and the data-type classes I-V."""
+
+from .audio import music_stream, speech_stream
+from .codes import (
+    bus_invert_bits,
+    encode_words,
+    gray_bits,
+    gray_decode,
+    gray_encode,
+    sign_magnitude_bits,
+    twos_complement_bits,
+)
+from .encoding import (
+    bits_to_words,
+    saturate,
+    signed_range,
+    to_signed,
+    to_unsigned,
+    words_to_bits,
+)
+from .generators import (
+    ar1_gaussian,
+    constant_stream,
+    counter_stream,
+    gaussian_stream,
+    ramp_stream,
+    random_stream,
+)
+from .registry import (
+    DATA_TYPE_DESCRIPTIONS,
+    DATA_TYPES,
+    make_operand_streams,
+    make_stream,
+)
+from .streams import PatternStream, module_stimulus
+from .video import video_stream
+
+__all__ = [
+    "DATA_TYPES",
+    "DATA_TYPE_DESCRIPTIONS",
+    "PatternStream",
+    "ar1_gaussian",
+    "bits_to_words",
+    "bus_invert_bits",
+    "constant_stream",
+    "counter_stream",
+    "encode_words",
+    "gaussian_stream",
+    "gray_bits",
+    "gray_decode",
+    "gray_encode",
+    "make_operand_streams",
+    "make_stream",
+    "module_stimulus",
+    "music_stream",
+    "ramp_stream",
+    "random_stream",
+    "saturate",
+    "sign_magnitude_bits",
+    "signed_range",
+    "speech_stream",
+    "to_signed",
+    "to_unsigned",
+    "twos_complement_bits",
+    "video_stream",
+    "words_to_bits",
+]

@@ -1,0 +1,89 @@
+"""Synthetic audio stimuli: music (data type II) and speech (data type III).
+
+The paper used linear-quantized recordings; what the experiments actually
+exercise is the *correlation class* of each stream — "weak correlation" for
+music and "strong correlation" for speech.  The generators below synthesize
+signals with those properties:
+
+* Music: a mix of sustained partials (chord-like sinusoids with slow vibrato)
+  over a weakly-correlated noise floor; lag-1 autocorrelation ≈ 0.4–0.7.
+* Speech: an AR(2) resonator ("formant") driven by voiced/unvoiced excitation
+  with a syllable-rate amplitude envelope; lag-1 autocorrelation ≈ 0.9–0.98
+  plus the bursty amplitude modulation typical of speech.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .encoding import saturate
+from .streams import PatternStream
+
+
+def music_stream(
+    width: int,
+    n: int,
+    seed: int = 0,
+    relative_level: float = 0.28,
+) -> PatternStream:
+    """Data type II: weakly correlated music-like signal.
+
+    A three-partial chord with independent slow amplitude/frequency drift
+    plus a broadband noise floor.  The relatively high fundamental
+    frequencies keep the sample-to-sample correlation weak.
+    """
+    rng = np.random.default_rng(seed)
+    t = np.arange(n, dtype=np.float64)
+    full_scale = float(1 << (width - 1))
+    signal = np.zeros(n)
+    # Partials at incommensurate mid-band normalized frequencies: high
+    # enough that the correlation stays weak, low enough that it is clearly
+    # positive (rho ~ 0.4-0.6), between random (I) and speech (III).
+    for base_freq in (0.055, 0.074, 0.118):
+        freq = base_freq * (1.0 + 0.01 * np.sin(2 * np.pi * t / (997 + seed % 101)))
+        phase = rng.uniform(0, 2 * np.pi)
+        envelope = 1.0 + 0.3 * np.sin(2 * np.pi * t / rng.uniform(1500, 4000))
+        signal += envelope * np.sin(2 * np.pi * freq * t + phase)
+    signal /= 3.0
+    noise = rng.standard_normal(n) * 0.25
+    x = (signal + noise) * relative_level * full_scale
+    return PatternStream(saturate(x, width), width, "music")
+
+
+def speech_stream(
+    width: int,
+    n: int,
+    seed: int = 0,
+    relative_level: float = 0.28,
+) -> PatternStream:
+    """Data type III: strongly correlated speech-like signal.
+
+    AR(2) resonator (poles near z = r e^{±jw} with small w, so the output is
+    low-pass and strongly correlated) excited by noise whose amplitude
+    follows a syllable-rate on/off envelope — quiet gaps and voiced bursts.
+    """
+    rng = np.random.default_rng(seed)
+    full_scale = float(1 << (width - 1))
+
+    # Syllable envelope: smoothed two-state (silence / voiced) Markov chain.
+    state = np.empty(n)
+    level, target = 0.2, 1.0
+    current = 0.2
+    for i in range(n):
+        if rng.random() < 1.0 / 400.0:  # switch roughly every 400 samples
+            target = 1.0 if target < 0.5 else 0.15
+        current += (target - current) * 0.02
+        state[i] = current
+
+    # AR(2) resonator: x_t = a1 x_{t-1} + a2 x_{t-2} + e_t.
+    r, w = 0.97, 0.06 * np.pi
+    a1, a2 = 2 * r * np.cos(w), -(r * r)
+    e = rng.standard_normal(n) * state
+    x = np.empty(n)
+    x_1 = x_2 = 0.0
+    for tstep in range(n):
+        value = a1 * x_1 + a2 * x_2 + e[tstep]
+        x[tstep] = value
+        x_2, x_1 = x_1, value
+    x = x / (np.std(x) + 1e-12) * relative_level * full_scale
+    return PatternStream(saturate(x, width), width, "speech")

@@ -1,0 +1,76 @@
+"""Two's-complement word/bit encoding utilities.
+
+Bit matrices throughout the package are LSB-first boolean arrays of shape
+``[n_patterns, width]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def signed_range(width: int) -> tuple[int, int]:
+    """Inclusive (min, max) of a signed ``width``-bit word."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    return -(1 << (width - 1)), (1 << (width - 1)) - 1
+
+
+def to_unsigned(words: np.ndarray, width: int) -> np.ndarray:
+    """Map signed words to their unsigned bit-pattern values.
+
+    Raises:
+        ValueError: If any word is outside the signed range of ``width``.
+    """
+    words = np.asarray(words, dtype=np.int64)
+    lo, hi = signed_range(width)
+    if np.any(words < lo) or np.any(words > hi):
+        raise ValueError(f"words out of signed range [{lo}, {hi}] for width {width}")
+    return np.where(words < 0, words + (1 << width), words).astype(np.int64)
+
+
+def to_signed(patterns: np.ndarray, width: int) -> np.ndarray:
+    """Map unsigned bit patterns back to signed words."""
+    patterns = np.asarray(patterns, dtype=np.int64)
+    if np.any(patterns < 0) or np.any(patterns >= (1 << width)):
+        raise ValueError(f"patterns out of range for width {width}")
+    half = 1 << (width - 1)
+    return np.where(patterns >= half, patterns - (1 << width), patterns)
+
+
+def words_to_bits(words: np.ndarray, width: int, signed: bool = True) -> np.ndarray:
+    """Encode words as an LSB-first boolean bit matrix.
+
+    Args:
+        words: Integer array; signed two's complement when ``signed``,
+            otherwise raw unsigned patterns.
+        width: Word width in bits.
+        signed: Interpretation of ``words``.
+
+    Returns:
+        ``[len(words), width]`` boolean matrix.
+    """
+    patterns = to_unsigned(words, width) if signed else np.asarray(words, np.int64)
+    if not signed and (np.any(patterns < 0) or np.any(patterns >= (1 << width))):
+        raise ValueError(f"unsigned words out of range for width {width}")
+    return ((patterns[:, None] >> np.arange(width)) & 1).astype(bool)
+
+
+def bits_to_words(bits: np.ndarray, signed: bool = True) -> np.ndarray:
+    """Decode an LSB-first bit matrix back to words."""
+    bits = np.asarray(bits, dtype=bool)
+    width = bits.shape[1]
+    patterns = (bits.astype(np.int64) << np.arange(width)).sum(axis=1)
+    return to_signed(patterns, width) if signed else patterns
+
+
+def saturate(values: np.ndarray, width: int) -> np.ndarray:
+    """Clamp real values into the signed range and round to integers.
+
+    This is the "linear quantization" of the paper's data streams: an
+    analog-ish signal scaled into a ``width``-bit two's-complement word.
+    """
+    lo, hi = signed_range(width)
+    return np.clip(np.rint(np.asarray(values, dtype=np.float64)), lo, hi).astype(
+        np.int64
+    )

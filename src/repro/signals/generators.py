@@ -1,0 +1,111 @@
+"""Core stimulus generators: random, counter and Gaussian AR processes.
+
+These are the synthetic stand-ins for the paper's recorded stimuli
+(DESIGN.md section 2): the power model only sees a stream through its
+bit-level and word-level statistics, so matching those statistics preserves
+the experiments' behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .encoding import saturate, signed_range
+from .streams import PatternStream
+
+
+def random_stream(width: int, n: int, seed: int = 0) -> PatternStream:
+    """Data type I: i.i.d. uniform words over the full signed range.
+
+    This is also the characterization stream: every bit has signal and
+    transition probability 1/2.
+    """
+    rng = np.random.default_rng(seed)
+    lo, hi = signed_range(width)
+    words = rng.integers(lo, hi + 1, size=n, dtype=np.int64)
+    return PatternStream(words, width, "random")
+
+
+def counter_stream(width: int, n: int, start: int = 0) -> PatternStream:
+    """Data type V: outputs of a binary counter.
+
+    Counts through the non-negative half of the signed range so the sign
+    bits stay constant zero — the property the paper identifies as the
+    failure mode of the basic Hd-model (Section 4.2).
+    """
+    period = 1 << (width - 1)
+    words = (start + np.arange(n, dtype=np.int64)) % period
+    return PatternStream(words, width, "counter")
+
+
+def ar1_gaussian(
+    n: int,
+    rho: float,
+    sigma: float,
+    mu: float = 0.0,
+    seed: int = 0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Stationary lag-1 autoregressive Gaussian process.
+
+    ``x_t - mu = rho (x_{t-1} - mu) + sqrt(1 - rho^2) sigma e_t`` with
+    standard normal innovations; the marginal distribution is
+    ``N(mu, sigma^2)`` and the lag-1 autocorrelation is ``rho`` — the exact
+    word-level statistics the Landman data model consumes.
+    """
+    if not -1.0 < rho < 1.0:
+        raise ValueError("rho must be in (-1, 1)")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    innovations = rng.standard_normal(n) * sigma * np.sqrt(1.0 - rho * rho)
+    x = np.empty(n, dtype=np.float64)
+    prev = rng.standard_normal() * sigma  # stationary start
+    for t in range(n):
+        prev = rho * prev + innovations[t]
+        x[t] = prev
+    return x + mu
+
+
+def gaussian_stream(
+    width: int,
+    n: int,
+    rho: float,
+    relative_sigma: float = 0.25,
+    mu_fraction: float = 0.0,
+    seed: int = 0,
+    name: str = "gaussian",
+) -> PatternStream:
+    """Linear-quantized AR(1) Gaussian stream.
+
+    Args:
+        width: Word width.
+        n: Number of samples.
+        rho: Lag-1 autocorrelation of the underlying process.
+        relative_sigma: Standard deviation as a fraction of full scale
+            (``2^(width-1)``).
+        mu_fraction: Mean as a fraction of full scale.
+        seed: RNG seed.
+        name: Stream label.
+    """
+    full_scale = float(1 << (width - 1))
+    x = ar1_gaussian(
+        n, rho, sigma=relative_sigma * full_scale, mu=mu_fraction * full_scale,
+        seed=seed,
+    )
+    return PatternStream(saturate(x, width), width, name)
+
+
+def ramp_stream(width: int, n: int, step: int = 1) -> PatternStream:
+    """Sawtooth over the full signed range (auxiliary test stimulus)."""
+    lo, hi = signed_range(width)
+    span = hi - lo + 1
+    words = lo + ((np.arange(n, dtype=np.int64) * step) % span)
+    return PatternStream(words, width, "ramp")
+
+
+def constant_stream(width: int, n: int, value: int = 0) -> PatternStream:
+    """A constant word repeated n times (Hd = 0 every cycle)."""
+    lo, hi = signed_range(width)
+    if not lo <= value <= hi:
+        raise ValueError(f"value {value} out of signed {width}-bit range")
+    return PatternStream(np.full(n, value, dtype=np.int64), width, "constant")

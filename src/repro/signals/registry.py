@@ -1,0 +1,81 @@
+"""Data-type registry: the paper's stimulus classes I–V.
+
+Section 4.2 of the paper classifies its pattern sets as:
+
+* I   — random patterns (same statistics as the characterization stream)
+* II  — linear-quantized music signals (weak correlation)
+* III — linear-quantized speech signals (strong correlation)
+* IV  — video signals (strong correlation)
+* V   — outputs of a binary counter
+
+:func:`make_stream` builds the synthetic equivalent of one class;
+:func:`make_operand_streams` builds one independent stream per module operand
+(the paper treats multi-input streams as uncorrelated, Section 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..modules.library import DatapathModule
+from .audio import music_stream, speech_stream
+from .generators import counter_stream, random_stream
+from .streams import PatternStream
+from .video import video_stream
+
+DATA_TYPES: Tuple[str, ...] = ("I", "II", "III", "IV", "V")
+
+_GENERATORS: Dict[str, Callable[[int, int, int], PatternStream]] = {
+    "I": lambda width, n, seed: random_stream(width, n, seed),
+    "II": lambda width, n, seed: music_stream(width, n, seed),
+    "III": lambda width, n, seed: speech_stream(width, n, seed),
+    "IV": lambda width, n, seed: video_stream(width, n, seed),
+    "V": lambda width, n, seed: counter_stream(width, n, start=seed % 7),
+}
+
+DATA_TYPE_DESCRIPTIONS: Dict[str, str] = {
+    "I": "random patterns (characterization statistics)",
+    "II": "linear quantized music signals (weak correlation)",
+    "III": "linear quantized speech signals (strong correlation)",
+    "IV": "video signals (strong correlation)",
+    "V": "outputs of a binary counter",
+}
+
+
+def make_stream(data_type: str, width: int, n: int, seed: int = 0) -> PatternStream:
+    """Build one stream of the given data-type class.
+
+    Args:
+        data_type: One of ``"I".."V"``.
+        width: Word width in bits.
+        n: Number of samples.
+        seed: RNG seed (different seeds give different realizations of the
+            same statistics class).
+    """
+    try:
+        generator = _GENERATORS[data_type]
+    except KeyError:
+        raise KeyError(
+            f"unknown data type {data_type!r}; known: {list(DATA_TYPES)}"
+        ) from None
+    stream = generator(width, n, seed)
+    return PatternStream(stream.words, width, f"{data_type}:{stream.name}")
+
+
+def make_operand_streams(
+    module: DatapathModule, data_type: str, n: int, seed: int = 0
+) -> List[PatternStream]:
+    """One independent stream per module operand.
+
+    Operand streams use decorrelated seeds; control-like operands (op codes,
+    shift amounts, selects — anything narrower than 4 bits) get random
+    patterns since data-statistics classes do not apply to them.
+    """
+    streams: List[PatternStream] = []
+    for index, (name, width) in enumerate(module.operand_specs):
+        operand_seed = seed * 7919 + index * 104729 + 13
+        if width < 4:
+            streams.append(random_stream(width, n, operand_seed))
+        else:
+            streams.append(make_stream(data_type, width, n, operand_seed))
+    return streams

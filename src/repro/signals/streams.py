@@ -1,0 +1,99 @@
+"""Pattern streams: the unit of stimulus in every experiment.
+
+A :class:`PatternStream` is a named, seeded sequence of signed words of a
+fixed width.  Streams are combined per operand with
+:func:`module_stimulus` to form the module input bit matrix whose
+consecutive-vector Hamming distances drive the power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..modules.library import DatapathModule
+from .encoding import signed_range, to_unsigned, words_to_bits
+
+
+@dataclass(frozen=True)
+class PatternStream:
+    """A sequence of signed data words.
+
+    Attributes:
+        words: Signed integers, ``int64``.
+        width: Word width in bits (two's complement).
+        name: Label, e.g. ``"speech"`` or ``"I"``.
+    """
+
+    words: np.ndarray
+    width: int
+    name: str = ""
+
+    def __post_init__(self):
+        words = np.asarray(self.words, dtype=np.int64)
+        object.__setattr__(self, "words", words)
+        lo, hi = signed_range(self.width)
+        if words.size and (words.min() < lo or words.max() > hi):
+            raise ValueError(
+                f"stream {self.name!r} words exceed signed {self.width}-bit range"
+            )
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def bits(self) -> np.ndarray:
+        """LSB-first ``[n, width]`` boolean bit matrix."""
+        return words_to_bits(self.words, self.width, signed=True)
+
+    def unsigned(self) -> np.ndarray:
+        """Unsigned bit-pattern values (for golden-function evaluation)."""
+        return to_unsigned(self.words, self.width)
+
+    def requantized(self, width: int) -> "PatternStream":
+        """Rescale this stream to another word width.
+
+        The word values are scaled by ``2^(width - self.width)`` so the
+        *relative* signal statistics (σ / full-scale, ρ) are preserved — this
+        is how one recorded signal serves the 8/12/16-bit module variants of
+        Table 1.
+        """
+        if width == self.width:
+            return self
+        shift = width - self.width
+        if shift > 0:
+            words = self.words << shift
+        else:
+            words = self.words >> (-shift)
+        lo, hi = signed_range(width)
+        return PatternStream(np.clip(words, lo, hi), width, self.name)
+
+
+def module_stimulus(
+    module: DatapathModule, streams: Sequence[PatternStream]
+) -> np.ndarray:
+    """Build the module input bit matrix from one stream per operand.
+
+    Args:
+        module: Target module.
+        streams: One stream per operand, each matching the operand width;
+            streams longer than the shortest are truncated to equal length.
+
+    Returns:
+        ``[n_patterns, module.input_bits]`` boolean matrix.
+    """
+    if len(streams) != module.n_operands:
+        raise ValueError(
+            f"{module.kind} needs {module.n_operands} streams, got {len(streams)}"
+        )
+    n = min(len(s) for s in streams)
+    unsigned = []
+    for (name, width), stream in zip(module.operand_specs, streams):
+        if stream.width != width:
+            raise ValueError(
+                f"operand {name!r} is {width} bits but stream "
+                f"{stream.name!r} is {stream.width} bits"
+            )
+        unsigned.append(stream.unsigned()[:n])
+    return module.pack_inputs(*unsigned)

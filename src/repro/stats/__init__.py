@@ -1,0 +1,32 @@
+"""Word-level and bit-level statistics, and the Landman DBT data model."""
+
+from .bitstats import (
+    BitStats,
+    bit_stats,
+    empirical_hd_distribution,
+    hamming_distances,
+    signal_probabilities,
+    stable_one_counts,
+    stable_zero_counts,
+    transition_probabilities,
+)
+from .dbt import DbtModel, gaussian_sign_activity
+from .propagate import DataflowGraph, Node
+from .wordstats import WordStats, word_stats
+
+__all__ = [
+    "BitStats",
+    "DataflowGraph",
+    "DbtModel",
+    "Node",
+    "WordStats",
+    "bit_stats",
+    "empirical_hd_distribution",
+    "gaussian_sign_activity",
+    "hamming_distances",
+    "signal_probabilities",
+    "stable_one_counts",
+    "stable_zero_counts",
+    "transition_probabilities",
+    "word_stats",
+]

@@ -1,0 +1,106 @@
+"""Bit-level statistics: signal/transition probabilities, Hamming distances.
+
+Everything the Hd power model consumes from a stimulus is computed here:
+
+* per-bit signal probability ``p_i`` and transition probability ``t_i``;
+* the per-cycle Hamming-distance sequence over a bit matrix;
+* the empirical Hamming-distance distribution (the "extracted" curve of the
+  paper's Figure 9);
+* per-cycle stable-zero/one counts for the enhanced model (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def signal_probabilities(bits: np.ndarray) -> np.ndarray:
+    """Per-bit probability of being 1.
+
+    Args:
+        bits: ``[n, width]`` boolean matrix.
+    """
+    bits = np.asarray(bits, dtype=bool)
+    return bits.mean(axis=0)
+
+
+def transition_probabilities(bits: np.ndarray) -> np.ndarray:
+    """Per-bit probability of toggling between consecutive vectors."""
+    bits = np.asarray(bits, dtype=bool)
+    if bits.shape[0] < 2:
+        raise ValueError("need at least 2 patterns")
+    return (bits[1:] != bits[:-1]).mean(axis=0)
+
+
+def hamming_distances(bits: np.ndarray) -> np.ndarray:
+    """Per-cycle Hamming distance of consecutive vectors (Eq. 1).
+
+    Returns:
+        Integer array of length ``n - 1``.
+    """
+    bits = np.asarray(bits, dtype=bool)
+    if bits.shape[0] < 2:
+        raise ValueError("need at least 2 patterns")
+    return (bits[1:] != bits[:-1]).sum(axis=1).astype(np.int64)
+
+
+def stable_zero_counts(bits: np.ndarray) -> np.ndarray:
+    """Per-cycle count of bits that are 0 in both consecutive vectors.
+
+    The enhanced Hd-model's second classification criterion (Section 3).
+    """
+    bits = np.asarray(bits, dtype=bool)
+    if bits.shape[0] < 2:
+        raise ValueError("need at least 2 patterns")
+    return (~bits[1:] & ~bits[:-1]).sum(axis=1).astype(np.int64)
+
+
+def stable_one_counts(bits: np.ndarray) -> np.ndarray:
+    """Per-cycle count of bits that are 1 in both consecutive vectors."""
+    bits = np.asarray(bits, dtype=bool)
+    if bits.shape[0] < 2:
+        raise ValueError("need at least 2 patterns")
+    return (bits[1:] & bits[:-1]).sum(axis=1).astype(np.int64)
+
+
+def empirical_hd_distribution(bits: np.ndarray) -> np.ndarray:
+    """Extracted Hamming-distance distribution ``p(Hd = i)``.
+
+    Returns:
+        Float array of length ``width + 1`` summing to 1.
+    """
+    bits = np.asarray(bits, dtype=bool)
+    width = bits.shape[1]
+    hd = hamming_distances(bits)
+    counts = np.bincount(hd, minlength=width + 1).astype(np.float64)
+    return counts / counts.sum()
+
+
+@dataclass(frozen=True)
+class BitStats:
+    """Bundle of bit-level statistics for one bit matrix."""
+
+    signal_prob: np.ndarray
+    transition_prob: np.ndarray
+    hd_distribution: np.ndarray
+
+    @property
+    def width(self) -> int:
+        return len(self.signal_prob)
+
+    @property
+    def average_hd(self) -> float:
+        """Average Hamming distance (equals the sum of ``transition_prob``)."""
+        i = np.arange(len(self.hd_distribution))
+        return float((i * self.hd_distribution).sum())
+
+
+def bit_stats(bits: np.ndarray) -> BitStats:
+    """Compute the full :class:`BitStats` bundle for a bit matrix."""
+    return BitStats(
+        signal_prob=signal_probabilities(bits),
+        transition_prob=transition_probabilities(bits),
+        hd_distribution=empirical_hd_distribution(bits),
+    )

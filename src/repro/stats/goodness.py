@@ -1,0 +1,104 @@
+"""Goodness-of-fit metrics for distribution comparisons.
+
+Used to score the analytic Hamming-distance distribution (Eq. 18) against
+extracted ones (Figure 9) and, more generally, any pmf-vs-pmf comparison in
+the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _validated_pair(p: np.ndarray, q: np.ndarray):
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have the same support")
+    if np.any(p < -1e-12) or np.any(q < -1e-12):
+        raise ValueError("negative probabilities")
+    return np.clip(p, 0, None), np.clip(q, 0, None)
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance ``0.5 * sum |p - q|`` in [0, 1]."""
+    p, q = _validated_pair(p, q)
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray, epsilon: float = 1e-12) -> float:
+    """``KL(p || q)`` with epsilon smoothing of the reference ``q``."""
+    p, q = _validated_pair(p, q)
+    q = q + epsilon
+    q = q / q.sum()
+    mask = p > 0
+    return float((p[mask] * np.log(p[mask] / q[mask])).sum())
+
+
+def chi_square_statistic(
+    observed_counts: np.ndarray, expected_pmf: np.ndarray,
+    min_expected: float = 5.0,
+) -> tuple[float, int]:
+    """Pearson chi-square statistic of counts against a model pmf.
+
+    Bins whose expected count falls below ``min_expected`` are pooled into
+    their neighbour (standard practice for sparse tails).
+
+    Returns:
+        ``(statistic, degrees_of_freedom)``.
+    """
+    observed_counts = np.asarray(observed_counts, dtype=np.float64)
+    expected_pmf = np.asarray(expected_pmf, dtype=np.float64)
+    if observed_counts.shape != expected_pmf.shape:
+        raise ValueError("shapes must match")
+    n = observed_counts.sum()
+    if n <= 0:
+        raise ValueError("need at least one observation")
+    expected = expected_pmf * n
+    # Pool sparse bins left to right.
+    obs_bins: list[float] = []
+    exp_bins: list[float] = []
+    acc_obs = acc_exp = 0.0
+    for o, e in zip(observed_counts, expected):
+        acc_obs += o
+        acc_exp += e
+        if acc_exp >= min_expected:
+            obs_bins.append(acc_obs)
+            exp_bins.append(acc_exp)
+            acc_obs = acc_exp = 0.0
+    if acc_exp > 0 and obs_bins:
+        obs_bins[-1] += acc_obs
+        exp_bins[-1] += acc_exp
+    if len(obs_bins) < 2:
+        raise ValueError("too few populated bins for a chi-square test")
+    obs = np.asarray(obs_bins)
+    exp = np.asarray(exp_bins)
+    statistic = float(((obs - exp) ** 2 / exp).sum())
+    return statistic, len(obs_bins) - 1
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """All three fit metrics for one comparison."""
+
+    total_variation: float
+    kl_divergence: float
+    chi_square: float
+    degrees_of_freedom: int
+
+
+def fit_report(
+    observed_counts: np.ndarray, expected_pmf: np.ndarray
+) -> FitReport:
+    """Score observed Hd counts against an analytic distribution."""
+    observed_counts = np.asarray(observed_counts, dtype=np.float64)
+    empirical = observed_counts / observed_counts.sum()
+    statistic, dof = chi_square_statistic(observed_counts, expected_pmf)
+    return FitReport(
+        total_variation=total_variation(empirical, expected_pmf),
+        kl_divergence=kl_divergence(empirical, expected_pmf),
+        chi_square=statistic,
+        degrees_of_freedom=dof,
+    )

@@ -1,0 +1,292 @@
+"""Word-level statistics propagation through DSP dataflow graphs.
+
+Section 6.1 of the paper points to Landman's technique [9] (improved in
+Ramprasad et al. [10]) for propagating (μ, σ², ρ) through a design so that
+the data-dependent model parameters of *internal* module inputs can be
+computed without simulation.
+
+This implementation models every node as a **linear filter over the primary
+inputs**: add/subtract, constant multiply and unit delay keep the graph
+linear, so each node carries one impulse response per reachable source and
+its word statistics follow exactly (for sources whose autocovariance is the
+AR(1) extrapolation ``γ_k = σ² ρ^|k|`` — the same Gaussian-AR data model the
+breakpoint equations assume).  This handles re-convergent paths through
+delays (FIR filters) exactly, where naive lag-1 bookkeeping fails.
+
+Multiplexers break linearity; a mux output is materialized as a fresh
+source with mixture statistics, which matches the first-order treatment of
+[10].  Distinct primary inputs are assumed uncorrelated, as in the
+references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .wordstats import WordStats
+
+
+@dataclass
+class Node:
+    """One operator in a dataflow graph.
+
+    Attributes:
+        name: Unique node name.
+        op: One of ``"input"``, ``"add"``, ``"sub"``, ``"cmul"``,
+            ``"delay"``, ``"mux"``.
+        inputs: Names of predecessor nodes.
+        stats: Word statistics of this node's *output* stream (filled by
+            :meth:`DataflowGraph.propagate`; preset for inputs).
+        coefficient: Constant for ``cmul`` nodes.
+        select_prob: Probability of selecting the second input for ``mux``.
+        filters: Impulse response per source node name (internal).
+    """
+
+    name: str
+    op: str
+    inputs: Tuple[str, ...] = ()
+    stats: Optional[WordStats] = None
+    coefficient: float = 1.0
+    select_prob: float = 0.5
+    filters: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def _source_stats_moments(
+    filters: Dict[str, np.ndarray], sources: Dict[str, WordStats]
+) -> WordStats:
+    """Exact output statistics of a linear filter bank over AR(1) sources."""
+    mean = 0.0
+    variance = 0.0
+    cov1 = 0.0
+    for name, h in filters.items():
+        s = sources[name]
+        mean += s.mean * float(h.sum())
+        if s.variance <= 0.0:
+            continue
+        k = np.arange(len(h))
+        lags = np.abs(k[:, None] - k[None, :])
+        gamma = s.variance * np.power(s.rho, lags)
+        variance += float(h @ gamma @ h)
+        lags1 = np.abs(k[:, None] - k[None, :] + 1)
+        gamma1 = s.variance * np.power(s.rho, lags1)
+        cov1 += float(h @ gamma1 @ h)
+    variance = max(variance, 0.0)
+    rho = cov1 / variance if variance > 0.0 else 0.0
+    return WordStats(mean=mean, variance=variance,
+                     rho=float(np.clip(rho, -1.0, 1.0)))
+
+
+def _merge_filters(
+    a: Dict[str, np.ndarray], b: Dict[str, np.ndarray], sign: float
+) -> Dict[str, np.ndarray]:
+    out: Dict[str, np.ndarray] = {k: v.copy() for k, v in a.items()}
+    for name, h in b.items():
+        if name in out:
+            n = max(len(out[name]), len(h))
+            merged = np.zeros(n)
+            merged[: len(out[name])] += out[name]
+            merged[: len(h)] += sign * h
+            out[name] = merged
+        else:
+            out[name] = sign * h
+    return out
+
+
+class DataflowGraph:
+    """A small acyclic dataflow graph with statistics propagation.
+
+    Example (2-tap moving average)::
+
+        g = DataflowGraph()
+        g.add_input("x", WordStats(0.0, 100.0, 0.9))
+        g.delay("x1", "x")
+        g.add("s", "x", "x1")
+        g.cmul("y", "s", 0.5)
+        g.propagate()
+        g.stats("y")
+    """
+
+    def __init__(self):
+        self._nodes: Dict[str, Node] = {}
+        self._order: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _register(self, node: Node) -> str:
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        for src in node.inputs:
+            if src not in self._nodes:
+                raise ValueError(
+                    f"node {node.name!r} references unknown input {src!r} "
+                    "(build the graph in topological order)"
+                )
+        self._nodes[node.name] = node
+        self._order.append(node.name)
+        return node.name
+
+    def add_input(self, name: str, stats: WordStats) -> str:
+        """Declare a primary input with known word statistics."""
+        return self._register(Node(name, "input", stats=stats))
+
+    def add(self, name: str, a: str, b: str) -> str:
+        """``out = a + b``."""
+        return self._register(Node(name, "add", (a, b)))
+
+    def sub(self, name: str, a: str, b: str) -> str:
+        """``out = a - b``."""
+        return self._register(Node(name, "sub", (a, b)))
+
+    def cmul(self, name: str, a: str, coefficient: float) -> str:
+        """``out = coefficient * a``."""
+        return self._register(Node(name, "cmul", (a,), coefficient=coefficient))
+
+    def delay(self, name: str, a: str) -> str:
+        """``out[t] = a[t-1]`` (unit delay register)."""
+        return self._register(Node(name, "delay", (a,)))
+
+    def mux(self, name: str, a: str, b: str, select_prob: float = 0.5) -> str:
+        """Random select between two streams (prob of picking ``b``)."""
+        if not 0.0 <= select_prob <= 1.0:
+            raise ValueError("select_prob must be in [0, 1]")
+        return self._register(Node(name, "mux", (a, b), select_prob=select_prob))
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def propagate(self) -> None:
+        """Fill in :class:`WordStats` for every non-input node."""
+        sources: Dict[str, WordStats] = {}
+        for name in self._order:
+            node = self._nodes[name]
+            if node.op == "input":
+                if node.stats is None:
+                    raise ValueError(f"input {name!r} has no statistics")
+                node.filters = {name: np.array([1.0])}
+                sources[name] = node.stats
+                continue
+            preds = [self._nodes[s] for s in node.inputs]
+            if any(p.stats is None and p.op != "input" and not p.filters
+                   for p in preds):
+                raise RuntimeError("propagation order violated")
+            if node.op in ("add", "sub"):
+                sign = 1.0 if node.op == "add" else -1.0
+                node.filters = _merge_filters(
+                    preds[0].filters, preds[1].filters, sign
+                )
+            elif node.op == "cmul":
+                node.filters = {
+                    k: node.coefficient * v
+                    for k, v in preds[0].filters.items()
+                }
+            elif node.op == "delay":
+                node.filters = {
+                    k: np.concatenate([[0.0], v])
+                    for k, v in preds[0].filters.items()
+                }
+            elif node.op == "mux":
+                a = _source_stats_moments(preds[0].filters, sources)
+                b = _source_stats_moments(preds[1].filters, sources)
+                node.stats = _mux_mixture(a, b, node.select_prob)
+                # Materialize as a fresh (approximate) source.
+                node.filters = {name: np.array([1.0])}
+                sources[name] = node.stats
+                continue
+            else:
+                raise ValueError(f"unknown op {node.op!r}")
+            node.stats = _source_stats_moments(node.filters, sources)
+
+    # ------------------------------------------------------------------
+    # Word-level functional simulation (Section 6's "word-level simulation")
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        inputs: Dict[str, np.ndarray],
+        seed: int = 0,
+        rounded: bool = True,
+    ) -> Dict[str, np.ndarray]:
+        """Execute the graph on concrete word streams.
+
+        This is the fast functional path the paper contrasts with
+        bit-accurate simulation: every node's word stream is produced so
+        measured statistics (or Hd extraction) can be compared against the
+        analytic propagation.
+
+        Args:
+            inputs: One word array per primary input (equal lengths).
+            seed: RNG seed for mux select streams.
+            rounded: Round ``cmul`` results to integers (fixed-point
+                datapath behaviour).
+
+        Returns:
+            Map of node name to its output word stream.
+        """
+        rng = np.random.default_rng(seed)
+        lengths = {len(v) for v in inputs.values()}
+        if len(lengths) > 1:
+            raise ValueError("all input streams must have equal length")
+        values: Dict[str, np.ndarray] = {}
+        for name in self._order:
+            node = self._nodes[name]
+            if node.op == "input":
+                if name not in inputs:
+                    raise ValueError(f"missing stream for input {name!r}")
+                values[name] = np.asarray(inputs[name], dtype=np.float64)
+            elif node.op == "add":
+                values[name] = values[node.inputs[0]] + values[node.inputs[1]]
+            elif node.op == "sub":
+                values[name] = values[node.inputs[0]] - values[node.inputs[1]]
+            elif node.op == "cmul":
+                product = values[node.inputs[0]] * node.coefficient
+                values[name] = np.rint(product) if rounded else product
+            elif node.op == "delay":
+                source = values[node.inputs[0]]
+                values[name] = np.concatenate([[0.0], source[:-1]])
+            elif node.op == "mux":
+                a = values[node.inputs[0]]
+                b = values[node.inputs[1]]
+                select = rng.random(len(a)) < node.select_prob
+                # Expose the select stream for power analysis of the mux.
+                values[name + "$select"] = select.astype(np.float64)
+                values[name] = np.where(select, b, a)
+            else:
+                raise ValueError(f"unknown op {node.op!r}")
+        return values
+
+    # ------------------------------------------------------------------
+    def stats(self, name: str) -> WordStats:
+        """Word statistics of a node (after :meth:`propagate`)."""
+        node = self._nodes[name]
+        if node.stats is None:
+            raise RuntimeError("call propagate() first")
+        return node.stats
+
+    def node(self, name: str) -> Node:
+        return self._nodes[name]
+
+    def names(self) -> List[str]:
+        return list(self._order)
+
+
+def _mux_mixture(a: WordStats, b: WordStats, p: float) -> WordStats:
+    """Mixture statistics of randomly selecting between two streams."""
+    mean = (1 - p) * a.mean + p * b.mean
+    second = (1 - p) * (a.variance + a.mean**2) + p * (b.variance + b.mean**2)
+    variance = max(second - mean * mean, 0.0)
+    if variance <= 0.0:
+        return WordStats(mean, 0.0, 0.0)
+    # Consecutive samples come from the same source with prob (1-p)^2 + p^2;
+    # cross-source pairs contribute only mean products (independent sources).
+    cov_same = (1 - p) ** 2 * a.rho * a.variance + p**2 * b.rho * b.variance
+    cov_cross = (
+        (1 - p) * p * (a.mean * b.mean + b.mean * a.mean)
+        + (1 - p) ** 2 * a.mean**2
+        + p**2 * b.mean**2
+        - mean * mean
+    )
+    cov1 = cov_same + cov_cross
+    return WordStats(mean, variance, float(np.clip(cov1 / variance, -1, 1)))

@@ -1,0 +1,195 @@
+"""NetlistBuilder: gate emission, constant folding, cells, pruning."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.netlist import CONST0, CONST1
+from repro.circuit.compiled import CompiledNetlist
+from repro.circuit.simulate import evaluate_outputs
+from repro.circuit.technology import GATE_TYPES
+
+
+def _evaluate_single(netlist, input_values):
+    compiled = CompiledNetlist(netlist)
+    bits = np.array([input_values], dtype=bool)
+    return evaluate_outputs(compiled, bits)[0]
+
+
+def test_basic_gate_and_build():
+    b = NetlistBuilder("t")
+    x, y = b.add_inputs(2)
+    out = b.gate("AND2", x, y)
+    netlist = b.build([out])
+    assert netlist.n_gates == 1
+    for a, c in itertools.product([0, 1], repeat=2):
+        assert _evaluate_single(netlist, [a, c])[0] == (a and c)
+
+
+def test_inputs_must_precede_gates():
+    b = NetlistBuilder("t")
+    x = b.add_input()
+    b.gate("INV", x)
+    with pytest.raises(ValueError, match="before any gate"):
+        b.add_input()
+
+
+def test_wrong_arity_raises():
+    b = NetlistBuilder("t")
+    x = b.add_input()
+    with pytest.raises(ValueError, match="takes 2 inputs"):
+        b.gate("AND2", x)
+
+
+# ----------------------------------------------------------------------
+# Constant folding: every gate type, every constant placement must match
+# the gate's boolean semantics.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("type_name", sorted(GATE_TYPES))
+def test_folding_preserves_semantics(type_name):
+    gtype = GATE_TYPES[type_name]
+    n = gtype.n_inputs
+    # Every combination of (live input, const0, const1) per pin.
+    for assignment in itertools.product([None, 0, 1], repeat=n):
+        live_positions = [i for i, v in enumerate(assignment) if v is None]
+        b = NetlistBuilder("t")
+        live_nets = b.add_inputs(max(len(live_positions), 1))
+        pin_nets = []
+        live_iter = iter(live_nets)
+        for v in assignment:
+            if v is None:
+                pin_nets.append(next(live_iter))
+            else:
+                pin_nets.append(CONST1 if v else CONST0)
+        out = b.gate(type_name, *pin_nets)
+        netlist = b.build([out])
+        # Compare against direct evaluation for all live-input values.
+        for live_values in itertools.product([0, 1], repeat=len(live_nets)):
+            got = _evaluate_single(netlist, list(live_values))[0]
+            full = []
+            it = iter(live_values[: len(live_positions)])
+            for v in assignment:
+                full.append(bool(next(it)) if v is None else bool(v))
+            arrays = [np.array([v]) for v in full]
+            expected = bool(gtype.func(*arrays)[0])
+            assert got == expected, (type_name, assignment, live_values)
+
+
+def test_fold_returns_existing_nets_without_gates():
+    b = NetlistBuilder("t")
+    x = b.add_input()
+    assert b.gate("AND2", x, CONST1) == x
+    assert b.gate("AND2", x, CONST0) == CONST0
+    assert b.gate("OR2", x, CONST0) == x
+    assert b.gate("XOR2", x, CONST0) == x
+    assert b.gate("MUX2", CONST0, x, CONST1) == x
+
+
+def test_half_adder_truth_table():
+    b = NetlistBuilder("t")
+    x, y = b.add_inputs(2)
+    s, c = b.half_adder(x, y)
+    netlist = b.build([s, c])
+    for a, d in itertools.product([0, 1], repeat=2):
+        out = _evaluate_single(netlist, [a, d])
+        assert out[0] == ((a + d) % 2)
+        assert out[1] == ((a + d) // 2)
+
+
+def test_full_adder_truth_table():
+    b = NetlistBuilder("t")
+    x, y, z = b.add_inputs(3)
+    s, c = b.full_adder(x, y, z)
+    netlist = b.build([s, c])
+    for a, d, e in itertools.product([0, 1], repeat=3):
+        out = _evaluate_single(netlist, [a, d, e])
+        assert out[0] == ((a + d + e) % 2)
+        assert out[1] == ((a + d + e) // 2)
+
+
+def test_invert_bus():
+    b = NetlistBuilder("t")
+    bus = b.add_inputs(3)
+    inv = b.invert_bus(bus)
+    netlist = b.build(inv)
+    out = _evaluate_single(netlist, [1, 0, 1])
+    assert out.tolist() == [False, True, False]
+
+
+def test_constant_output_is_legalized():
+    b = NetlistBuilder("t")
+    b.add_input()
+    netlist = b.build([CONST1, CONST0])
+    netlist.validate()
+    out = _evaluate_single(netlist, [0])
+    assert out.tolist() == [True, False]
+
+
+def test_dangling_gates_are_pruned():
+    b = NetlistBuilder("t")
+    x, y = b.add_inputs(2)
+    used = b.gate("AND2", x, y)
+    b.gate("OR2", x, y)  # dead
+    b.gate("XOR2", x, y)  # dead
+    netlist = b.build([used])
+    assert netlist.n_gates == 1
+    assert netlist.cell_counts() == {"AND2": 1}
+
+
+def test_unused_inputs_survive_pruning():
+    b = NetlistBuilder("t")
+    x, y = b.add_inputs(2)
+    out = b.gate("INV", x)
+    netlist = b.build([out])
+    assert netlist.n_inputs == 2  # port y still exists
+    netlist.validate()
+
+
+def test_net_names_recorded():
+    b = NetlistBuilder("t")
+    x = b.add_input("data")
+    out = b.gate("INV", x, name="ndata")
+    netlist = b.build([out])
+    assert "data" in netlist.net_names.values()
+    assert "ndata" in netlist.net_names.values()
+
+
+def test_buffer_of_signal_and_constant():
+    b = NetlistBuilder("t")
+    x = b.add_input()
+    bx = b.buffer(x)
+    bc = b.buffer(CONST1)
+    netlist = b.build([bx, bc])
+    out = _evaluate_single(netlist, [1])
+    assert out.tolist() == [True, True]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=12), st.integers(0, 255))
+def test_random_expression_trees_fold_correctly(ops, value_bits):
+    """Random chains of gates mixing constants behave like direct eval."""
+    b = NetlistBuilder("t")
+    inputs = b.add_inputs(4)
+    values = [(value_bits >> i) & 1 for i in range(4)]
+    pool = list(inputs)
+    pool_values = [bool(v) for v in values]
+    pool += [CONST0, CONST1]
+    pool_values += [False, True]
+    names = ["AND2", "OR2", "XOR2", "NAND2", "NOR2", "XNOR2"]
+    for op in ops:
+        name = names[op]
+        a = pool[(op * 7 + 3) % len(pool)]
+        c = pool[(op * 5 + 1) % len(pool)]
+        va = pool_values[(op * 7 + 3) % len(pool)]
+        vc = pool_values[(op * 5 + 1) % len(pool)]
+        out = b.gate(name, a, c)
+        arrays = [np.array([va]), np.array([vc])]
+        pool.append(out)
+        pool_values.append(bool(GATE_TYPES[name].func(*arrays)[0]))
+    netlist = b.build([pool[-1]])
+    got = _evaluate_single(netlist, values)[0]
+    assert got == pool_values[-1]

@@ -1,0 +1,76 @@
+"""Per-net power breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    PowerSimulator,
+    net_power_breakdown,
+    render_hotspots,
+)
+from repro.modules import make_module
+
+
+@pytest.fixture(scope="module")
+def adder_bits():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 2, size=(400, 16)).astype(bool)
+
+
+def test_breakdown_totals_match_simulator(ripple8, adder_bits):
+    hotspots = net_power_breakdown(ripple8.netlist, adder_bits)
+    total = sum(h.charge for h in hotspots)
+    reference = PowerSimulator(ripple8.compiled).simulate(adder_bits)
+    assert total == pytest.approx(reference.total_charge)
+
+
+def test_shares_sum_to_one(ripple8, adder_bits):
+    hotspots = net_power_breakdown(ripple8.netlist, adder_bits)
+    assert sum(h.share for h in hotspots) == pytest.approx(1.0)
+
+
+def test_top_k(ripple8, adder_bits):
+    top = net_power_breakdown(ripple8.netlist, adder_bits, top=5)
+    assert len(top) == 5
+    charges = [h.charge for h in top]
+    assert charges == sorted(charges, reverse=True)
+
+
+def test_constant_nets_never_hot(csa4):
+    rng = np.random.default_rng(1)
+    bits = rng.integers(0, 2, size=(200, 8)).astype(bool)
+    hotspots = net_power_breakdown(csa4.netlist, bits)
+    by_net = {h.net: h for h in hotspots}
+    assert by_net[0].charge == 0.0
+    assert by_net[1].charge == 0.0
+
+
+def test_carry_chain_is_hot_in_adders(ripple8, adder_bits):
+    """The deepest nets of a ripple adder toggle the most (glitching)."""
+    top = net_power_breakdown(ripple8.netlist, adder_bits, top=3)
+    levels = ripple8.netlist.levelize()
+    # hottest nets sit in the deeper half of the circuit
+    depth = ripple8.netlist.depth()
+    assert all(levels[h.net] >= depth // 3 for h in top)
+
+
+def test_requires_two_patterns(ripple8):
+    with pytest.raises(ValueError):
+        net_power_breakdown(ripple8.netlist, np.zeros((1, 16), dtype=bool))
+
+
+def test_chunking_transparent(ripple8, adder_bits):
+    small = net_power_breakdown(ripple8.netlist, adder_bits, chunk_size=7)
+    big = net_power_breakdown(ripple8.netlist, adder_bits, chunk_size=4096)
+    assert [(h.net, h.toggles) for h in small] == [
+        (h.net, h.toggles) for h in big
+    ]
+
+
+def test_render(ripple8, adder_bits):
+    text = render_hotspots(
+        net_power_breakdown(ripple8.netlist, adder_bits, top=4),
+        title="hot nets",
+    )
+    assert text.startswith("hot nets")
+    assert "%" in text

@@ -1,0 +1,117 @@
+"""Netlist data model: validation, levelization, introspection."""
+
+import pytest
+
+from repro.circuit.netlist import CONST0, CONST1, Gate, Netlist, NetlistError
+
+
+def _simple_netlist():
+    # 2 consts, inputs 2 and 3, gate XOR2 -> net 4
+    return Netlist(
+        name="t",
+        n_nets=5,
+        inputs=[2, 3],
+        outputs=[4],
+        gates=[Gate("XOR2", (2, 3), 4)],
+    )
+
+
+def test_valid_netlist_passes():
+    _simple_netlist().validate()
+
+
+def test_cell_counts():
+    assert _simple_netlist().cell_counts() == {"XOR2": 1}
+
+
+def test_driver_of():
+    netlist = _simple_netlist()
+    assert netlist.driver_of()[4].type_name == "XOR2"
+
+
+def test_fanout_counts():
+    netlist = _simple_netlist()
+    fanout = netlist.fanout_counts()
+    assert fanout[2] == 1 and fanout[3] == 1 and fanout[4] == 0
+
+
+def test_n_properties():
+    netlist = _simple_netlist()
+    assert netlist.n_inputs == 2
+    assert netlist.n_gates == 1
+
+
+def test_multiple_drivers_rejected():
+    netlist = Netlist(
+        "t", 5, [2, 3], [4],
+        [Gate("XOR2", (2, 3), 4), Gate("AND2", (2, 3), 4)],
+    )
+    with pytest.raises(NetlistError, match="multiple drivers"):
+        netlist.validate()
+
+
+def test_input_cannot_be_gate_driven():
+    netlist = Netlist("t", 5, [2, 3], [3], [Gate("INV", (2,), 3)])
+    with pytest.raises(NetlistError):
+        netlist.validate()
+
+
+def test_dangling_net_rejected():
+    netlist = Netlist("t", 6, [2, 3], [4], [Gate("XOR2", (2, 3), 4)])
+    with pytest.raises(NetlistError, match="dangling"):
+        netlist.validate()
+
+
+def test_undriven_output_rejected():
+    netlist = Netlist("t", 5, [2, 3], [4], [])
+    with pytest.raises(NetlistError):
+        netlist.validate()
+
+
+def test_out_of_range_nets_rejected():
+    netlist = Netlist("t", 5, [2, 3], [4], [Gate("XOR2", (2, 9), 4)])
+    with pytest.raises(NetlistError, match="out of range"):
+        netlist.validate()
+
+
+def test_wrong_pin_count_rejected():
+    netlist = Netlist("t", 5, [2, 3], [4], [Gate("XOR2", (2, 3, 2), 4)])
+    with pytest.raises(NetlistError, match="expects 2 inputs"):
+        netlist.validate()
+
+
+def test_unknown_cell_rejected():
+    netlist = Netlist("t", 5, [2, 3], [4], [Gate("FROB", (2, 3), 4)])
+    with pytest.raises(KeyError):
+        netlist.validate()
+
+
+def test_combinational_cycle_rejected():
+    netlist = Netlist(
+        "t", 6, [2, 3], [4],
+        [Gate("AND2", (2, 5), 4), Gate("INV", (4,), 5)],
+    )
+    with pytest.raises(NetlistError, match="cycle"):
+        netlist.validate()
+
+
+def test_levelize_levels():
+    netlist = Netlist(
+        "t", 6, [2, 3], [5],
+        [Gate("XOR2", (2, 3), 4), Gate("INV", (4,), 5)],
+    )
+    levels = netlist.levelize()
+    assert levels[2] == 0 and levels[3] == 0
+    assert levels[4] == 1 and levels[5] == 2
+    assert netlist.depth() == 2
+
+
+def test_constants_are_level_zero():
+    netlist = _simple_netlist()
+    levels = netlist.levelize()
+    assert levels[CONST0] == 0 and levels[CONST1] == 0
+
+
+def test_gate_type_property():
+    gate = Gate("NAND2", (0, 1), 2)
+    assert gate.gate_type.name == "NAND2"

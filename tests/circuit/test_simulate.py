@@ -1,0 +1,153 @@
+"""Simulation engines: functional correctness, unit-delay settling, glitches."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.builder import NetlistBuilder
+from repro.circuit.compiled import CompiledNetlist
+from repro.circuit.simulate import (
+    evaluate_outputs,
+    functional_values,
+    unit_delay_transition,
+    zero_delay_toggles,
+)
+from repro.modules import make_module
+
+
+def _xor_chain(length):
+    """x0 ^ x1 ^ ... chain — deep, glitch-prone structure."""
+    b = NetlistBuilder("chain")
+    xs = b.add_inputs(length)
+    acc = xs[0]
+    for x in xs[1:]:
+        acc = b.gate("XOR2", acc, x)
+    return b.build([acc])
+
+
+def test_functional_values_shape():
+    compiled = CompiledNetlist(_xor_chain(4))
+    values = functional_values(compiled, np.zeros((3, 4), dtype=bool))
+    assert values.shape == (compiled.n_nets, 3)
+
+
+def test_functional_rejects_bad_shape():
+    compiled = CompiledNetlist(_xor_chain(4))
+    with pytest.raises(ValueError, match="input_bits"):
+        functional_values(compiled, np.zeros((3, 5), dtype=bool))
+
+
+def test_evaluate_outputs_parity():
+    compiled = CompiledNetlist(_xor_chain(5))
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, size=(64, 5)).astype(bool)
+    out = evaluate_outputs(compiled, bits)
+    assert np.array_equal(out[:, 0], bits.sum(axis=1) % 2 == 1)
+
+
+def test_adder_functional_matches_golden(ripple8):
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, 256, size=200)
+    b = rng.integers(0, 256, size=200)
+    bits = ripple8.pack_inputs(a, b)
+    out = evaluate_outputs(ripple8.compiled, bits)
+    got = (out.astype(np.int64) << np.arange(out.shape[1])).sum(axis=1)
+    expected = (a + b) & 0x1FF
+    assert np.array_equal(got, expected)
+
+
+def test_unit_delay_settles_to_functional(ripple8):
+    rng = np.random.default_rng(2)
+    old = ripple8.pack_inputs(
+        rng.integers(0, 256, 50), rng.integers(0, 256, 50)
+    )
+    new = ripple8.pack_inputs(
+        rng.integers(0, 256, 50), rng.integers(0, 256, 50)
+    )
+    settled = functional_values(ripple8.compiled, old)
+    final, _ = unit_delay_transition(ripple8.compiled, settled, new)
+    expected = functional_values(ripple8.compiled, new)
+    assert np.array_equal(final, expected)
+
+
+def test_no_input_change_means_no_toggles(ripple8):
+    rng = np.random.default_rng(3)
+    vecs = ripple8.pack_inputs(rng.integers(0, 256, 20), rng.integers(0, 256, 20))
+    settled = functional_values(ripple8.compiled, vecs)
+    _, toggles = unit_delay_transition(ripple8.compiled, settled, vecs)
+    assert toggles.sum() == 0
+
+
+def test_unit_delay_counts_at_least_zero_delay(csa4):
+    rng = np.random.default_rng(4)
+    old = csa4.pack_inputs(rng.integers(0, 16, 100), rng.integers(0, 16, 100))
+    new = csa4.pack_inputs(rng.integers(0, 16, 100), rng.integers(0, 16, 100))
+    settled_old = functional_values(csa4.compiled, old)
+    settled_new = functional_values(csa4.compiled, new)
+    _, glitchy = unit_delay_transition(csa4.compiled, settled_old, new)
+    functional = zero_delay_toggles(csa4.compiled, settled_old, settled_new)
+    assert np.all(glitchy >= functional)
+
+
+def test_multiplier_produces_glitches(csa4):
+    """An array multiplier must show extra (glitch) toggles on some input."""
+    rng = np.random.default_rng(5)
+    old = csa4.pack_inputs(rng.integers(0, 16, 200), rng.integers(0, 16, 200))
+    new = csa4.pack_inputs(rng.integers(0, 16, 200), rng.integers(0, 16, 200))
+    settled_old = functional_values(csa4.compiled, old)
+    settled_new = functional_values(csa4.compiled, new)
+    _, glitchy = unit_delay_transition(csa4.compiled, settled_old, new)
+    functional = zero_delay_toggles(csa4.compiled, settled_old, settled_new)
+    assert glitchy.sum() > functional.sum()
+
+
+def test_input_toggle_counting_flag(ripple8):
+    rng = np.random.default_rng(6)
+    old = ripple8.pack_inputs(rng.integers(0, 256, 10), rng.integers(0, 256, 10))
+    new = ripple8.pack_inputs(rng.integers(0, 256, 10), rng.integers(0, 256, 10))
+    settled = functional_values(ripple8.compiled, old)
+    _, with_inputs = unit_delay_transition(ripple8.compiled, settled, new)
+    _, without = unit_delay_transition(
+        ripple8.compiled, settled, new, count_inputs=False
+    )
+    input_nets = ripple8.compiled.input_nets
+    diff = with_inputs.astype(int) - without.astype(int)
+    assert np.all(diff[input_nets] >= 0)
+    non_input = np.ones(ripple8.compiled.n_nets, dtype=bool)
+    non_input[input_nets] = False
+    assert np.all(diff[non_input] == 0)
+
+
+def test_unit_delay_shape_mismatch_raises(ripple8):
+    rng = np.random.default_rng(7)
+    new = ripple8.pack_inputs(rng.integers(0, 256, 5), rng.integers(0, 256, 5))
+    with pytest.raises(ValueError, match="settled"):
+        unit_delay_transition(
+            ripple8.compiled, np.zeros((3, 5), dtype=bool), new
+        )
+
+
+def test_unit_delay_max_steps_guard(ripple8):
+    rng = np.random.default_rng(8)
+    old = ripple8.pack_inputs(rng.integers(0, 256, 5), rng.integers(0, 256, 5))
+    new = ~old  # full inversion: every carry chain must re-evaluate
+    settled = functional_values(ripple8.compiled, old)
+    with pytest.raises(RuntimeError, match="did not settle"):
+        unit_delay_transition(ripple8.compiled, settled, new, max_steps=1)
+
+
+def test_settling_within_depth_bound(csa4):
+    """A synchronous acyclic network settles within its level depth."""
+    rng = np.random.default_rng(9)
+    old = csa4.pack_inputs(rng.integers(0, 16, 50), rng.integers(0, 16, 50))
+    new = csa4.pack_inputs(rng.integers(0, 16, 50), rng.integers(0, 16, 50))
+    settled = functional_values(csa4.compiled, old)
+    final, _ = unit_delay_transition(
+        csa4.compiled, settled, new, max_steps=csa4.compiled.depth + 1
+    )
+    assert np.array_equal(final, functional_values(csa4.compiled, new))
+
+
+def test_compiled_caps_zero_for_constants(csa4):
+    assert csa4.compiled.net_caps[0] == 0.0
+    assert csa4.compiled.net_caps[1] == 0.0
+    assert (csa4.compiled.net_caps[2:] >= 0).all()

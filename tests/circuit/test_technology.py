@@ -1,0 +1,105 @@
+"""Gate library: truth tables, capacitances, registry integrity."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.circuit.technology import (
+    GATE_TYPE_IDS,
+    GATE_TYPES,
+    WIRE_CAP_PER_FANOUT,
+    gate_type,
+)
+
+
+def _truth(name, *inputs):
+    arrays = [np.array([bool(v)]) for v in inputs]
+    return bool(GATE_TYPES[name].func(*arrays)[0])
+
+
+EXPECTED_2IN = {
+    "AND2": lambda a, b: a and b,
+    "OR2": lambda a, b: a or b,
+    "NAND2": lambda a, b: not (a and b),
+    "NOR2": lambda a, b: not (a or b),
+    "XOR2": lambda a, b: a != b,
+    "XNOR2": lambda a, b: a == b,
+}
+
+EXPECTED_3IN = {
+    "AND3": lambda a, b, c: a and b and c,
+    "OR3": lambda a, b, c: a or b or c,
+    "NAND3": lambda a, b, c: not (a and b and c),
+    "NOR3": lambda a, b, c: not (a or b or c),
+    "XOR3": lambda a, b, c: (a + b + c) % 2 == 1,
+    "MAJ3": lambda a, b, c: (a + b + c) >= 2,
+    "MUX2": lambda s, a, b: b if s else a,
+    "AOI21": lambda a, b, c: not ((a and b) or c),
+    "OAI21": lambda a, b, c: not ((a or b) and c),
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_2IN))
+def test_two_input_truth_tables(name):
+    for a, b in itertools.product([0, 1], repeat=2):
+        assert _truth(name, a, b) == EXPECTED_2IN[name](a, b), (name, a, b)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_3IN))
+def test_three_input_truth_tables(name):
+    for a, b, c in itertools.product([0, 1], repeat=3):
+        assert _truth(name, a, b, c) == EXPECTED_3IN[name](a, b, c)
+
+
+def test_inverter_and_buffer():
+    assert _truth("INV", 0) is True
+    assert _truth("INV", 1) is False
+    assert _truth("BUF", 0) is False
+    assert _truth("BUF", 1) is True
+
+
+def test_buffer_copies_array():
+    data = np.array([True, False])
+    out = GATE_TYPES["BUF"].func(data)
+    out[0] = False
+    assert data[0]  # original untouched
+
+
+def test_gate_functions_are_vectorized():
+    a = np.array([True, False, True, False])
+    b = np.array([True, True, False, False])
+    out = GATE_TYPES["XOR2"].func(a, b)
+    assert out.tolist() == [False, True, True, False]
+
+
+def test_all_gates_have_positive_caps():
+    for gtype in GATE_TYPES.values():
+        assert gtype.input_cap > 0
+        assert gtype.output_cap > 0
+
+
+def test_xor_heavier_than_nand():
+    assert GATE_TYPES["XOR2"].input_cap > GATE_TYPES["NAND2"].input_cap
+
+
+def test_wire_cap_positive():
+    assert WIRE_CAP_PER_FANOUT > 0
+
+
+def test_gate_type_lookup():
+    assert gate_type("AND2").n_inputs == 2
+    with pytest.raises(KeyError, match="unknown gate type"):
+        gate_type("AND17")
+
+
+def test_type_ids_are_dense_and_unique():
+    ids = sorted(GATE_TYPE_IDS.values())
+    assert ids == list(range(len(GATE_TYPES)))
+
+
+def test_n_inputs_matches_function_arity():
+    for name, gtype in GATE_TYPES.items():
+        args = [np.array([True])] * gtype.n_inputs
+        result = gtype.func(*args)
+        assert result.shape == (1,), name

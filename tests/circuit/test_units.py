@@ -1,0 +1,57 @@
+"""Physical-unit conversions."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import CAP_UNIT_FARAD, OperatingPoint
+
+
+def test_cycle_charge():
+    op = OperatingPoint(vdd=2.0, f_clk=1e6)
+    # 100 cap units * 1fF * 2V = 200 fC
+    assert op.cycle_charge(100.0) == pytest.approx(200e-15)
+
+
+def test_cycle_energy():
+    op = OperatingPoint(vdd=2.0, f_clk=1e6)
+    assert op.cycle_energy(100.0) == pytest.approx(400e-15)
+
+
+def test_average_power():
+    op = OperatingPoint(vdd=2.0, f_clk=1e6)
+    # 400 fJ per cycle * 1 MHz = 0.4 uW
+    assert op.average_power(100.0) == pytest.approx(0.4e-6)
+
+
+def test_vectorized_conversion():
+    op = OperatingPoint(vdd=1.0, f_clk=1e6)
+    charges = op.cycle_charge(np.array([1.0, 2.0]))
+    assert np.allclose(charges, [1e-15, 2e-15])
+
+
+def test_scaled():
+    op = OperatingPoint(vdd=2.5, f_clk=50e6)
+    low = op.scaled(vdd=1.0)
+    assert low.vdd == 1.0 and low.f_clk == 50e6
+    fast = op.scaled(f_clk=100e6)
+    assert fast.vdd == 2.5 and fast.f_clk == 100e6
+
+
+def test_quadratic_voltage_scaling():
+    """Halving vdd quarters the energy — the low-power design lever."""
+    hi = OperatingPoint(vdd=2.0, f_clk=1e6)
+    lo = hi.scaled(vdd=1.0)
+    assert lo.average_power(100.0) == pytest.approx(
+        hi.average_power(100.0) / 4.0
+    )
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        OperatingPoint(vdd=0.0)
+    with pytest.raises(ValueError):
+        OperatingPoint(f_clk=0.0)
+
+
+def test_cap_unit_constant():
+    assert CAP_UNIT_FARAD == pytest.approx(1e-15)

@@ -1,0 +1,103 @@
+"""Adaptive LMS coefficient adaptation (ref [4])."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveHdModel, HdPowerModel
+
+
+def _base_model(width=4):
+    return HdPowerModel("t", width, np.array([0.0, 10.0, 20.0, 30.0, 40.0]))
+
+
+def test_initial_state_copies_base():
+    adaptive = AdaptiveHdModel(_base_model())
+    assert np.array_equal(adaptive.coefficients, _base_model().coefficients)
+    adaptive.coefficients[1] = 99.0
+    assert _base_model().coefficients[1] == 10.0  # base untouched
+
+
+def test_observe_moves_toward_reference():
+    adaptive = AdaptiveHdModel(_base_model(), learning_rate=0.5)
+    error = adaptive.observe(1, 20.0)
+    assert error == pytest.approx(10.0)
+    assert adaptive.coefficients[1] == pytest.approx(15.0)
+    adaptive.observe(1, 20.0)
+    assert adaptive.coefficients[1] == pytest.approx(17.5)
+
+
+def test_p0_stays_pinned():
+    adaptive = AdaptiveHdModel(_base_model(), learning_rate=0.5)
+    adaptive.observe(0, 100.0)
+    assert adaptive.coefficients[0] == 0.0
+    assert adaptive.updates[0] == 0
+
+
+def test_observe_validations():
+    adaptive = AdaptiveHdModel(_base_model())
+    with pytest.raises(ValueError):
+        adaptive.observe(9, 1.0)
+    with pytest.raises(ValueError):
+        AdaptiveHdModel(_base_model(), learning_rate=0.0)
+    with pytest.raises(ValueError):
+        AdaptiveHdModel(_base_model(), learning_rate=1.5)
+
+
+def test_observe_trace_converges_to_new_statistics():
+    """Coefficients must converge to the drifted reference values."""
+    rng = np.random.default_rng(0)
+    adaptive = AdaptiveHdModel(_base_model(), learning_rate=0.2)
+    true = np.array([0.0, 5.0, 12.0, 33.0, 80.0])
+    hd = rng.integers(1, 5, 2000)
+    charge = true[hd] + rng.uniform(-0.5, 0.5, 2000)
+    errors = adaptive.observe_trace(hd, charge)
+    assert np.allclose(adaptive.coefficients[1:], true[1:], atol=1.0)
+    # a-priori error magnitude should shrink over the trace
+    assert np.abs(errors[-100:]).mean() < np.abs(errors[:100]).mean()
+
+
+def test_observe_trace_alignment():
+    adaptive = AdaptiveHdModel(_base_model())
+    with pytest.raises(ValueError):
+        adaptive.observe_trace(np.array([1]), np.array([1.0, 2.0]))
+
+
+def test_predict_cycle_uses_adapted_coefficients():
+    adaptive = AdaptiveHdModel(_base_model(), learning_rate=1.0)
+    adaptive.observe(2, 100.0)
+    out = adaptive.predict_cycle(np.array([2, 1]))
+    assert out.tolist() == [100.0, 10.0]
+
+
+def test_snapshot_freezes():
+    adaptive = AdaptiveHdModel(_base_model(), learning_rate=1.0)
+    adaptive.observe(1, 50.0)
+    frozen = adaptive.snapshot()
+    assert frozen.coefficients[1] == 50.0
+    assert "adapted" in frozen.name
+    adaptive.observe(1, 70.0)
+    assert frozen.coefficients[1] == 50.0  # snapshot decoupled
+
+
+def test_drift_metric():
+    adaptive = AdaptiveHdModel(_base_model(), learning_rate=1.0)
+    assert adaptive.drift() == 0.0
+    adaptive.observe(1, 20.0)  # p1: 10 -> 20, relative move 1.0
+    assert adaptive.drift() == pytest.approx(0.25)
+
+
+def test_adaptation_fixes_counter_style_bias():
+    """Scenario from Section 4.2: statistics drift (counter stream) makes
+    the base model overestimate; sparse reference observations pull the
+    active coefficients down."""
+    rng = np.random.default_rng(1)
+    base = _base_model()
+    adaptive = AdaptiveHdModel(base, learning_rate=0.1)
+    # Drifted world: only classes 1-2 occur and true charges are 40% lower.
+    hd = rng.integers(1, 3, 1500)
+    charge = base.coefficients[hd] * 0.6
+    adaptive.observe_trace(hd, charge)
+    assert adaptive.coefficients[1] == pytest.approx(6.0, rel=0.05)
+    assert adaptive.coefficients[2] == pytest.approx(12.0, rel=0.05)
+    # Unvisited classes keep their base values.
+    assert adaptive.coefficients[3] == 30.0

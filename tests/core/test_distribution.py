@@ -1,0 +1,268 @@
+"""Analytic Hd distribution (Eq. 11-18)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    binomial_distribution,
+    compose_hd_distributions,
+    distribution_mean,
+    hd_distribution_from_dbt,
+    module_hd_distribution,
+    sign_region_distribution,
+)
+from repro.signals import make_stream
+from repro.stats import DbtModel, WordStats
+from repro.stats.bitstats import empirical_hd_distribution
+
+
+def test_binomial_basics():
+    dist = binomial_distribution(4)
+    assert dist.sum() == pytest.approx(1.0)
+    assert dist[2] == pytest.approx(6 / 16)
+    assert binomial_distribution(0).tolist() == [1.0]
+
+
+def test_binomial_validations():
+    with pytest.raises(ValueError):
+        binomial_distribution(-1)
+    with pytest.raises(ValueError):
+        binomial_distribution(4, p=1.5)
+
+
+def test_binomial_with_p():
+    dist = binomial_distribution(3, p=1.0)
+    assert dist.tolist() == [0.0, 0.0, 0.0, 1.0]
+
+
+def test_sign_region_two_point():
+    dist = sign_region_distribution(4, 0.3)
+    assert dist[0] == pytest.approx(0.7)
+    assert dist[4] == pytest.approx(0.3)
+    assert dist[1:4].sum() == 0.0
+
+
+def test_sign_region_zero_width():
+    dist = sign_region_distribution(0, 0.3)
+    assert dist.tolist() == [1.0]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(1, 24),
+    st.integers(0, 24),
+    st.floats(0.0, 1.0),
+)
+def test_eq18_is_a_distribution_with_exact_mean(width, n_rand, t_sign):
+    """p(Hd) must sum to 1 and have mean 0.5 n_rand + t_sign n_sign."""
+    n_rand = min(n_rand, width)
+    model = DbtModel(
+        width=width, bp0=float(n_rand), bp1=float(n_rand),
+        t_sign=t_sign, n_rand=n_rand, n_sign=width - n_rand,
+    )
+    pmf = hd_distribution_from_dbt(model)
+    assert pmf.shape == (width + 1,)
+    assert (pmf >= -1e-12).all()
+    assert pmf.sum() == pytest.approx(1.0)
+    assert distribution_mean(pmf) == pytest.approx(model.average_hd())
+
+
+def test_eq18_equals_explicit_convolution():
+    """Eq. 18 must equal convolving the two region distributions."""
+    model = DbtModel(width=10, bp0=6.0, bp1=6.0, t_sign=0.2,
+                     n_rand=6, n_sign=4)
+    pmf = hd_distribution_from_dbt(model)
+    explicit = np.convolve(
+        binomial_distribution(6), sign_region_distribution(4, 0.2)
+    )
+    assert np.allclose(pmf, explicit)
+
+
+def test_eq18_regions():
+    """Region structure of Fig. 8: pure binomial below n_sign, shifted
+    binomial above n_rand."""
+    model = DbtModel(width=16, bp0=10.0, bp1=10.0, t_sign=0.1,
+                     n_rand=10, n_sign=6)
+    pmf = hd_distribution_from_dbt(model)
+    p_rand = binomial_distribution(10)
+    # Region I: i < 6
+    for i in range(6):
+        assert pmf[i] == pytest.approx(p_rand[i] * 0.9)
+    # Region III: i > 10
+    for i in range(11, 17):
+        assert pmf[i] == pytest.approx(p_rand[i - 6] * 0.1)
+    # Region II: both terms
+    assert pmf[8] == pytest.approx(p_rand[8] * 0.9 + p_rand[2] * 0.1)
+
+
+def test_sign_dominant_case():
+    """n_sign >= n_rand (the unified-formula case the paper calls out)."""
+    model = DbtModel(width=8, bp0=2.0, bp1=2.0, t_sign=0.5,
+                     n_rand=2, n_sign=6)
+    pmf = hd_distribution_from_dbt(model)
+    assert pmf.sum() == pytest.approx(1.0)
+    assert distribution_mean(pmf) == pytest.approx(0.5 * 2 + 0.5 * 6)
+
+
+def test_compose_distributions():
+    a = np.array([0.5, 0.5])
+    b = np.array([0.25, 0.75])
+    combined = compose_hd_distributions([a, b])
+    assert combined.shape == (3,)
+    assert combined.sum() == pytest.approx(1.0)
+    assert combined[0] == pytest.approx(0.125)
+    with pytest.raises(ValueError):
+        compose_hd_distributions([])
+
+
+def test_compose_mean_is_additive():
+    rng = np.random.default_rng(0)
+    a = rng.dirichlet(np.ones(5))
+    b = rng.dirichlet(np.ones(7))
+    combined = compose_hd_distributions([a, b])
+    assert distribution_mean(combined) == pytest.approx(
+        distribution_mean(a) + distribution_mean(b)
+    )
+
+
+def test_module_distribution_two_operands():
+    stats = [WordStats(0.0, 100.0, 0.9), WordStats(0.0, 400.0, 0.2)]
+    pmf = module_hd_distribution(stats, [8, 8])
+    assert pmf.shape == (17,)
+    assert pmf.sum() == pytest.approx(1.0)
+    with pytest.raises(ValueError, match="align"):
+        module_hd_distribution(stats, [8])
+
+
+def test_analytic_matches_extracted_for_speech():
+    """End-to-end Figure 9 check: analytic close to empirical."""
+    stream = make_stream("III", 16, 10000, seed=9)
+    model = DbtModel.from_words(stream.words, 16)
+    analytic = hd_distribution_from_dbt(model)
+    extracted = empirical_hd_distribution(stream.bits())
+    tv = 0.5 * np.abs(analytic - extracted).sum()
+    assert tv < 0.2
+
+
+def test_analytic_matches_extracted_for_random():
+    stream = make_stream("I", 12, 10000, seed=10)
+    model = DbtModel.from_words(stream.words, 12)
+    analytic = hd_distribution_from_dbt(model)
+    extracted = empirical_hd_distribution(stream.bits())
+    tv = 0.5 * np.abs(analytic - extracted).sum()
+    assert tv < 0.1
+
+
+# ----------------------------------------------------------------------
+# Joint (Hd, stable-zeros) distribution — analytic enhanced estimation
+# ----------------------------------------------------------------------
+def test_joint_sums_to_one_and_marginal_matches_eq18():
+    from repro.core import hd_distribution_from_dbt, joint_hd_stable_zeros
+
+    model = DbtModel(width=12, bp0=8.0, bp1=8.0, t_sign=0.2,
+                     n_rand=8, n_sign=4)
+    joint = joint_hd_stable_zeros(model)
+    assert joint.shape == (13, 13)
+    assert joint.sum() == pytest.approx(1.0)
+    assert np.allclose(joint.sum(axis=1), hd_distribution_from_dbt(model))
+
+
+def test_joint_support_constraint():
+    from repro.core import joint_hd_stable_zeros
+
+    model = DbtModel(width=10, bp0=6.0, bp1=6.0, t_sign=0.3,
+                     n_rand=6, n_sign=4)
+    joint = joint_hd_stable_zeros(model)
+    for i in range(11):
+        for k in range(11):
+            if i + k > 10:
+                assert joint[i, k] == pytest.approx(0.0)
+
+
+def test_joint_positive_only_signal_has_sign_zeros():
+    """q = 0 (never negative): the sign region is always stable-at-0, so
+    all mass sits at zeros >= n_sign."""
+    from repro.core import joint_hd_stable_zeros
+
+    model = DbtModel(width=8, bp0=5.0, bp1=5.0, t_sign=0.0,
+                     n_rand=5, n_sign=3)
+    joint = joint_hd_stable_zeros(model, negative_prob=0.0)
+    assert joint[:, :3].sum() == pytest.approx(0.0)
+
+
+def test_joint_negative_prob_validation():
+    from repro.core import joint_hd_stable_zeros
+
+    model = DbtModel(width=4, bp0=4.0, bp1=4.0, t_sign=0.5,
+                     n_rand=4, n_sign=0)
+    with pytest.raises(ValueError):
+        joint_hd_stable_zeros(model, negative_prob=1.5)
+
+
+def test_joint_matches_empirical_for_random_bits():
+    """For pure random bits: Hd ~ Bin(m, 1/2), zeros | Hd ~ Bin(m-Hd, 1/2)."""
+    from repro.core import joint_hd_stable_zeros
+    from math import comb
+
+    m = 6
+    model = DbtModel(width=m, bp0=float(m), bp1=float(m), t_sign=0.5,
+                     n_rand=m, n_sign=0)
+    joint = joint_hd_stable_zeros(model)
+    for i in range(m + 1):
+        for k in range(m - i + 1):
+            expected = (
+                comb(m, i) * 0.5**m
+                * comb(m - i, k) * 0.5 ** (m - i)
+            )
+            assert joint[i, k] == pytest.approx(expected)
+
+
+def test_gaussian_negative_prob():
+    from repro.core import gaussian_negative_prob
+
+    assert gaussian_negative_prob(0.0, 1.0) == pytest.approx(0.5)
+    assert gaussian_negative_prob(3.0, 1.0) < 0.01
+    assert gaussian_negative_prob(-3.0, 1.0) > 0.99
+    assert gaussian_negative_prob(1.0, 0.0) == 0.0
+    assert gaussian_negative_prob(-1.0, 0.0) == 1.0
+
+
+def test_compose_joint_distributions():
+    from repro.core import compose_joint_distributions
+
+    a = np.zeros((2, 2))
+    a[1, 0] = 1.0  # always (hd=1, zeros=0)
+    b = np.zeros((2, 2))
+    b[0, 1] = 1.0  # always (hd=0, zeros=1)
+    combined = compose_joint_distributions([a, b])
+    assert combined[1, 1] == pytest.approx(1.0)
+    assert combined.sum() == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        compose_joint_distributions([])
+
+
+def test_module_joint_distribution_matches_empirical():
+    """Analytic joint close to extracted joint for Gaussian operands."""
+    from repro.core import module_joint_distribution
+    from repro.core.events import classify_transitions
+    from repro.signals import gaussian_stream, module_stimulus
+    from repro.modules import make_module
+    from repro.stats import word_stats
+
+    module = make_module("ripple_adder", 8)
+    streams = [
+        gaussian_stream(8, 12000, rho=0.9, relative_sigma=0.25, seed=21),
+        gaussian_stream(8, 12000, rho=0.9, relative_sigma=0.25, seed=22),
+    ]
+    stats = [word_stats(s.words) for s in streams]
+    joint = module_joint_distribution(stats, [8, 8])
+    bits = module_stimulus(module, streams)
+    events = classify_transitions(bits)
+    empirical = np.zeros_like(joint)
+    for h, z in zip(events.hd, events.stable_zeros):
+        empirical[h, z] += 1
+    empirical /= empirical.sum()
+    tv = 0.5 * np.abs(joint - empirical).sum()
+    assert tv < 0.35

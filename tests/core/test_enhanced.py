@@ -1,0 +1,151 @@
+"""Enhanced Hd model: subclass fitting, clustering, fallback."""
+
+import numpy as np
+import pytest
+
+from repro.core import EnhancedHdModel, HdPowerModel
+
+
+def _toy_trace():
+    hd = np.array([1, 1, 1, 2, 2, 2])
+    zeros = np.array([0, 0, 3, 0, 2, 2])
+    charge = np.array([40.0, 60.0, 10.0, 100.0, 30.0, 50.0])
+    return hd, zeros, charge
+
+
+def test_fit_subclass_means():
+    hd, zeros, charge = _toy_trace()
+    model = EnhancedHdModel.fit(hd, zeros, charge, width=4)
+    assert model.coefficients[(1, 0)] == pytest.approx(50.0)
+    assert model.coefficients[(1, 3)] == pytest.approx(10.0)
+    assert model.coefficients[(2, 0)] == pytest.approx(100.0)
+    assert model.coefficients[(2, 2)] == pytest.approx(40.0)
+    assert model.counts[(1, 0)] == 2
+
+
+def test_subclass_deviations():
+    hd, zeros, charge = _toy_trace()
+    model = EnhancedHdModel.fit(hd, zeros, charge, width=4)
+    # (1,0): values 40, 60 around 50 -> eps = 0.2
+    assert model.deviations[(1, 0)] == pytest.approx(0.2)
+    assert model.deviations[(1, 3)] == pytest.approx(0.0)
+
+
+def test_predict_uses_subclasses():
+    hd, zeros, charge = _toy_trace()
+    model = EnhancedHdModel.fit(hd, zeros, charge, width=4)
+    out = model.predict_cycle(np.array([1, 1]), np.array([0, 3]))
+    assert out.tolist() == [50.0, 10.0]
+
+
+def test_predict_nearest_bucket_fallback():
+    hd, zeros, charge = _toy_trace()
+    model = EnhancedHdModel.fit(hd, zeros, charge, width=4)
+    # (1, 2) unseen -> nearest observed zero bucket for Hd 1 is 3
+    out = model.predict_cycle(np.array([1]), np.array([2]))
+    assert out[0] == pytest.approx(10.0)
+
+
+def test_predict_basic_fallback_for_unseen_hd():
+    hd, zeros, charge = _toy_trace()
+    model = EnhancedHdModel.fit(hd, zeros, charge, width=4)
+    # Hd 3 never observed at all -> basic (interpolated) coefficient
+    out = model.predict_cycle(np.array([3]), np.array([0]))
+    assert out[0] == pytest.approx(model.fallback.coefficients[3])
+
+
+def test_clustering_reduces_parameters():
+    rng = np.random.default_rng(0)
+    hd = rng.integers(1, 9, 2000)
+    zeros = np.array([rng.integers(0, 8 - h + 1) for h in hd])
+    charge = rng.uniform(1, 10, 2000)
+    fine = EnhancedHdModel.fit(hd, zeros, charge, width=8, cluster_size=1)
+    coarse = EnhancedHdModel.fit(hd, zeros, charge, width=8, cluster_size=4)
+    assert coarse.n_parameters < fine.n_parameters
+
+
+def test_n_parameters_full_matches_paper_formula():
+    """At cluster_size 1 the subclass count is (m^2 + m) / 2 (Section 3)."""
+    hd = np.array([1])
+    zeros = np.array([0])
+    charge = np.array([1.0])
+    for m in (4, 8, 16):
+        model = EnhancedHdModel.fit(hd, zeros, charge, width=m)
+        assert model.n_parameters_full == (m * m + m) // 2
+
+
+def test_cluster_size_validation():
+    hd, zeros, charge = _toy_trace()
+    with pytest.raises(ValueError):
+        EnhancedHdModel.fit(hd, zeros, charge, width=4, cluster_size=0)
+
+
+def test_alignment_validation():
+    with pytest.raises(ValueError, match="align"):
+        EnhancedHdModel.fit(
+            np.array([1]), np.array([0, 1]), np.array([1.0]), width=4
+        )
+
+
+def test_zero_count_range_validation():
+    with pytest.raises(ValueError, match="exceeds"):
+        EnhancedHdModel.fit(
+            np.array([3]), np.array([3]), np.array([1.0]), width=4
+        )
+
+
+def test_coefficient_curve():
+    hd, zeros, charge = _toy_trace()
+    model = EnhancedHdModel.fit(hd, zeros, charge, width=4)
+    curve = model.coefficient_curve(0)
+    assert curve[0] == 0.0
+    assert curve[1] == pytest.approx(50.0)
+    assert curve[2] == pytest.approx(100.0)
+    assert np.isnan(curve[3])
+
+
+def test_max_zero_bucket():
+    hd, zeros, charge = _toy_trace()
+    model = EnhancedHdModel.fit(hd, zeros, charge, width=4, cluster_size=2)
+    assert model.max_zero_bucket(1) == 1  # (4-1)//2
+    assert model.max_zero_bucket(4) == 0
+
+
+def test_predict_average():
+    hd, zeros, charge = _toy_trace()
+    model = EnhancedHdModel.fit(hd, zeros, charge, width=4)
+    avg = model.predict_average(hd, zeros)
+    assert avg == pytest.approx(
+        np.mean([50.0, 50.0, 10.0, 100.0, 40.0, 40.0])
+    )
+
+
+def test_total_average_deviation_weighted():
+    hd, zeros, charge = _toy_trace()
+    model = EnhancedHdModel.fit(hd, zeros, charge, width=4)
+    assert 0.0 <= model.total_average_deviation < 1.0
+
+
+def test_enhanced_beats_basic_on_biased_stream():
+    """A stream whose stable bits are always 0 must be predicted better by
+    the enhanced model than by the basic one (the paper's Table 2 claim)."""
+    rng = np.random.default_rng(1)
+    width = 8
+    # Synthetic reference: charge grows with Hd but shrinks with zeros.
+    def ref_charge(h, z):
+        return 10.0 * h - 2.0 * z + rng.uniform(-0.5, 0.5)
+
+    hd = rng.integers(1, width + 1, 4000)
+    zeros = np.array([rng.integers(0, width - h + 1) for h in hd])
+    charge = np.array([ref_charge(h, z) for h, z in zip(hd, zeros)])
+    basic = HdPowerModel.fit(hd, charge, width)
+    enhanced = EnhancedHdModel.fit(hd, zeros, charge, width)
+
+    hd_eval = rng.integers(1, 4, 1000)
+    zeros_eval = width - hd_eval  # all stable bits zero
+    truth = np.array([ref_charge(h, z) for h, z in zip(hd_eval, zeros_eval)])
+    err_basic = np.abs(basic.predict_cycle(hd_eval) - truth).mean()
+    err_enh = np.abs(
+        enhanced.predict_cycle(hd_eval, zeros_eval) - truth
+    ).mean()
+    assert err_enh < err_basic

@@ -1,0 +1,196 @@
+"""PowerEstimator: the three estimation paths and their consistency."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import PowerSimulator
+from repro.core import (
+    HdPowerModel,
+    PowerEstimator,
+    characterize_module,
+    classify_transitions,
+)
+from repro.modules import make_module
+from repro.signals import gaussian_stream, module_stimulus, random_stream
+
+
+@pytest.fixture(scope="module")
+def adder_setup():
+    module = make_module("ripple_adder", 8)
+    result = characterize_module(module, n_patterns=3000, seed=0,
+                                 enhanced=True)
+    return module, result
+
+
+def test_estimate_from_bits_matches_manual(adder_setup):
+    module, result = adder_setup
+    estimator = PowerEstimator(result.model)
+    rng = np.random.default_rng(1)
+    bits = rng.integers(0, 2, size=(500, 16)).astype(bool)
+    out = estimator.estimate_from_bits(bits)
+    events = classify_transitions(bits)
+    manual = result.model.predict_cycle(events.hd)
+    assert np.allclose(out.cycle_charge, manual)
+    assert out.method == "trace"
+    assert out.average_charge == pytest.approx(manual.mean())
+
+
+def test_estimate_from_bits_width_mismatch(adder_setup):
+    _, result = adder_setup
+    estimator = PowerEstimator(result.model)
+    with pytest.raises(ValueError, match="inputs"):
+        estimator.estimate_from_bits(np.zeros((10, 8), dtype=bool))
+
+
+def test_estimate_with_enhanced_model(adder_setup):
+    module, result = adder_setup
+    estimator = PowerEstimator(result.model, enhanced=result.enhanced)
+    rng = np.random.default_rng(2)
+    bits = rng.integers(0, 2, size=(300, 16)).astype(bool)
+    out = estimator.estimate_from_bits(bits)
+    events = classify_transitions(bits)
+    manual = result.enhanced.predict_cycle(events.hd, events.stable_zeros)
+    assert np.allclose(out.cycle_charge, manual)
+
+
+def test_estimate_from_streams(adder_setup):
+    module, result = adder_setup
+    estimator = PowerEstimator(result.model)
+    streams = [random_stream(8, 200, seed=3), random_stream(8, 200, seed=4)]
+    out = estimator.estimate_from_streams(module, streams)
+    bits = module_stimulus(module, streams)
+    assert out.average_charge == pytest.approx(
+        estimator.estimate_from_bits(bits).average_charge
+    )
+
+
+def test_distribution_method(adder_setup):
+    _, result = adder_setup
+    estimator = PowerEstimator(result.model)
+    dist = np.zeros(17)
+    dist[4] = 1.0
+    out = estimator.estimate_from_distribution(dist)
+    assert out.method == "distribution"
+    assert out.average_charge == pytest.approx(result.model.coefficients[4])
+
+
+def test_average_hd_method(adder_setup):
+    _, result = adder_setup
+    estimator = PowerEstimator(result.model)
+    out = estimator.estimate_from_average_hd(4.5)
+    assert out.method == "average_hd"
+    expected = 0.5 * (
+        result.model.coefficients[4] + result.model.coefficients[5]
+    )
+    assert out.average_charge == pytest.approx(expected)
+
+
+def test_analytic_close_to_trace_for_gaussian(adder_setup):
+    """The fully analytic path (word stats -> DBT -> Eq.18 -> model) must
+    land near the trace-based estimate for AR-Gaussian operands."""
+    module, result = adder_setup
+    estimator = PowerEstimator(result.model)
+    streams = [
+        gaussian_stream(8, 6000, rho=0.9, relative_sigma=0.25, seed=5),
+        gaussian_stream(8, 6000, rho=0.9, relative_sigma=0.25, seed=6),
+    ]
+    trace = estimator.estimate_from_streams(module, streams)
+    analytic = estimator.estimate_analytic_from_streams(module, streams)
+    assert analytic.method == "distribution"
+    assert analytic.average_charge == pytest.approx(
+        trace.average_charge, rel=0.15
+    )
+
+
+def test_analytic_average_hd_flag(adder_setup):
+    module, result = adder_setup
+    estimator = PowerEstimator(result.model)
+    streams = [
+        gaussian_stream(8, 4000, rho=0.95, relative_sigma=0.2, seed=7),
+        gaussian_stream(8, 4000, rho=0.95, relative_sigma=0.2, seed=8),
+    ]
+    dist_est = estimator.estimate_analytic_from_streams(
+        module, streams, use_distribution=True
+    )
+    avg_est = estimator.estimate_analytic_from_streams(
+        module, streams, use_distribution=False
+    )
+    assert avg_est.method == "average_hd"
+    assert dist_est.average_charge != pytest.approx(
+        avg_est.average_charge, rel=1e-6
+    )
+
+
+def test_distribution_beats_average_hd_on_reference():
+    """Section 6.3's claim: for a convex-coefficient module under a bimodal
+    Hd distribution, the distribution estimate is closer to the simulated
+    power than the avg-Hd estimate."""
+    module = make_module("csa_multiplier", 6)
+    result = characterize_module(module, n_patterns=4000, seed=9)
+    estimator = PowerEstimator(result.model)
+    streams = [
+        gaussian_stream(6, 8000, rho=0.97, relative_sigma=0.3, seed=10),
+        gaussian_stream(6, 8000, rho=0.97, relative_sigma=0.3, seed=11),
+    ]
+    bits = module_stimulus(module, streams)
+    reference = PowerSimulator(module.compiled).simulate(bits).average_charge
+    dist_est = estimator.estimate_analytic_from_streams(
+        module, streams, use_distribution=True
+    ).average_charge
+    avg_est = estimator.estimate_analytic_from_streams(
+        module, streams, use_distribution=False
+    ).average_charge
+    assert abs(dist_est - reference) < abs(avg_est - reference)
+
+
+def test_analytic_enhanced_requires_enhanced_model(adder_setup):
+    module, result = adder_setup
+    estimator = PowerEstimator(result.model)  # no enhanced model
+    from repro.stats import WordStats
+
+    with pytest.raises(ValueError, match="enhanced"):
+        estimator.estimate_analytic_enhanced(
+            module, [WordStats(0.0, 100.0, 0.5)] * 2
+        )
+
+
+def test_analytic_enhanced_close_to_trace(adder_setup):
+    module, result = adder_setup
+    estimator = PowerEstimator(result.model, enhanced=result.enhanced)
+    streams = [
+        gaussian_stream(8, 6000, rho=0.9, relative_sigma=0.25, seed=31),
+        gaussian_stream(8, 6000, rho=0.9, relative_sigma=0.25, seed=32),
+    ]
+    from repro.stats import word_stats
+
+    stats = [word_stats(s.words) for s in streams]
+    analytic = estimator.estimate_analytic_enhanced(module, stats)
+    bits = module_stimulus(module, streams)
+    trace = estimator.estimate_from_bits(bits)
+    assert analytic.average_charge == pytest.approx(
+        trace.average_charge, rel=0.2
+    )
+
+
+def test_analytic_enhanced_beats_basic_on_positive_only_stream():
+    """The paper's counter scenario, fully analytic: the joint-distribution
+    path must cut the basic analytic path's overestimation."""
+    from repro.circuit import PowerSimulator
+    from repro.core import characterize_module
+    from repro.signals import make_operand_streams
+    from repro.stats import word_stats
+
+    module = make_module("csa_multiplier", 6)
+    result = characterize_module(
+        module, n_patterns=4000, seed=41, enhanced=True, stimulus="mixed"
+    )
+    estimator = PowerEstimator(result.model, enhanced=result.enhanced)
+    streams = make_operand_streams(module, "V", 4000, seed=42)
+    stats = [word_stats(s.words) for s in streams]
+    bits = module_stimulus(module, streams)
+    reference = PowerSimulator(module.compiled).simulate(bits).average_charge
+    basic = estimator.estimate_analytic(module, stats).average_charge
+    enhanced = estimator.estimate_analytic_enhanced(
+        module, stats
+    ).average_charge
+    assert abs(enhanced - reference) < abs(basic - reference)

@@ -1,0 +1,86 @@
+"""PowerEstimator edge cases and EstimationResult contracts."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EstimationResult,
+    HdPowerModel,
+    PowerEstimator,
+    characterize_module,
+)
+from repro.modules import make_module
+from repro.signals import constant_stream, module_stimulus
+from repro.stats import WordStats
+
+
+def _flat_model(width=8):
+    return HdPowerModel("t", width, np.linspace(0, 80, width + 1))
+
+
+def test_constant_stream_estimates_zero():
+    module = make_module("absval", 8)
+    estimator = PowerEstimator(_flat_model(8))
+    bits = module_stimulus(module, [constant_stream(8, 50, value=3)])
+    result = estimator.estimate_from_bits(bits)
+    assert result.average_charge == 0.0
+    assert (result.cycle_charge == 0.0).all()
+
+
+def test_estimation_result_fields_per_method():
+    estimator = PowerEstimator(_flat_model(4))
+    dist = np.zeros(5)
+    dist[2] = 1.0
+    r1 = estimator.estimate_from_distribution(dist)
+    assert r1.hd_distribution is not None and r1.cycle_charge is None
+    r2 = estimator.estimate_from_average_hd(2.0)
+    assert r2.average_hd == 2.0 and r2.hd_distribution is None
+    r3 = estimator.estimate_from_bits(np.zeros((3, 4), dtype=bool))
+    assert r3.cycle_charge is not None
+
+
+def test_analytic_with_explicit_wordstats():
+    module = make_module("ripple_adder", 8)
+    model = characterize_module(module, n_patterns=1500, seed=0).model
+    estimator = PowerEstimator(model)
+    stats = [WordStats(0.0, 900.0, 0.8), WordStats(0.0, 900.0, 0.8)]
+    result = estimator.estimate_analytic(module, stats)
+    assert result.method == "distribution"
+    assert result.average_charge > 0
+    assert result.hd_distribution.shape == (17,)
+    assert result.hd_distribution.sum() == pytest.approx(1.0)
+
+
+def test_analytic_constant_operands_zero_power():
+    module = make_module("ripple_adder", 8)
+    estimator = PowerEstimator(_flat_model(16))
+    stats = [WordStats(5.0, 0.0, 0.0), WordStats(-3.0, 0.0, 0.0)]
+    result = estimator.estimate_analytic(module, stats)
+    # Constant operands: all mass at Hd = 0.
+    assert result.average_charge == pytest.approx(0.0)
+
+
+def test_higher_variance_more_power():
+    module = make_module("ripple_adder", 8)
+    model = characterize_module(module, n_patterns=1500, seed=1).model
+    estimator = PowerEstimator(model)
+    quiet = estimator.estimate_analytic(
+        module, [WordStats(0.0, 16.0, 0.9)] * 2
+    )
+    loud = estimator.estimate_analytic(
+        module, [WordStats(0.0, 2500.0, 0.9)] * 2
+    )
+    assert loud.average_charge > quiet.average_charge
+
+
+def test_weaker_correlation_more_power():
+    module = make_module("ripple_adder", 8)
+    model = characterize_module(module, n_patterns=1500, seed=2).model
+    estimator = PowerEstimator(model)
+    smooth = estimator.estimate_analytic(
+        module, [WordStats(0.0, 900.0, 0.98)] * 2
+    )
+    white = estimator.estimate_analytic(
+        module, [WordStats(0.0, 900.0, 0.0)] * 2
+    )
+    assert white.average_charge > smooth.average_charge

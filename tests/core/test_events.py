@@ -1,0 +1,46 @@
+"""Switching-event classification."""
+
+import numpy as np
+import pytest
+
+from repro.core import TransitionEvents, classify_transitions
+
+
+def test_classification_manual():
+    bits = np.array(
+        [
+            [0, 0, 1, 1],
+            [1, 0, 1, 0],
+            [1, 0, 1, 0],
+        ],
+        dtype=bool,
+    )
+    events = classify_transitions(bits)
+    assert events.width == 4
+    assert events.n_cycles == 2
+    assert events.hd.tolist() == [2, 0]
+    assert events.stable_zeros.tolist() == [1, 2]
+    assert events.stable_ones.tolist() == [1, 2]
+
+
+def test_class_counts():
+    bits = np.array(
+        [[0, 0], [1, 0], [0, 1], [0, 1]],
+        dtype=bool,
+    )
+    events = classify_transitions(bits)
+    counts = events.class_counts()
+    assert counts.tolist() == [1, 1, 1]
+
+
+def test_partition_invariant():
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, size=(200, 10)).astype(bool)
+    events = classify_transitions(bits)
+    total = events.hd + events.stable_zeros + events.stable_ones
+    assert (total == 10).all()
+
+
+def test_requires_two_patterns():
+    with pytest.raises(ValueError):
+        classify_transitions(np.zeros((1, 4), dtype=bool))

@@ -1,0 +1,200 @@
+"""Basic Hd power model: fitting, prediction, interpolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HdPowerModel
+from repro.core.hd_model import _fill_missing
+
+
+def test_fit_computes_class_averages():
+    hd = np.array([1, 1, 2, 2, 2])
+    charge = np.array([10.0, 20.0, 30.0, 30.0, 60.0])
+    model = HdPowerModel.fit(hd, charge, width=3)
+    assert model.coefficients[1] == pytest.approx(15.0)
+    assert model.coefficients[2] == pytest.approx(40.0)
+    assert model.counts[1] == 2 and model.counts[2] == 3
+
+
+def test_fit_deviations_eq5():
+    hd = np.array([1, 1])
+    charge = np.array([10.0, 20.0])
+    model = HdPowerModel.fit(hd, charge, width=2)
+    # p_1 = 15, eps_1 = mean(|10-15|/15, |20-15|/15) = 1/3
+    assert model.deviations[1] == pytest.approx(1.0 / 3.0)
+
+
+def test_p0_pinned_to_zero():
+    hd = np.array([0, 0, 1])
+    charge = np.array([5.0, 5.0, 10.0])
+    model = HdPowerModel.fit(hd, charge, width=2)
+    assert model.coefficients[0] == 0.0
+
+
+def test_missing_classes_interpolated():
+    hd = np.array([1, 3])
+    charge = np.array([10.0, 30.0])
+    model = HdPowerModel.fit(hd, charge, width=4)
+    assert model.coefficients[2] == pytest.approx(20.0)
+    # extrapolated endpoint follows the outer slope
+    assert model.coefficients[4] == pytest.approx(40.0)
+    assert np.isnan(model.deviations[2])
+
+
+def test_extrapolation_clamped_nonnegative():
+    values = np.array([np.nan, np.nan, 1.0, 10.0, np.nan])
+    filled = _fill_missing(values)
+    assert filled[1] >= 0.0
+    assert filled[0] >= 0.0
+
+
+def test_fill_missing_single_observation():
+    filled = _fill_missing(np.array([np.nan, 5.0, np.nan]))
+    assert filled.tolist() == [5.0, 5.0, 5.0]
+
+
+def test_fill_missing_no_observations():
+    with pytest.raises(ValueError):
+        _fill_missing(np.array([np.nan, np.nan]))
+
+
+def test_fit_validations():
+    with pytest.raises(ValueError, match="same length"):
+        HdPowerModel.fit(np.array([1]), np.array([1.0, 2.0]), width=2)
+    with pytest.raises(ValueError, match="empty"):
+        HdPowerModel.fit(np.array([], dtype=int), np.array([]), width=2)
+    with pytest.raises(ValueError, match="out of range"):
+        HdPowerModel.fit(np.array([5]), np.array([1.0]), width=2)
+
+
+def test_constructor_validates_length():
+    with pytest.raises(ValueError, match="coefficients"):
+        HdPowerModel("t", width=3, coefficients=np.array([0.0, 1.0]))
+
+
+def test_predict_cycle_lookup():
+    model = HdPowerModel("t", 2, np.array([0.0, 10.0, 20.0]))
+    out = model.predict_cycle(np.array([0, 1, 2, 1]))
+    assert out.tolist() == [0.0, 10.0, 20.0, 10.0]
+
+
+def test_predict_out_of_range():
+    model = HdPowerModel("t", 2, np.array([0.0, 10.0, 20.0]))
+    with pytest.raises(ValueError):
+        model.predict_cycle(np.array([3]))
+
+
+def test_predict_average():
+    model = HdPowerModel("t", 2, np.array([0.0, 10.0, 20.0]))
+    assert model.predict_average(np.array([1, 1, 2])) == pytest.approx(
+        40.0 / 3.0
+    )
+    assert model.predict_average(np.array([], dtype=int)) == 0.0
+
+
+def test_interpolate_linear():
+    model = HdPowerModel("t", 2, np.array([0.0, 10.0, 30.0]))
+    assert model.interpolate(0.5) == pytest.approx(5.0)
+    assert model.interpolate(1.5) == pytest.approx(20.0)
+    assert model.interpolate(-1.0) == 0.0  # clipped
+    assert model.interpolate(5.0) == 30.0  # clipped
+
+
+def test_average_from_distribution():
+    model = HdPowerModel("t", 2, np.array([0.0, 10.0, 30.0]))
+    dist = np.array([0.5, 0.25, 0.25])
+    assert model.average_from_distribution(dist) == pytest.approx(10.0)
+    with pytest.raises(ValueError, match="length"):
+        model.average_from_distribution(np.array([1.0]))
+
+
+def test_total_average_deviation():
+    model = HdPowerModel.fit(
+        np.array([1, 1, 2, 2]), np.array([10.0, 20.0, 5.0, 5.0]), width=2
+    )
+    # eps_1 = 1/3, eps_2 = 0
+    assert model.total_average_deviation == pytest.approx((1 / 3 + 0) / 2)
+
+
+def test_n_parameters():
+    model = HdPowerModel("t", 5, np.zeros(6))
+    assert model.n_parameters == 5
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 8), min_size=5, max_size=200),
+    st.integers(0, 10**6),
+)
+def test_average_prediction_is_frequency_dot_coefficients(hd_list, seed):
+    """Invariant: mean prediction = class frequencies . coefficients."""
+    rng = np.random.default_rng(seed)
+    hd = np.array(hd_list)
+    charge = rng.uniform(1.0, 100.0, size=len(hd))
+    model = HdPowerModel.fit(hd, charge, width=8)
+    freq = np.bincount(hd, minlength=9) / len(hd)
+    assert model.predict_average(hd) == pytest.approx(
+        float(freq @ model.coefficients)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**6))
+def test_fit_is_exact_on_class_constant_charges(seed):
+    """If every class has a constant charge, the model reproduces it."""
+    rng = np.random.default_rng(seed)
+    width = 6
+    table = rng.uniform(1.0, 50.0, size=width + 1)
+    table[0] = 0.0
+    hd = rng.integers(0, width + 1, size=400)
+    charge = table[hd]
+    model = HdPowerModel.fit(hd, charge, width=width)
+    observed = np.bincount(hd, minlength=width + 1) > 0
+    observed[0] = False
+    assert np.allclose(model.coefficients[observed], table[observed])
+    assert np.nanmax(model.deviations[observed]) == pytest.approx(0.0) \
+        if observed.any() else True
+
+
+def test_interpolate_pchip_monotone():
+    model = HdPowerModel("t", 4, np.array([0.0, 1.0, 4.0, 9.0, 16.0]))
+    # PCHIP respects convexity: on the quadratic-ish curve the cubic value
+    # between knots is below the linear chord.
+    linear = model.interpolate(2.5, method="linear")
+    pchip = model.interpolate(2.5, method="pchip")
+    assert pchip <= linear
+    # Both agree exactly at the knots.
+    assert model.interpolate(3.0, method="pchip") == pytest.approx(9.0)
+
+
+def test_interpolate_unknown_method():
+    model = HdPowerModel("t", 2, np.array([0.0, 1.0, 2.0]))
+    with pytest.raises(ValueError, match="unknown interpolation"):
+        model.interpolate(1.0, method="spline9000")
+
+
+def test_standard_errors():
+    hd = np.array([1, 1, 1, 1, 2])
+    charge = np.array([8.0, 12.0, 8.0, 12.0, 5.0])
+    model = HdPowerModel.fit(hd, charge, width=3)
+    # class 1: std(ddof=1) of [8,12,8,12] = 2.309, / sqrt(4)
+    expected = np.std([8, 12, 8, 12], ddof=1) / 2.0
+    assert model.standard_errors[1] == pytest.approx(expected)
+    # single-sample class has no standard error
+    assert np.isnan(model.standard_errors[2])
+    assert np.isnan(model.standard_errors[0])
+
+
+def test_standard_errors_shrink_with_samples():
+    rng = np.random.default_rng(0)
+    charges_small = rng.normal(100, 10, 20)
+    charges_big = rng.normal(100, 10, 2000)
+    small = HdPowerModel.fit(
+        np.ones(20, dtype=int), charges_small, width=2
+    )
+    big = HdPowerModel.fit(
+        np.ones(2000, dtype=int), charges_big, width=2
+    )
+    assert big.standard_errors[1] < small.standard_errors[1]

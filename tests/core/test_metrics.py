@@ -1,0 +1,59 @@
+"""Error metrics of Section 4.2."""
+
+import numpy as np
+import pytest
+
+from repro.core import average_error, average_error_scalar, cycle_error
+
+
+def test_cycle_error_hand_computed():
+    est = np.array([11.0, 18.0])
+    ref = np.array([10.0, 20.0])
+    # |1/10| and |2/20| -> mean 0.1 -> 10%
+    assert cycle_error(est, ref) == pytest.approx(10.0)
+
+
+def test_cycle_error_skips_zero_reference():
+    est = np.array([5.0, 11.0])
+    ref = np.array([0.0, 10.0])
+    assert cycle_error(est, ref) == pytest.approx(10.0)
+
+
+def test_cycle_error_all_zero_reference():
+    assert cycle_error(np.array([1.0]), np.array([0.0])) == 0.0
+
+
+def test_cycle_error_shape_mismatch():
+    with pytest.raises(ValueError):
+        cycle_error(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+def test_cycle_error_perfect():
+    ref = np.array([3.0, 4.0, 5.0])
+    assert cycle_error(ref, ref) == 0.0
+
+
+def test_average_error_signed():
+    est = np.array([10.0, 10.0])
+    ref = np.array([8.0, 8.0])
+    assert average_error(est, ref) == pytest.approx(25.0)
+    assert average_error(ref, est) == pytest.approx(-20.0)
+
+
+def test_average_error_zero_total():
+    assert average_error(np.array([1.0]), np.array([0.0])) == 0.0
+
+
+def test_average_error_cancellation():
+    """Per-cycle errors can cancel in the average: the paper's reason for
+    reporting both metrics."""
+    est = np.array([15.0, 5.0])
+    ref = np.array([10.0, 10.0])
+    assert average_error(est, ref) == pytest.approx(0.0)
+    assert cycle_error(est, ref) == pytest.approx(50.0)
+
+
+def test_average_error_scalar():
+    assert average_error_scalar(11.0, 10.0) == pytest.approx(10.0)
+    assert average_error_scalar(9.0, 10.0) == pytest.approx(-10.0)
+    assert average_error_scalar(5.0, 0.0) == 0.0

@@ -1,0 +1,215 @@
+"""Bit-width regression (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HdPowerModel,
+    average_coefficient_error,
+    characterize_prototype_set,
+    coefficient_errors,
+    fit_width_regression,
+    prototype_widths,
+)
+
+
+def _synthetic_prototypes(kind, widths, law):
+    """Models whose p_i follow a known law p_i(w) exactly."""
+    prototypes = {}
+    for w in widths:
+        m = 2 * w
+        coeffs = np.array([law(i, w) for i in range(m + 1)])
+        coeffs[0] = 0.0
+        prototypes[w] = HdPowerModel(f"{kind}_{w}", m, coeffs)
+    return prototypes
+
+
+def test_exact_recovery_linear_law():
+    """p_i(w) = i * (3w + 2) is inside the ripple adder's feature space."""
+    law = lambda i, w: i * (3.0 * w + 2.0)
+    prototypes = _synthetic_prototypes("ripple_adder", (4, 8, 12, 16), law)
+    regression = fit_width_regression("ripple_adder", prototypes)
+    for w in (4, 6, 10, 16):
+        for i in (1, 3, 8):
+            assert regression.coefficient(i, w) == pytest.approx(
+                law(i, w), rel=1e-9
+            )
+
+
+def test_exact_recovery_quadratic_law():
+    law = lambda i, w: (i + 1.0) * (2.0 * w * w + 5.0 * w + 1.0)
+    prototypes = _synthetic_prototypes(
+        "csa_multiplier", (4, 8, 12, 16), law
+    )
+    regression = fit_width_regression("csa_multiplier", prototypes)
+    for w in (5, 9, 14):
+        assert regression.coefficient(2, w) == pytest.approx(
+            law(2, w), rel=1e-9
+        )
+
+
+def test_predict_model_fills_all_classes():
+    law = lambda i, w: i * (3.0 * w + 2.0)
+    prototypes = _synthetic_prototypes("ripple_adder", (4, 8, 12), law)
+    regression = fit_width_regression("ripple_adder", prototypes)
+    model = regression.predict_model(width=16, input_bits=32)
+    assert model.width == 32
+    assert model.coefficients[0] == 0.0
+    assert (model.coefficients[1:] > 0).all()
+    # In-range classes follow the law; classes beyond the largest prototype
+    # (i > 24) are extrapolations.
+    assert model.coefficients[5] == pytest.approx(law(5, 16), rel=1e-6)
+
+
+def test_predict_model_clamps_negative():
+    prototypes = {
+        4: HdPowerModel("t", 8, np.array([0, -5, -4, -3, -2, -1, 0, 1, 2.0])),
+        8: HdPowerModel("t", 16, np.linspace(0, -8, 17)),
+    }
+    regression = fit_width_regression("ripple_adder", prototypes)
+    model = regression.predict_model(width=6, input_bits=12)
+    assert (model.coefficients >= 0).all()
+
+
+def test_regression_rows_for_missing_classes():
+    law = lambda i, w: float(i * w)
+    prototypes = _synthetic_prototypes("ripple_adder", (4, 6), law)
+    regression = fit_width_regression("ripple_adder", prototypes)
+    # Classes up to 12 exist (2*6); class 12 only in width 6 (underdetermined
+    # fit is the minimum-norm one but still defined).
+    assert regression.rows[12] is not None
+    with pytest.raises(ValueError, match="no regression data"):
+        regression.coefficient(13, 8)
+
+
+def test_prototype_widths_subsets():
+    full = (4, 6, 8, 10, 12, 14, 16)
+    assert prototype_widths(full, "ALL") == full
+    assert prototype_widths(full, "SEC") == (4, 8, 12, 16)
+    assert prototype_widths(full, "THI") == (4, 10, 16)
+    with pytest.raises(ValueError):
+        prototype_widths(full, "QUA")
+
+
+def test_fit_validations():
+    with pytest.raises(KeyError):
+        fit_width_regression("bogus_kind", {})
+    with pytest.raises(ValueError, match="prototype"):
+        fit_width_regression("ripple_adder", {})
+
+
+def test_coefficient_errors_and_average():
+    law = lambda i, w: i * (3.0 * w + 2.0)
+    prototypes = _synthetic_prototypes("ripple_adder", (4, 8, 12), law)
+    regression = fit_width_regression("ripple_adder", prototypes)
+    instance = prototypes[8]
+    errors = coefficient_errors(regression, instance, 8, (1, 5, 8))
+    assert all(e < 1e-6 for e in errors.values())
+    assert average_coefficient_error(regression, instance, 8) < 1e-6
+
+
+def test_coefficient_errors_skip_zero_reference():
+    regression = fit_width_regression(
+        "ripple_adder",
+        _synthetic_prototypes("t", (4, 8), lambda i, w: float(i * w)),
+    )
+    instance = HdPowerModel("t", 8, np.zeros(9))
+    assert coefficient_errors(regression, instance, 4, (1, 2)) == {}
+
+
+def test_characterize_prototype_set_end_to_end():
+    prototypes = characterize_prototype_set(
+        "ripple_adder", (4, 6), n_patterns=800, seed=5
+    )
+    assert set(prototypes) == {4, 6}
+    assert prototypes[4].width == 8
+    assert prototypes[6].width == 12
+
+
+def test_real_regression_predicts_unseen_width():
+    """Leave-one-out: regress on {4, 8} and predict width 6 within 25%."""
+    prototypes = characterize_prototype_set(
+        "ripple_adder", (4, 6, 8), n_patterns=2000, seed=6
+    )
+    regression = fit_width_regression(
+        "ripple_adder", {4: prototypes[4], 8: prototypes[8]}
+    )
+    instance = prototypes[6]
+    error = average_coefficient_error(regression, instance, 6)
+    assert error < 25.0
+
+
+# ----------------------------------------------------------------------
+# Rectangular regression (Eq. 8)
+# ----------------------------------------------------------------------
+def test_rect_regression_exact_recovery():
+    from repro.core import RectRegression, fit_rect_regression
+
+    def law(i, wa, wb):
+        return (i + 1.0) * (2.0 * wa * wb + 3.0 * wa + 5.0)
+
+    prototypes = {}
+    for wa, wb in ((4, 4), (8, 4), (8, 8), (12, 8)):
+        m = wa + wb
+        coeffs = np.array([law(i, wa, wb) for i in range(m + 1)])
+        coeffs[0] = 0.0
+        prototypes[(wa, wb)] = HdPowerModel(f"r{wa}x{wb}", m, coeffs)
+    regression = fit_rect_regression("csa_multiplier", prototypes)
+    assert regression.coefficient(3, 6, 4) == pytest.approx(
+        law(3, 6, 4), rel=1e-9
+    )
+    assert regression.coefficient(2, 10, 6) == pytest.approx(
+        law(2, 10, 6), rel=1e-9
+    )
+
+
+def test_rect_predict_model():
+    from repro.core import fit_rect_regression
+
+    def law(i, wa, wb):
+        return float(i) * (wa * wb)
+
+    prototypes = {}
+    for wa, wb in ((4, 4), (8, 4), (8, 8)):
+        m = wa + wb
+        coeffs = np.array([law(i, wa, wb) for i in range(m + 1)])
+        prototypes[(wa, wb)] = HdPowerModel(f"r{wa}x{wb}", m, coeffs)
+    regression = fit_rect_regression("csa_multiplier", prototypes)
+    model = regression.predict_model(6, 4)
+    assert model.width == 10
+    assert model.coefficients[0] == 0.0
+    assert model.coefficients[4] == pytest.approx(law(4, 6, 4), rel=1e-6)
+
+
+def test_rect_regression_validations():
+    from repro.core import fit_rect_regression
+
+    with pytest.raises(ValueError, match="prototype"):
+        fit_rect_regression("csa_multiplier", {})
+    prototypes = {
+        (4, 4): HdPowerModel("t", 8, np.zeros(9)),
+    }
+    regression = fit_rect_regression("csa_multiplier", prototypes)
+    with pytest.raises(ValueError, match="no regression data"):
+        regression.coefficient(9, 6, 4)
+
+
+def test_characterize_rect_prototype_set_end_to_end():
+    from repro.core import characterize_rect_prototype_set
+
+    prototypes = characterize_rect_prototype_set(
+        "csa_multiplier", [(4, 4), (4, 2)], n_patterns=600, seed=1
+    )
+    assert set(prototypes) == {(4, 4), (4, 2)}
+    assert prototypes[(4, 2)].width == 6
+
+
+def test_make_rect_multiplier_validations():
+    from repro.modules import make_rect_multiplier
+
+    with pytest.raises(KeyError, match="rectangular variants"):
+        make_rect_multiplier("ripple_adder", 4, 4)
+    module = make_rect_multiplier("booth_wallace_multiplier", 4, 6)
+    assert module.input_bits == 10
+    # functional spot-check
+    assert module.golden(3, 5) == 15

@@ -1,0 +1,86 @@
+"""Model persistence round trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EnhancedHdModel,
+    HdPowerModel,
+    OperandHdModel,
+    characterize_module,
+)
+from repro.core.serialize import (
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.modules import make_module
+
+
+def test_hd_model_roundtrip(tmp_path):
+    model = HdPowerModel.fit(
+        np.array([1, 1, 2, 3]), np.array([5.0, 7.0, 10.0, 20.0]), width=4,
+        name="toy",
+    )
+    path = tmp_path / "model.json"
+    save_model(path, model)
+    loaded = load_model(path)
+    assert isinstance(loaded, HdPowerModel)
+    assert loaded.name == "toy"
+    assert loaded.width == 4
+    assert np.allclose(loaded.coefficients, model.coefficients)
+    assert np.array_equal(loaded.counts, model.counts)
+    # NaN deviations survive the JSON trip
+    both_nan = np.isnan(loaded.deviations) == np.isnan(model.deviations)
+    assert both_nan.all()
+
+
+def test_enhanced_model_roundtrip(tmp_path):
+    module = make_module("ripple_adder", 4)
+    result = characterize_module(module, n_patterns=800, seed=0,
+                                 enhanced=True)
+    path = tmp_path / "enh.json"
+    save_model(path, result.enhanced)
+    loaded = load_model(path)
+    assert isinstance(loaded, EnhancedHdModel)
+    assert loaded.coefficients == result.enhanced.coefficients
+    assert np.allclose(
+        loaded.fallback.coefficients, result.enhanced.fallback.coefficients
+    )
+    hd = np.array([1, 2, 3])
+    zeros = np.array([3, 2, 1])
+    assert np.allclose(
+        loaded.predict_cycle(hd, zeros),
+        result.enhanced.predict_cycle(hd, zeros),
+    )
+
+
+def test_operand_model_roundtrip(tmp_path):
+    model = OperandHdModel.fit(
+        np.array([[1, 0], [0, 1], [2, 2]]),
+        np.array([1.0, 2.0, 10.0]),
+        [3, 3],
+        name="op",
+    )
+    path = tmp_path / "op.json"
+    save_model(path, model)
+    loaded = load_model(path)
+    assert isinstance(loaded, OperandHdModel)
+    assert loaded.coefficients == model.coefficients
+    assert loaded.operand_widths == (3, 3)
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(ValueError, match="unknown model type"):
+        model_from_dict({"type": "mystery"})
+    with pytest.raises(TypeError):
+        model_to_dict(object())
+
+
+def test_dict_is_json_clean():
+    import json
+
+    model = HdPowerModel("t", 3, np.array([0.0, 1.0, 2.0, 3.0]))
+    text = json.dumps(model_to_dict(model))
+    assert "NaN" not in text

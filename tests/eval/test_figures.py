@@ -1,0 +1,117 @@
+"""Figure reproductions: the qualitative shapes the paper shows."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    figure1,
+    figure2,
+    figure3_complexity,
+    figure4,
+    figure6,
+    figure9,
+)
+
+
+def test_figure1_shapes(small_harness):
+    series = figure1(
+        small_harness,
+        kinds_and_widths=(("ripple_adder", 4), ("csa_multiplier", 4)),
+    )
+    assert len(series) == 2
+    for s in series:
+        assert s.coefficients.shape == (9,)
+        # p_i grows overall with Hd
+        assert s.coefficients[-1] > s.coefficients[1]
+        # broadly monotone: allow small local dips
+        diffs = np.diff(s.coefficients[1:])
+        assert (diffs >= 0).mean() > 0.7
+
+
+def test_figure1_deviations_decrease_with_hd(small_harness):
+    """Paper: 'relative coefficient deviations are decreasing for larger
+    values of the Hamming-distance'."""
+    series = figure1(small_harness, kinds_and_widths=(("csa_multiplier", 4),))
+    dev = series[0].deviations
+    valid = ~np.isnan(dev)
+    idx = np.nonzero(valid)[0]
+    low = dev[idx[idx <= 3]].mean()
+    high = dev[idx[idx >= 6]].mean()
+    assert high < low
+
+
+def test_figure2_ordering(small_harness):
+    """all-stable-zeros curve below basic, no-stable-zeros above (low Hd)."""
+    series = figure2(small_harness, width=4)
+    m = series.width
+    for i in range(1, m // 2):
+        if not np.isnan(series.all_zeros[i]):
+            assert series.all_zeros[i] <= series.basic[i] + 1e-9
+        if not np.isnan(series.no_zeros[i]):
+            assert series.no_zeros[i] >= series.basic[i] - 1e-9
+
+
+def test_figure2_curves_populated(small_harness):
+    series = figure2(small_harness, width=4)
+    assert np.isfinite(series.all_zeros[1 : series.width]).sum() >= series.width - 2
+    assert np.isfinite(series.no_zeros[1 : series.width]).sum() >= series.width - 2
+
+
+def test_figure3_complexity_scaling():
+    rows = figure3_complexity(pairs=((4, 4), (6, 4), (8, 8)))
+    assert [r.predicted_complexity for r in rows] == [16.0, 24.0, 64.0]
+    # FA-equivalent count tracks m1*m0 within a constant factor
+    ratios = [r.n_full_adders_equivalent / r.predicted_complexity for r in rows]
+    assert max(ratios) / min(ratios) < 1.8
+    # 6x4 has more cells than 4x4 (the Figure 3 visual point)
+    assert rows[1].n_gates > rows[0].n_gates
+
+
+def test_figure4_regression_tracks_instances(small_harness):
+    series = figure4(
+        small_harness,
+        kinds=("ripple_adder",),
+        class_indices=(2, 5),
+        full_widths=(4, 6, 8),
+        n_prototype_patterns=1200,
+    )
+    assert len(series) == 2
+    for s in series:
+        assert set(s.regression) == {"ALL", "SEC", "THI"}
+        rel = np.abs(s.regression["ALL"] - s.instance) / s.instance
+        assert rel.mean() < 0.25
+
+
+def test_figure6_fields(small_harness):
+    result = figure6(small_harness, width=4, data_type="III")
+    assert result.hd_probabilities.sum() == pytest.approx(1.0)
+    assert np.allclose(
+        result.products,
+        result.hd_probabilities * result.coefficients,
+    )
+    assert result.distribution_estimate == pytest.approx(
+        result.products.sum()
+    )
+    assert 0 <= result.average_hd <= 8
+
+
+def test_figure6_analytic_variant(small_harness):
+    result = figure6(
+        small_harness, width=4, data_type="III", analytic_distribution=True
+    )
+    assert result.hd_probabilities.sum() == pytest.approx(1.0)
+
+
+def test_figure9_distribution_match():
+    result = figure9(width=16, n=8000, seed=7)
+    assert result.extracted.shape == (17,)
+    assert result.estimated.shape == (17,)
+    assert result.estimated.sum() == pytest.approx(1.0)
+    assert result.total_variation < 0.2
+
+
+def test_figure9_speech_is_bimodal():
+    """The sign region puts visible mass away from the binomial bulk."""
+    result = figure9(width=16, n=10000, seed=8, data_type="III")
+    assert result.dbt.n_sign >= 2
+    assert result.dbt.t_sign < 0.2

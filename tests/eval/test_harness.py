@@ -1,0 +1,114 @@
+"""Experiment harness: caching and row structure."""
+
+import numpy as np
+import pytest
+
+from repro.eval import ExperimentConfig, Harness
+from repro.signals import random_stream
+
+
+def test_module_cache(small_harness):
+    a = small_harness.module("ripple_adder", 4)
+    b = small_harness.module("ripple_adder", 4)
+    assert a is b
+
+
+def test_characterization_cache(small_harness):
+    a = small_harness.characterization("ripple_adder", 4)
+    b = small_harness.characterization("ripple_adder", 4)
+    assert a is b
+    enhanced = small_harness.characterization("ripple_adder", 4, enhanced=True)
+    assert enhanced is not a
+    assert enhanced.enhanced is not None
+
+
+def test_evaluation_data_cache(small_harness):
+    a = small_harness.evaluation_data("ripple_adder", 4, "I")
+    b = small_harness.evaluation_data("ripple_adder", 4, "I")
+    assert a is b
+
+
+def test_evaluate_row_fields(small_harness):
+    row = small_harness.evaluate("ripple_adder", 4, "I")
+    assert row.kind == "ripple_adder"
+    assert row.operand_width == 4
+    assert row.data_type == "I"
+    assert row.cycle_error_basic >= 0.0
+    assert row.cycle_error_enhanced is None
+    assert row.reference_average_charge > 0
+
+
+def test_evaluate_enhanced_fields(small_harness):
+    row = small_harness.evaluate("ripple_adder", 4, "I", enhanced=True)
+    assert row.cycle_error_enhanced is not None
+    assert row.average_error_enhanced is not None
+
+
+def test_random_data_small_average_error(small_harness):
+    """Characterization statistics = evaluation statistics -> tiny ε."""
+    row = small_harness.evaluate("ripple_adder", 4, "I")
+    assert abs(row.average_error_basic) < 6.0
+
+
+def test_evaluate_streams(small_harness):
+    streams = [random_stream(4, 400, seed=1), random_stream(4, 400, seed=2)]
+    row = small_harness.evaluate_streams("ripple_adder", 4, streams)
+    assert row.data_type == "random,random"
+    assert row.cycle_error_basic >= 0.0
+
+
+def test_deterministic_across_instances():
+    config = ExperimentConfig(n_characterization=800, n_eval=600)
+    row_a = Harness(config).evaluate("ripple_adder", 4, "III")
+    row_b = Harness(config).evaluate("ripple_adder", 4, "III")
+    assert row_a == row_b
+
+
+def test_config_affects_results():
+    base = ExperimentConfig(n_characterization=800, n_eval=600, seed=1)
+    other = ExperimentConfig(n_characterization=800, n_eval=600, seed=2)
+    row_a = Harness(base).evaluate("ripple_adder", 4, "I")
+    row_b = Harness(other).evaluate("ripple_adder", 4, "I")
+    assert row_a != row_b
+
+
+def test_glitch_config_propagates_to_simulator():
+    config = ExperimentConfig(
+        n_characterization=600, n_eval=400, glitch_aware=False
+    )
+    harness = Harness(config)
+    sim = harness.simulator("ripple_adder", 4)
+    assert sim.glitch_aware is False
+    glitchy = Harness(
+        ExperimentConfig(n_characterization=600, n_eval=400)
+    )
+    row_clean = harness.evaluate("ripple_adder", 4, "I")
+    row_glitchy = glitchy.evaluate("ripple_adder", 4, "I")
+    assert (
+        row_clean.reference_average_charge
+        < row_glitchy.reference_average_charge
+    )
+
+
+def test_glitch_weight_config():
+    half = Harness(
+        ExperimentConfig(n_characterization=600, n_eval=400,
+                         glitch_weight=0.5)
+    )
+    full = Harness(ExperimentConfig(n_characterization=600, n_eval=400))
+    row_half = half.evaluate("csa_multiplier", 4, "I")
+    row_full = full.evaluate("csa_multiplier", 4, "I")
+    assert (
+        row_half.reference_average_charge < row_full.reference_average_charge
+    )
+
+
+def test_basic_stimulus_config():
+    literal = Harness(
+        ExperimentConfig(n_characterization=800, n_eval=400,
+                         basic_stimulus="random")
+    )
+    model = literal.characterization("ripple_adder", 12).model
+    # Plain random characterization of a 24-input module leaves the Hd=1
+    # class unobserved (binomial concentration).
+    assert model.counts[1] == 0

@@ -1,0 +1,57 @@
+"""Machine-readable paper data: internal consistency."""
+
+import numpy as np
+import pytest
+
+from repro.eval.paper_data import (
+    PAPER_TABLE1,
+    PAPER_TABLE1_AVERAGES,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+)
+from repro.modules import PAPER_MODULE_KINDS
+
+
+def test_table1_covers_all_modules_and_widths():
+    kinds = {k for k, _ in PAPER_TABLE1}
+    assert kinds == set(PAPER_MODULE_KINDS)
+    for kind in kinds:
+        widths = {w for k, w in PAPER_TABLE1 if k == kind}
+        assert widths == {8, 12, 16}
+
+
+def test_table1_cells_complete():
+    for cell in PAPER_TABLE1.values():
+        assert set(cell) == {"cycle", "average"}
+        for metric in cell.values():
+            assert set(metric) == {"I", "II", "III", "IV", "V"}
+            assert all(v >= 0 for v in metric.values())
+
+
+def test_table1_column_averages_match_cells():
+    """The transcribed bottom row equals the mean of the transcribed cells
+    (rounded to integers, as printed in the paper)."""
+    for metric in ("cycle", "average"):
+        for dt in ("I", "II", "III", "IV", "V"):
+            cells = [c[metric][dt] for c in PAPER_TABLE1.values()]
+            mean = np.mean(cells)
+            assert abs(mean - PAPER_TABLE1_AVERAGES[metric][dt]) <= 1.0, (
+                metric, dt, mean,
+            )
+
+
+def test_table2_enhancement_always_improves_in_paper():
+    for dt, (cb, ce, ab, ae) in PAPER_TABLE2.items():
+        assert ce <= cb
+        assert ae <= ab
+
+
+def test_table3_instance_rows_are_zero_error():
+    for (kind, source), row in PAPER_TABLE3.items():
+        if source == "inst":
+            assert row["p1"] == row["p5"] == row["p8"] == row["avg"] == 0
+
+
+def test_table3_counter_is_worst_everywhere():
+    for row in PAPER_TABLE3.values():
+        assert row["V"] >= row["I"]

@@ -1,0 +1,86 @@
+"""ASCII rendering utilities."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    figure2,
+    figure6,
+    figure9,
+    format_table,
+    render_figure1,
+    render_figure2,
+    render_figure6,
+    render_figure9,
+    render_table1,
+    render_table2,
+    render_table3,
+    sparkline,
+    table1,
+    table2,
+    table3,
+    figure1,
+)
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert "2.5" in text and "3.2" in text
+
+
+def test_format_table_nan_rendered_as_dash():
+    text = format_table(["x"], [[float("nan")]])
+    assert "-" in text
+
+
+def test_sparkline_length_and_scaling():
+    line = sparkline([0, 1, 2, 4])
+    assert len(line) == 4
+    assert line[0] == " "
+    assert line[-1] == "@"
+
+
+def test_sparkline_handles_nan_and_zero():
+    assert len(sparkline([np.nan, 0.0])) == 2
+    assert sparkline([0.0, 0.0]) == "  "
+
+
+def test_render_table1(small_harness):
+    t = table1(small_harness, kinds=("ripple_adder",), widths=(4,),
+               data_types=("I", "V"))
+    text = render_table1(t)
+    assert "Table 1" in text
+    assert "ripple_adder" in text
+    assert "average" in text
+
+
+def test_render_table2(small_harness):
+    rows = table2(small_harness, width=4, data_types=("I",))
+    text = render_table2(rows)
+    assert "Table 2" in text and "enhanced" in text
+
+
+def test_render_table3(small_harness):
+    rows = table3(
+        small_harness, kinds=("ripple_adder",), target_width=4,
+        full_widths=(4, 6), data_types=("I",),
+        n_prototype_patterns=500, tracked_classes=(1, 3),
+    )
+    text = render_table3(rows)
+    assert "Table 3" in text and "THI" in text
+
+
+def test_render_figures(small_harness):
+    f1 = render_figure1(
+        figure1(small_harness, kinds_and_widths=(("ripple_adder", 4),))
+    )
+    assert "Figure 1" in f1
+    f2 = render_figure2(figure2(small_harness, width=4))
+    assert "Figure 2" in f2
+    f6 = render_figure6(figure6(small_harness, width=4))
+    assert "Figure 6" in f6 and "avg-Hd-only error" in f6
+    f9 = render_figure9(figure9(width=8, n=2000))
+    assert "Figure 9" in f9 and "total variation" in f9

@@ -1,0 +1,56 @@
+"""Parameter sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    amplitude_sweep,
+    correlation_sweep,
+    render_sweep,
+    width_sweep,
+)
+
+
+def test_correlation_sweep_points(small_harness):
+    points = correlation_sweep(
+        small_harness, kind="ripple_adder", width=4,
+        rhos=(0.0, 0.9), n=800,
+    )
+    assert [p.parameter for p in points] == [0.0, 0.9]
+    for p in points:
+        assert p.reference_charge > 0
+        assert p.cycle_error >= 0
+
+
+def test_correlation_reduces_power(small_harness):
+    points = correlation_sweep(
+        small_harness, kind="ripple_adder", width=4,
+        rhos=(0.0, 0.95), n=1500,
+    )
+    assert points[1].reference_charge < points[0].reference_charge
+
+
+def test_amplitude_sweep_points(small_harness):
+    points = amplitude_sweep(
+        small_harness, kind="ripple_adder", width=4,
+        sigmas=(0.1, 0.4), n=800,
+    )
+    assert len(points) == 2
+    assert points[0].parameter == 0.1
+
+
+def test_width_sweep_scaling(small_harness):
+    points = width_sweep(
+        small_harness, kind="ripple_adder", widths=(4, 8), data_type="I"
+    )
+    # Linear module: power roughly doubles with width.
+    ratio = points[1].reference_charge / points[0].reference_charge
+    assert 1.5 < ratio < 3.0
+
+
+def test_render_sweep(small_harness):
+    points = width_sweep(
+        small_harness, kind="ripple_adder", widths=(4,), data_type="I"
+    )
+    text = render_sweep(points, "width")
+    assert "width" in text and "ref charge" in text

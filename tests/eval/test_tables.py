@@ -1,0 +1,96 @@
+"""Table reproductions: structure and qualitative claims."""
+
+import numpy as np
+import pytest
+
+from repro.eval import table1, table2, table3
+
+
+@pytest.fixture(scope="module")
+def t1(small_harness):
+    return table1(
+        small_harness,
+        kinds=("ripple_adder", "csa_multiplier"),
+        widths=(4, 6),
+        data_types=("I", "III", "V"),
+    )
+
+
+def test_table1_shape(t1):
+    assert len(t1.rows) == 4
+    assert t1.data_types == ("I", "III", "V")
+    for row in t1.rows:
+        assert set(row.cycle_errors) == {"I", "III", "V"}
+        assert set(row.average_errors) == {"I", "III", "V"}
+
+
+def test_table1_cycle_errors_dominate_average(t1):
+    """Key claim of Section 4.2: ε_a >> |ε|."""
+    for row in t1.rows:
+        for dt in t1.data_types:
+            assert row.cycle_errors[dt] >= abs(row.average_errors[dt]) - 1e-9
+
+
+def test_table1_random_is_best_average(t1):
+    cyc, avg = t1.averages()
+    assert avg["I"] <= avg["III"]
+    assert avg["I"] <= avg["V"]
+
+
+def test_table1_counter_is_worst(t1):
+    __, avg = t1.averages()
+    assert avg["V"] >= avg["III"]
+
+
+def test_table1_averages_row(t1):
+    cyc, avg = t1.averages()
+    manual = np.mean([r.cycle_errors["I"] for r in t1.rows])
+    assert cyc["I"] == pytest.approx(manual)
+
+
+def test_table2_enhancement(small_harness):
+    rows = table2(small_harness, width=4, data_types=("I", "V"))
+    by_type = {r.data_type: r for r in rows}
+    # Enhanced model must substantially improve the counter stream (V).
+    v = by_type["V"]
+    assert abs(v.average_error_enhanced) < abs(v.average_error_basic)
+    # And not break the matched-statistics case.
+    i = by_type["I"]
+    assert abs(i.average_error_enhanced) < 10.0
+
+
+def test_table3_structure(small_harness):
+    rows = table3(
+        small_harness,
+        kinds=("ripple_adder",),
+        target_width=4,
+        full_widths=(4, 6, 8),
+        data_types=("I", "V"),
+        n_prototype_patterns=800,
+        tracked_classes=(1, 3),
+    )
+    sources = [r.source for r in rows]
+    assert sources == ["inst", "ALL", "SEC", "THI"]
+    inst = rows[0]
+    assert inst.parameter_errors["avg"] == 0.0
+    for row in rows[1:]:
+        assert set(row.estimation_errors) == {"I", "V"}
+        assert row.parameter_errors["avg"] >= 0.0
+
+
+def test_table3_regression_errors_small(small_harness):
+    """Regressed coefficients should stay within tens of percent even for
+    the THI subset (the paper's 'small differences' claim)."""
+    rows = table3(
+        small_harness,
+        kinds=("ripple_adder",),
+        target_width=6,
+        full_widths=(4, 6, 8, 10),
+        data_types=("I",),
+        n_prototype_patterns=1500,
+        tracked_classes=(2, 5),
+    )
+    for row in rows:
+        if row.source == "inst":
+            continue
+        assert row.parameter_errors["avg"] < 30.0

@@ -1,0 +1,81 @@
+"""JSON graph descriptions."""
+
+import json
+
+import pytest
+
+from repro.flow import graph_from_dict, graph_to_dict, load_graph
+from repro.stats import WordStats
+
+
+def _example():
+    return {
+        "inputs": {"x": {"mean": 1.0, "variance": 100.0, "rho": 0.7}},
+        "nodes": [
+            {"name": "x1", "op": "delay", "inputs": ["x"]},
+            {"name": "p", "op": "cmul", "inputs": ["x"],
+             "coefficient": 0.25},
+            {"name": "s", "op": "add", "inputs": ["p", "x1"], "width": 12},
+            {"name": "m", "op": "mux", "inputs": ["s", "x"],
+             "select_prob": 0.3},
+        ],
+    }
+
+
+def test_graph_from_dict_builds_everything():
+    graph, widths = graph_from_dict(_example())
+    assert graph.names() == ["x", "x1", "p", "s", "m"]
+    assert widths == {"s": 12}
+    assert graph.node("p").coefficient == 0.25
+    assert graph.node("m").select_prob == 0.3
+    graph.propagate()
+    assert graph.stats("s").variance > 0
+
+
+def test_missing_inputs_rejected():
+    with pytest.raises(ValueError, match="at least one input"):
+        graph_from_dict({"nodes": []})
+
+
+def test_incomplete_input_stats_rejected():
+    with pytest.raises(ValueError, match="missing"):
+        graph_from_dict({"inputs": {"x": {"mean": 0.0}}})
+
+
+def test_unknown_op_rejected():
+    data = _example()
+    data["nodes"][0]["op"] = "fft"
+    with pytest.raises(ValueError, match="unknown op"):
+        graph_from_dict(data)
+
+
+def test_wrong_arity_rejected():
+    data = _example()
+    data["nodes"][2]["inputs"] = ["p"]
+    with pytest.raises(ValueError, match="takes 2 inputs"):
+        graph_from_dict(data)
+
+
+def test_nameless_node_rejected():
+    data = _example()
+    del data["nodes"][0]["name"]
+    with pytest.raises(ValueError, match="missing"):
+        graph_from_dict(data)
+
+
+def test_load_graph(tmp_path):
+    path = tmp_path / "g.json"
+    path.write_text(json.dumps(_example()))
+    graph, widths = load_graph(path)
+    assert "m" in graph.names()
+
+
+def test_roundtrip_dict():
+    graph, widths = graph_from_dict(_example())
+    data = graph_to_dict(graph, widths)
+    graph2, widths2 = graph_from_dict(data)
+    assert graph2.names() == graph.names()
+    assert widths2 == widths
+    assert data["inputs"]["x"]["rho"] == pytest.approx(0.7)
+    ops = {n["name"]: n["op"] for n in data["nodes"]}
+    assert ops == {"x1": "delay", "p": "cmul", "s": "add", "m": "mux"}

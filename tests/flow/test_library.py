@@ -1,0 +1,60 @@
+"""ModelLibrary: caching and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import HdPowerModel
+from repro.flow import ModelLibrary
+
+
+def test_model_is_cached():
+    lib = ModelLibrary(n_patterns=600, seed=1)
+    a = lib.model("ripple_adder", 4)
+    b = lib.model("ripple_adder", 4)
+    assert a is b
+    assert ("ripple_adder", 4) in lib.cached()
+
+
+def test_module_is_cached():
+    lib = ModelLibrary(n_patterns=600)
+    assert lib.module("absval", 4) is lib.module("absval", 4)
+
+
+def test_disk_backing_roundtrip(tmp_path):
+    lib = ModelLibrary(n_patterns=600, seed=2, directory=tmp_path)
+    model = lib.model("ripple_adder", 4)
+    path = tmp_path / "ripple_adder_4.json"
+    assert path.exists()
+    # A fresh library loads the persisted model instead of characterizing.
+    lib2 = ModelLibrary(n_patterns=600, seed=999, directory=tmp_path)
+    loaded = lib2.model("ripple_adder", 4)
+    assert np.allclose(loaded.coefficients, model.coefficients)
+
+
+def test_register_external_model():
+    lib = ModelLibrary(n_patterns=600)
+    model = HdPowerModel("ext", 8, np.linspace(0, 10, 9))
+    lib.register("ripple_adder", 4, model)
+    assert lib.model("ripple_adder", 4) is model
+
+
+def test_register_validates_width():
+    lib = ModelLibrary(n_patterns=600)
+    with pytest.raises(ValueError, match="does not match"):
+        lib.register("ripple_adder", 4, HdPowerModel("bad", 4, np.zeros(5)))
+
+
+def test_wrong_model_type_on_disk(tmp_path):
+    from repro.core import EnhancedHdModel, characterize_module
+    from repro.core.serialize import save_model
+    from repro.modules import make_module
+
+    module = make_module("ripple_adder", 4)
+    enhanced = characterize_module(
+        module, n_patterns=400, seed=0, enhanced=True
+    ).enhanced
+    path = tmp_path / "ripple_adder_4.json"
+    save_model(path, enhanced)
+    lib = ModelLibrary(n_patterns=400, directory=tmp_path)
+    with pytest.raises(TypeError, match="basic Hd model"):
+        lib.model("ripple_adder", 4)

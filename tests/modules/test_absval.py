@@ -1,0 +1,53 @@
+"""Absolute-value module."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.compiled import CompiledNetlist
+from repro.circuit.simulate import evaluate_outputs
+from repro.modules import absval, golden_absval
+
+
+def _run(netlist, width, values):
+    compiled = CompiledNetlist(netlist)
+    w = np.asarray(values, dtype=np.int64)
+    bits = ((w[:, None] >> np.arange(width)) & 1).astype(bool)
+    out = evaluate_outputs(compiled, bits)
+    return (out.astype(np.int64) << np.arange(out.shape[1])).sum(axis=1)
+
+
+@pytest.mark.parametrize("width", [2, 3, 4, 6, 8])
+def test_absval_exhaustive(width):
+    values = np.arange(1 << width)
+    golden = golden_absval(width)
+    got = _run(absval(width), width, values)
+    expected = np.array([golden(int(v)) for v in values])
+    assert np.array_equal(got, expected)
+
+
+def test_absval_semantics():
+    golden = golden_absval(8)
+    assert golden(0) == 0
+    assert golden(5) == 5
+    assert golden(256 - 5) == 5  # |-5| = 5
+    assert golden(128) == 128  # |-128| wraps to itself
+    assert golden(127) == 127
+
+
+def test_absval_minimum_width():
+    with pytest.raises(ValueError):
+        absval(1)
+
+
+def test_absval_output_width():
+    netlist = absval(8)
+    assert len(netlist.outputs) == 8
+    assert len(netlist.inputs) == 8
+
+
+def test_absval_positive_inputs_cheap():
+    """For non-negative inputs the conditional-negate path is idle, so the
+    structure reduces to wires through the XOR stage."""
+    values = np.arange(0, 128)
+    got = _run(absval(8), 8, values)
+    assert np.array_equal(got, values)

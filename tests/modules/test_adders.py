@@ -1,0 +1,174 @@
+"""Adder family: functional correctness against integer semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.compiled import CompiledNetlist
+from repro.circuit.simulate import evaluate_outputs
+from repro.modules import (
+    carry_select_adder,
+    cla_adder,
+    golden_adder,
+    golden_incrementer,
+    golden_subtractor,
+    incrementer,
+    make_module,
+    ripple_adder,
+    ripple_subtractor,
+)
+
+
+def _run(netlist, words_lists):
+    """Evaluate the netlist on equal-width operands given as word lists."""
+    compiled = CompiledNetlist(netlist)
+    per = len(netlist.inputs) // len(words_lists)
+    cols = []
+    for words in words_lists:
+        w = np.asarray(words, dtype=np.int64)
+        cols.append(((w[:, None] >> np.arange(per)) & 1).astype(bool))
+    bits = np.concatenate(cols, axis=1)
+    out = evaluate_outputs(compiled, bits)
+    return (out.astype(np.int64) << np.arange(out.shape[1])).sum(axis=1)
+
+
+def _exhaustive_pairs(width):
+    values = np.arange(1 << width)
+    a, b = np.meshgrid(values, values, indexing="ij")
+    return a.ravel(), b.ravel()
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 4, 5])
+def test_ripple_adder_exhaustive(width):
+    a, b = _exhaustive_pairs(width)
+    golden = golden_adder(width)
+    got = _run(ripple_adder(width), [a, b])
+    expected = np.array([golden(int(x), int(y)) for x, y in zip(a, b)])
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 4, 5, 7])
+def test_cla_adder_exhaustive(width):
+    a, b = _exhaustive_pairs(width)
+    golden = golden_adder(width)
+    got = _run(cla_adder(width), [a, b])
+    expected = np.array([golden(int(x), int(y)) for x, y in zip(a, b)])
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("block", [1, 2, 3, 5])
+def test_cla_adder_block_sizes(block):
+    a, b = _exhaustive_pairs(4)
+    golden = golden_adder(4)
+    got = _run(cla_adder(4, block_size=block), [a, b])
+    expected = np.array([golden(int(x), int(y)) for x, y in zip(a, b)])
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("width", [2, 4, 6])
+def test_carry_select_adder_exhaustive(width):
+    a, b = _exhaustive_pairs(width)
+    golden = golden_adder(width)
+    got = _run(carry_select_adder(width), [a, b])
+    expected = np.array([golden(int(x), int(y)) for x, y in zip(a, b)])
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("width", [1, 3, 4, 6])
+def test_subtractor_exhaustive(width):
+    a, b = _exhaustive_pairs(width)
+    golden = golden_subtractor(width)
+    got = _run(ripple_subtractor(width), [a, b])
+    expected = np.array([golden(int(x), int(y)) for x, y in zip(a, b)])
+    assert np.array_equal(got, expected)
+
+
+def test_subtractor_semantics():
+    golden = golden_subtractor(8)
+    # 5 - 3 = 2 with cout (no borrow) set.
+    assert golden(5, 3) == 2 | (1 << 8)
+    # 3 - 5 = -2 -> 254 without cout.
+    assert golden(3, 5) == 254
+
+
+@pytest.mark.parametrize("width", [1, 2, 4, 8])
+def test_incrementer_exhaustive(width):
+    values = np.arange(1 << width)
+    golden = golden_incrementer(width)
+    got = _run(incrementer(width), [values])
+    expected = np.array([golden(int(v)) for v in values])
+    assert np.array_equal(got, expected)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, (1 << 16) - 1), st.integers(0, (1 << 16) - 1))
+def test_ripple_adder_16_matches_integer_addition(a, b):
+    module = make_module("ripple_adder", 16)
+    got = _run(module.netlist, [[a], [b]])[0]
+    assert got == (a + b) & 0x1FFFF
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, (1 << 12) - 1), st.integers(0, (1 << 12) - 1))
+def test_cla_equals_ripple(a, b):
+    """Two adder topologies must agree bit-for-bit."""
+    got_r = _run(ripple_adder(12), [[a], [b]])[0]
+    got_c = _run(cla_adder(12), [[a], [b]])[0]
+    assert got_r == got_c
+
+
+def test_adder_gate_count_scales_linearly():
+    g8 = ripple_adder(8).n_gates
+    g16 = ripple_adder(16).n_gates
+    assert abs(g16 - 2 * g8) <= 2
+
+
+def test_invalid_widths_rejected():
+    with pytest.raises(ValueError):
+        ripple_adder(0)
+    with pytest.raises(ValueError):
+        cla_adder(0)
+    with pytest.raises(ValueError):
+        cla_adder(4, block_size=0)
+    with pytest.raises(ValueError):
+        incrementer(0)
+    with pytest.raises(ValueError):
+        ripple_subtractor(0)
+    with pytest.raises(ValueError):
+        carry_select_adder(0)
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 4, 5, 6, 8])
+def test_kogge_stone_exhaustive_or_random(width):
+    from repro.modules import kogge_stone_adder
+
+    golden = golden_adder(width)
+    if width <= 6:
+        a, b = _exhaustive_pairs(width)
+    else:
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 1 << width, 500)
+        b = rng.integers(0, 1 << width, 500)
+    got = _run(kogge_stone_adder(width), [a, b])
+    expected = np.array([golden(int(x), int(y)) for x, y in zip(a, b)])
+    assert np.array_equal(got, expected)
+
+
+def test_kogge_stone_is_log_depth():
+    from repro.modules import kogge_stone_adder, ripple_adder
+
+    ks = kogge_stone_adder(16)
+    rc = ripple_adder(16)
+    # depth ~ log2(w) + 2 for KS vs ~w for the ripple chain
+    assert ks.depth() <= rc.depth() * 0.6
+    # ... at the cost of more gates.
+    assert ks.n_gates > rc.n_gates
+
+
+def test_kogge_stone_registered():
+    from repro.modules import make_module
+
+    module = make_module("kogge_stone_adder", 8)
+    assert module.output_width == 9
+    assert module.golden(200, 100) == 300

@@ -1,0 +1,138 @@
+"""Comparator, ALU, barrel shifter, word mux."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.circuit.compiled import CompiledNetlist
+from repro.circuit.simulate import evaluate_outputs
+from repro.modules import (
+    alu,
+    barrel_shifter,
+    comparator,
+    golden_alu,
+    golden_barrel_shifter,
+    golden_comparator,
+    golden_mux_word,
+    mux_word,
+)
+
+
+def _run(netlist, widths, *word_arrays):
+    compiled = CompiledNetlist(netlist)
+    cols = []
+    for width, words in zip(widths, word_arrays):
+        w = np.asarray(words, dtype=np.int64)
+        cols.append(((w[:, None] >> np.arange(width)) & 1).astype(bool))
+    bits = np.concatenate(cols, axis=1)
+    out = evaluate_outputs(compiled, bits)
+    return (out.astype(np.int64) << np.arange(out.shape[1])).sum(axis=1)
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 4, 5])
+def test_comparator_exhaustive(width):
+    pairs = list(itertools.product(range(1 << width), repeat=2))
+    a = np.array([p[0] for p in pairs])
+    b = np.array([p[1] for p in pairs])
+    golden = golden_comparator(width)
+    got = _run(comparator(width), (width, width), a, b)
+    expected = np.array([golden(int(x), int(y)) for x, y in pairs])
+    assert np.array_equal(got, expected)
+
+
+def test_comparator_signed_ordering():
+    golden = golden_comparator(4)
+    # -8 (pattern 8) < 7 (pattern 7)
+    assert golden(8, 7) == 0b10
+    # 7 > -8
+    assert golden(7, 8) == 0b00
+    # equal
+    assert golden(5, 5) == 0b01
+
+
+@pytest.mark.parametrize("width", [2, 3, 4])
+def test_alu_exhaustive(width):
+    combos = list(
+        itertools.product(range(1 << width), range(1 << width), range(4))
+    )
+    a = np.array([c[0] for c in combos])
+    b = np.array([c[1] for c in combos])
+    op = np.array([c[2] for c in combos])
+    golden = golden_alu(width)
+    got = _run(alu(width), (width, width, 2), a, b, op)
+    expected = np.array([golden(int(x), int(y), int(o)) for x, y, o in combos])
+    assert np.array_equal(got, expected)
+
+
+def test_alu_operations():
+    golden = golden_alu(8)
+    assert golden(5, 3, 0) == 8  # add
+    assert golden(5, 3, 1) == 2 | (1 << 8)  # sub, no borrow -> cout
+    assert golden(0b1100, 0b1010, 2) == 0b1000  # and
+    assert golden(0b1100, 0b1010, 3) == 0b0110  # xor
+
+
+@pytest.mark.parametrize("width", [2, 4, 8])
+def test_barrel_shifter_exhaustive(width):
+    n_sh = max(1, int(np.ceil(np.log2(width))))
+    combos = list(itertools.product(range(1 << width), range(1 << n_sh)))
+    a = np.array([c[0] for c in combos])
+    sh = np.array([c[1] for c in combos])
+    golden = golden_barrel_shifter(width)
+    got = _run(barrel_shifter(width), (width, n_sh), a, sh)
+    expected = np.array([golden(int(x), int(s)) for x, s in combos])
+    assert np.array_equal(got, expected)
+
+
+def test_barrel_shifter_drops_overflow():
+    golden = golden_barrel_shifter(8)
+    assert golden(0b10000001, 1) == 0b00000010
+
+
+@pytest.mark.parametrize("width", [1, 3, 4])
+def test_mux_word_exhaustive(width):
+    combos = list(
+        itertools.product(range(1 << width), range(1 << width), range(2))
+    )
+    w0 = np.array([c[0] for c in combos])
+    w1 = np.array([c[1] for c in combos])
+    sel = np.array([c[2] for c in combos])
+    golden = golden_mux_word(width, 2)
+    got = _run(mux_word(width, 2), (width, width, 1), w0, w1, sel)
+    expected = np.array([golden(int(a), int(b), int(s)) for a, b, s in combos])
+    assert np.array_equal(got, expected)
+
+
+def test_mux_word_four_way():
+    width, n_words = 3, 4
+    netlist = mux_word(width, n_words)
+    golden = golden_mux_word(width, n_words)
+    rng = np.random.default_rng(0)
+    words = [rng.integers(0, 1 << width, 50) for _ in range(n_words)]
+    sel = rng.integers(0, n_words, 50)
+    got = _run(netlist, (width,) * n_words + (2,), *words, sel)
+    expected = np.array(
+        [golden(*(int(w[i]) for w in words), int(sel[i])) for i in range(50)]
+    )
+    assert np.array_equal(got, expected)
+
+
+def test_mux_word_requires_power_of_two():
+    with pytest.raises(ValueError):
+        mux_word(4, 3)
+
+
+def test_barrel_shifter_min_width():
+    with pytest.raises(ValueError):
+        barrel_shifter(1)
+
+
+def test_alu_min_width():
+    with pytest.raises(ValueError):
+        alu(0)
+
+
+def test_comparator_min_width():
+    with pytest.raises(ValueError):
+        comparator(0)

@@ -1,0 +1,104 @@
+"""Module registry: specs, conventions, complexity features."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.simulate import evaluate_outputs
+from repro.modules import (
+    MODULE_KINDS,
+    PAPER_MODULE_KINDS,
+    complexity_features,
+    make_module,
+    module_kinds,
+)
+
+
+def test_all_kinds_listed():
+    kinds = module_kinds()
+    assert "ripple_adder" in kinds
+    assert "csa_multiplier" in kinds
+    assert kinds == sorted(kinds)
+
+
+def test_paper_kinds_subset_of_registry():
+    for kind in PAPER_MODULE_KINDS:
+        assert kind in MODULE_KINDS
+
+
+def test_paper_kind_set_matches_table1():
+    assert set(PAPER_MODULE_KINDS) == {
+        "ripple_adder",
+        "cla_adder",
+        "absval",
+        "csa_multiplier",
+        "booth_wallace_multiplier",
+    }
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(KeyError, match="unknown module kind"):
+        make_module("quantum_adder", 8)
+
+
+@pytest.mark.parametrize("kind", sorted(MODULE_KINDS))
+def test_every_kind_builds_and_validates(kind):
+    module = make_module(kind, 4)
+    module.netlist.validate()
+    assert module.input_bits == len(module.netlist.inputs)
+    assert module.output_width == len(module.netlist.outputs)
+    assert module.operand_width == module.operand_specs[0][1]
+
+
+def test_input_bits_convention():
+    assert make_module("ripple_adder", 8).input_bits == 16
+    assert make_module("absval", 16).input_bits == 16
+    assert make_module("csa_multiplier", 8).input_bits == 16
+
+
+def test_complexity_features_shapes():
+    assert np.allclose(complexity_features("ripple_adder", 8), [8, 1])
+    assert np.allclose(complexity_features("csa_multiplier", 8), [64, 8, 1])
+
+
+@pytest.mark.parametrize("kind", sorted(MODULE_KINDS))
+def test_golden_matches_netlist_on_random(kind):
+    module = make_module(kind, 4)
+    rng = np.random.default_rng(7)
+    words = [rng.integers(0, 1 << w, 64) for _, w in module.operand_specs]
+    bits = module.pack_inputs(*words)
+    out = evaluate_outputs(module.compiled, bits)
+    got = (out.astype(np.int64) << np.arange(out.shape[1])).sum(axis=1)
+    expected = np.array(
+        [module.golden(*(int(w[i]) for w in words)) for i in range(64)]
+    )
+    assert np.array_equal(got, expected)
+
+
+def test_pack_inputs_validations(ripple8):
+    with pytest.raises(ValueError, match="operands"):
+        ripple8.pack_inputs(np.array([1]))
+    with pytest.raises(ValueError, match="out of range"):
+        ripple8.pack_inputs(np.array([256]), np.array([0]))
+    with pytest.raises(ValueError, match="out of range"):
+        ripple8.pack_inputs(np.array([-1]), np.array([0]))
+
+
+def test_pack_inputs_bit_order(ripple8):
+    bits = ripple8.pack_inputs(np.array([1]), np.array([128]))
+    assert bits.shape == (1, 16)
+    assert bits[0, 0] and not bits[0, 1:8].any()  # a = 1 -> LSB first
+    assert bits[0, 15] and not bits[0, 8:15].any()  # b = 128 -> MSB of b
+
+
+def test_compiled_is_cached(ripple8):
+    assert ripple8.compiled is ripple8.compiled
+
+
+def test_gate_counts_reasonable():
+    """Structural sanity: CLA is bigger than ripple, Booth-Wallace and CSA
+    multipliers dwarf the adders."""
+    ripple = make_module("ripple_adder", 8).netlist.n_gates
+    cla = make_module("cla_adder", 8).netlist.n_gates
+    csa = make_module("csa_multiplier", 8).netlist.n_gates
+    assert cla > ripple
+    assert csa > 5 * ripple

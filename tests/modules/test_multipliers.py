@@ -1,0 +1,205 @@
+"""Multipliers: signed semantics, rectangular shapes, CSD recoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.compiled import CompiledNetlist
+from repro.circuit.simulate import evaluate_outputs
+from repro.modules import (
+    booth_wallace_multiplier,
+    constant_multiplier,
+    csa_multiplier,
+    golden_constant_multiplier,
+    golden_multiplier,
+)
+from repro.modules.multipliers import _csd_digits
+
+
+def _run(netlist, operand_widths, *word_arrays):
+    compiled = CompiledNetlist(netlist)
+    cols = []
+    for width, words in zip(operand_widths, word_arrays):
+        w = np.asarray(words, dtype=np.int64)
+        cols.append(((w[:, None] >> np.arange(width)) & 1).astype(bool))
+    bits = np.concatenate(cols, axis=1)
+    out = evaluate_outputs(compiled, bits)
+    return (out.astype(np.int64) << np.arange(out.shape[1])).sum(axis=1)
+
+
+def _exhaustive(wa, wb):
+    a = np.arange(1 << wa)
+    b = np.arange(1 << wb)
+    ga, gb = np.meshgrid(a, b, indexing="ij")
+    return ga.ravel(), gb.ravel()
+
+
+@pytest.mark.parametrize("wa,wb", [(2, 2), (3, 3), (4, 4), (4, 6), (6, 4), (5, 3)])
+def test_csa_multiplier_exhaustive(wa, wb):
+    a, b = _exhaustive(wa, wb)
+    golden = golden_multiplier(wa, wb)
+    got = _run(csa_multiplier(wa, wb), (wa, wb), a, b)
+    expected = np.array([golden(int(x), int(y)) for x, y in zip(a, b)])
+    assert np.array_equal(got, expected)
+
+
+@pytest.mark.parametrize("wa,wb", [(2, 2), (3, 3), (4, 4), (4, 6), (6, 4), (3, 5)])
+def test_booth_wallace_exhaustive(wa, wb):
+    a, b = _exhaustive(wa, wb)
+    golden = golden_multiplier(wa, wb)
+    got = _run(booth_wallace_multiplier(wa, wb), (wa, wb), a, b)
+    expected = np.array([golden(int(x), int(y)) for x, y in zip(a, b)])
+    assert np.array_equal(got, expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 255), st.integers(0, 255))
+def test_multipliers_agree_8x8(a, b):
+    """Both multiplier topologies compute the same signed product."""
+    got_csa = _run(csa_multiplier(8, 8), (8, 8), [a], [b])[0]
+    got_booth = _run(booth_wallace_multiplier(8, 8), (8, 8), [a], [b])[0]
+    assert got_csa == got_booth
+
+
+def test_signed_semantics():
+    golden = golden_multiplier(4, 4)
+    # -8 * -8 = 64
+    assert golden(8, 8) == 64
+    # -1 * -1 = 1
+    assert golden(15, 15) == 1
+    # -1 * 7 = -7 -> 249 mod 256
+    assert golden(15, 7) == 256 - 7
+
+
+def test_multiplier_default_square():
+    netlist = csa_multiplier(4)
+    assert len(netlist.inputs) == 8
+    assert len(netlist.outputs) == 8
+
+
+def test_minimum_width_enforced():
+    with pytest.raises(ValueError):
+        csa_multiplier(1, 4)
+    with pytest.raises(ValueError):
+        booth_wallace_multiplier(4, 1)
+
+
+def test_csa_gate_count_scales_quadratically():
+    g4 = csa_multiplier(4, 4).n_gates
+    g8 = csa_multiplier(8, 8).n_gates
+    ratio = g8 / g4
+    assert 3.0 < ratio < 5.0  # ~4x for doubling the width
+
+
+def test_booth_has_fewer_rows_than_csa_for_wide_operands():
+    """Radix-4 Booth halves the partial-product rows; at 16x16 the tree is
+    noticeably smaller in FA-equivalents than the full array."""
+    def fa_count(netlist):
+        counts = netlist.cell_counts()
+        return counts.get("XOR3", 0) + counts.get("MAJ3", 0)
+
+    assert fa_count(booth_wallace_multiplier(16, 16)) < fa_count(
+        csa_multiplier(16, 16)
+    )
+
+
+# ----------------------------------------------------------------------
+# CSD recoding and constant multipliers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("constant", [0, 1, 2, 3, 5, 7, 15, 23, 100, 255])
+def test_csd_digits_reconstruct_constant(constant):
+    value = sum(sign << shift for shift, sign in _csd_digits(constant))
+    assert value == constant
+
+
+@pytest.mark.parametrize("constant", [3, 7, 23, 100, 255, 173])
+def test_csd_no_adjacent_nonzero_digits(constant):
+    shifts = sorted(shift for shift, _ in _csd_digits(constant))
+    assert all(b - a >= 2 for a, b in zip(shifts, shifts[1:]))
+
+
+@pytest.mark.parametrize("constant", [1, 2, 3, 5, 7, 10, 23])
+def test_constant_multiplier_exhaustive(constant):
+    width = 5
+    netlist = constant_multiplier(width, constant)
+    out_width = len(netlist.outputs)
+    golden = golden_constant_multiplier(width, constant, out_width)
+    values = np.arange(1 << width)
+    got = _run(netlist, (width,), values)
+    expected = np.array([golden(int(v)) for v in values])
+    assert np.array_equal(got, expected)
+
+
+def test_constant_multiplier_zero_constant():
+    netlist = constant_multiplier(4, 0)
+    values = np.arange(16)
+    got = _run(netlist, (4,), values)
+    assert np.all(got == 0)
+
+
+def test_constant_multiplier_power_of_two_is_cheap():
+    shifter = constant_multiplier(8, 16)
+    general = constant_multiplier(8, 23)
+    assert shifter.n_gates < general.n_gates
+
+
+def test_constant_multiplier_invalid_width():
+    with pytest.raises(ValueError):
+        constant_multiplier(0, 3)
+
+
+# ----------------------------------------------------------------------
+# Dadda multiplier
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("wa,wb", [(2, 2), (3, 3), (4, 4), (4, 6), (5, 3)])
+def test_dadda_exhaustive(wa, wb):
+    from repro.modules import dadda_multiplier
+
+    a, b = _exhaustive(wa, wb)
+    golden = golden_multiplier(wa, wb)
+    got = _run(dadda_multiplier(wa, wb), (wa, wb), a, b)
+    expected = np.array([golden(int(x), int(y)) for x, y in zip(a, b)])
+    assert np.array_equal(got, expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 255), st.integers(0, 255))
+def test_dadda_agrees_with_csa_8x8(a, b):
+    from repro.modules import dadda_multiplier
+
+    got_dadda = _run(dadda_multiplier(8, 8), (8, 8), [a], [b])[0]
+    got_csa = _run(csa_multiplier(8, 8), (8, 8), [a], [b])[0]
+    assert got_dadda == got_csa
+
+
+def test_dadda_is_smallest_tree():
+    """Dadda's minimal-counter property: fewer cells than Wallace and the
+    plain array at the same width."""
+    from repro.modules import (
+        booth_wallace_multiplier,
+        dadda_multiplier,
+    )
+
+    dadda = dadda_multiplier(8, 8).n_gates
+    csa = csa_multiplier(8, 8).n_gates
+    wallace = booth_wallace_multiplier(8, 8).n_gates
+    assert dadda < csa
+    assert dadda < wallace
+
+
+def test_dadda_heights_sequence():
+    from repro.modules.multipliers import _dadda_heights
+
+    assert _dadda_heights(9) == [6, 4, 3, 2]
+    assert _dadda_heights(3) == [2]
+    assert _dadda_heights(14) == [13, 9, 6, 4, 3, 2]
+
+
+def test_dadda_registered():
+    from repro.modules import make_module, make_rect_multiplier
+
+    module = make_module("dadda_multiplier", 4)
+    assert module.golden(3, 15) == (3 * -1) & 0xFF
+    rect = make_rect_multiplier("dadda_multiplier", 4, 6)
+    assert rect.input_bits == 10

@@ -1,0 +1,103 @@
+"""Low-power binding optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core import characterize_module
+from repro.modules import make_module
+from repro.opt import (
+    BindingProblem,
+    evaluate_binding,
+    greedy_binding,
+    identity_binding,
+    random_binding,
+    unit_streams,
+)
+from repro.signals import make_stream
+
+
+@pytest.fixture(scope="module")
+def problem():
+    module = make_module("csa_multiplier", 4)
+    model = characterize_module(module, n_patterns=2500, seed=1).model
+    rng = np.random.default_rng(2)
+    operations = []
+    # Three operations with very different statistics: two slowly varying
+    # (correlated) and one random -- the classic binding win.
+    for kind, seed in (("III", 3), ("III", 4), ("I", 5)):
+        a = make_stream(kind, 4, 300, seed=seed).unsigned()
+        b = make_stream(kind, 4, 300, seed=seed + 50).unsigned()
+        operations.append((a, b))
+    return BindingProblem(module, model, tuple(operations))
+
+
+def test_problem_properties(problem):
+    assert problem.n_operations == 3
+    assert problem.n_slots == 300
+    assert problem.input_vectors().shape == (3, 300, 8)
+
+
+def test_identity_binding_shape(problem):
+    binding = identity_binding(problem)
+    assert binding.shape == (300, 3)
+    assert (binding == np.arange(3)).all()
+
+
+def test_random_binding_is_permutation_per_slot(problem):
+    binding = random_binding(problem, seed=7)
+    for row in binding:
+        assert sorted(row) == [0, 1, 2]
+
+
+def test_unit_streams_follow_assignment(problem):
+    binding = identity_binding(problem)
+    streams = unit_streams(problem, binding)
+    vectors = problem.input_vectors()
+    assert np.array_equal(streams[0], vectors[0])
+    assert np.array_equal(streams[2], vectors[2])
+
+
+def test_evaluate_binding_validations(problem):
+    with pytest.raises(ValueError, match="shape"):
+        evaluate_binding(problem, np.zeros((5, 3), dtype=int))
+    bad = identity_binding(problem)
+    bad[10] = [0, 0, 2]
+    with pytest.raises(ValueError, match="permutation"):
+        evaluate_binding(problem, bad)
+
+
+def test_greedy_no_worse_than_identity(problem):
+    greedy = evaluate_binding(problem, greedy_binding(problem))
+    identity = evaluate_binding(problem, identity_binding(problem))
+    assert greedy.estimated_total <= identity.estimated_total
+
+
+def test_greedy_beats_random(problem):
+    greedy = evaluate_binding(problem, greedy_binding(problem))
+    rand = evaluate_binding(problem, random_binding(problem, seed=11))
+    assert greedy.estimated_total < rand.estimated_total
+
+
+def test_model_driven_decision_holds_at_gate_level(problem):
+    """The point of the paper: decisions made on the macro-model must be
+    confirmed by the reference simulator."""
+    greedy = evaluate_binding(
+        problem, greedy_binding(problem), gate_level=True
+    )
+    rand = evaluate_binding(
+        problem, random_binding(problem, seed=13), gate_level=True
+    )
+    assert greedy.simulated_total < rand.simulated_total
+
+
+def test_greedy_rejects_large_k():
+    module = make_module("ripple_adder", 2)
+    from repro.core import HdPowerModel
+
+    model = HdPowerModel("t", 4, np.zeros(5))
+    ops = tuple(
+        (np.zeros(3, dtype=np.int64), np.zeros(3, dtype=np.int64))
+        for _ in range(8)
+    )
+    with pytest.raises(ValueError, match="K <= 7"):
+        greedy_binding(BindingProblem(module, model, ops))

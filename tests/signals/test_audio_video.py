@@ -1,0 +1,81 @@
+"""Audio/video synthetic streams: correlation classes of Section 4.2."""
+
+import numpy as np
+import pytest
+
+from repro.signals import music_stream, speech_stream, video_stream
+
+
+def _rho(words):
+    w = words.astype(float)
+    c = w - w.mean()
+    return (c[:-1] @ c[1:]) / (c @ c)
+
+
+def test_music_is_weakly_correlated():
+    rho = _rho(music_stream(16, 8000, seed=1).words)
+    assert 0.2 < rho < 0.85
+
+
+def test_speech_is_strongly_correlated():
+    rho = _rho(speech_stream(16, 8000, seed=1).words)
+    assert rho > 0.9
+
+
+def test_video_is_strongly_correlated():
+    rho = _rho(video_stream(16, 8000, seed=1).words)
+    assert rho > 0.7
+
+
+def test_correlation_ordering():
+    """random < music < speech: the class structure the paper relies on."""
+    music = _rho(music_stream(16, 8000, seed=2).words)
+    speech = _rho(speech_stream(16, 8000, seed=2).words)
+    assert music < speech
+
+
+def test_streams_fit_width():
+    for make in (music_stream, speech_stream, video_stream):
+        stream = make(8, 2000, seed=3)
+        assert stream.words.min() >= -128
+        assert stream.words.max() <= 127
+
+
+def test_streams_use_reasonable_dynamic_range():
+    for make in (music_stream, speech_stream, video_stream):
+        stream = make(16, 5000, seed=4)
+        sigma = stream.words.astype(float).std()
+        assert 0.05 * (1 << 15) < sigma < 0.6 * (1 << 15)
+
+
+def test_streams_deterministic_per_seed():
+    for make in (music_stream, speech_stream, video_stream):
+        a = make(12, 500, seed=9).words
+        b = make(12, 500, seed=9).words
+        c = make(12, 500, seed=10).words
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+def test_speech_has_amplitude_modulation():
+    """Syllable envelope: windowed energy must vary strongly over time."""
+    words = speech_stream(16, 12000, seed=5).words.astype(float)
+    windows = words[: 12000 - 12000 % 500].reshape(-1, 500)
+    energy = windows.std(axis=1)
+    assert energy.max() > 2.5 * max(energy.min(), 1.0)
+
+
+def test_video_has_scanline_structure():
+    """Line-to-line correlation at the line pitch should be strong."""
+    stream = video_stream(12, 6400, seed=6, line_length=64)
+    w = stream.words.astype(float)
+    c = w - w.mean()
+    lag = 64
+    line_corr = (c[:-lag] @ c[lag:]) / (c @ c)
+    assert line_corr > 0.5
+
+
+def test_names():
+    assert music_stream(8, 10).name == "music"
+    assert speech_stream(8, 10).name == "speech"
+    assert video_stream(8, 10).name == "video"

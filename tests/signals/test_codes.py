@@ -1,0 +1,129 @@
+"""Bus/number encodings for switching-activity optimization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signals import counter_stream, gaussian_stream
+from repro.signals.codes import (
+    bus_invert_bits,
+    encode_words,
+    gray_bits,
+    gray_decode,
+    gray_encode,
+    sign_magnitude_bits,
+    twos_complement_bits,
+)
+
+
+def test_gray_adjacent_codes_differ_in_one_bit():
+    values = np.arange(256)
+    codes = gray_encode(values)
+    diff = codes[1:] ^ codes[:-1]
+    assert all(bin(int(d)).count("1") == 1 for d in diff)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 2**20), min_size=1, max_size=50))
+def test_gray_roundtrip(values):
+    arr = np.array(values)
+    assert np.array_equal(gray_decode(gray_encode(arr)), arr)
+
+
+def test_gray_rejects_negative():
+    with pytest.raises(ValueError):
+        gray_encode(np.array([-1]))
+    with pytest.raises(ValueError):
+        gray_decode(np.array([-1]))
+
+
+def test_sign_magnitude_layout():
+    bits = sign_magnitude_bits(np.array([5, -5]), 8)
+    # magnitude identical, sign bit differs
+    assert np.array_equal(bits[0, :7], bits[1, :7])
+    assert not bits[0, 7] and bits[1, 7]
+
+
+def test_sign_magnitude_saturates_most_negative():
+    bits = sign_magnitude_bits(np.array([-128]), 8)
+    # saturated to -127: magnitude 127, sign set
+    assert bits[0].tolist() == [True] * 7 + [True]
+
+
+def test_sign_magnitude_range_check():
+    with pytest.raises(ValueError):
+        sign_magnitude_bits(np.array([128]), 8)
+
+
+def test_sign_magnitude_reduces_small_signal_msb_activity():
+    """The reason sign-magnitude exists: small signals around zero stop
+    toggling the whole upper region."""
+    stream = gaussian_stream(12, 8000, rho=0.2, relative_sigma=0.05, seed=1)
+    tc = twos_complement_bits(stream.words, 12)
+    sm = sign_magnitude_bits(stream.words, 12)
+    tc_msb_activity = (tc[1:, 8:] != tc[:-1, 8:]).mean()
+    sm_msb_activity = (sm[1:, 8:] != sm[:-1, 8:]).mean()
+    assert sm_msb_activity < 0.5 * tc_msb_activity
+
+
+def test_gray_code_halves_counter_activity():
+    stream = counter_stream(8, 2000)
+    tc = twos_complement_bits(stream.words, 8)
+    gray = gray_bits(stream.words, 8)
+    hd_tc = (tc[1:] != tc[:-1]).sum()
+    hd_gray = (gray[1:] != gray[:-1]).sum()
+    # A counter in Gray code toggles exactly one bit per step (except at
+    # the wrap of our half-range counter).
+    assert hd_gray < 0.6 * hd_tc
+
+
+def test_bus_invert_bounds_hd():
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, size=(500, 9)).astype(bool)
+    coded = bus_invert_bits(bits)
+    assert coded.shape == (500, 10)
+    hd = (coded[1:] != coded[:-1]).sum(axis=1)
+    assert hd.max() <= 5  # (w + 1) / 2 with w = 9
+
+
+def test_bus_invert_reduces_average_activity():
+    rng = np.random.default_rng(1)
+    bits = rng.integers(0, 2, size=(3000, 8)).astype(bool)
+    plain_hd = (bits[1:] != bits[:-1]).sum()
+    coded = bus_invert_bits(bits)
+    coded_hd = (coded[1:] != coded[:-1]).sum()
+    assert coded_hd < plain_hd
+
+
+def test_bus_invert_is_decodable():
+    rng = np.random.default_rng(2)
+    bits = rng.integers(0, 2, size=(200, 6)).astype(bool)
+    coded = bus_invert_bits(bits)
+    decoded = np.where(coded[:, -1:], ~coded[:, :-1], coded[:, :-1])
+    assert np.array_equal(decoded, bits)
+
+
+def test_encode_words_dispatch():
+    words = np.array([1, -2, 3])
+    for code in ("twos_complement", "sign_magnitude", "gray"):
+        bits = encode_words(words, 6, code)
+        assert bits.shape == (3, 6)
+    with pytest.raises(KeyError, match="unknown code"):
+        encode_words(words, 6, "morse")
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(-127, 127), min_size=2, max_size=60))
+def test_encodings_are_injective(words):
+    arr = np.array(words)
+    for code in ("twos_complement", "sign_magnitude", "gray"):
+        bits = encode_words(arr, 8, code)
+        ints = (bits.astype(np.int64) << np.arange(8)).sum(axis=1)
+        # same word -> same code, different word -> different code
+        for i in range(len(arr)):
+            for j in range(i + 1, len(arr)):
+                if arr[i] == arr[j]:
+                    assert ints[i] == ints[j]
+                else:
+                    assert ints[i] != ints[j], code

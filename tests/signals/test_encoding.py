@@ -1,0 +1,93 @@
+"""Two's-complement encoding round trips and range handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signals import (
+    bits_to_words,
+    saturate,
+    signed_range,
+    to_signed,
+    to_unsigned,
+    words_to_bits,
+)
+
+
+def test_signed_range():
+    assert signed_range(8) == (-128, 127)
+    assert signed_range(1) == (-1, 0)
+    with pytest.raises(ValueError):
+        signed_range(0)
+
+
+def test_to_unsigned_basics():
+    assert to_unsigned(np.array([0, 1, -1, -128, 127]), 8).tolist() == [
+        0, 1, 255, 128, 127,
+    ]
+
+
+def test_to_unsigned_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        to_unsigned(np.array([128]), 8)
+    with pytest.raises(ValueError):
+        to_unsigned(np.array([-129]), 8)
+
+
+def test_to_signed_basics():
+    assert to_signed(np.array([0, 255, 128, 127]), 8).tolist() == [
+        0, -1, -128, 127,
+    ]
+
+
+def test_to_signed_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        to_signed(np.array([256]), 8)
+    with pytest.raises(ValueError):
+        to_signed(np.array([-1]), 8)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(-(1 << 15), (1 << 15) - 1), min_size=1,
+                max_size=50))
+def test_roundtrip_words_bits_words(words):
+    arr = np.array(words)
+    bits = words_to_bits(arr, 16)
+    back = bits_to_words(bits)
+    assert np.array_equal(back, arr)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(-(1 << 11), (1 << 11) - 1), min_size=1,
+                max_size=50))
+def test_roundtrip_signed_unsigned(words):
+    arr = np.array(words)
+    assert np.array_equal(to_signed(to_unsigned(arr, 12), 12), arr)
+
+
+def test_words_to_bits_lsb_first():
+    bits = words_to_bits(np.array([1]), 4)
+    assert bits.tolist() == [[True, False, False, False]]
+    bits = words_to_bits(np.array([-1]), 4)
+    assert bits.tolist() == [[True, True, True, True]]
+
+
+def test_unsigned_encoding_mode():
+    bits = words_to_bits(np.array([255]), 8, signed=False)
+    assert bits.all()
+    back = bits_to_words(bits, signed=False)
+    assert back.tolist() == [255]
+    with pytest.raises(ValueError):
+        words_to_bits(np.array([256]), 8, signed=False)
+
+
+def test_saturate_clips_and_rounds():
+    out = saturate(np.array([1.4, 1.6, -1000.0, 1000.0]), 8)
+    assert out.tolist() == [1, 2, -128, 127]
+    assert out.dtype == np.int64
+
+
+def test_saturate_half_rounding_is_even():
+    # numpy rint: banker's rounding
+    assert saturate(np.array([0.5, 1.5, 2.5]), 8).tolist() == [0, 2, 2]

@@ -1,0 +1,107 @@
+"""Stimulus generators: statistics and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.signals import (
+    ar1_gaussian,
+    constant_stream,
+    counter_stream,
+    gaussian_stream,
+    ramp_stream,
+    random_stream,
+)
+
+
+def test_random_stream_covers_range():
+    stream = random_stream(8, 5000, seed=0)
+    assert stream.words.min() < -100 and stream.words.max() > 100
+    assert abs(stream.words.astype(float).mean()) < 5
+
+
+def test_random_stream_bit_activity_half():
+    bits = random_stream(8, 8000, seed=1).bits()
+    activity = (bits[1:] != bits[:-1]).mean(axis=0)
+    assert np.allclose(activity, 0.5, atol=0.03)
+
+
+def test_random_stream_deterministic():
+    a = random_stream(8, 100, seed=5).words
+    b = random_stream(8, 100, seed=5).words
+    c = random_stream(8, 100, seed=6).words
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_counter_stream_counts():
+    stream = counter_stream(8, 10, start=5)
+    assert stream.words.tolist() == [5, 6, 7, 8, 9, 10, 11, 12, 13, 14]
+
+
+def test_counter_stream_stays_positive():
+    stream = counter_stream(8, 1000)
+    assert stream.words.min() >= 0
+    assert stream.words.max() <= 127
+    # sign bit never set
+    assert not stream.bits()[:, 7].any()
+
+
+def test_counter_wraps_at_half_range():
+    stream = counter_stream(4, 20, start=6)
+    assert stream.words.max() == 7
+    assert 0 in stream.words
+
+
+def test_ar1_statistics():
+    x = ar1_gaussian(60000, rho=0.8, sigma=10.0, mu=5.0, seed=3)
+    assert x.mean() == pytest.approx(5.0, abs=0.6)
+    assert x.std() == pytest.approx(10.0, rel=0.05)
+    centered = x - x.mean()
+    rho = (centered[:-1] @ centered[1:]) / (centered @ centered)
+    assert rho == pytest.approx(0.8, abs=0.02)
+
+
+def test_ar1_rho_zero_is_white():
+    x = ar1_gaussian(20000, rho=0.0, sigma=1.0, seed=4)
+    centered = x - x.mean()
+    rho = (centered[:-1] @ centered[1:]) / (centered @ centered)
+    assert abs(rho) < 0.03
+
+
+def test_ar1_invalid_rho():
+    with pytest.raises(ValueError):
+        ar1_gaussian(10, rho=1.0, sigma=1.0)
+
+
+def test_gaussian_stream_level_and_rho():
+    stream = gaussian_stream(12, 30000, rho=0.9, relative_sigma=0.2, seed=5)
+    full_scale = 1 << 11
+    assert stream.words.astype(float).std() == pytest.approx(
+        0.2 * full_scale, rel=0.05
+    )
+    w = stream.words.astype(float)
+    c = w - w.mean()
+    rho = (c[:-1] @ c[1:]) / (c @ c)
+    assert rho == pytest.approx(0.9, abs=0.02)
+
+
+def test_gaussian_stream_mean_fraction():
+    stream = gaussian_stream(
+        12, 20000, rho=0.5, relative_sigma=0.1, mu_fraction=0.25, seed=6
+    )
+    assert stream.words.astype(float).mean() == pytest.approx(
+        0.25 * (1 << 11), rel=0.1
+    )
+
+
+def test_ramp_stream_spans_range():
+    stream = ramp_stream(6, 200)
+    assert stream.words.min() == -32
+    assert stream.words.max() == 31
+
+
+def test_constant_stream():
+    stream = constant_stream(8, 10, value=42)
+    assert (stream.words == 42).all()
+    with pytest.raises(ValueError):
+        constant_stream(8, 10, value=300)

@@ -1,0 +1,72 @@
+"""Data-type registry I-V."""
+
+import numpy as np
+import pytest
+
+from repro.modules import make_module
+from repro.signals import (
+    DATA_TYPE_DESCRIPTIONS,
+    DATA_TYPES,
+    make_operand_streams,
+    make_stream,
+)
+
+
+def test_all_five_data_types():
+    assert DATA_TYPES == ("I", "II", "III", "IV", "V")
+    for dt in DATA_TYPES:
+        assert dt in DATA_TYPE_DESCRIPTIONS
+
+
+@pytest.mark.parametrize("dt", DATA_TYPES)
+def test_make_stream_each_type(dt):
+    stream = make_stream(dt, 12, 500, seed=1)
+    assert len(stream) == 500
+    assert stream.width == 12
+    assert stream.name.startswith(dt + ":")
+
+
+def test_unknown_data_type():
+    with pytest.raises(KeyError, match="unknown data type"):
+        make_stream("VI", 8, 100)
+
+
+def test_type_i_is_random_statistics():
+    stream = make_stream("I", 8, 8000, seed=2)
+    activity = (stream.bits()[1:] != stream.bits()[:-1]).mean(axis=0)
+    assert np.allclose(activity, 0.5, atol=0.04)
+
+
+def test_type_v_is_counter():
+    stream = make_stream("V", 8, 100, seed=3)
+    diffs = np.diff(stream.words)
+    # increments of 1 except at the wrap
+    assert ((diffs == 1) | (diffs == -127)).all()
+
+
+def test_operand_streams_match_module(ripple8):
+    streams = make_operand_streams(ripple8, "III", 300, seed=4)
+    assert len(streams) == 2
+    assert all(s.width == 8 for s in streams)
+    assert all(len(s) == 300 for s in streams)
+
+
+def test_operand_streams_are_independent(ripple8):
+    streams = make_operand_streams(ripple8, "I", 500, seed=5)
+    assert not np.array_equal(streams[0].words, streams[1].words)
+
+
+def test_control_operands_get_random_patterns():
+    module = make_module("alu", 8)
+    streams = make_operand_streams(module, "III", 200, seed=6)
+    assert len(streams) == 3
+    assert streams[2].width == 2  # op field
+    # control stream is random regardless of data type
+    assert streams[2].name == "random"
+
+
+def test_operand_streams_deterministic(ripple8):
+    a = make_operand_streams(ripple8, "II", 100, seed=7)
+    b = make_operand_streams(ripple8, "II", 100, seed=7)
+    for s1, s2 in zip(a, b):
+        assert np.array_equal(s1.words, s2.words)

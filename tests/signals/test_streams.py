@@ -1,0 +1,85 @@
+"""PatternStream and module stimulus assembly."""
+
+import numpy as np
+import pytest
+
+from repro.modules import make_module
+from repro.signals import PatternStream, module_stimulus, random_stream
+
+
+def test_stream_basic_properties():
+    stream = PatternStream(np.array([0, 1, -2]), 4, "t")
+    assert len(stream) == 3
+    assert stream.width == 4
+    assert stream.bits().shape == (3, 4)
+    assert stream.unsigned().tolist() == [0, 1, 14]
+
+
+def test_stream_range_validation():
+    with pytest.raises(ValueError, match="range"):
+        PatternStream(np.array([200]), 8)
+    with pytest.raises(ValueError, match="range"):
+        PatternStream(np.array([-129]), 8)
+
+
+def test_empty_stream_allowed():
+    stream = PatternStream(np.array([], dtype=np.int64), 8)
+    assert len(stream) == 0
+
+
+def test_requantized_up_preserves_relative_stats():
+    stream = random_stream(8, 2000, seed=0)
+    wide = stream.requantized(12)
+    assert wide.width == 12
+    ratio = wide.words.astype(float).std() / stream.words.astype(float).std()
+    assert ratio == pytest.approx(16.0, rel=0.01)
+
+
+def test_requantized_down_clips_into_range():
+    stream = random_stream(12, 500, seed=1)
+    narrow = stream.requantized(8)
+    lo, hi = -128, 127
+    assert narrow.words.min() >= lo and narrow.words.max() <= hi
+
+
+def test_requantized_same_width_is_identity():
+    stream = random_stream(8, 10, seed=2)
+    assert stream.requantized(8) is stream
+
+
+def test_module_stimulus_shape(ripple8):
+    a = random_stream(8, 100, seed=3)
+    b = random_stream(8, 100, seed=4)
+    bits = module_stimulus(ripple8, [a, b])
+    assert bits.shape == (100, 16)
+
+
+def test_module_stimulus_truncates_to_shortest(ripple8):
+    a = random_stream(8, 100, seed=3)
+    b = random_stream(8, 60, seed=4)
+    bits = module_stimulus(ripple8, [a, b])
+    assert bits.shape == (60, 16)
+
+
+def test_module_stimulus_wrong_count(ripple8):
+    with pytest.raises(ValueError, match="needs 2 streams"):
+        module_stimulus(ripple8, [random_stream(8, 10)])
+
+
+def test_module_stimulus_wrong_width(ripple8):
+    with pytest.raises(ValueError, match="bits but stream"):
+        module_stimulus(
+            ripple8, [random_stream(8, 10), random_stream(12, 10)]
+        )
+
+
+def test_module_stimulus_bit_layout(ripple8):
+    a = PatternStream(np.array([1, 1]), 8, "a")
+    b = PatternStream(np.array([0, 0]), 8, "b")
+    bits = module_stimulus(ripple8, [a, b])
+    assert bits[0, 0] and not bits[0, 1:].any()
+
+
+def test_stream_words_are_int64():
+    stream = PatternStream([1, 2, 3], 8)
+    assert stream.words.dtype == np.int64

@@ -1,0 +1,117 @@
+"""Bit-level statistics: hand-checked examples and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.stats import (
+    bit_stats,
+    empirical_hd_distribution,
+    hamming_distances,
+    signal_probabilities,
+    stable_one_counts,
+    stable_zero_counts,
+    transition_probabilities,
+)
+
+EXAMPLE = np.array(
+    [
+        [0, 0, 1, 1],
+        [1, 0, 1, 0],
+        [1, 1, 1, 0],
+    ],
+    dtype=bool,
+)
+
+
+def test_signal_probabilities():
+    assert signal_probabilities(EXAMPLE).tolist() == [
+        2 / 3, 1 / 3, 1.0, 1 / 3,
+    ]
+
+
+def test_transition_probabilities():
+    assert transition_probabilities(EXAMPLE).tolist() == [0.5, 0.5, 0.0, 0.5]
+
+
+def test_hamming_distances():
+    assert hamming_distances(EXAMPLE).tolist() == [2, 1]
+
+
+def test_stable_zero_counts():
+    # cycle 0: bits stable at 0: bit1 -> 1; cycle 1: bit3 -> 1
+    assert stable_zero_counts(EXAMPLE).tolist() == [1, 1]
+
+
+def test_stable_one_counts():
+    assert stable_one_counts(EXAMPLE).tolist() == [1, 2]
+
+
+def test_counts_partition_the_word():
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, size=(500, 12)).astype(bool)
+    hd = hamming_distances(bits)
+    z = stable_zero_counts(bits)
+    o = stable_one_counts(bits)
+    assert np.array_equal(hd + z + o, np.full(499, 12))
+
+
+def test_empirical_distribution_sums_to_one():
+    dist = empirical_hd_distribution(EXAMPLE)
+    assert dist.shape == (5,)
+    assert dist.sum() == pytest.approx(1.0)
+    assert dist[1] == pytest.approx(0.5)
+    assert dist[2] == pytest.approx(0.5)
+
+
+def test_minimum_two_patterns_required():
+    single = EXAMPLE[:1]
+    for fn in (
+        transition_probabilities,
+        hamming_distances,
+        stable_zero_counts,
+        stable_one_counts,
+        empirical_hd_distribution,
+    ):
+        with pytest.raises(ValueError):
+            fn(single)
+
+
+def test_bit_stats_bundle():
+    stats = bit_stats(EXAMPLE)
+    assert stats.width == 4
+    assert stats.average_hd == pytest.approx(1.5)
+    assert stats.average_hd == pytest.approx(
+        stats.transition_prob.sum()
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=bool,
+        shape=st.tuples(st.integers(2, 40), st.integers(1, 16)),
+    )
+)
+def test_average_hd_equals_activity_sum(bits):
+    """Invariant: E[Hd] = sum of per-bit transition probabilities."""
+    stats = bit_stats(bits)
+    assert stats.average_hd == pytest.approx(
+        float(stats.transition_prob.sum())
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        dtype=bool,
+        shape=st.tuples(st.integers(2, 40), st.integers(1, 16)),
+    )
+)
+def test_distribution_support_bounds(bits):
+    dist = empirical_hd_distribution(bits)
+    assert dist.sum() == pytest.approx(1.0)
+    assert (dist >= 0).all()
+    assert len(dist) == bits.shape[1] + 1

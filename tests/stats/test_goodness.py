@@ -1,0 +1,104 @@
+"""Goodness-of-fit metrics."""
+
+import numpy as np
+import pytest
+
+from repro.stats.goodness import (
+    chi_square_statistic,
+    fit_report,
+    kl_divergence,
+    total_variation,
+)
+
+
+def test_tv_identical_is_zero():
+    p = np.array([0.25, 0.75])
+    assert total_variation(p, p) == 0.0
+
+
+def test_tv_disjoint_is_one():
+    assert total_variation(
+        np.array([1.0, 0.0]), np.array([0.0, 1.0])
+    ) == pytest.approx(1.0)
+
+
+def test_tv_hand_value():
+    assert total_variation(
+        np.array([0.5, 0.5]), np.array([0.25, 0.75])
+    ) == pytest.approx(0.25)
+
+
+def test_tv_validations():
+    with pytest.raises(ValueError, match="support"):
+        total_variation(np.array([1.0]), np.array([0.5, 0.5]))
+    with pytest.raises(ValueError, match="negative"):
+        total_variation(np.array([-0.5, 1.5]), np.array([0.5, 0.5]))
+
+
+def test_kl_identical_is_zero():
+    p = np.array([0.3, 0.7])
+    assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_kl_nonnegative_and_asymmetric():
+    p = np.array([0.9, 0.1])
+    q = np.array([0.5, 0.5])
+    assert kl_divergence(p, q) > 0
+    assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+
+def test_kl_handles_zero_support():
+    p = np.array([1.0, 0.0])
+    q = np.array([0.5, 0.5])
+    assert np.isfinite(kl_divergence(p, q))
+    assert np.isfinite(kl_divergence(q, p))  # epsilon smoothing
+
+
+def test_chi_square_perfect_fit_small():
+    counts = np.array([250.0, 500.0, 250.0])
+    pmf = np.array([0.25, 0.5, 0.25])
+    statistic, dof = chi_square_statistic(counts, pmf)
+    assert statistic == pytest.approx(0.0)
+    assert dof == 2
+
+
+def test_chi_square_pools_sparse_bins():
+    counts = np.array([100.0, 100.0, 1.0, 0.0, 0.0])
+    pmf = np.array([0.495, 0.495, 0.005, 0.0025, 0.0025])
+    statistic, dof = chi_square_statistic(counts, pmf)
+    assert dof <= 2  # tail pooled
+    assert np.isfinite(statistic)
+
+
+def test_chi_square_detects_mismatch():
+    rng = np.random.default_rng(0)
+    counts = np.bincount(rng.integers(0, 4, 4000), minlength=4).astype(float)
+    uniform = np.full(4, 0.25)
+    skewed = np.array([0.7, 0.1, 0.1, 0.1])
+    stat_good, _ = chi_square_statistic(counts, uniform)
+    stat_bad, _ = chi_square_statistic(counts, skewed)
+    assert stat_bad > 10 * stat_good
+
+
+def test_chi_square_validations():
+    with pytest.raises(ValueError, match="shapes"):
+        chi_square_statistic(np.array([1.0]), np.array([0.5, 0.5]))
+    with pytest.raises(ValueError, match="observation"):
+        chi_square_statistic(np.zeros(3), np.full(3, 1 / 3))
+
+
+def test_fit_report_on_eq18():
+    """Analytic Eq. 18 should fit the extracted counts of its own stream."""
+    from repro.core import hd_distribution_from_dbt
+    from repro.signals import make_stream
+    from repro.stats import DbtModel
+    from repro.stats.bitstats import hamming_distances
+
+    stream = make_stream("III", 16, 8000, seed=4)
+    model = DbtModel.from_words(stream.words, 16)
+    analytic = hd_distribution_from_dbt(model)
+    counts = np.bincount(hamming_distances(stream.bits()), minlength=17)
+    report = fit_report(counts, analytic)
+    assert report.total_variation < 0.15
+    assert report.kl_divergence < 0.3
+    assert report.degrees_of_freedom >= 3

@@ -1,0 +1,213 @@
+"""Word-level statistics propagation through dataflow graphs."""
+
+import numpy as np
+import pytest
+
+from repro.signals import ar1_gaussian
+from repro.stats import DataflowGraph, WordStats, word_stats
+
+
+def _graph_with_inputs(**stats):
+    g = DataflowGraph()
+    for name, s in stats.items():
+        g.add_input(name, s)
+    return g
+
+
+def test_add_independent_streams():
+    g = _graph_with_inputs(
+        x=WordStats(1.0, 4.0, 0.5), y=WordStats(2.0, 9.0, 0.2)
+    )
+    g.add("s", "x", "y")
+    g.propagate()
+    s = g.stats("s")
+    assert s.mean == pytest.approx(3.0)
+    assert s.variance == pytest.approx(13.0)
+    # lag-1 covariance = 0.5*4 + 0.2*9 = 3.8 -> rho = 3.8/13
+    assert s.rho == pytest.approx(3.8 / 13.0)
+
+
+def test_sub_means_subtract_variances_add():
+    g = _graph_with_inputs(
+        x=WordStats(5.0, 4.0, 0.0), y=WordStats(2.0, 1.0, 0.0)
+    )
+    g.sub("d", "x", "y")
+    g.propagate()
+    d = g.stats("d")
+    assert d.mean == pytest.approx(3.0)
+    assert d.variance == pytest.approx(5.0)
+
+
+def test_cmul_scales():
+    g = _graph_with_inputs(x=WordStats(1.0, 4.0, 0.7))
+    g.cmul("y", "x", -3.0)
+    g.propagate()
+    y = g.stats("y")
+    assert y.mean == pytest.approx(-3.0)
+    assert y.variance == pytest.approx(36.0)
+    assert y.rho == pytest.approx(0.7)
+
+
+def test_delay_is_identity_on_stats():
+    g = _graph_with_inputs(x=WordStats(1.0, 2.0, 0.3))
+    g.delay("y", "x")
+    g.propagate()
+    assert g.stats("y") == g.stats("x")
+
+
+def test_mux_mixture_moments():
+    g = _graph_with_inputs(
+        x=WordStats(0.0, 1.0, 0.0), y=WordStats(10.0, 1.0, 0.0)
+    )
+    g.mux("m", "x", "y", select_prob=0.5)
+    g.propagate()
+    m = g.stats("m")
+    assert m.mean == pytest.approx(5.0)
+    # mixture variance: E[var] + var of means = 1 + 25
+    assert m.variance == pytest.approx(26.0)
+
+
+def test_mux_select_prob_extremes():
+    g = _graph_with_inputs(
+        x=WordStats(0.0, 1.0, 0.4), y=WordStats(10.0, 4.0, 0.8)
+    )
+    g.mux("m", "x", "y", select_prob=1.0)
+    g.propagate()
+    m = g.stats("m")
+    assert m.mean == pytest.approx(10.0)
+    assert m.variance == pytest.approx(4.0)
+
+
+def test_graph_validation():
+    g = DataflowGraph()
+    g.add_input("x", WordStats(0.0, 1.0, 0.0))
+    with pytest.raises(ValueError, match="unknown input"):
+        g.add("s", "x", "nope")
+    with pytest.raises(ValueError, match="duplicate"):
+        g.add_input("x", WordStats(0.0, 1.0, 0.0))
+    with pytest.raises(ValueError, match="select_prob"):
+        g.mux("m", "x", "x", select_prob=1.5)
+
+
+def test_stats_before_propagate_raises():
+    g = DataflowGraph()
+    g.add_input("x", WordStats(0.0, 1.0, 0.0))
+    g.cmul("y", "x", 2.0)
+    with pytest.raises(RuntimeError):
+        g.stats("y")
+
+
+def test_names_in_order():
+    g = _graph_with_inputs(x=WordStats(0.0, 1.0, 0.0))
+    g.cmul("y", "x", 2.0)
+    g.delay("z", "y")
+    assert g.names() == ["x", "y", "z"]
+
+
+def test_propagation_matches_simulation_fir():
+    """2-tap moving average of an AR(1) stream: predicted vs measured."""
+    x = ar1_gaussian(40000, rho=0.8, sigma=10.0, seed=11)
+    y = 0.5 * (x[1:] + x[:-1])
+    g = DataflowGraph()
+    g.add_input("x", word_stats(x))
+    g.delay("x1", "x")
+    g.add("s", "x", "x1")
+    g.cmul("y", "s", 0.5)
+    g.propagate()
+    predicted = g.stats("y")
+    measured = word_stats(y)
+    assert predicted.mean == pytest.approx(measured.mean, abs=0.3)
+    # Linear-filter propagation handles the re-convergent delayed path
+    # exactly (up to AR(1) modelling of the source and sampling noise).
+    assert predicted.variance == pytest.approx(measured.variance, rel=0.05)
+    assert predicted.rho == pytest.approx(measured.rho, abs=0.03)
+
+
+def test_fir_variance_closed_form():
+    """y = 0.5 (x + x[-1]) of AR(1): var = 0.5 sigma^2 (1 + rho)."""
+    g = DataflowGraph()
+    g.add_input("x", WordStats(0.0, 100.0, 0.8))
+    g.delay("x1", "x")
+    g.add("s", "x", "x1")
+    g.cmul("y", "s", 0.5)
+    g.propagate()
+    assert g.stats("y").variance == pytest.approx(0.5 * 100.0 * 1.8)
+
+
+def test_propagation_chain_of_cmuls():
+    g = _graph_with_inputs(x=WordStats(1.0, 1.0, 0.5))
+    g.cmul("a", "x", 2.0)
+    g.cmul("b", "a", 3.0)
+    g.propagate()
+    assert g.stats("b").mean == pytest.approx(6.0)
+    assert g.stats("b").variance == pytest.approx(36.0)
+
+
+def test_node_accessor():
+    g = _graph_with_inputs(x=WordStats(0.0, 1.0, 0.0))
+    g.cmul("y", "x", 2.5)
+    assert g.node("y").coefficient == 2.5
+    assert g.node("y").op == "cmul"
+
+
+def test_simulate_graph_basic():
+    g = DataflowGraph()
+    g.add_input("x", WordStats(0.0, 1.0, 0.0))
+    g.delay("x1", "x")
+    g.add("s", "x", "x1")
+    g.cmul("y", "s", 0.5)
+    values = g.simulate({"x": np.array([2.0, 4.0, 6.0])})
+    assert values["x1"].tolist() == [0.0, 2.0, 4.0]
+    assert values["s"].tolist() == [2.0, 6.0, 10.0]
+    assert values["y"].tolist() == [1.0, 3.0, 5.0]
+
+
+def test_simulate_rounding_flag():
+    g = DataflowGraph()
+    g.add_input("x", WordStats(0.0, 1.0, 0.0))
+    g.cmul("y", "x", 0.3)
+    rounded = g.simulate({"x": np.array([5.0])})
+    exact = g.simulate({"x": np.array([5.0])}, rounded=False)
+    assert rounded["y"][0] == 2.0
+    assert exact["y"][0] == pytest.approx(1.5)
+
+
+def test_simulate_validations():
+    g = DataflowGraph()
+    g.add_input("x", WordStats(0.0, 1.0, 0.0))
+    g.add_input("z", WordStats(0.0, 1.0, 0.0))
+    with pytest.raises(ValueError, match="missing stream"):
+        g.simulate({"x": np.array([1.0])})
+    with pytest.raises(ValueError, match="equal length"):
+        g.simulate({"x": np.array([1.0]), "z": np.array([1.0, 2.0])})
+
+
+def test_simulate_mux_is_seeded():
+    g = DataflowGraph()
+    g.add_input("a", WordStats(0.0, 1.0, 0.0))
+    g.add_input("b", WordStats(10.0, 1.0, 0.0))
+    g.mux("m", "a", "b", select_prob=0.5)
+    x = {"a": np.zeros(100), "b": np.ones(100)}
+    first = g.simulate(x, seed=3)["m"]
+    second = g.simulate(x, seed=3)["m"]
+    third = g.simulate(x, seed=4)["m"]
+    assert np.array_equal(first, second)
+    assert not np.array_equal(first, third)
+    assert 0.3 < first.mean() < 0.7
+
+
+def test_simulated_statistics_match_propagated():
+    """Closing the loop: measured stats of the simulated graph equal the
+    analytically propagated ones."""
+    g = DataflowGraph()
+    x = ar1_gaussian(30000, rho=0.9, sigma=5.0, seed=17)
+    g.add_input("x", word_stats(x))
+    g.delay("x1", "x")
+    g.sub("d", "x", "x1")
+    g.cmul("y", "d", 2.0)
+    g.propagate()
+    values = g.simulate({"x": x}, rounded=False)
+    measured = word_stats(values["y"])
+    predicted = g.stats("y")
+    assert predicted.variance == pytest.approx(measured.variance, rel=0.05)
+    assert predicted.rho == pytest.approx(measured.rho, abs=0.05)

@@ -1,0 +1,84 @@
+"""Word-level statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import WordStats, word_stats
+
+
+def test_exact_values_small_stream():
+    stats = word_stats(np.array([1.0, 3.0, 1.0, 3.0]))
+    assert stats.mean == pytest.approx(2.0)
+    assert stats.variance == pytest.approx(1.0)
+    assert stats.rho == pytest.approx(-1.0)
+
+
+def test_constant_stream():
+    stats = word_stats(np.array([7, 7, 7, 7]))
+    assert stats.mean == 7.0
+    assert stats.variance == 0.0
+    assert stats.rho == 0.0
+    assert stats.sigma == 0.0
+
+
+def test_monotone_stream_positive_rho():
+    stats = word_stats(np.arange(1000))
+    assert stats.rho > 0.99
+
+
+def test_rho_is_clipped():
+    stats = word_stats(np.array([0.0, 1.0, 0.0, 1.0] * 100))
+    assert -1.0 <= stats.rho <= 1.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        word_stats(np.array([1.0]))
+    with pytest.raises(ValueError):
+        word_stats(np.ones((3, 3)))
+
+
+def test_sigma_property():
+    stats = WordStats(mean=0.0, variance=25.0, rho=0.5)
+    assert stats.sigma == 5.0
+
+
+def test_difference_sigma_formula():
+    stats = WordStats(mean=0.0, variance=4.0, rho=0.5)
+    assert stats.difference_sigma == pytest.approx(2.0 * np.sqrt(1.0))
+
+
+def test_difference_sigma_white_noise():
+    stats = WordStats(mean=0.0, variance=1.0, rho=0.0)
+    assert stats.difference_sigma == pytest.approx(np.sqrt(2.0))
+
+
+def test_difference_sigma_matches_empirical():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(50000)
+    y = np.empty_like(x)
+    acc = 0.0
+    for i, e in enumerate(x):
+        acc = 0.7 * acc + np.sqrt(1 - 0.49) * e
+        y[i] = acc
+    stats = word_stats(y)
+    measured = np.diff(y).std()
+    assert stats.difference_sigma == pytest.approx(measured, rel=0.03)
+
+
+def test_scaled():
+    stats = WordStats(mean=2.0, variance=9.0, rho=0.4)
+    scaled = stats.scaled(-2.0)
+    assert scaled.mean == -4.0
+    assert scaled.variance == 36.0
+    assert scaled.rho == 0.4
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(-100, 100), min_size=2, max_size=200))
+def test_variance_nonnegative(values):
+    stats = word_stats(np.array(values))
+    assert stats.variance >= 0.0
+    assert -1.0 <= stats.rho <= 1.0

@@ -1,0 +1,150 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_modules(capsys):
+    assert main(["list-modules"]) == 0
+    out = capsys.readouterr().out
+    assert "ripple_adder" in out
+    assert "csa_multiplier" in out
+    assert "*" in out  # paper modules marked
+
+
+def test_characterize_and_save(tmp_path, capsys):
+    model_path = tmp_path / "model.json"
+    code = main([
+        "characterize", "--kind", "ripple_adder", "--width", "4",
+        "--patterns", "600", "-o", str(model_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "characterized ripple_adder_4" in out
+    data = json.loads(model_path.read_text())
+    assert data["type"] == "hd"
+    assert data["width"] == 8
+
+
+def test_characterize_enhanced(tmp_path):
+    model_path = tmp_path / "enh.json"
+    assert main([
+        "characterize", "--kind", "ripple_adder", "--width", "4",
+        "--patterns", "600", "--enhanced", "-o", str(model_path),
+    ]) == 0
+    assert json.loads(model_path.read_text())["type"] == "enhanced"
+
+
+def test_estimate_with_saved_model(tmp_path, capsys):
+    model_path = tmp_path / "model.json"
+    main([
+        "characterize", "--kind", "ripple_adder", "--width", "4",
+        "--patterns", "600", "-o", str(model_path),
+    ])
+    capsys.readouterr()
+    code = main([
+        "estimate", "--kind", "ripple_adder", "--width", "4",
+        "--model", str(model_path), "--data-type", "I",
+        "--patterns", "600", "--reference", "--vdd", "2.5",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "estimated charge" in out
+    assert "uW" in out
+    assert "reference charge" in out
+
+
+def test_estimate_width_mismatch(tmp_path, capsys):
+    model_path = tmp_path / "model.json"
+    main([
+        "characterize", "--kind", "ripple_adder", "--width", "4",
+        "--patterns", "600", "-o", str(model_path),
+    ])
+    code = main([
+        "estimate", "--kind", "ripple_adder", "--width", "8",
+        "--model", str(model_path), "--patterns", "600",
+    ])
+    assert code == 2
+    assert "does not match" in capsys.readouterr().err
+
+
+def test_estimate_on_the_fly_methods(capsys):
+    for method in ("trace", "distribution", "avg-hd"):
+        code = main([
+            "estimate", "--kind", "absval", "--width", "4",
+            "--data-type", "III", "--patterns", "600",
+            "--method", method,
+        ])
+        assert code == 0
+    out = capsys.readouterr().out
+    assert "average_hd" in out or "estimated charge" in out
+
+
+def test_figure3_command(capsys):
+    assert main(["figure", "3", "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "FA-equiv" in out
+
+
+def test_figure9_command(capsys):
+    assert main(["figure", "9", "--scale", "small"]) == 0
+    assert "total variation" in capsys.readouterr().out
+
+
+def test_table2_command_small(capsys):
+    assert main(["table", "2", "--scale", "small"]) == 0
+    assert "enhanced" in capsys.readouterr().out
+
+
+def test_invalid_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_verilog_command(tmp_path, capsys):
+    out_file = tmp_path / "adder.v"
+    assert main([
+        "verilog", "--kind", "ripple_adder", "--width", "4",
+        "-o", str(out_file),
+    ]) == 0
+    text = out_file.read_text()
+    assert text.startswith("module ripple_adder_4")
+    # exported file parses back
+    from repro.circuit.verilog import from_verilog
+
+    from_verilog(text).validate()
+
+
+def test_verilog_command_stdout(capsys):
+    assert main(["verilog", "--kind", "parity", "--width", "4"]) == 0
+    assert "endmodule" in capsys.readouterr().out
+
+
+def test_hotspots_command(capsys):
+    assert main([
+        "hotspots", "--kind", "ripple_adder", "--width", "4",
+        "--patterns", "300", "--top", "5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "top 5 nets" in out
+    assert "%" in out
+
+
+def test_budget_command(tmp_path, capsys):
+    import json
+
+    graph = {
+        "inputs": {"x": {"mean": 0.0, "variance": 400.0, "rho": 0.8}},
+        "nodes": [
+            {"name": "x1", "op": "delay", "inputs": ["x"]},
+            {"name": "y", "op": "add", "inputs": ["x", "x1"], "width": 9},
+        ],
+    }
+    path = tmp_path / "graph.json"
+    path.write_text(json.dumps(graph))
+    assert main(["budget", str(path), "--patterns", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "TOTAL" in out and "ripple_adder" in out and "w=9" in out

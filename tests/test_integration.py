@@ -1,0 +1,138 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import PowerSimulator
+from repro.core import (
+    PowerEstimator,
+    characterize_module,
+    classify_transitions,
+    cycle_error,
+    fit_width_regression,
+    characterize_prototype_set,
+)
+from repro.modules import make_module
+from repro.signals import (
+    make_operand_streams,
+    make_stream,
+    module_stimulus,
+    random_stream,
+)
+from repro.stats import DbtModel, word_stats
+
+
+def test_full_pipeline_random_data():
+    """Characterize -> estimate -> compare: average within a few percent on
+    matched statistics (the paper's data type I row)."""
+    module = make_module("cla_adder", 6)
+    result = characterize_module(module, n_patterns=3000, seed=1)
+    streams = [random_stream(6, 3000, seed=2), random_stream(6, 3000, seed=3)]
+    bits = module_stimulus(module, streams)
+    reference = PowerSimulator(module.compiled).simulate(bits)
+    estimator = PowerEstimator(result.model)
+    estimate = estimator.estimate_from_bits(bits)
+    rel = abs(estimate.average_charge - reference.average_charge)
+    rel /= reference.average_charge
+    assert rel < 0.05
+
+
+def test_full_pipeline_regressed_model():
+    """Regression-predicted model estimates an unseen width decently."""
+    prototypes = characterize_prototype_set(
+        "ripple_adder", (4, 8, 12), n_patterns=2500, seed=4
+    )
+    regression = fit_width_regression("ripple_adder", prototypes)
+    module = make_module("ripple_adder", 6)
+    model = regression.predict_model(6, module.input_bits)
+    streams = [random_stream(6, 2500, seed=5), random_stream(6, 2500, seed=6)]
+    bits = module_stimulus(module, streams)
+    reference = PowerSimulator(module.compiled).simulate(bits)
+    estimate = PowerEstimator(model).estimate_from_bits(bits)
+    rel = abs(estimate.average_charge - reference.average_charge)
+    rel /= reference.average_charge
+    assert rel < 0.15
+
+
+def test_full_analytic_pipeline_no_simulation():
+    """Word statistics in, power out — within ~20% of simulation for a
+    Gaussian-class stream (the Section 6 use case)."""
+    module = make_module("ripple_adder", 8)
+    result = characterize_module(module, n_patterns=3000, seed=7)
+    streams = make_operand_streams(module, "III", 5000, seed=8)
+    analytic = PowerEstimator(result.model).estimate_analytic_from_streams(
+        module, streams
+    )
+    bits = module_stimulus(module, streams)
+    reference = PowerSimulator(module.compiled).simulate(bits)
+    rel = abs(analytic.average_charge - reference.average_charge)
+    rel /= reference.average_charge
+    assert rel < 0.25
+
+
+def test_model_tracks_power_trends():
+    """Section 4.2: 'trends in the power consumption ... are followed very
+    well by the model'. Power must rank I > III > V consistently in both
+    reference and model."""
+    module = make_module("csa_multiplier", 6)
+    result = characterize_module(module, n_patterns=3000, seed=9)
+    sim = PowerSimulator(module.compiled)
+    ref_by_type = {}
+    est_by_type = {}
+    for dt in ("I", "II", "III", "V"):
+        streams = make_operand_streams(module, dt, 3000, seed=10)
+        bits = module_stimulus(module, streams)
+        ref_by_type[dt] = sim.simulate(bits).average_charge
+        events = classify_transitions(bits)
+        est_by_type[dt] = float(
+            result.model.predict_cycle(events.hd).mean()
+        )
+    # Trends over the Gaussian-class streams track exactly; the counter (V)
+    # is the paper's own documented failure mode, so only require that the
+    # model sees its large activity drop relative to random.
+    gaussian = ("I", "II", "III")
+    ref_order = sorted(gaussian, key=ref_by_type.get)
+    est_order = sorted(gaussian, key=est_by_type.get)
+    assert ref_order == est_order
+    assert est_by_type["V"] < est_by_type["I"]
+    assert ref_by_type["V"] < ref_by_type["I"]
+
+
+def test_enhanced_model_fixes_counter_bias_end_to_end():
+    module = make_module("csa_multiplier", 6)
+    result = characterize_module(
+        module, n_patterns=4000, seed=11, enhanced=True, stimulus="mixed"
+    )
+    streams = make_operand_streams(module, "V", 3000, seed=12)
+    bits = module_stimulus(module, streams)
+    reference = PowerSimulator(module.compiled).simulate(bits)
+    events = classify_transitions(bits)
+    basic_est = result.model.predict_cycle(events.hd).mean()
+    enhanced_est = result.enhanced.predict_cycle(
+        events.hd, events.stable_zeros
+    ).mean()
+    ref = reference.average_charge
+    assert abs(enhanced_est - ref) < abs(basic_est - ref)
+
+
+def test_dbt_hd_model_consistency_across_widths():
+    """Requantizing a stream must keep the DBT sign activity stable while
+    scaling the random region with the width."""
+    stream16 = make_stream("III", 16, 6000, seed=13)
+    stream8 = stream16.requantized(8)
+    model16 = DbtModel.from_words(stream16.words, 16)
+    model8 = DbtModel.from_words(stream8.words, 8)
+    assert model16.t_sign == pytest.approx(model8.t_sign, abs=0.05)
+    assert model16.n_rand > model8.n_rand
+
+
+def test_cycle_error_definition_against_reference():
+    module = make_module("absval", 6)
+    result = characterize_module(module, n_patterns=2500, seed=14)
+    stream = make_stream("I", 6, 2000, seed=15)
+    bits = module_stimulus(module, [stream])
+    reference = PowerSimulator(module.compiled).simulate(bits)
+    events = classify_transitions(bits)
+    estimated = result.model.predict_cycle(events.hd)
+    eps_a = cycle_error(estimated, reference.charge)
+    assert 0.0 < eps_a < 100.0

@@ -1,0 +1,56 @@
+"""Package surface: every exported name resolves, metadata is coherent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "circuit", "core", "eval", "flow", "modules", "opt", "signals", "stats",
+]
+
+
+def test_version():
+    assert repro.__version__
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_subpackages_importable(name):
+    module = importlib.import_module(f"repro.{name}")
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_exports_resolve(name):
+    """Every name in a subpackage's __all__ must actually exist."""
+    module = importlib.import_module(f"repro.{name}")
+    exported = getattr(module, "__all__", [])
+    assert exported, f"repro.{name} should declare __all__"
+    for symbol in exported:
+        assert hasattr(module, symbol), f"repro.{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_is_sorted_and_unique(name):
+    module = importlib.import_module(f"repro.{name}")
+    exported = list(getattr(module, "__all__", []))
+    assert len(exported) == len(set(exported)), f"duplicates in {name}"
+
+
+def test_cli_module_importable():
+    from repro import cli
+
+    assert callable(cli.main)
+
+
+def test_public_classes_have_docstrings():
+    """Documentation contract: every exported class/function documented."""
+    undocumented = []
+    for name in SUBPACKAGES:
+        module = importlib.import_module(f"repro.{name}")
+        for symbol in getattr(module, "__all__", []):
+            obj = getattr(module, symbol)
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                undocumented.append(f"repro.{name}.{symbol}")
+    assert not undocumented, undocumented
