@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-small report examples clean
+.PHONY: install test bench bench-small bench-smoke report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +13,12 @@ bench:
 
 bench-small:
 	REPRO_BENCH_SCALE=small pytest benchmarks/ --benchmark-only -s
+
+# Tiny end-to-end check of the parallel characterization path and the
+# persistent cache: two CLI runs with --jobs 2; the second must be served
+# entirely from disk.
+bench-smoke:
+	PYTHONPATH=src python scripts/bench_smoke.py
 
 report:
 	python -m repro.cli reproduce -o REPORT.txt

@@ -15,6 +15,8 @@ Subpackages:
               per-operand), characterization, width regression, analytic
               Hd distributions, estimation, adaptation, persistence
     eval      experiment harness reproducing every table and figure
+    runtime   characterization service: parallel job fan-out and the
+              persistent content-addressed model/trace cache
     flow      model libraries and dataflow power budgeting
     opt       model-driven low-power optimization (binding, reordering)
     cli       the `repro-power` command line
@@ -33,6 +35,7 @@ __all__ = [
     "flow",
     "modules",
     "opt",
+    "runtime",
     "signals",
     "stats",
 ]

@@ -4,6 +4,9 @@ Usage examples::
 
     repro-power list-modules
     repro-power characterize --kind csa_multiplier --width 8 -o model.json
+    repro-power characterize --kind ripple_adder,csa_multiplier \\
+        --width 4,8,16 --jobs 4 --cache
+    repro-power cache stats
     repro-power estimate --model model.json --kind csa_multiplier \\
         --width 8 --data-type III
     repro-power table 1
@@ -36,15 +39,37 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-modules", help="list datapath module kinds")
 
-    p = sub.add_parser("characterize", help="characterize a module")
-    p.add_argument("--kind", required=True)
-    p.add_argument("--width", type=int, required=True)
+    p = sub.add_parser("characterize", help="characterize modules")
+    p.add_argument("--kind", required=True,
+                   help="module kind, or a comma-separated list of kinds")
+    p.add_argument("--width", required=True,
+                   help="operand width, or a comma-separated list; jobs are "
+                        "the cross product of kinds and widths")
     p.add_argument("--patterns", type=int, default=4000)
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; per-job seeds derive deterministically")
     p.add_argument("--enhanced", action="store_true")
     p.add_argument("--stimulus", default="uniform_hd",
                    choices=["random", "uniform_hd", "mixed", "corner"])
-    p.add_argument("-o", "--output", help="write the model as JSON")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="characterize jobs in parallel with this many "
+                        "worker processes")
+    p.add_argument("--cache", action="store_true",
+                   help="serve/store results via the persistent cache "
+                        "(~/.cache/repro-hd or $REPRO_CACHE_DIR)")
+    p.add_argument("--cache-dir",
+                   help="persistent cache directory (implies --cache)")
+    p.add_argument("-o", "--output",
+                   help="write the model as JSON (with several jobs: a "
+                        "directory, one <kind>_<width>[_enhanced].json each)")
+
+    p = sub.add_parser(
+        "cache", help="inspect the persistent characterization cache"
+    )
+    p.add_argument("action", choices=["ls", "stats", "clear"])
+    p.add_argument("--cache-dir",
+                   help="cache directory (default ~/.cache/repro-hd or "
+                        "$REPRO_CACHE_DIR)")
 
     p = sub.add_parser("estimate", help="estimate power for a data stream")
     p.add_argument("--kind", required=True)
@@ -128,25 +153,93 @@ def _cmd_list_modules(args) -> int:
 
 
 def _cmd_characterize(args) -> int:
-    from .core import characterize_module
-    from .core.serialize import save_model
-    from .modules import make_module
+    from pathlib import Path
 
-    module = make_module(args.kind, args.width)
-    result = characterize_module(
-        module, n_patterns=args.patterns, seed=args.seed,
-        enhanced=args.enhanced, stimulus=args.stimulus,
+    from .core.serialize import save_model
+    from .eval import ExperimentConfig
+    from .runtime import CharacterizationJob, ModelCache, characterize_jobs
+
+    kinds = [k.strip() for k in args.kind.split(",") if k.strip()]
+    try:
+        widths = [int(w) for w in args.width.split(",") if w.strip()]
+    except ValueError:
+        print(f"error: --width must be int(s), got {args.width!r}",
+              file=sys.stderr)
+        return 2
+    jobs = [
+        CharacterizationJob(kind=k, width=w, enhanced=args.enhanced)
+        for k in kinds for w in widths
+    ]
+    config = ExperimentConfig(
+        n_characterization=args.patterns,
+        seed=args.seed,
+        basic_stimulus=args.stimulus,
+        enhanced_stimulus=args.stimulus,
     )
-    model = result.model
-    print(f"characterized {module.netlist.name}: {result.n_patterns} patterns"
-          f" (converged: {result.converged})")
-    print(f"total average deviation eps = "
-          f"{model.total_average_deviation * 100:.1f}%")
-    print("p_i:", np.array2string(model.coefficients, precision=1))
+    cache = None
+    if args.cache or args.cache_dir:
+        cache = ModelCache(args.cache_dir)
+    report = characterize_jobs(
+        jobs, config=config, n_jobs=args.jobs, cache=cache
+    )
+    for job, result in zip(report.jobs, report.results):
+        model = result.model
+        print(f"characterized {model.name}: {result.n_patterns} patterns"
+              f" (converged: {result.converged})")
+        print(f"total average deviation eps = "
+              f"{model.total_average_deviation * 100:.1f}%")
+        print("p_i:", np.array2string(model.coefficients, precision=1))
     if args.output:
-        target = result.enhanced if args.enhanced else model
-        save_model(args.output, target)
-        print(f"model written to {args.output}")
+        if len(jobs) == 1:
+            result = report.results[0]
+            target = result.enhanced if args.enhanced else result.model
+            save_model(args.output, target)
+            print(f"model written to {args.output}")
+        else:
+            directory = Path(args.output)
+            directory.mkdir(parents=True, exist_ok=True)
+            for job, result in zip(report.jobs, report.results):
+                target = result.enhanced if args.enhanced else result.model
+                suffix = "_enhanced" if args.enhanced else ""
+                path = directory / f"{job.kind}_{job.width}{suffix}.json"
+                save_model(path, target)
+            print(f"{len(jobs)} models written to {directory}")
+    if cache is not None or args.jobs > 1 or len(jobs) > 1:
+        print(report.summary())
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .runtime import ModelCache
+
+    cache = ModelCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.directory}")
+        return 0
+    if args.action == "ls":
+        entries = cache.entries()
+        if not entries:
+            print(f"cache {cache.directory} is empty")
+            return 0
+        print(f"{'key':12s} {'record':16s} {'module':28s} {'size':>8s}")
+        for row in entries:
+            name = row.get("name") or (
+                f"{row.get('kind', '?')}_{row.get('width', '?')}"
+                if "kind" in row else "-"
+            )
+            if row.get("record") == "trace":
+                name = (f"{row.get('kind', '?')}_{row.get('width', '?')}"
+                        f"/{row.get('data_type', '?')}")
+            print(f"{row['key'][:12]:12s} {row.get('record', '?'):16s} "
+                  f"{name:28s} {row['bytes']:8d}")
+        return 0
+    stats = cache.stats()
+    print(f"directory   : {stats['directory']}")
+    print(f"entries     : {stats['entries']}")
+    print(f"total bytes : {stats['total_bytes']}")
+    print(f"session     : {stats['hits']} hits, {stats['misses']} misses, "
+          f"{stats['stores']} stores")
     return 0
 
 
@@ -322,6 +415,7 @@ def _cmd_figure(args) -> int:
 _COMMANDS = {
     "list-modules": _cmd_list_modules,
     "characterize": _cmd_characterize,
+    "cache": _cmd_cache,
     "estimate": _cmd_estimate,
     "verilog": _cmd_verilog,
     "hotspots": _cmd_hotspots,

@@ -1,12 +1,15 @@
 """The paper's contribution: the parameterizable Hd power macro-model."""
 
 from .adaptation import AdaptiveHdModel
+from .accumulator import ClassAccumulator
 from .characterize import (
+    CHARACTERIZATION_VERSION,
     CharacterizationResult,
     characterize_module,
     corner_input_bits,
     mixed_input_bits,
     random_input_bits,
+    uniform_hd_input_bits,
 )
 from .distribution import (
     average_hd_from_dbt,
@@ -41,7 +44,9 @@ from .regression import (
 
 __all__ = [
     "AdaptiveHdModel",
+    "CHARACTERIZATION_VERSION",
     "CharacterizationResult",
+    "ClassAccumulator",
     "EnhancedHdModel",
     "EstimationResult",
     "HdPowerModel",
@@ -77,4 +82,5 @@ __all__ = [
     "prototype_widths",
     "random_input_bits",
     "sign_region_distribution",
+    "uniform_hd_input_bits",
 ]

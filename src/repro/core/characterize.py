@@ -10,6 +10,7 @@ well-populated classes is compared against a tolerance.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -17,9 +18,17 @@ import numpy as np
 
 from ..circuit.power import PowerSimulator
 from ..modules.library import DatapathModule
+from .accumulator import ClassAccumulator
 from .enhanced import EnhancedHdModel
 from .events import classify_transitions
 from .hd_model import HdPowerModel
+
+#: Semantic version tag of the characterization algorithm + stimulus
+#: generators.  Bump whenever a change alters characterization results for
+#: an unchanged configuration — the persistent model cache
+#: (:mod:`repro.runtime.cache`) keys on it, so bumping invalidates every
+#: stale cache entry at once.
+CHARACTERIZATION_VERSION = "2"
 
 
 @dataclass
@@ -34,6 +43,15 @@ class CharacterizationResult:
             pattern budget ran out.
         history: Max relative coefficient change after each batch.
         average_charge: Mean reference cycle charge of the run.
+        convergence_reason: Why the loop stopped — ``"converged"``,
+            ``"budget_exhausted"`` (populated classes existed but never
+            settled below the tolerance) or ``"no_populated_classes"``
+            (no class ever reached ``min_class_count`` samples, e.g. a
+            module too wide for the pattern budget; the convergence check
+            then never had anything to compare).
+        accumulator: The incremental class statistics the models were
+            fitted from; mergeable across runs and serializable for the
+            persistent cache.
     """
 
     model: HdPowerModel
@@ -42,6 +60,8 @@ class CharacterizationResult:
     converged: bool
     history: List[float] = field(default_factory=list)
     average_charge: float = 0.0
+    convergence_reason: str = "converged"
+    accumulator: Optional[ClassAccumulator] = field(default=None, repr=False)
 
 
 def random_input_bits(
@@ -94,7 +114,14 @@ def corner_input_bits(
     fill styles.
     """
     rng = np.random.default_rng(seed)
-    bits = np.zeros((max(n_patterns, 2), width), dtype=bool)
+    # Always generate whole (u, v) pairs: with an odd ``n_patterns`` a
+    # half-open pair would otherwise leave the preallocated last row
+    # all-zeros, injecting a spurious vector (and a fake high-Hd seam
+    # transition) into the stream.  Rounding up and truncating keeps the
+    # requested length while the dangling row is a legitimate pair head.
+    size = max(n_patterns, 2)
+    size += size % 2
+    bits = np.zeros((size, width), dtype=bool)
     row = 0
     style = 0
     while row + 1 < len(bits):
@@ -191,20 +218,20 @@ def characterize_module(
     )
     rng = np.random.default_rng(seed)
 
-    all_hd: List[np.ndarray] = []
-    all_zeros: List[np.ndarray] = []
-    all_charge: List[np.ndarray] = []
+    # Incremental statistics: each batch folds into per-class running
+    # sums, so a convergence check is O(m) and memory stays O(m²)
+    # regardless of how many patterns the run consumes (the old loop
+    # re-concatenated and refitted the full history after every batch).
+    accumulator = ClassAccumulator(width)
     previous: Optional[np.ndarray] = None
     history: List[float] = []
     converged = False
     consumed = 0
     last_vector: Optional[np.ndarray] = None
 
-    batch_index = 0
     while consumed < max_patterns:
         batch = min(batch_size, max_patterns - consumed)
         bits = make_bits(batch, width, seed=int(rng.integers(0, 2**31)))
-        batch_index += 1
         if last_vector is not None:
             # Stitch batches so no transition is lost at the seam.
             bits = np.vstack([last_vector[None, :], bits])
@@ -212,19 +239,19 @@ def characterize_module(
         consumed += batch
         trace = simulator.simulate(bits)
         events = classify_transitions(bits)
-        all_hd.append(events.hd)
-        all_zeros.append(events.stable_zeros)
-        all_charge.append(trace.charge)
+        accumulator.update(events.hd, events.stable_zeros, trace.charge)
 
-        hd = np.concatenate(all_hd)
-        charge = np.concatenate(all_charge)
-        model = HdPowerModel.fit(hd, charge, width, name=module.netlist.name)
+        counts = accumulator.hd_counts
+        current = accumulator.hd_means()
         if previous is not None:
-            mask = model.counts >= min_class_count
+            # Observed means equal the refit coefficients exactly, and the
+            # check only ever looks at well-populated classes, so the
+            # interpolated entries a full fit would add are irrelevant.
+            mask = counts >= min_class_count
             mask[0] = False
             if mask.any():
                 prev = previous[mask]
-                cur = model.coefficients[mask]
+                cur = current[mask]
                 denom = np.where(np.abs(prev) > 0, np.abs(prev), 1.0)
                 change = float(np.max(np.abs(cur - prev) / denom))
             else:
@@ -233,17 +260,32 @@ def characterize_module(
             if consumed >= n_patterns and change < tolerance:
                 converged = True
                 break
-        previous = model.coefficients.copy()
+        previous = current
 
-    hd = np.concatenate(all_hd)
-    zeros = np.concatenate(all_zeros)
-    charge = np.concatenate(all_charge)
-    model = HdPowerModel.fit(hd, charge, width, name=module.netlist.name)
+    if converged:
+        reason = "converged"
+    else:
+        populated = accumulator.hd_counts >= min_class_count
+        populated[0] = False
+        reason = "budget_exhausted" if populated.any() else "no_populated_classes"
+        if reason == "no_populated_classes":
+            warnings.warn(
+                f"characterization of {module.netlist.name} consumed "
+                f"{consumed} patterns without any Hd class reaching "
+                f"min_class_count={min_class_count}; the convergence check "
+                f"never had populated classes to compare (module width "
+                f"{width} is too large for this pattern budget — raise "
+                f"max_patterns or lower min_class_count)",
+                stacklevel=2,
+            )
+
+    model = HdPowerModel.from_accumulator(
+        accumulator, name=module.netlist.name
+    )
     enhanced_model = None
     if enhanced:
-        enhanced_model = EnhancedHdModel.fit(
-            hd, zeros, charge, width,
-            cluster_size=cluster_size, name=module.netlist.name,
+        enhanced_model = EnhancedHdModel.from_accumulator(
+            accumulator, cluster_size=cluster_size, name=module.netlist.name
         )
     return CharacterizationResult(
         model=model,
@@ -251,5 +293,7 @@ def characterize_module(
         n_patterns=consumed,
         converged=converged,
         history=history,
-        average_charge=float(charge.mean()),
+        average_charge=accumulator.average_charge,
+        convergence_reason=reason,
+        accumulator=accumulator,
     )

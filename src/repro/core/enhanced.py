@@ -101,6 +101,57 @@ class EnhancedHdModel:
             fallback=fallback,
         )
 
+    @classmethod
+    def from_accumulator(
+        cls,
+        accumulator,
+        cluster_size: int = 1,
+        name: str = "",
+    ) -> "EnhancedHdModel":
+        """Fit subclass coefficients from accumulated class statistics.
+
+        The incremental counterpart of :meth:`fit` (see
+        :meth:`HdPowerModel.from_accumulator`): subclass counts are exact
+        and the coefficients match a full refit up to float summation
+        order.  Zero-count clustering happens here, at finalization — the
+        accumulator always stores full-resolution ``(hd, stable_zeros)``
+        cells, so one accumulator can serve any ``cluster_size``.
+
+        Args:
+            accumulator: A :class:`~repro.core.accumulator.ClassAccumulator`.
+            cluster_size: Zero-count bucket width (>= 1).
+            name: Model label.
+        """
+        if cluster_size < 1:
+            raise ValueError("cluster_size must be >= 1")
+        fallback = HdPowerModel.from_accumulator(accumulator, name=name)
+        coefficients: Dict[Tuple[int, int], float] = {}
+        counts: Dict[Tuple[int, int], int] = {}
+        deviations: Dict[Tuple[int, int], float] = {}
+        cell_counts = accumulator.counts
+        for i, z in zip(*np.nonzero(cell_counts)):
+            key = (int(i), int(z) // cluster_size)
+            counts[key] = counts.get(key, 0) + int(cell_counts[i, z])
+            coefficients[key] = (
+                coefficients.get(key, 0.0) + float(accumulator.sums[i, z])
+            )
+            deviations[key] = (
+                deviations.get(key, 0.0) + float(accumulator.abs_dev[i, z])
+            )
+        for key, total in coefficients.items():
+            p = total / counts[key]
+            coefficients[key] = p
+            deviations[key] = deviations[key] / (counts[key] * p) if p > 0 else 0.0
+        return cls(
+            name=name,
+            width=accumulator.width,
+            cluster_size=cluster_size,
+            coefficients=coefficients,
+            counts=counts,
+            deviations=deviations,
+            fallback=fallback,
+        )
+
     # ------------------------------------------------------------------
     def predict_cycle(
         self, hd: np.ndarray, stable_zeros: np.ndarray

@@ -146,6 +146,57 @@ class HdPowerModel:
         return cls(name=name, width=width, coefficients=p,
                    deviations=eps, counts=counts, standard_errors=stderr)
 
+    @classmethod
+    def from_accumulator(cls, accumulator, name: str = "") -> "HdPowerModel":
+        """Fit from incrementally accumulated class statistics.
+
+        The O(m) counterpart of :meth:`fit`: instead of the raw
+        ``(hd, charge)`` stream it consumes a
+        :class:`~repro.core.accumulator.ClassAccumulator`, so the cost is
+        independent of how many patterns were characterized.  Class counts
+        are exact and the coefficients match :meth:`fit` on the same stream
+        up to float summation order (≪ 1e-12 relative); the per-class
+        deviations ``ε_i`` use the accumulator's running-mean absolute
+        deviations (see the accumulator module docstring).
+
+        Args:
+            accumulator: Statistics gathered with
+                :meth:`ClassAccumulator.update` (or merged from workers).
+            name: Model label.
+        """
+        if accumulator.n_samples == 0:
+            raise ValueError("empty characterization trace")
+        width = accumulator.width
+        counts = accumulator.hd_counts
+        sums = accumulator.hd_sums
+        sumsq = accumulator.sumsq.sum(axis=1)
+        with np.errstate(invalid="ignore"):
+            p = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        eps = np.full(width + 1, np.nan)
+        stderr = np.full(width + 1, np.nan)
+        observed = np.nonzero(counts)[0]
+        for i in observed:
+            pi = p[i]
+            if pi > 0:
+                eps[i] = float(
+                    accumulator.abs_dev_hd[i] / (counts[i] * pi)
+                )
+            elif pi == 0:
+                eps[i] = 0.0
+            if counts[i] > 1:
+                # Unbiased variance from the sum of squares, clamped at 0
+                # against cancellation noise.
+                var = max(
+                    (sumsq[i] - sums[i] * sums[i] / counts[i])
+                    / (counts[i] - 1),
+                    0.0,
+                )
+                stderr[i] = float(np.sqrt(var / counts[i]))
+        p[0] = 0.0
+        p = _fill_missing(p)
+        return cls(name=name, width=width, coefficients=p,
+                   deviations=eps, counts=counts, standard_errors=stderr)
+
     # ------------------------------------------------------------------
     # Prediction (Eq. 2)
     # ------------------------------------------------------------------

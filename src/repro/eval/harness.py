@@ -8,6 +8,8 @@ suite does not re-simulate shared prerequisites.
 
 from __future__ import annotations
 
+import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -18,8 +20,22 @@ from ..core.characterize import CharacterizationResult, characterize_module
 from ..core.events import TransitionEvents, classify_transitions
 from ..core.metrics import average_error, cycle_error
 from ..modules.library import DatapathModule, make_module
+from ..runtime.cache import ModelCache
+from ..runtime.service import characterization_seed
 from ..signals.registry import make_operand_streams
 from ..signals.streams import PatternStream, module_stimulus
+
+
+def data_type_seed(data_type: str) -> int:
+    """Stable per-data-type sub-seed for evaluation streams.
+
+    A digest rather than a character sum: ``sum(ord(c))`` mapped anagram
+    or permuted data-type names (e.g. custom registry entries ``"ab"`` and
+    ``"ba"``) to identical seeds and therefore identical streams.  CRC-32
+    is stable across processes (unlike randomized ``hash()``) and distinct
+    for distinct names.
+    """
+    return zlib.crc32(data_type.encode("utf-8"))
 
 
 @dataclass(frozen=True)
@@ -65,10 +81,41 @@ class EvaluationRow:
 
 
 class Harness:
-    """Caching pipeline runner for all paper experiments."""
+    """Caching pipeline runner for all paper experiments.
 
-    def __init__(self, config: ExperimentConfig | None = None):
+    Args:
+        config: Experiment knobs; the stock configuration by default.
+        cache: Optional persistent :class:`~repro.runtime.cache.ModelCache`.
+            When given, characterizations and evaluation traces are looked
+            up on disk before any simulation runs and stored after; the
+            content-addressed key covers the full config, seed and
+            code-version tag, so a stale entry can never be served.
+
+    Attributes:
+        counters: Work/hit-rate telemetry of this harness instance —
+            ``characterization_hits``/``misses`` and ``trace_hits``/
+            ``misses`` against the *disk* cache, ``simulated_patterns``
+            (patterns actually pushed through the reference simulator; 0
+            on a fully cache-served run) and ``characterize_seconds`` /
+            ``simulate_seconds`` wall-clock totals.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        cache: Optional[ModelCache] = None,
+    ):
         self.config = config or ExperimentConfig()
+        self.cache = cache
+        self.counters: Dict[str, float] = {
+            "characterization_hits": 0,
+            "characterization_misses": 0,
+            "trace_hits": 0,
+            "trace_misses": 0,
+            "simulated_patterns": 0,
+            "characterize_seconds": 0.0,
+            "simulate_seconds": 0.0,
+        }
         self._modules: Dict[Tuple[str, int], DatapathModule] = {}
         self._characterizations: Dict[
             Tuple[str, int, bool], CharacterizationResult
@@ -97,20 +144,43 @@ class Harness:
     def characterization(
         self, kind: str, width: int, enhanced: bool = False
     ) -> CharacterizationResult:
-        """Characterize (cached) one module instance."""
+        """Characterize (cached, memory then disk) one module instance."""
         key = (kind, width, enhanced)
         if key not in self._characterizations:
+            seed = characterization_seed(self.config.seed, width, enhanced)
+            disk_key = None
+            if self.cache is not None:
+                disk_key = self.cache.characterization_key(
+                    kind, width, enhanced, self.config, seed
+                )
+                cached = self.cache.load_characterization(disk_key)
+                if cached is not None:
+                    self.counters["characterization_hits"] += 1
+                    self._characterizations[key] = cached
+                    return cached
+                self.counters["characterization_misses"] += 1
             module = self.module(kind, width)
-            self._characterizations[key] = characterize_module(
+            started = time.perf_counter()
+            result = characterize_module(
                 module,
                 n_patterns=self.config.n_characterization,
-                seed=self.config.seed + width * 17 + (1 if enhanced else 0),
+                seed=seed,
                 enhanced=enhanced,
                 glitch_aware=self.config.glitch_aware,
                 glitch_weight=self.config.glitch_weight,
                 stimulus=(self.config.enhanced_stimulus if enhanced
                           else self.config.basic_stimulus),
             )
+            self.counters["characterize_seconds"] += (
+                time.perf_counter() - started
+            )
+            self.counters["simulated_patterns"] += result.n_patterns
+            self._characterizations[key] = result
+            if self.cache is not None and disk_key is not None:
+                self.cache.store_characterization(
+                    disk_key, result,
+                    meta={"kind": kind, "width": width, "enhanced": enhanced},
+                )
         return self._characterizations[key]
 
     def evaluation_data(
@@ -119,17 +189,38 @@ class Harness:
         """Events + reference trace (cached) for one evaluation stream."""
         key = (kind, width, data_type)
         if key not in self._eval_data:
-            module = self.module(kind, width)
             # Stable per-data-type seed (str hash() is randomized per run).
-            dt_seed = sum(ord(c) for c in data_type)
+            seed = self.config.seed + data_type_seed(data_type)
+            disk_key = None
+            if self.cache is not None:
+                disk_key = self.cache.trace_key(
+                    kind, width, data_type, self.config, seed
+                )
+                cached = self.cache.load_trace(disk_key)
+                if cached is not None:
+                    self.counters["trace_hits"] += 1
+                    self._eval_data[key] = cached
+                    return cached
+                self.counters["trace_misses"] += 1
+            module = self.module(kind, width)
             streams = make_operand_streams(
-                module, data_type, self.config.n_eval,
-                seed=self.config.seed + dt_seed,
+                module, data_type, self.config.n_eval, seed=seed
             )
             bits = module_stimulus(module, streams)
+            started = time.perf_counter()
             trace = self.simulator(kind, width).simulate(bits)
+            self.counters["simulate_seconds"] += (
+                time.perf_counter() - started
+            )
+            self.counters["simulated_patterns"] += len(bits)
             events = classify_transitions(bits)
             self._eval_data[key] = (events, trace)
+            if self.cache is not None and disk_key is not None:
+                self.cache.store_trace(
+                    disk_key, events, trace,
+                    meta={"kind": kind, "width": width,
+                          "data_type": data_type},
+                )
         return self._eval_data[key]
 
     # ------------------------------------------------------------------

@@ -1,0 +1,34 @@
+"""Characterization runtime: parallel fan-out + persistent model cache.
+
+This layer turns the library into a characterize-once/evaluate-many
+service: :func:`characterize_jobs` spreads independent module
+characterizations over worker processes, and :class:`ModelCache` persists
+every fitted model and evaluation trace under a content-addressed key so
+repeated runs cost zero simulator cycles.  See docs/CHARACTERIZATION.md.
+"""
+
+from .cache import (
+    CACHE_FORMAT_VERSION,
+    DEFAULT_CACHE_DIR,
+    ENV_CACHE_DIR,
+    ModelCache,
+    default_cache_dir,
+)
+from .service import (
+    CharacterizationJob,
+    ServiceReport,
+    characterization_seed,
+    characterize_jobs,
+)
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CharacterizationJob",
+    "DEFAULT_CACHE_DIR",
+    "ENV_CACHE_DIR",
+    "ModelCache",
+    "ServiceReport",
+    "characterization_seed",
+    "characterize_jobs",
+    "default_cache_dir",
+]

@@ -1,0 +1,321 @@
+"""Persistent content-addressed cache for characterization artifacts.
+
+Characterization is the expensive step of the whole flow; the cache makes it
+pay-once.  Every artifact — a fitted :class:`CharacterizationResult` or an
+evaluation ``(events, trace)`` pair — is stored as one JSON file named by
+the SHA-256 of its *complete* provenance: record type, module kind and
+width, the full experiment configuration, the seed and the characterization
+code-version tag.  Two consequences:
+
+* identical configurations always map to the same file, across processes
+  and machines, so re-running a benchmark suite is pure cache hits;
+* any change to the configuration **or** to the characterization algorithm
+  (via :data:`~repro.core.characterize.CHARACTERIZATION_VERSION`) changes
+  the key, so stale entries are never served — they are simply orphaned
+  and reclaimed by ``repro-power cache clear``.
+
+The default location is ``~/.cache/repro-hd``, overridable with the
+``REPRO_CACHE_DIR`` environment variable or the ``directory`` argument.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..circuit.power import PowerTrace
+from ..core.accumulator import ClassAccumulator
+from ..core.characterize import (
+    CHARACTERIZATION_VERSION,
+    CharacterizationResult,
+)
+from ..core.events import TransitionEvents
+from ..core.serialize import model_from_dict, model_to_dict
+
+PathLike = Union[str, Path]
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = "~/.cache/repro-hd"
+
+#: On-disk payload format; bump when the JSON layout itself changes.
+CACHE_FORMAT_VERSION = "1"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory honoring ``REPRO_CACHE_DIR``."""
+    return Path(
+        os.environ.get(ENV_CACHE_DIR, DEFAULT_CACHE_DIR)
+    ).expanduser()
+
+
+def _config_payload(config: Any) -> Dict[str, Any]:
+    """A JSON-stable view of an experiment configuration."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return dataclasses.asdict(config)
+    if isinstance(config, dict):
+        return dict(config)
+    raise TypeError(
+        f"config must be a dataclass or dict, got {type(config).__name__}"
+    )
+
+
+class ModelCache:
+    """Content-addressed disk cache of characterization artifacts.
+
+    Args:
+        directory: Cache root; defaults to ``$REPRO_CACHE_DIR`` or
+            ``~/.cache/repro-hd``.  Created lazily on first store.
+
+    Attributes:
+        hits: Successful loads served by this instance.
+        misses: Lookups that found no entry.
+        stores: Entries written by this instance.
+    """
+
+    def __init__(self, directory: Optional[PathLike] = None):
+        self.directory = (
+            Path(directory).expanduser()
+            if directory is not None
+            else default_cache_dir()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def make_key(payload: Dict[str, Any]) -> str:
+        """SHA-256 over the canonical JSON form of a provenance payload."""
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def characterization_key(
+        self,
+        kind: str,
+        width: int,
+        enhanced: bool,
+        config: Any,
+        seed: int,
+    ) -> str:
+        """Key of one characterization run's full provenance."""
+        return self.make_key({
+            "record": "characterization",
+            "kind": kind,
+            "width": int(width),
+            "enhanced": bool(enhanced),
+            "seed": int(seed),
+            "config": _config_payload(config),
+            "code_version": CHARACTERIZATION_VERSION,
+        })
+
+    def trace_key(
+        self,
+        kind: str,
+        width: int,
+        data_type: str,
+        config: Any,
+        seed: int,
+    ) -> str:
+        """Key of one evaluation (events, trace) pair's provenance."""
+        return self.make_key({
+            "record": "trace",
+            "kind": kind,
+            "width": int(width),
+            "data_type": data_type,
+            "seed": int(seed),
+            "config": _config_payload(config),
+            "code_version": CHARACTERIZATION_VERSION,
+        })
+
+    # ------------------------------------------------------------------
+    # Raw record I/O
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """Fetch a raw record; counts a hit or miss."""
+        path = self._path(key)
+        try:
+            record = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if record.get("format") != CACHE_FORMAT_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def store(
+        self, key: str, payload: Dict[str, Any], meta: Dict[str, Any]
+    ) -> Path:
+        """Write a record atomically (write + rename); counts a store."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        record = {
+            "format": CACHE_FORMAT_VERSION,
+            "created": time.time(),
+            "meta": meta,
+            "payload": payload,
+        }
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(record))
+        tmp.replace(path)
+        self.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Characterization records
+    # ------------------------------------------------------------------
+    def load_characterization(
+        self, key: str
+    ) -> Optional[CharacterizationResult]:
+        record = self.load(key)
+        if record is None:
+            return None
+        payload = record["payload"]
+        accumulator = None
+        if payload.get("accumulator") is not None:
+            accumulator = ClassAccumulator.from_dict(payload["accumulator"])
+        return CharacterizationResult(
+            model=model_from_dict(payload["model"]),
+            enhanced=(
+                model_from_dict(payload["enhanced"])
+                if payload.get("enhanced") is not None
+                else None
+            ),
+            n_patterns=int(payload["n_patterns"]),
+            converged=bool(payload["converged"]),
+            history=[float(v) for v in payload["history"]],
+            average_charge=float(payload["average_charge"]),
+            convergence_reason=payload.get("convergence_reason", ""),
+            accumulator=accumulator,
+        )
+
+    def store_characterization(
+        self,
+        key: str,
+        result: CharacterizationResult,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        payload = {
+            "model": model_to_dict(result.model),
+            "enhanced": (
+                model_to_dict(result.enhanced)
+                if result.enhanced is not None
+                else None
+            ),
+            "n_patterns": result.n_patterns,
+            "converged": result.converged,
+            # JSON has no inf; histories may contain it for sparse batches.
+            "history": [
+                v if np.isfinite(v) else repr(v) for v in result.history
+            ],
+            "average_charge": result.average_charge,
+            "convergence_reason": result.convergence_reason,
+            "accumulator": (
+                result.accumulator.to_dict()
+                if result.accumulator is not None
+                else None
+            ),
+        }
+        base = {"record": "characterization", "name": result.model.name}
+        return self.store(key, payload, {**base, **(meta or {})})
+
+    # ------------------------------------------------------------------
+    # Evaluation (events, trace) records
+    # ------------------------------------------------------------------
+    def load_trace(
+        self, key: str
+    ) -> Optional[Tuple[TransitionEvents, PowerTrace]]:
+        record = self.load(key)
+        if record is None:
+            return None
+        payload = record["payload"]
+        events = TransitionEvents(
+            width=int(payload["width"]),
+            hd=np.asarray(payload["hd"], dtype=np.int64),
+            stable_zeros=np.asarray(payload["stable_zeros"], dtype=np.int64),
+            stable_ones=np.asarray(payload["stable_ones"], dtype=np.int64),
+        )
+        trace = PowerTrace(
+            charge=np.asarray(payload["charge"], dtype=np.float64),
+            total_toggles=np.asarray(
+                payload["total_toggles"], dtype=np.int64
+            ),
+        )
+        return events, trace
+
+    def store_trace(
+        self,
+        key: str,
+        events: TransitionEvents,
+        trace: PowerTrace,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        payload = {
+            "width": events.width,
+            "hd": events.hd.tolist(),
+            "stable_zeros": events.stable_zeros.tolist(),
+            "stable_ones": events.stable_ones.tolist(),
+            "charge": trace.charge.tolist(),
+            "total_toggles": trace.total_toggles.tolist(),
+        }
+        base = {"record": "trace"}
+        return self.store(key, payload, {**base, **(meta or {})})
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Dict[str, Any]]:
+        """Metadata of every cache entry, newest first."""
+        rows = []
+        if not self.directory.is_dir():
+            return rows
+        for path in self.directory.glob("*.json"):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            rows.append({
+                "key": path.stem,
+                "bytes": path.stat().st_size,
+                "created": record.get("created", 0.0),
+                **record.get("meta", {}),
+            })
+        rows.sort(key=lambda row: row["created"], reverse=True)
+        return rows
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for path in self.directory.glob("*.tmp"):
+            path.unlink(missing_ok=True)
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count, total size and this instance's runtime counters."""
+        entries = self.entries()
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "total_bytes": sum(row["bytes"] for row in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }

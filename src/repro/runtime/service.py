@@ -1,0 +1,199 @@
+"""Characterization service: parallel fan-out over independent modules.
+
+Module characterizations are embarrassingly parallel — each job simulates
+its own prototype netlist with its own stream — so the service fans a list
+of ``(kind, width, enhanced)`` jobs out over a :class:`ProcessPoolExecutor`.
+Workers rebuild the module from its registry key (netlists are cheap to
+generate, expensive to pickle) and ship back a
+:class:`~repro.core.characterize.CharacterizationResult` whose embedded
+:class:`~repro.core.accumulator.ClassAccumulator` carries the complete class
+statistics, so the parent can refit, merge or persist without touching raw
+pattern streams.
+
+Combined with the persistent :class:`~repro.runtime.cache.ModelCache`, the
+service implements the characterize-once/evaluate-many contract: jobs whose
+provenance key is already cached are served from disk with zero simulator
+work, and the returned :class:`ServiceReport` exposes hit/miss and timing
+counters so benchmarks can report the speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.characterize import CharacterizationResult, characterize_module
+from ..modules.library import make_module
+from .cache import ModelCache
+
+
+def characterization_seed(base_seed: int, width: int, enhanced: bool) -> int:
+    """Deterministic per-job seed (the derivation the harness uses)."""
+    return int(base_seed) + width * 17 + (1 if enhanced else 0)
+
+
+@dataclass(frozen=True)
+class CharacterizationJob:
+    """One unit of characterization work.
+
+    Attributes:
+        kind: Module registry kind (see ``repro-power list-modules``).
+        width: Operand width passed to the module generator.
+        enhanced: Also fit the enhanced (stable-zeros) model.
+    """
+
+    kind: str
+    width: int
+    enhanced: bool = False
+
+    @property
+    def label(self) -> str:
+        suffix = "+enhanced" if self.enhanced else ""
+        return f"{self.kind}/{self.width}{suffix}"
+
+
+@dataclass
+class ServiceReport:
+    """Outcome of one :func:`characterize_jobs` call.
+
+    Attributes:
+        jobs: The jobs, in request order.
+        results: One result per job (same order).
+        cache_hits: Jobs served from the persistent cache.
+        cache_misses: Jobs that had to simulate.
+        elapsed_seconds: Wall-clock time of the whole call.
+        n_workers: Worker processes used for the misses.
+    """
+
+    jobs: Tuple[CharacterizationJob, ...]
+    results: List[CharacterizationResult] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_seconds: float = 0.0
+    n_workers: int = 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.jobs)} jobs | cache hits: {self.cache_hits} | "
+            f"misses: {self.cache_misses} | workers: {self.n_workers} | "
+            f"elapsed: {self.elapsed_seconds:.2f}s"
+        )
+
+
+def _config_params(config: Any) -> Dict[str, Any]:
+    """Extract the characterization knobs of an experiment config."""
+    return {
+        "n_characterization": config.n_characterization,
+        "seed": config.seed,
+        "glitch_aware": config.glitch_aware,
+        "glitch_weight": config.glitch_weight,
+        "basic_stimulus": config.basic_stimulus,
+        "enhanced_stimulus": config.enhanced_stimulus,
+    }
+
+
+def _run_job(
+    kind: str, width: int, enhanced: bool, params: Dict[str, Any]
+) -> CharacterizationResult:
+    """Worker entry point (module-level so the pool can pickle it)."""
+    module = make_module(kind, width)
+    return characterize_module(
+        module,
+        n_patterns=params["n_characterization"],
+        seed=characterization_seed(params["seed"], width, enhanced),
+        enhanced=enhanced,
+        glitch_aware=params["glitch_aware"],
+        glitch_weight=params["glitch_weight"],
+        stimulus=(
+            params["enhanced_stimulus"] if enhanced
+            else params["basic_stimulus"]
+        ),
+    )
+
+
+def characterize_jobs(
+    jobs: Sequence[CharacterizationJob],
+    config: Any = None,
+    n_jobs: int = 1,
+    cache: Optional[ModelCache] = None,
+) -> ServiceReport:
+    """Characterize many modules, in parallel, behind the persistent cache.
+
+    Args:
+        jobs: Jobs to run; results come back in the same order.
+        config: An :class:`~repro.eval.harness.ExperimentConfig` (or any
+            object with the same characterization attributes).  Defaults to
+            the stock configuration.
+        n_jobs: Worker processes; 1 runs inline (no pool, no pickling).
+        cache: Persistent cache consulted before — and filled after —
+            simulating.  ``None`` disables disk caching.
+
+    Returns:
+        A :class:`ServiceReport` with per-call hit/timing counters.
+    """
+    if config is None:
+        # Imported lazily: eval is a higher layer that itself imports
+        # runtime, so a module-level import would be circular.
+        from ..eval.harness import ExperimentConfig
+
+        config = ExperimentConfig()
+    jobs = tuple(jobs)
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
+    params = _config_params(config)
+    started = time.perf_counter()
+    report = ServiceReport(jobs=jobs, n_workers=n_jobs)
+    results: List[Optional[CharacterizationResult]] = [None] * len(jobs)
+
+    pending: List[Tuple[int, CharacterizationJob, Optional[str]]] = []
+    for index, job in enumerate(jobs):
+        key = None
+        if cache is not None:
+            key = cache.characterization_key(
+                job.kind, job.width, job.enhanced, config,
+                characterization_seed(config.seed, job.width, job.enhanced),
+            )
+            cached = cache.load_characterization(key)
+            if cached is not None:
+                results[index] = cached
+                report.cache_hits += 1
+                continue
+        pending.append((index, job, key))
+    report.cache_misses = len(pending) if cache is not None else 0
+
+    if pending:
+        if n_jobs == 1 or len(pending) == 1:
+            computed = [
+                _run_job(job.kind, job.width, job.enhanced, params)
+                for _, job, _ in pending
+            ]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(n_jobs, len(pending))
+            ) as pool:
+                computed = list(pool.map(
+                    _run_job,
+                    [job.kind for _, job, _ in pending],
+                    [job.width for _, job, _ in pending],
+                    [job.enhanced for _, job, _ in pending],
+                    [params] * len(pending),
+                ))
+        for (index, job, key), result in zip(pending, computed):
+            results[index] = result
+            if cache is not None and key is not None:
+                cache.store_characterization(
+                    key, result,
+                    meta={"kind": job.kind, "width": job.width,
+                          "enhanced": job.enhanced},
+                )
+
+    report.results = results  # type: ignore[assignment]
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

@@ -125,3 +125,58 @@ def test_accepts_compiled_netlist():
     compiled = CompiledNetlist(module.netlist)
     sim = PowerSimulator(compiled)
     assert sim.compiled is compiled
+
+
+# ----------------------------------------------------------------------
+# Chunk invariance: simulate() must be bitwise indifferent to chunk_size
+# across every engine configuration, including the glitch-weighting path
+# (which takes a different branch) and degenerate stream lengths.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def csa4_netlist():
+    return make_module("csa_multiplier", 4).netlist
+
+
+@pytest.mark.parametrize("glitch_aware", [True, False])
+@pytest.mark.parametrize("glitch_weight", [1.0, 0.5])
+@pytest.mark.parametrize("chunk_size", [1, 7, 2048])
+def test_chunk_invariance(csa4_netlist, chunk_size, glitch_weight, glitch_aware):
+    bits = _random_bits(129, 8, seed=11)
+    reference = PowerSimulator(
+        csa4_netlist, glitch_aware=glitch_aware, glitch_weight=glitch_weight
+    ).simulate(bits)
+    chunked = PowerSimulator(
+        csa4_netlist,
+        glitch_aware=glitch_aware,
+        glitch_weight=glitch_weight,
+        chunk_size=chunk_size,
+    ).simulate(bits)
+    # Toggle counts are integers and must match exactly; the charge
+    # dot-product reduction order differs per chunk shape, so allow
+    # float-summation noise only.
+    np.testing.assert_array_equal(
+        chunked.total_toggles, reference.total_toggles
+    )
+    np.testing.assert_allclose(
+        chunked.charge, reference.charge, rtol=1e-12, atol=0.0
+    )
+
+
+@pytest.mark.parametrize("glitch_aware", [True, False])
+@pytest.mark.parametrize("glitch_weight", [1.0, 0.5])
+@pytest.mark.parametrize("n_patterns", [0, 1])
+def test_degenerate_streams_empty_trace(
+    csa4_netlist, n_patterns, glitch_weight, glitch_aware
+):
+    """0- and 1-pattern streams have no transition: empty, not crashing."""
+    simulator = PowerSimulator(
+        csa4_netlist,
+        glitch_aware=glitch_aware,
+        glitch_weight=glitch_weight,
+        chunk_size=1,
+    )
+    trace = simulator.simulate(np.zeros((n_patterns, 8), dtype=bool))
+    assert trace.n_cycles == 0
+    assert trace.charge.shape == (0,)
+    assert trace.total_toggles.shape == (0,)
+    assert trace.average_charge == 0.0

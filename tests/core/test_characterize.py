@@ -145,3 +145,71 @@ def test_random_characterization_misses_low_classes_on_wide_modules():
         max_patterns=1500,
     )
     assert result_u.model.counts[1] > 0
+
+
+def test_corner_bits_odd_count_has_no_spurious_zero_row():
+    """Regression: an odd ``n_patterns`` used to leave the preallocated
+    last row all-zeros (never written by the pair loop), injecting a fake
+    vector and a fake high-Hd seam transition into the enhanced stream.
+    Now the odd stream is a strict prefix of the even one."""
+    for n in (5, 7, 199):
+        odd = corner_input_bits(n, 10, seed=9)
+        even = corner_input_bits(n + 1, 10, seed=9)
+        assert odd.shape == (n, 10)
+        assert np.array_equal(odd, even[:n])
+
+
+def test_corner_bits_tiny_counts():
+    assert corner_input_bits(1, 6, seed=0).shape == (1, 6)
+    assert corner_input_bits(2, 6, seed=0).shape == (2, 6)
+    a = corner_input_bits(1, 6, seed=0)
+    b = corner_input_bits(2, 6, seed=0)
+    assert np.array_equal(a[0], b[0])
+
+
+def test_mixed_bits_odd_corner_block_keeps_length():
+    """The corner block must not shrink for odd splits, or the composed
+    stream would silently lose patterns."""
+    bits = mixed_input_bits(401, 8, seed=7, corner_fraction=0.5)
+    assert bits.shape == (401, 8)
+    bits = mixed_input_bits(399, 8, seed=7, corner_fraction=0.37)
+    assert bits.shape == (399, 8)
+
+
+def test_convergence_reason_converged():
+    module = make_module("ripple_adder", 4)
+    result = characterize_module(
+        module, n_patterns=1500, seed=0, tolerance=0.5
+    )
+    assert result.converged
+    assert result.convergence_reason == "converged"
+
+
+def test_convergence_reason_budget_exhausted():
+    module = make_module("ripple_adder", 4)
+    result = characterize_module(
+        module, n_patterns=500, seed=0, tolerance=1e-9, max_patterns=1000
+    )
+    assert not result.converged
+    assert result.convergence_reason == "budget_exhausted"
+    assert all(np.isfinite(result.history))
+
+
+def test_convergence_reason_no_populated_classes():
+    """A module too wide for the budget never populates any class to
+    ``min_class_count``: the run must say *why* it failed instead of
+    silently looping to ``max_patterns`` on an inf-only history."""
+    module = make_module("ripple_adder", 16)  # 32 input bits
+    with pytest.warns(UserWarning, match="min_class_count"):
+        result = characterize_module(
+            module,
+            n_patterns=100,
+            seed=1,
+            batch_size=50,
+            max_patterns=200,
+            min_class_count=20,
+        )
+    assert not result.converged
+    assert result.convergence_reason == "no_populated_classes"
+    assert result.history
+    assert all(np.isinf(result.history))

@@ -112,3 +112,64 @@ def test_basic_stimulus_config():
     # Plain random characterization of a 24-input module leaves the Hd=1
     # class unobserved (binomial concentration).
     assert model.counts[1] == 0
+
+
+def test_data_type_seed_distinct_for_permuted_names():
+    """Regression: ``sum(ord(c))`` gave anagram data-type names identical
+    evaluation streams; the CRC-based sub-seed must not."""
+    from repro.eval import data_type_seed
+
+    assert data_type_seed("ab") != data_type_seed("ba")
+    assert data_type_seed("IV") != data_type_seed("VI")
+    # Stable across processes (unlike hash()).
+    assert data_type_seed("III") == 2930860581
+
+
+def test_harness_counters_track_simulated_work():
+    config = ExperimentConfig(n_characterization=400, n_eval=300)
+    harness = Harness(config)
+    harness.evaluate("ripple_adder", 4, "I")
+    assert harness.counters["simulated_patterns"] >= 700
+    assert harness.counters["characterize_seconds"] > 0
+    assert harness.counters["simulate_seconds"] > 0
+    # In-memory reuse does not re-simulate.
+    before = harness.counters["simulated_patterns"]
+    harness.evaluate("ripple_adder", 4, "I")
+    assert harness.counters["simulated_patterns"] == before
+
+
+def test_harness_disk_cache_round_trip(tmp_path):
+    """Acceptance: a second harness with an unchanged config is served
+    entirely from the disk cache — zero simulator cycles — and produces
+    the identical evaluation row."""
+    from repro.runtime import ModelCache
+
+    config = ExperimentConfig(n_characterization=400, n_eval=300)
+    cold = Harness(config, cache=ModelCache(tmp_path))
+    row_cold = cold.evaluate("ripple_adder", 4, "I", enhanced=True)
+    assert cold.counters["characterization_misses"] == 1
+    assert cold.counters["trace_misses"] == 1
+    assert cold.counters["simulated_patterns"] > 0
+
+    warm = Harness(config, cache=ModelCache(tmp_path))
+    row_warm = warm.evaluate("ripple_adder", 4, "I", enhanced=True)
+    assert warm.counters["characterization_hits"] == 1
+    assert warm.counters["trace_hits"] == 1
+    assert warm.counters["characterization_misses"] == 0
+    assert warm.counters["trace_misses"] == 0
+    assert warm.counters["simulated_patterns"] == 0
+    assert row_warm == row_cold
+
+
+def test_harness_disk_cache_respects_config(tmp_path):
+    from repro.runtime import ModelCache
+
+    a = Harness(ExperimentConfig(n_characterization=400, n_eval=300),
+                cache=ModelCache(tmp_path))
+    a.characterization("ripple_adder", 4)
+    b = Harness(ExperimentConfig(n_characterization=400, n_eval=300,
+                                 glitch_weight=0.5),
+                cache=ModelCache(tmp_path))
+    b.characterization("ripple_adder", 4)
+    assert b.counters["characterization_hits"] == 0
+    assert b.counters["characterization_misses"] == 1

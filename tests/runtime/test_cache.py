@@ -1,0 +1,155 @@
+"""Persistent content-addressed model/trace cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuit.power import PowerSimulator
+from repro.core import characterize_module, classify_transitions
+from repro.core.characterize import uniform_hd_input_bits
+from repro.eval import ExperimentConfig
+from repro.modules import make_module
+from repro.runtime import ModelCache
+from repro.runtime.cache import default_cache_dir
+
+
+@pytest.fixture()
+def result():
+    module = make_module("ripple_adder", 3)
+    return characterize_module(module, n_patterns=400, seed=1, enhanced=True)
+
+
+def test_characterization_round_trip(tmp_path, result):
+    cache = ModelCache(tmp_path)
+    config = ExperimentConfig(n_characterization=400)
+    key = cache.characterization_key("ripple_adder", 3, True, config, 1)
+    assert cache.load_characterization(key) is None
+    assert cache.misses == 1
+    cache.store_characterization(key, result)
+    assert cache.stores == 1
+
+    loaded = ModelCache(tmp_path).load_characterization(key)
+    assert loaded is not None
+    np.testing.assert_array_equal(
+        loaded.model.coefficients, result.model.coefficients
+    )
+    np.testing.assert_array_equal(loaded.model.counts, result.model.counts)
+    assert loaded.enhanced.coefficients == result.enhanced.coefficients
+    assert loaded.n_patterns == result.n_patterns
+    assert loaded.converged == result.converged
+    assert loaded.convergence_reason == result.convergence_reason
+    assert loaded.history == pytest.approx(result.history)
+    assert loaded.accumulator == result.accumulator
+
+
+def test_trace_round_trip(tmp_path):
+    module = make_module("ripple_adder", 3)
+    bits = uniform_hd_input_bits(200, module.input_bits, seed=2)
+    trace = PowerSimulator(module.compiled).simulate(bits)
+    events = classify_transitions(bits)
+    cache = ModelCache(tmp_path)
+    config = ExperimentConfig()
+    key = cache.trace_key("ripple_adder", 3, "I", config, 7)
+    assert cache.load_trace(key) is None
+    cache.store_trace(key, events, trace)
+    loaded_events, loaded_trace = ModelCache(tmp_path).load_trace(key)
+    np.testing.assert_array_equal(loaded_events.hd, events.hd)
+    np.testing.assert_array_equal(
+        loaded_events.stable_zeros, events.stable_zeros
+    )
+    np.testing.assert_array_equal(loaded_trace.charge, trace.charge)
+    np.testing.assert_array_equal(
+        loaded_trace.total_toggles, trace.total_toggles
+    )
+
+
+def test_key_covers_full_provenance(tmp_path):
+    """Any change to kind, width, enhanced flag, seed or any config field
+    must change the content address."""
+    cache = ModelCache(tmp_path)
+    base = ExperimentConfig()
+    key = cache.characterization_key("ripple_adder", 4, False, base, 1)
+    assert cache.characterization_key("ripple_adder", 4, False, base, 1) == key
+    variants = [
+        cache.characterization_key("csa_multiplier", 4, False, base, 1),
+        cache.characterization_key("ripple_adder", 8, False, base, 1),
+        cache.characterization_key("ripple_adder", 4, True, base, 1),
+        cache.characterization_key("ripple_adder", 4, False, base, 2),
+        cache.characterization_key(
+            "ripple_adder", 4, False,
+            ExperimentConfig(n_characterization=999), 1,
+        ),
+        cache.characterization_key(
+            "ripple_adder", 4, False,
+            ExperimentConfig(glitch_weight=0.5), 1,
+        ),
+        cache.trace_key("ripple_adder", 4, "I", base, 1),
+    ]
+    assert len({key, *variants}) == len(variants) + 1
+
+
+def test_code_version_invalidates(tmp_path, result, monkeypatch):
+    """Bumping CHARACTERIZATION_VERSION orphans old entries."""
+    import repro.runtime.cache as cache_module
+
+    cache = ModelCache(tmp_path)
+    config = ExperimentConfig()
+    key = cache.characterization_key("ripple_adder", 3, True, config, 1)
+    cache.store_characterization(key, result)
+    monkeypatch.setattr(
+        cache_module, "CHARACTERIZATION_VERSION", "999-test"
+    )
+    new_key = cache.characterization_key("ripple_adder", 3, True, config, 1)
+    assert new_key != key
+    assert cache.load_characterization(new_key) is None
+
+
+def test_corrupt_entry_is_a_miss(tmp_path, result):
+    cache = ModelCache(tmp_path)
+    key = cache.characterization_key(
+        "ripple_adder", 3, True, ExperimentConfig(), 1
+    )
+    path = cache.store_characterization(key, result)
+    path.write_text("{not json")
+    assert ModelCache(tmp_path).load_characterization(key) is None
+    # Unknown format versions are also rejected, not misparsed.
+    record = {"format": "unsupported", "meta": {}, "payload": {}}
+    path.write_text(json.dumps(record))
+    assert ModelCache(tmp_path).load_characterization(key) is None
+
+
+def test_stats_ls_clear(tmp_path, result):
+    cache = ModelCache(tmp_path)
+    config = ExperimentConfig()
+    for width in (3, 4):
+        key = cache.characterization_key(
+            "ripple_adder", width, False, config, width
+        )
+        cache.store_characterization(
+            key, result, meta={"kind": "ripple_adder", "width": width}
+        )
+    stats = cache.stats()
+    assert stats["entries"] == 2
+    assert stats["total_bytes"] > 0
+    assert stats["stores"] == 2
+    entries = cache.entries()
+    assert len(entries) == 2
+    assert {row["record"] for row in entries} == {"characterization"}
+    assert cache.clear() == 2
+    assert cache.stats()["entries"] == 0
+
+
+def test_default_directory_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+    assert default_cache_dir() == tmp_path / "override"
+    assert ModelCache().directory == tmp_path / "override"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert str(default_cache_dir()).endswith(".cache/repro-hd")
+
+
+def test_empty_cache_maintenance(tmp_path):
+    cache = ModelCache(tmp_path / "never-created")
+    assert cache.entries() == []
+    assert cache.clear() == 0
+    assert cache.stats()["entries"] == 0

@@ -1,0 +1,122 @@
+"""Parallel characterization service + cache integration.
+
+Covers the acceptance criterion: a second run of an unchanged job set is
+served entirely from the disk cache — zero simulator cycles — and the hit
+counters prove it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import characterize_module
+from repro.eval import ExperimentConfig
+from repro.modules import make_module
+from repro.runtime import (
+    CharacterizationJob,
+    ModelCache,
+    characterization_seed,
+    characterize_jobs,
+)
+
+CONFIG = ExperimentConfig(n_characterization=300, seed=11)
+JOBS = [
+    CharacterizationJob("ripple_adder", 3),
+    CharacterizationJob("ripple_adder", 4, enhanced=True),
+]
+
+
+def test_job_label():
+    assert CharacterizationJob("ripple_adder", 4).label == "ripple_adder/4"
+    assert (
+        CharacterizationJob("absval", 8, enhanced=True).label
+        == "absval/8+enhanced"
+    )
+
+
+def test_serial_matches_direct_characterization():
+    report = characterize_jobs(JOBS, config=CONFIG, n_jobs=1)
+    assert len(report.results) == len(JOBS)
+    assert report.cache_hits == 0 and report.cache_misses == 0
+    for job, result in zip(JOBS, report.results):
+        module = make_module(job.kind, job.width)
+        direct = characterize_module(
+            module,
+            n_patterns=CONFIG.n_characterization,
+            seed=characterization_seed(CONFIG.seed, job.width, job.enhanced),
+            enhanced=job.enhanced,
+            stimulus=(CONFIG.enhanced_stimulus if job.enhanced
+                      else CONFIG.basic_stimulus),
+        )
+        np.testing.assert_array_equal(
+            result.model.coefficients, direct.model.coefficients
+        )
+        assert (result.enhanced is None) == (direct.enhanced is None)
+
+
+def test_parallel_matches_serial():
+    serial = characterize_jobs(JOBS, config=CONFIG, n_jobs=1)
+    parallel = characterize_jobs(JOBS, config=CONFIG, n_jobs=2)
+    assert parallel.n_workers == 2
+    for a, b in zip(serial.results, parallel.results):
+        np.testing.assert_array_equal(
+            a.model.coefficients, b.model.coefficients
+        )
+        np.testing.assert_array_equal(a.model.counts, b.model.counts)
+        assert a.accumulator == b.accumulator
+
+
+def test_second_run_served_from_cache(tmp_path):
+    """Acceptance: unchanged config -> all hits, zero simulator cycles."""
+    cold = characterize_jobs(
+        JOBS, config=CONFIG, n_jobs=2, cache=ModelCache(tmp_path)
+    )
+    assert cold.cache_hits == 0
+    assert cold.cache_misses == len(JOBS)
+
+    warm_cache = ModelCache(tmp_path)
+    warm = characterize_jobs(
+        JOBS, config=CONFIG, n_jobs=2, cache=warm_cache
+    )
+    assert warm.cache_hits == len(JOBS)
+    assert warm.cache_misses == 0
+    assert warm.hit_rate == 1.0
+    assert warm_cache.hits == len(JOBS)
+    for a, b in zip(cold.results, warm.results):
+        np.testing.assert_array_equal(
+            a.model.coefficients, b.model.coefficients
+        )
+        assert a.accumulator == b.accumulator
+    # The service summary is what bench-smoke asserts on.
+    assert "cache hits: 2" in warm.summary()
+
+
+def test_changed_config_misses(tmp_path):
+    characterize_jobs(JOBS, config=CONFIG, n_jobs=1,
+                      cache=ModelCache(tmp_path))
+    changed = ExperimentConfig(n_characterization=301, seed=11)
+    report = characterize_jobs(JOBS, config=changed, n_jobs=1,
+                               cache=ModelCache(tmp_path))
+    assert report.cache_hits == 0
+    assert report.cache_misses == len(JOBS)
+
+
+def test_partial_hits(tmp_path):
+    characterize_jobs(JOBS[:1], config=CONFIG, n_jobs=1,
+                      cache=ModelCache(tmp_path))
+    report = characterize_jobs(JOBS, config=CONFIG, n_jobs=1,
+                               cache=ModelCache(tmp_path))
+    assert report.cache_hits == 1
+    assert report.cache_misses == 1
+    assert report.hit_rate == pytest.approx(0.5)
+
+
+def test_n_jobs_validation():
+    with pytest.raises(ValueError, match="n_jobs"):
+        characterize_jobs(JOBS, config=CONFIG, n_jobs=0)
+
+
+def test_default_config_is_stock():
+    report = characterize_jobs(
+        [CharacterizationJob("ripple_adder", 2)], n_jobs=1
+    )
+    assert report.results[0].n_patterns >= 4000

@@ -148,3 +148,51 @@ def test_budget_command(tmp_path, capsys):
     assert main(["budget", str(path), "--patterns", "500"]) == 0
     out = capsys.readouterr().out
     assert "TOTAL" in out and "ripple_adder" in out and "w=9" in out
+
+
+def test_characterize_multi_job_parallel_with_cache(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    argv = [
+        "characterize", "--kind", "ripple_adder", "--width", "3,4",
+        "--patterns", "300", "--jobs", "2", "--cache-dir", str(cache_dir),
+        "-o", str(tmp_path / "models"),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "characterized ripple_adder_3" in out
+    assert "characterized ripple_adder_4" in out
+    assert "cache hits: 0 | misses: 2" in out
+    assert (tmp_path / "models" / "ripple_adder_3.json").exists()
+    assert (tmp_path / "models" / "ripple_adder_4.json").exists()
+
+    # Second invocation: served entirely from the persistent cache.
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "cache hits: 2 | misses: 0" in out
+
+
+def test_characterize_bad_width(capsys):
+    assert main([
+        "characterize", "--kind", "ripple_adder", "--width", "four",
+    ]) == 2
+    assert "--width" in capsys.readouterr().err
+
+
+def test_cache_subcommands(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+    assert "entries     : 0" in capsys.readouterr().out
+    assert main(["cache", "ls", "--cache-dir", str(cache_dir)]) == 0
+    assert "empty" in capsys.readouterr().out
+
+    main([
+        "characterize", "--kind", "ripple_adder", "--width", "3",
+        "--patterns", "200", "--cache-dir", str(cache_dir),
+    ])
+    capsys.readouterr()
+    assert main(["cache", "ls", "--cache-dir", str(cache_dir)]) == 0
+    assert "ripple_adder_3" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+    assert "entries     : 1" in capsys.readouterr().out
+    assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+    assert "removed 1" in capsys.readouterr().out
