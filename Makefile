@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-small bench-smoke report examples clean
+.PHONY: install test bench bench-small bench-sim bench-smoke report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +13,12 @@ bench:
 
 bench-small:
 	REPRO_BENCH_SCALE=small pytest benchmarks/ --benchmark-only -s
+
+# Simulation kernel comparison (bool vs bit-packed engine) on a 16-bit
+# multiplier; verifies bit-for-bit parity and appends the speedup to
+# BENCH_simulate.json.
+bench-sim:
+	PYTHONPATH=src python benchmarks/bench_simulate.py
 
 # Tiny end-to-end check of the parallel characterization path and the
 # persistent cache: two CLI runs with --jobs 2; the second must be served

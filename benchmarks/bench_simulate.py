@@ -1,0 +1,144 @@
+"""Simulation kernel benchmark: bit-packed engine vs boolean engine.
+
+Times a glitch-aware reference simulation of a 16-bit CSA multiplier under
+both engines, checks the bit-for-bit parity contract, and appends the
+measurement to ``BENCH_simulate.json`` at the repository root so the
+performance trajectory is tracked run over run.
+
+Two entry points:
+
+* ``make bench-sim`` / ``python benchmarks/bench_simulate.py`` — standalone,
+  best-of-N wall-clock timing, writes the JSON entry;
+* ``pytest benchmarks/ --benchmark-only`` — the ``test_*`` functions below,
+  timed by pytest-benchmark like every other benchmark module.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.circuit.power import PowerSimulator
+from repro.modules import make_module
+
+MODULE_KIND = "csa_multiplier"
+MODULE_WIDTH = 16
+SMALL = os.environ.get("REPRO_BENCH_SCALE", "full") == "small"
+N_PATTERNS = 2049 if SMALL else 8193
+#: Best-of-N guards against scheduler noise on shared hosts.
+REPEATS = 5
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_simulate.json"
+
+
+def _stream(module, n_patterns, seed=7):
+    rng = np.random.default_rng(seed)
+    n_inputs = len(module.compiled.netlist.inputs)
+    return rng.integers(0, 2, size=(n_patterns, n_inputs)).astype(bool)
+
+
+def _best_of(simulator, bits, repeats=REPEATS):
+    trace, elapsed = None, float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        trace = simulator.simulate(bits)
+        elapsed = min(elapsed, time.perf_counter() - started)
+    return trace, elapsed
+
+
+def run_comparison(n_patterns=N_PATTERNS, glitch_weight=1.0, repeats=REPEATS):
+    """Time both engines on the same stream; returns the result record.
+
+    Raises ``AssertionError`` if the engines disagree — a benchmark of a
+    wrong kernel is worse than no benchmark.
+    """
+    module = make_module(MODULE_KIND, MODULE_WIDTH)
+    bits = _stream(module, n_patterns)
+    traces, seconds = {}, {}
+    for engine in ("bool", "packed"):
+        simulator = PowerSimulator(
+            module.compiled,
+            glitch_aware=True,
+            glitch_weight=glitch_weight,
+            engine=engine,
+        )
+        traces[engine], seconds[engine] = _best_of(
+            simulator, bits, repeats=repeats
+        )
+    assert np.array_equal(
+        traces["bool"].charge, traces["packed"].charge
+    ), "engine parity broken: charge differs"
+    assert np.array_equal(
+        traces["bool"].total_toggles, traces["packed"].total_toggles
+    ), "engine parity broken: toggle counts differ"
+    return {
+        "module": f"{MODULE_KIND}/{MODULE_WIDTH}",
+        "n_patterns": n_patterns,
+        "glitch_weight": glitch_weight,
+        "repeats": repeats,
+        "bool_seconds": seconds["bool"],
+        "packed_seconds": seconds["packed"],
+        "speedup": seconds["bool"] / seconds["packed"],
+        "total_toggles": int(traces["bool"].total_toggles.sum()),
+    }
+
+
+def append_entry(record, path=BENCH_FILE):
+    """Append one measurement to the JSON trajectory file."""
+    entries = []
+    if path.exists():
+        try:
+            entries = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            entries = []
+    entries.append({"timestamp": time.time(), **record})
+    path.write_text(json.dumps(entries, indent=2) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_simulate_bool_engine(benchmark):
+    from .conftest import run_once
+
+    module = make_module(MODULE_KIND, MODULE_WIDTH)
+    bits = _stream(module, N_PATTERNS)
+    simulator = PowerSimulator(module.compiled, engine="bool")
+    trace = run_once(benchmark, lambda: simulator.simulate(bits))
+    assert trace.n_cycles == N_PATTERNS - 1
+
+
+def test_simulate_packed_engine(benchmark):
+    from .conftest import run_once
+
+    module = make_module(MODULE_KIND, MODULE_WIDTH)
+    bits = _stream(module, N_PATTERNS)
+    simulator = PowerSimulator(module.compiled, engine="packed")
+    trace = run_once(benchmark, lambda: simulator.simulate(bits))
+    assert trace.n_cycles == N_PATTERNS - 1
+
+
+def test_engines_agree_at_benchmark_scale():
+    record = run_comparison(n_patterns=1025, repeats=1)
+    assert record["total_toggles"] > 0
+
+
+# ----------------------------------------------------------------------
+def main():
+    print(
+        f"simulation kernel benchmark: {MODULE_KIND}/{MODULE_WIDTH}, "
+        f"{N_PATTERNS - 1} transitions, glitch-aware, best of {REPEATS}"
+    )
+    record = run_comparison()
+    print(f"  bool   engine: {record['bool_seconds'] * 1e3:8.1f} ms")
+    print(f"  packed engine: {record['packed_seconds'] * 1e3:8.1f} ms")
+    print(f"  speedup:       {record['speedup']:8.2f}x  (parity verified)")
+    path = append_entry(record)
+    print(f"  recorded in {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,7 +10,16 @@ from .builder import NetlistBuilder
 from .compiled import CompiledNetlist
 from .hotspots import NetHotspot, net_power_breakdown, render_hotspots
 from .netlist import CONST0, CONST1, Gate, Netlist, NetlistError
-from .power import PowerSimulator, PowerTrace
+from .packed import (
+    PACKED_AVAILABLE,
+    ToggleAccumulator,
+    pack_lanes,
+    packed_functional_values,
+    packed_unit_delay_transition,
+    popcount,
+    unpack_lanes,
+)
+from .power import ENGINES, PowerSimulator, PowerTrace, SimulationStats
 from .simulate import (
     evaluate_outputs,
     functional_values,
@@ -25,6 +34,7 @@ __all__ = [
     "CONST0",
     "CONST1",
     "CompiledNetlist",
+    "ENGINES",
     "Gate",
     "GateType",
     "GATE_TYPES",
@@ -33,13 +43,20 @@ __all__ = [
     "NetlistBuilder",
     "NetlistError",
     "OperatingPoint",
+    "PACKED_AVAILABLE",
     "PowerSimulator",
     "PowerTrace",
+    "SimulationStats",
+    "ToggleAccumulator",
     "evaluate_outputs",
     "functional_values",
     "gate_type",
     "net_power_breakdown",
+    "pack_lanes",
+    "packed_functional_values",
+    "packed_unit_delay_transition",
+    "popcount",
     "render_hotspots",
-    "unit_delay_transition",
+    "unpack_lanes",
     "zero_delay_toggles",
 ]

@@ -16,6 +16,13 @@ import numpy as np
 
 from .compiled import CompiledNetlist
 from .netlist import Netlist
+from .packed import (
+    PACKED_AVAILABLE,
+    n_words_for,
+    pack_lanes,
+    packed_functional_values,
+    packed_unit_delay_transition,
+)
 from .simulate import functional_values, unit_delay_transition
 
 
@@ -35,6 +42,7 @@ def net_power_breakdown(
     input_bits: np.ndarray,
     top: Optional[int] = None,
     chunk_size: int = 2048,
+    engine: str = "auto",
 ) -> List[NetHotspot]:
     """Per-net charge over a stimulus stream, ranked descending.
 
@@ -43,6 +51,10 @@ def net_power_breakdown(
         input_bits: ``[n, m]`` input vector stream.
         top: Keep only the ``top`` hottest nets (all when None).
         chunk_size: Vectorization batch size.
+        engine: ``"bool"``, ``"packed"`` or ``"auto"``.  The report only
+            needs per-net *totals*, so the packed engine never decodes
+            dense counts: each toggle bit-plane collapses straight through
+            ``popcount`` (:meth:`ToggleAccumulator.per_row_totals`).
 
     Returns:
         :class:`NetHotspot` list sorted by charge, highest first.
@@ -55,9 +67,28 @@ def net_power_breakdown(
     n_cycles = input_bits.shape[0] - 1
     if n_cycles < 1:
         raise ValueError("need at least 2 patterns")
+    if engine not in ("auto", "bool", "packed"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine == "auto":
+        engine = "packed" if PACKED_AVAILABLE and n_cycles >= 64 else "bool"
+    if engine == "packed" and not PACKED_AVAILABLE:
+        raise ValueError("engine='packed' needs a little-endian host")
     toggles_total = np.zeros(compiled.n_nets, dtype=np.int64)
     for start in range(0, n_cycles, chunk_size):
         stop = min(start + chunk_size, n_cycles)
+        if engine == "packed":
+            n_lanes = stop - start
+            n_words = n_words_for(n_lanes)
+            old_packed = pack_lanes(input_bits[start:stop].T, n_words)
+            new_packed = pack_lanes(
+                input_bits[start + 1 : stop + 1].T, n_words
+            )
+            settled = packed_functional_values(compiled, old_packed, n_words)
+            _, accumulator = packed_unit_delay_transition(
+                compiled, settled, new_packed
+            )
+            toggles_total += accumulator.per_row_totals(compiled.n_nets)
+            continue
         settled = functional_values(compiled, input_bits[start:stop])
         _, toggles = unit_delay_transition(
             compiled, settled, input_bits[start + 1 : stop + 1]

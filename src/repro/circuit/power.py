@@ -7,18 +7,77 @@ unit-delay engine, and the cycle charge is the capacitance-weighted toggle
 count.  Charge units are normalized (gate-capacitance units); the paper only
 ever compares relative errors against the reference simulator, never absolute
 numbers across tools.
+
+Two interchangeable kernels produce the trace (see docs/SIMULATION.md):
+
+* ``engine="bool"`` — the original byte-per-value matrices of
+  :mod:`repro.circuit.simulate`;
+* ``engine="packed"`` — the bit-packed kernels of
+  :mod:`repro.circuit.packed`, 64 transitions per ``uint64`` word;
+* ``engine="auto"`` (default) — packed for streams long enough to fill
+  words, boolean otherwise (and on hosts without packed support).
+
+Bit-for-bit parity between the engines is the contract: both feed the
+*identical* dense toggle matrices into the identical charge accounting, so
+``PowerTrace.charge`` and ``total_toggles`` match exactly, not just to
+tolerance.  The parity suite in ``tests/circuit/test_packed.py`` enforces
+this across every registered module kind.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from .compiled import CompiledNetlist
 from .netlist import Netlist
+from .packed import (
+    PACKED_AVAILABLE,
+    extract_lane,
+    inject_lane,
+    n_words_for,
+    pack_lanes,
+    packed_functional_values,
+    packed_unit_delay_transition,
+    unpack_lanes,
+)
 from .simulate import functional_values, unit_delay_transition, zero_delay_toggles
+
+#: Engine names accepted by :class:`PowerSimulator`.
+ENGINES = ("auto", "bool", "packed")
+
+#: Default chunk sizes (transitions per vectorized batch) per engine.
+#: Equal on purpose: benchmarking showed the packed engine is *fastest* at
+#: the boolean default (the decode/accounting temporaries stay
+#: cache-resident), and identical chunk boundaries make default-configured
+#: engines bit-identical in ``charge`` too, not just in toggles (float
+#: summation order matches chunk by chunk).
+DEFAULT_CHUNK_BOOL = 2048
+DEFAULT_CHUNK_PACKED = 2048
+
+#: Streams shorter than this gain nothing from packing (the pack/unpack
+#: overhead exceeds one word's worth of lane parallelism).
+AUTO_PACKED_MIN_CYCLES = 64
+
+
+@dataclass(frozen=True)
+class SimulationStats:
+    """Telemetry of one :meth:`PowerSimulator.simulate` call.
+
+    Attributes:
+        engine: Resolved engine that produced the trace ("bool"/"packed").
+        n_cycles: Transitions simulated.
+        total_toggles: Sum of per-cycle toggle counts over the run.
+        seconds: Wall-clock time of the call.
+    """
+
+    engine: str
+    n_cycles: int
+    total_toggles: int
+    seconds: float
 
 
 @dataclass(frozen=True)
@@ -61,7 +120,14 @@ class PowerSimulator:
             glitches inertially, so values in (0, 1) model partial swings.
             Ignored when ``glitch_aware`` is False.
         chunk_size: Transitions simulated per vectorized batch, bounding
-            peak memory (``~3 * n_nets * chunk_size`` bytes of booleans).
+            peak memory (``~3 * n_nets * chunk_size`` bytes of booleans, an
+            eighth of that packed).  ``None`` picks an engine-appropriate
+            default.
+        engine: ``"bool"``, ``"packed"`` or ``"auto"`` (see module doc).
+
+    Attributes:
+        last_stats: :class:`SimulationStats` of the most recent
+            :meth:`simulate` call (``None`` before the first).
     """
 
     def __init__(
@@ -69,7 +135,8 @@ class PowerSimulator:
         netlist: Netlist | CompiledNetlist,
         glitch_aware: bool = True,
         glitch_weight: float = 1.0,
-        chunk_size: int = 2048,
+        chunk_size: Optional[int] = None,
+        engine: str = "auto",
     ):
         if isinstance(netlist, CompiledNetlist):
             self.compiled = netlist
@@ -79,13 +146,37 @@ class PowerSimulator:
         if not 0.0 <= glitch_weight <= 1.0:
             raise ValueError("glitch_weight must be in [0, 1]")
         self.glitch_weight = float(glitch_weight)
-        self.chunk_size = int(chunk_size)
-        if self.chunk_size <= 0:
-            raise ValueError("chunk_size must be positive")
+        if chunk_size is not None:
+            chunk_size = int(chunk_size)
+            if chunk_size <= 0:
+                raise ValueError("chunk_size must be positive")
+        self.chunk_size = chunk_size
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if engine == "packed" and not PACKED_AVAILABLE:
+            raise ValueError(
+                "engine='packed' needs a little-endian host; use 'auto'"
+            )
+        self.engine = engine
+        self.last_stats: Optional[SimulationStats] = None
 
     @property
     def n_inputs(self) -> int:
         return len(self.compiled.netlist.inputs)
+
+    # ------------------------------------------------------------------
+    def resolve_engine(self, n_cycles: int) -> str:
+        """The engine a stream of ``n_cycles`` transitions would use."""
+        if self.engine != "auto":
+            return self.engine
+        if PACKED_AVAILABLE and n_cycles >= AUTO_PACKED_MIN_CYCLES:
+            return "packed"
+        return "bool"
+
+    def _resolve_chunk(self, engine: str) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return DEFAULT_CHUNK_PACKED if engine == "packed" else DEFAULT_CHUNK_BOOL
 
     # ------------------------------------------------------------------
     def simulate(self, input_bits: np.ndarray) -> PowerTrace:
@@ -98,45 +189,138 @@ class PowerSimulator:
         Returns:
             A :class:`PowerTrace` with ``n_patterns - 1`` cycles.
         """
+        started = time.perf_counter()
         input_bits = np.asarray(input_bits, dtype=bool)
         if input_bits.ndim != 2 or input_bits.shape[1] != self.n_inputs:
             raise ValueError(
                 f"expected [n, {self.n_inputs}] input bits, got {input_bits.shape}"
             )
         n_cycles = input_bits.shape[0] - 1
+        engine = self.resolve_engine(max(n_cycles, 0))
         if n_cycles < 1:
+            self.last_stats = SimulationStats(
+                engine=engine, n_cycles=0, total_toggles=0,
+                seconds=time.perf_counter() - started,
+            )
             return PowerTrace(
                 charge=np.zeros(0), total_toggles=np.zeros(0, dtype=np.int64)
             )
         charge = np.empty(n_cycles, dtype=np.float64)
         total = np.empty(n_cycles, dtype=np.int64)
         caps = self.compiled.net_caps
-        for start in range(0, n_cycles, self.chunk_size):
-            stop = min(start + self.chunk_size, n_cycles)
+        run_chunk = self._packed_chunk if engine == "packed" else self._bool_chunk
+        # Glitch weighting needs the functional (settled-value) toggles to
+        # split full swings from partial ones; weight 1.0 does not.
+        need_functional = self.glitch_aware and self.glitch_weight != 1.0
+        # The settled state of each chunk's first vector equals the relaxed
+        # final column of the previous chunk (unique fixpoint of an acyclic
+        # network), so it is carried across chunks instead of re-settled.
+        boundary: Optional[np.ndarray] = None
+        chunk_size = self._resolve_chunk(engine)
+        for start in range(0, n_cycles, chunk_size):
+            stop = min(start + chunk_size, n_cycles)
             old_vecs = input_bits[start:stop]
             new_vecs = input_bits[start + 1 : stop + 1]
-            settled = functional_values(self.compiled, old_vecs)
-            if self.glitch_aware:
-                final, toggles = unit_delay_transition(
-                    self.compiled, settled, new_vecs
-                )
-                if self.glitch_weight != 1.0:
-                    # Split functional toggles (settled-value changes, full
-                    # swing) from glitch toggles (extra transitions, partial
-                    # swing weighted by glitch_weight).
-                    functional = zero_delay_toggles(self.compiled, settled, final)
-                    glitch = toggles.astype(np.float64) - functional
-                    weighted = functional + self.glitch_weight * glitch
-                    charge[start:stop] = caps @ weighted
-                    total[start:stop] = toggles.sum(axis=0)
-                    continue
+            toggles, functional, boundary = run_chunk(
+                old_vecs, new_vecs, boundary, need_functional
+            )
+            # Integer counts are converted to float64 once, up front: the
+            # conversion is exact (counts are tiny), routes the matmul
+            # through BLAS instead of numpy's slow integer inner loop, and
+            # keeps every arithmetic step dtype-identical for both engines
+            # (the bit-for-bit parity contract).
+            toggles_f = toggles.astype(np.float64)
+            if need_functional:
+                # Split functional toggles (settled-value changes, full
+                # swing) from glitch toggles (extra transitions, partial
+                # swing weighted by glitch_weight).
+                functional_f = functional.astype(np.float64)
+                glitch = toggles_f - functional_f
+                weighted = functional_f + self.glitch_weight * glitch
+                charge[start:stop] = caps @ weighted
             else:
-                settled_new = functional_values(self.compiled, new_vecs)
-                toggles = zero_delay_toggles(self.compiled, settled, settled_new)
-                # Input pin charging is counted in both modes.
-            charge[start:stop] = caps @ toggles
-            total[start:stop] = toggles.sum(axis=0)
+                charge[start:stop] = caps @ toggles_f
+            total[start:stop] = toggles.sum(axis=0, dtype=np.int64)
+        self.last_stats = SimulationStats(
+            engine=engine,
+            n_cycles=n_cycles,
+            total_toggles=int(total.sum()),
+            seconds=time.perf_counter() - started,
+        )
         return PowerTrace(charge=charge, total_toggles=total)
+
+    # ------------------------------------------------------------------
+    # Engine chunk kernels.  Both return the *same* dense representation —
+    # ``(toggles [n_nets, L], functional | None, boundary)`` with integer
+    # counts (the exact dtype may differ; the shared accounting above
+    # converts to float64 before any arithmetic) — so the charge math is
+    # shared verbatim and the engines stay bit-identical by construction.
+    # ------------------------------------------------------------------
+    def _bool_chunk(
+        self,
+        old_vecs: np.ndarray,
+        new_vecs: np.ndarray,
+        boundary: Optional[np.ndarray],
+        need_functional: bool,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+        if boundary is None:
+            settled = functional_values(self.compiled, old_vecs)
+        else:
+            # Carried column: only vectors after the first need settling.
+            rest = functional_values(self.compiled, old_vecs[1:])
+            settled = np.concatenate([boundary[:, None], rest], axis=1)
+        if self.glitch_aware:
+            final, toggles = unit_delay_transition(
+                self.compiled, settled, new_vecs
+            )
+            functional = (
+                zero_delay_toggles(self.compiled, settled, final)
+                if need_functional else None
+            )
+            return toggles, functional, final[:, -1].copy()
+        settled_new = functional_values(self.compiled, new_vecs)
+        toggles = zero_delay_toggles(self.compiled, settled, settled_new)
+        # Input pin charging is counted in both modes.
+        return toggles, None, settled_new[:, -1].copy()
+
+    def _packed_chunk(
+        self,
+        old_vecs: np.ndarray,
+        new_vecs: np.ndarray,
+        boundary: Optional[np.ndarray],
+        need_functional: bool,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+        n_lanes = len(old_vecs)
+        n_words = n_words_for(n_lanes)
+        old_packed = pack_lanes(old_vecs.T, n_words)
+        new_packed = pack_lanes(new_vecs.T, n_words)
+        settled = packed_functional_values(self.compiled, old_packed, n_words)
+        if boundary is not None:
+            # The levelized pass settles all lanes of a word in one shot,
+            # so lane 0 costs nothing extra — but the carried column is the
+            # authoritative value, so inject it (bit-identical by the
+            # unique-fixpoint argument; keeps both engines' carry honest).
+            inject_lane(settled, 0, boundary)
+        if self.glitch_aware:
+            final, accumulator = packed_unit_delay_transition(
+                self.compiled, settled, new_packed
+            )
+            if accumulator.planes:
+                toggles = accumulator.decode(n_lanes)
+            else:
+                toggles = np.zeros(
+                    (self.compiled.n_nets, n_lanes), dtype=np.uint8
+                )
+            functional = (
+                unpack_lanes(settled ^ final, n_lanes)
+                if need_functional else None
+            )
+            return toggles, functional, extract_lane(final, n_lanes - 1)
+        settled_new = packed_functional_values(
+            self.compiled, new_packed, n_words
+        )
+        toggles = unpack_lanes(settled ^ settled_new, n_lanes)
+        return toggles, None, extract_lane(settled_new, n_lanes - 1)
 
     def average_charge(self, input_bits: np.ndarray) -> float:
         """Convenience: mean per-cycle charge over a stream."""

@@ -51,6 +51,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--enhanced", action="store_true")
     p.add_argument("--stimulus", default="uniform_hd",
                    choices=["random", "uniform_hd", "mixed", "corner"])
+    p.add_argument("--engine", default="auto",
+                   choices=["auto", "bool", "packed"],
+                   help="simulation kernel: bit-packed uint64 lanes "
+                        "('packed'), byte-per-value ('bool'), or pick per "
+                        "stream ('auto'); results are bit-identical")
     p.add_argument("--jobs", type=int, default=1,
                    help="characterize jobs in parallel with this many "
                         "worker processes")
@@ -81,6 +86,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "(characterizes on the fly if omitted)")
     p.add_argument("--method", default="trace",
                    choices=["trace", "distribution", "avg-hd"])
+    p.add_argument("--engine", default="auto",
+                   choices=["auto", "bool", "packed"],
+                   help="simulation kernel for reference/characterization")
     p.add_argument("--reference", action="store_true",
                    help="also run the gate-level reference simulation")
     p.add_argument("--vdd", type=float, help="report watts at this supply")
@@ -99,6 +107,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--patterns", type=int, default=2000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--top", type=int, default=15)
+    p.add_argument("--engine", default="auto",
+                   choices=["auto", "bool", "packed"],
+                   help="simulation kernel for the per-net breakdown")
 
     p = sub.add_parser(
         "budget", help="power-budget a JSON dataflow graph"
@@ -175,6 +186,7 @@ def _cmd_characterize(args) -> int:
         seed=args.seed,
         basic_stimulus=args.stimulus,
         enhanced_stimulus=args.stimulus,
+        engine=args.engine,
     )
     cache = None
     if args.cache or args.cache_dir:
@@ -272,7 +284,8 @@ def _cmd_estimate(args) -> int:
             return 2
     else:
         model = characterize_module(
-            module, n_patterns=args.patterns, seed=args.seed
+            module, n_patterns=args.patterns, seed=args.seed,
+            engine=args.engine,
         ).model
 
     streams = make_operand_streams(module, args.data_type, args.patterns,
@@ -295,7 +308,9 @@ def _cmd_estimate(args) -> int:
               f"@ {args.vdd}V, {args.f_clk / 1e6:.0f}MHz")
     if args.reference:
         bits = module_stimulus(module, streams)
-        reference = PowerSimulator(module.compiled).simulate(bits)
+        reference = PowerSimulator(
+            module.compiled, engine=args.engine
+        ).simulate(bits)
         err = (estimate.average_charge / reference.average_charge - 1) * 100
         print(f"reference charge  : {reference.average_charge:.2f} "
               f"(error {err:+.1f}%)")
@@ -328,7 +343,9 @@ def _cmd_hotspots(args) -> int:
         module, args.data_type, args.patterns, seed=args.seed
     )
     bits = module_stimulus(module, streams)
-    hotspots = net_power_breakdown(module.compiled, bits, top=args.top)
+    hotspots = net_power_breakdown(
+        module.compiled, bits, top=args.top, engine=args.engine
+    )
     print(render_hotspots(
         hotspots,
         title=f"{module.netlist.name}, data type {args.data_type}: "

@@ -173,6 +173,7 @@ def characterize_module(
     glitch_weight: float = 1.0,
     stimulus: str = "uniform_hd",
     max_patterns: Optional[int] = None,
+    engine: str = "auto",
 ) -> CharacterizationResult:
     """Characterize one module prototype with random patterns.
 
@@ -197,6 +198,10 @@ def characterize_module(
             random stream), ``"mixed"`` (uniform_hd + corner pairs,
             recommended for the enhanced model) or ``"corner"``.
         max_patterns: Hard budget; defaults to ``4 * n_patterns``.
+        engine: Simulation kernel (``"auto"``, ``"bool"`` or ``"packed"``,
+            see :class:`~repro.circuit.power.PowerSimulator`).  Engines are
+            bit-identical by contract, so this never changes the fitted
+            coefficients — only how fast the reference charges arrive.
 
     Returns:
         A :class:`CharacterizationResult`.
@@ -214,7 +219,8 @@ def characterize_module(
     make_bits = generators[stimulus]
     width = module.input_bits
     simulator = PowerSimulator(
-        module.compiled, glitch_aware=glitch_aware, glitch_weight=glitch_weight
+        module.compiled, glitch_aware=glitch_aware,
+        glitch_weight=glitch_weight, engine=engine,
     )
     rng = np.random.default_rng(seed)
 

@@ -52,6 +52,10 @@ class ExperimentConfig:
             ("uniform_hd" stratifies event classes; "random" is the paper's
             literal stream).
         enhanced_stimulus: Characterization stream for the enhanced model.
+        engine: Simulation kernel ("auto", "bool" or "packed").  Engines
+            are bit-identical, so this is a speed knob, not a provenance
+            knob — the persistent cache deliberately excludes it from its
+            keys (see :func:`repro.runtime.cache._config_payload`).
     """
 
     n_characterization: int = 4000
@@ -61,6 +65,7 @@ class ExperimentConfig:
     glitch_weight: float = 1.0
     basic_stimulus: str = "uniform_hd"
     enhanced_stimulus: str = "mixed"
+    engine: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -96,8 +101,12 @@ class Harness:
             ``characterization_hits``/``misses`` and ``trace_hits``/
             ``misses`` against the *disk* cache, ``simulated_patterns``
             (patterns actually pushed through the reference simulator; 0
-            on a fully cache-served run) and ``characterize_seconds`` /
-            ``simulate_seconds`` wall-clock totals.
+            on a fully cache-served run), ``simulated_toggles`` (total
+            toggle events those simulations counted), per-engine run
+            counts (``engine_bool_runs``/``engine_packed_runs``, so the
+            kernel that did the work is observable, not assumed) and
+            ``characterize_seconds`` / ``simulate_seconds`` wall-clock
+            totals.
     """
 
     def __init__(
@@ -113,6 +122,9 @@ class Harness:
             "trace_hits": 0,
             "trace_misses": 0,
             "simulated_patterns": 0,
+            "simulated_toggles": 0,
+            "engine_bool_runs": 0,
+            "engine_packed_runs": 0,
             "characterize_seconds": 0.0,
             "simulate_seconds": 0.0,
         }
@@ -139,7 +151,16 @@ class Harness:
             module.compiled,
             glitch_aware=self.config.glitch_aware,
             glitch_weight=self.config.glitch_weight,
+            engine=getattr(self.config, "engine", "auto"),
         )
+
+    def _record_simulation(self, simulator: PowerSimulator) -> None:
+        """Fold one simulator run's stats into the harness counters."""
+        stats = simulator.last_stats
+        if stats is None:
+            return
+        self.counters["simulated_toggles"] += stats.total_toggles
+        self.counters[f"engine_{stats.engine}_runs"] += 1
 
     def characterization(
         self, kind: str, width: int, enhanced: bool = False
@@ -170,6 +191,7 @@ class Harness:
                 glitch_weight=self.config.glitch_weight,
                 stimulus=(self.config.enhanced_stimulus if enhanced
                           else self.config.basic_stimulus),
+                engine=getattr(self.config, "engine", "auto"),
             )
             self.counters["characterize_seconds"] += (
                 time.perf_counter() - started
@@ -207,12 +229,14 @@ class Harness:
                 module, data_type, self.config.n_eval, seed=seed
             )
             bits = module_stimulus(module, streams)
+            simulator = self.simulator(kind, width)
             started = time.perf_counter()
-            trace = self.simulator(kind, width).simulate(bits)
+            trace = simulator.simulate(bits)
             self.counters["simulate_seconds"] += (
                 time.perf_counter() - started
             )
             self.counters["simulated_patterns"] += len(bits)
+            self._record_simulation(simulator)
             events = classify_transitions(bits)
             self._eval_data[key] = (events, trace)
             if self.cache is not None and disk_key is not None:
@@ -263,7 +287,9 @@ class Harness:
         """Like :meth:`evaluate` but with caller-provided operand streams."""
         module = self.module(kind, width)
         bits = module_stimulus(module, streams)
-        trace = self.simulator(kind, width).simulate(bits)
+        simulator = self.simulator(kind, width)
+        trace = simulator.simulate(bits)
+        self._record_simulation(simulator)
         events = classify_transitions(bits)
         characterization = self.characterization(kind, width, enhanced=enhanced)
         basic = characterization.model.predict_cycle(events.hd)

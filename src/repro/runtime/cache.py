@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
 import time
@@ -47,6 +48,13 @@ DEFAULT_CACHE_DIR = "~/.cache/repro-hd"
 #: On-disk payload format; bump when the JSON layout itself changes.
 CACHE_FORMAT_VERSION = "1"
 
+#: Per-process sequence for temp-file names.  Combined with the pid it
+#: makes every in-flight write target a distinct file, so two ``--jobs``
+#: workers storing the same key can never interleave writes to a shared
+#: temp name (which could rename a half-written record into place) or
+#: steal each other's temp file out from under the atomic ``replace``.
+_TMP_SEQUENCE = itertools.count()
+
 
 def default_cache_dir() -> Path:
     """The cache directory honoring ``REPRO_CACHE_DIR``."""
@@ -58,12 +66,18 @@ def default_cache_dir() -> Path:
 def _config_payload(config: Any) -> Dict[str, Any]:
     """A JSON-stable view of an experiment configuration."""
     if dataclasses.is_dataclass(config) and not isinstance(config, type):
-        return dataclasses.asdict(config)
-    if isinstance(config, dict):
-        return dict(config)
-    raise TypeError(
-        f"config must be a dataclass or dict, got {type(config).__name__}"
-    )
+        payload = dataclasses.asdict(config)
+    elif isinstance(config, dict):
+        payload = dict(config)
+    else:
+        raise TypeError(
+            f"config must be a dataclass or dict, got {type(config).__name__}"
+        )
+    # The simulation engine is bit-identical by contract (parity-tested),
+    # so it is pure speed provenance: keying on it would split the cache
+    # between runs that produce byte-for-byte the same artifacts.
+    payload.pop("engine", None)
+    return payload
 
 
 class ModelCache:
@@ -168,9 +182,16 @@ class ModelCache:
             "payload": payload,
         }
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(record))
-        tmp.replace(path)
+        # Unique temp name (same directory, so replace() stays atomic):
+        # a shared name would let concurrent writers corrupt each other.
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{next(_TMP_SEQUENCE)}.tmp"
+        )
+        try:
+            tmp.write_text(json.dumps(record))
+            tmp.replace(path)
+        finally:
+            tmp.unlink(missing_ok=True)
         self.stores += 1
         return path
 

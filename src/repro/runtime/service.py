@@ -96,6 +96,9 @@ def _config_params(config: Any) -> Dict[str, Any]:
         "glitch_weight": config.glitch_weight,
         "basic_stimulus": config.basic_stimulus,
         "enhanced_stimulus": config.enhanced_stimulus,
+        # Speed knob only — engines are bit-identical, so this never
+        # appears in cache keys (duck-typed configs may predate it).
+        "engine": getattr(config, "engine", "auto"),
     }
 
 
@@ -115,6 +118,7 @@ def _run_job(
             params["enhanced_stimulus"] if enhanced
             else params["basic_stimulus"]
         ),
+        engine=params.get("engine", "auto"),
     )
 
 

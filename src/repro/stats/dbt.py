@@ -30,11 +30,38 @@ activity, leaving ``n_rand`` random bits and ``n_sign`` sign bits with
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from .wordstats import WordStats, word_stats
+
+#: Gauss-Legendre order for the bivariate-normal orthant integral.
+_QUADRATURE_ORDER = 200
+
+try:
+    # Exact (machine-precision) vectorized normal CDF when scipy is
+    # around; both branches agree with the erf definition to < 1e-15.
+    from scipy.special import ndtr as _normal_cdf
+except ImportError:  # pragma: no cover - environment-dependent
+    _SQRT2 = math.sqrt(2.0)
+    _vec_erf = np.vectorize(math.erf, otypes=[np.float64])
+
+    def _normal_cdf(z):
+        return 0.5 * (1.0 + _vec_erf(np.asarray(z, dtype=np.float64) / _SQRT2))
+
+
+@lru_cache(maxsize=4)
+def _gauss_legendre(order: int):
+    """Quadrature nodes/weights, computed once per order.
+
+    ``leggauss`` solves an eigenvalue problem — rebuilding the 200-point
+    rule on every call made DBT sweeps quadratic in the number of
+    evaluations for no reason.
+    """
+    return np.polynomial.legendre.leggauss(order)
 
 
 def gaussian_sign_activity(rho: float, mean_over_sigma: float = 0.0) -> float:
@@ -55,7 +82,7 @@ def gaussian_sign_activity(rho: float, mean_over_sigma: float = 0.0) -> float:
         return 0.0
     # P(X>0, Y<=0) + P(X<=0, Y>0) with X,Y ~ N(h,1), corr rho:
     # integrate P(Y<=0 | X=x) phi(x-h) over x>0 and the mirrored term.
-    nodes, weights = np.polynomial.legendre.leggauss(200)
+    nodes, weights = _gauss_legendre(_QUADRATURE_ORDER)
     # Map [-1,1] -> [0, 8+|h|] (effectively infinity for a unit normal).
     upper = 8.0 + abs(h)
     x = 0.5 * (nodes + 1.0) * upper
@@ -65,18 +92,12 @@ def gaussian_sign_activity(rho: float, mean_over_sigma: float = 0.0) -> float:
     def phi(z):
         return np.exp(-0.5 * z * z) / np.sqrt(2.0 * np.pi)
 
-    def ncdf(z):
-        from math import erf
-
-        z = np.asarray(z, dtype=np.float64)
-        return 0.5 * (1.0 + np.vectorize(erf)(z / np.sqrt(2.0)))
-
     # Term 1: X > 0, Y <= 0.
-    cond1 = ncdf(-(h + rho * (x - h)) / sq)
+    cond1 = _normal_cdf(-(h + rho * (x - h)) / sq)
     term1 = float((phi(x - h) * cond1 * w).sum())
     # Term 2: X <= 0, Y > 0; substitute x -> -x (x > 0 domain).
     # P(Y > 0 | X = -x) = 1 - Phi(-(h + rho(-x - h)) / sq).
-    cond2 = 1.0 - ncdf(-(h + rho * (-x - h)) / sq)
+    cond2 = 1.0 - _normal_cdf(-(h + rho * (-x - h)) / sq)
     term2 = float((phi(-x - h) * cond2 * w).sum())
     return float(np.clip(term1 + term2, 0.0, 1.0))
 

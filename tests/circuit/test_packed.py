@@ -1,0 +1,315 @@
+"""Packed-engine parity suite: bit-for-bit agreement with the bool engine.
+
+The packed kernel is a pure speed optimization; its contract is that a
+:class:`PowerSimulator` produces *identical* ``charge`` and
+``total_toggles`` arrays regardless of engine (at equal chunk size — see
+``test_chunk_invariance`` in ``test_power.py`` for the cross-chunk-size
+float tolerance).  This file sweeps that contract across every registered
+module kind, the glitch-weighting configurations, the zero-delay ablation
+and awkward stream lengths, plus unit tests of the packing primitives.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import packed as packed_mod
+from repro.circuit.packed import (
+    PACKED_AVAILABLE,
+    ToggleAccumulator,
+    extract_lane,
+    inject_lane,
+    n_words_for,
+    pack_lanes,
+    packed_functional_values,
+    packed_unit_delay_transition,
+    popcount,
+    unpack_lanes,
+)
+from repro.circuit.hotspots import net_power_breakdown
+from repro.circuit.power import (
+    AUTO_PACKED_MIN_CYCLES,
+    PowerSimulator,
+    PowerTrace,
+)
+from repro.circuit.simulate import functional_values, unit_delay_transition
+from repro.modules.library import make_module, module_kinds
+
+pytestmark = pytest.mark.skipif(
+    not PACKED_AVAILABLE, reason="packed engine needs a little-endian host"
+)
+
+#: Small width per kind for the full-registry sweep (mac wants >= 2;
+#: everything in the registry accepts 4).
+SWEEP_WIDTH = 4
+
+
+def _stream(module, n_patterns, seed=0):
+    rng = np.random.default_rng(seed)
+    n_inputs = len(module.compiled.netlist.inputs)
+    return rng.integers(0, 2, size=(n_patterns, n_inputs)).astype(bool)
+
+
+def _assert_trace_equal(a: PowerTrace, b: PowerTrace):
+    np.testing.assert_array_equal(a.total_toggles, b.total_toggles)
+    # Bitwise, not allclose: the engines share the accounting code and the
+    # chunk boundaries, so even the float charge must match exactly.
+    np.testing.assert_array_equal(a.charge, b.charge)
+
+
+def _parity(module, bits, **kwargs):
+    ref = PowerSimulator(module.compiled, engine="bool", **kwargs).simulate(
+        bits
+    )
+    got = PowerSimulator(module.compiled, engine="packed", **kwargs).simulate(
+        bits
+    )
+    _assert_trace_equal(ref, got)
+    return ref
+
+
+# ----------------------------------------------------------------------
+# Engine parity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", module_kinds())
+def test_parity_every_module_kind(kind):
+    """Glitch-aware parity on a random stream, for every registry entry."""
+    module = make_module(kind, SWEEP_WIDTH)
+    bits = _stream(module, 130, seed=hash(kind) % 2**32)
+    trace = _parity(module, bits)
+    assert trace.n_cycles == 129
+
+
+@pytest.mark.parametrize("glitch_weight", [0.0, 0.37, 1.0])
+def test_parity_glitch_weights(glitch_weight):
+    module = make_module("csa_multiplier", 4)
+    bits = _stream(module, 200, seed=1)
+    _parity(module, bits, glitch_aware=True, glitch_weight=glitch_weight)
+
+
+def test_parity_zero_delay_ablation():
+    module = make_module("csa_multiplier", 4)
+    bits = _stream(module, 200, seed=2)
+    _parity(module, bits, glitch_aware=False)
+
+
+@pytest.mark.parametrize("n_patterns", [2, 63, 64, 65, 128, 129, 193])
+def test_parity_awkward_stream_lengths(n_patterns):
+    """Tail lanes (pattern counts off the 64-lane grid) stay inert."""
+    module = make_module("ripple_adder", 8)
+    bits = _stream(module, n_patterns, seed=3)
+    trace = _parity(module, bits)
+    assert trace.n_cycles == n_patterns - 1
+
+
+@pytest.mark.parametrize("chunk_size", [17, 64, 100])
+def test_parity_across_chunk_boundaries(chunk_size):
+    """The carried boundary column must behave identically per engine."""
+    module = make_module("cla_adder", 4)
+    bits = _stream(module, 230, seed=4)
+    _parity(module, bits, chunk_size=chunk_size, glitch_weight=0.5)
+
+
+def test_packed_chunk_size_invariance():
+    """Cross-chunk-size runs of the packed engine: toggles exact, charge
+    to float-summation tolerance (the same contract the bool engine has)."""
+    module = make_module("csa_multiplier", 4)
+    bits = _stream(module, 129, seed=5)
+    whole = PowerSimulator(
+        module.compiled, engine="packed", chunk_size=4096
+    ).simulate(bits)
+    sliced = PowerSimulator(
+        module.compiled, engine="packed", chunk_size=13
+    ).simulate(bits)
+    np.testing.assert_array_equal(whole.total_toggles, sliced.total_toggles)
+    np.testing.assert_allclose(whole.charge, sliced.charge, rtol=1e-12, atol=0.0)
+
+
+# ----------------------------------------------------------------------
+# Engine selection
+# ----------------------------------------------------------------------
+def test_auto_resolution_thresholds():
+    module = make_module("ripple_adder", 4)
+    sim = PowerSimulator(module.compiled, engine="auto")
+    assert sim.resolve_engine(AUTO_PACKED_MIN_CYCLES - 1) == "bool"
+    assert sim.resolve_engine(AUTO_PACKED_MIN_CYCLES) == "packed"
+    assert PowerSimulator(module.compiled, engine="bool").resolve_engine(
+        10**6
+    ) == "bool"
+
+
+def test_unknown_engine_rejected():
+    module = make_module("ripple_adder", 4)
+    with pytest.raises(ValueError, match="engine"):
+        PowerSimulator(module.compiled, engine="simd")
+
+
+def test_packed_unavailable_falls_back(monkeypatch):
+    module = make_module("ripple_adder", 4)
+    monkeypatch.setattr("repro.circuit.power.PACKED_AVAILABLE", False)
+    sim = PowerSimulator(module.compiled, engine="auto")
+    assert sim.resolve_engine(10**6) == "bool"
+    with pytest.raises(ValueError, match="little-endian"):
+        PowerSimulator(module.compiled, engine="packed")
+
+
+def test_stats_record_resolved_engine():
+    module = make_module("ripple_adder", 4)
+    bits = _stream(module, 130, seed=6)
+    sim = PowerSimulator(module.compiled, engine="auto")
+    trace = sim.simulate(bits)
+    assert sim.last_stats.engine == "packed"
+    assert sim.last_stats.n_cycles == 129
+    assert sim.last_stats.total_toggles == int(trace.total_toggles.sum())
+    assert sim.last_stats.seconds >= 0.0
+    sim.simulate(bits[:3])
+    assert sim.last_stats.engine == "bool"
+
+
+# ----------------------------------------------------------------------
+# Packing primitives
+# ----------------------------------------------------------------------
+def test_pack_unpack_round_trip():
+    rng = np.random.default_rng(7)
+    for n_lanes in (1, 63, 64, 65, 130):
+        rows = rng.integers(0, 2, size=(5, n_lanes)).astype(bool)
+        words = pack_lanes(rows)
+        assert words.shape == (5, n_words_for(n_lanes))
+        assert words.dtype == np.uint64
+        np.testing.assert_array_equal(
+            unpack_lanes(words, n_lanes), rows.astype(np.uint8)
+        )
+
+
+def test_pack_lane_bit_layout():
+    """Lane k of word w is pattern 64*w + k."""
+    rows = np.zeros((1, 130), dtype=bool)
+    rows[0, 3] = True
+    rows[0, 64] = True
+    rows[0, 129] = True
+    words = pack_lanes(rows)
+    assert words[0, 0] == np.uint64(1) << np.uint64(3)
+    assert words[0, 1] == np.uint64(1)
+    assert words[0, 2] == np.uint64(1) << np.uint64(1)
+
+
+def test_extract_inject_lane():
+    rng = np.random.default_rng(8)
+    rows = rng.integers(0, 2, size=(6, 70)).astype(bool)
+    words = pack_lanes(rows)
+    np.testing.assert_array_equal(extract_lane(words, 69), rows[:, 69])
+    column = ~rows[:, 69]
+    inject_lane(words, 69, column)
+    np.testing.assert_array_equal(extract_lane(words, 69), column)
+    # Other lanes untouched.
+    np.testing.assert_array_equal(
+        unpack_lanes(words, 69), rows[:, :69].astype(np.uint8)
+    )
+
+
+def test_popcount_matches_python():
+    rng = np.random.default_rng(9)
+    words = rng.integers(0, 2**63, size=(4, 5), dtype=np.uint64)
+    expected = np.vectorize(lambda w: bin(int(w)).count("1"))(words)
+    got = popcount(words)
+    assert got.dtype == np.uint64
+    np.testing.assert_array_equal(got, expected.astype(np.uint64))
+
+
+def test_popcount_lut_fallback_matches(monkeypatch):
+    rng = np.random.default_rng(10)
+    words = rng.integers(0, 2**63, size=(3, 7), dtype=np.uint64)
+    fast = popcount(words)
+    monkeypatch.setattr(packed_mod, "_BITWISE_COUNT", None)
+    np.testing.assert_array_equal(popcount(words), fast)
+
+
+# ----------------------------------------------------------------------
+# ToggleAccumulator
+# ----------------------------------------------------------------------
+def test_accumulator_counts_match_dense():
+    rng = np.random.default_rng(11)
+    n_rows, n_lanes = 9, 130
+    n_words = n_words_for(n_lanes)
+    dense = np.zeros((n_rows, n_lanes), dtype=np.uint32)
+    accumulator = ToggleAccumulator()
+    for _ in range(23):
+        mask = rng.integers(0, 2, size=(n_rows, n_lanes)).astype(bool)
+        dense += mask
+        accumulator.add(pack_lanes(mask, n_words))
+    decoded = accumulator.decode(n_lanes)
+    assert decoded.dtype == np.uint8  # 23 < 2**8 -> narrow path
+    np.testing.assert_array_equal(decoded.astype(np.uint32), dense)
+    np.testing.assert_array_equal(
+        accumulator.per_row_totals(n_rows),
+        dense.sum(axis=1).astype(np.int64),
+    )
+
+
+def test_accumulator_wide_counts():
+    """More than 8 planes (counts >= 256) switch decode to uint32."""
+    n_lanes = 3
+    ones = pack_lanes(np.ones((2, n_lanes), dtype=bool))
+    accumulator = ToggleAccumulator()
+    for _ in range(300):
+        accumulator.add(ones)
+    decoded = accumulator.decode(n_lanes)
+    assert decoded.dtype == np.uint32
+    assert (decoded == 300).all()
+    np.testing.assert_array_equal(
+        accumulator.per_row_totals(2), np.full(2, 300 * n_lanes)
+    )
+
+
+def test_accumulator_empty_decode_raises():
+    with pytest.raises(ValueError, match="empty"):
+        ToggleAccumulator().decode(4)
+
+
+# ----------------------------------------------------------------------
+# Kernel-level parity with the boolean reference
+# ----------------------------------------------------------------------
+def test_packed_functional_values_match_bool():
+    module = make_module("alu", 4)
+    compiled = module.compiled
+    bits = _stream(module, 100, seed=12)
+    expected = functional_values(compiled, bits)
+    n_words = n_words_for(len(bits))
+    got = packed_functional_values(compiled, pack_lanes(bits.T, n_words), n_words)
+    np.testing.assert_array_equal(
+        unpack_lanes(got, len(bits)).astype(bool), expected
+    )
+
+
+def test_packed_unit_delay_matches_bool():
+    module = make_module("csa_multiplier", 4)
+    compiled = module.compiled
+    old = _stream(module, 100, seed=13)
+    new = _stream(module, 100, seed=14)
+    settled = functional_values(compiled, old)
+    final_ref, toggles_ref = unit_delay_transition(compiled, settled, new)
+    n_words = n_words_for(100)
+    packed_settled = packed_functional_values(
+        compiled, pack_lanes(old.T, n_words), n_words
+    )
+    final, accumulator = packed_unit_delay_transition(
+        compiled, packed_settled, pack_lanes(new.T, n_words)
+    )
+    np.testing.assert_array_equal(
+        unpack_lanes(final, 100).astype(bool), final_ref
+    )
+    np.testing.assert_array_equal(
+        accumulator.decode(100).astype(np.uint32), toggles_ref
+    )
+
+
+def test_hotspots_engine_parity():
+    module = make_module("booth_wallace_multiplier", 4)
+    bits = _stream(module, 150, seed=15)
+    ref = net_power_breakdown(module.compiled, bits, engine="bool")
+    got = net_power_breakdown(module.compiled, bits, engine="packed")
+    assert [(h.net, h.toggles) for h in ref] == [
+        (h.net, h.toggles) for h in got
+    ]
+    np.testing.assert_allclose(
+        [h.charge for h in ref], [h.charge for h in got], rtol=0, atol=0
+    )

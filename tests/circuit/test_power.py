@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.circuit.packed import PACKED_AVAILABLE
 from repro.circuit.power import PowerSimulator, PowerTrace
 from repro.modules import make_module
 
@@ -137,19 +138,31 @@ def csa4_netlist():
     return make_module("csa_multiplier", 4).netlist
 
 
+@pytest.mark.parametrize("engine", [
+    "bool",
+    pytest.param("packed", marks=pytest.mark.skipif(
+        not PACKED_AVAILABLE, reason="packed engine needs little-endian"
+    )),
+])
 @pytest.mark.parametrize("glitch_aware", [True, False])
 @pytest.mark.parametrize("glitch_weight", [1.0, 0.5])
 @pytest.mark.parametrize("chunk_size", [1, 7, 2048])
-def test_chunk_invariance(csa4_netlist, chunk_size, glitch_weight, glitch_aware):
+def test_chunk_invariance(
+    csa4_netlist, chunk_size, glitch_weight, glitch_aware, engine
+):
     bits = _random_bits(129, 8, seed=11)
     reference = PowerSimulator(
-        csa4_netlist, glitch_aware=glitch_aware, glitch_weight=glitch_weight
+        csa4_netlist,
+        glitch_aware=glitch_aware,
+        glitch_weight=glitch_weight,
+        engine=engine,
     ).simulate(bits)
     chunked = PowerSimulator(
         csa4_netlist,
         glitch_aware=glitch_aware,
         glitch_weight=glitch_weight,
         chunk_size=chunk_size,
+        engine=engine,
     ).simulate(bits)
     # Toggle counts are integers and must match exactly; the charge
     # dot-product reduction order differs per chunk shape, so allow

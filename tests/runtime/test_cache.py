@@ -153,3 +153,82 @@ def test_empty_cache_maintenance(tmp_path):
     assert cache.entries() == []
     assert cache.clear() == 0
     assert cache.stats()["entries"] == 0
+
+
+# ----------------------------------------------------------------------
+# Concurrent writers: store() must never share a temp file between two
+# in-flight writes (the old fixed ".tmp" name let one worker rename the
+# other's half-written record into place, or steal the temp file out from
+# under its atomic replace).
+# ----------------------------------------------------------------------
+def test_store_uses_unique_temp_names(tmp_path, monkeypatch):
+    import pathlib
+
+    seen = []
+    original_write_text = pathlib.Path.write_text
+
+    def spy(self, *args, **kwargs):
+        seen.append(self.name)
+        return original_write_text(self, *args, **kwargs)
+
+    monkeypatch.setattr(pathlib.Path, "write_text", spy)
+    cache = ModelCache(tmp_path)
+    cache.store("samekey", {"writer": "a"}, {})
+    cache.store("samekey", {"writer": "b"}, {})
+    tmp_names = [name for name in seen if name.endswith(".tmp")]
+    assert len(tmp_names) == 2
+    assert tmp_names[0] != tmp_names[1]
+
+
+def test_interleaved_writers_leave_valid_record(tmp_path, monkeypatch):
+    """Writer B completes an entire store *between* writer A's temp write
+    and its atomic replace; A's record must land intact, with no temp
+    litter.  With a shared temp name this interleaving corrupted or lost
+    one of the writes."""
+    import pathlib
+
+    cache_a = ModelCache(tmp_path)
+    cache_b = ModelCache(tmp_path)
+    original_replace = pathlib.Path.replace
+    state = {"interleaved": False}
+
+    def interleaving_replace(self, target):
+        if not state["interleaved"]:
+            state["interleaved"] = True
+            cache_b.store("contested", {"writer": "b"}, {"who": "b"})
+        return original_replace(self, target)
+
+    monkeypatch.setattr(pathlib.Path, "replace", interleaving_replace)
+    cache_a.store("contested", {"writer": "a"}, {"who": "a"})
+
+    assert state["interleaved"]
+    record = json.loads((tmp_path / "contested.json").read_text())
+    # A's replace ran last, so A wins the race with a *complete* record.
+    assert record["payload"] == {"writer": "a"}
+    assert list(tmp_path.glob("*.tmp*")) == []
+    assert cache_a.stores == 1 and cache_b.stores == 1
+
+
+def test_engine_never_in_cache_keys(tmp_path):
+    """Engines are bit-identical, so the key must not split on them."""
+    cache = ModelCache(tmp_path)
+    keys = {
+        cache.characterization_key(
+            "ripple_adder", 3, False, ExperimentConfig(engine=engine), 1
+        )
+        for engine in ("auto", "bool", "packed")
+    }
+    assert len(keys) == 1
+    # Dict-shaped configs get the same treatment.
+    assert cache.make_key(
+        {"config": {"n": 1}}
+    ) == cache.make_key({"config": {"n": 1}})
+    from repro.runtime.cache import _config_payload
+
+    assert _config_payload({"n": 1, "engine": "packed"}) == {"n": 1}
+    # Everything else still keys: a different seed is a different entry.
+    assert cache.characterization_key(
+        "ripple_adder", 3, False, ExperimentConfig(), 1
+    ) != cache.characterization_key(
+        "ripple_adder", 3, False, ExperimentConfig(), 2
+    )

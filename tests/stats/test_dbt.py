@@ -187,3 +187,64 @@ def test_from_bit_activities_improves_video_fit():
 def test_from_bit_activities_validation():
     with pytest.raises(ValueError):
         DbtModel.from_bit_activities(np.array([]))
+
+
+# ----------------------------------------------------------------------
+# Regression guard for the hoisted quadrature/CDF implementation: the
+# per-call leggauss + np.vectorize(math.erf) construction was replaced by
+# a cached rule and a vectorized normal CDF, and must not have moved any
+# value.
+# ----------------------------------------------------------------------
+def _legacy_sign_activity(rho, h):
+    """The pre-optimization implementation, verbatim math: a fresh
+    200-point Gauss-Legendre rule and an erf-based CDF per call."""
+    import math
+
+    rho = float(np.clip(rho, -1.0, 1.0))
+    if abs(h) < 1e-12:
+        return float(np.arccos(rho) / np.pi)
+    if rho >= 1.0 - 1e-12:
+        return 0.0
+    nodes, weights = np.polynomial.legendre.leggauss(200)
+    erf = np.vectorize(math.erf)
+
+    def cdf(z):
+        return 0.5 * (1.0 + erf(np.asarray(z) / math.sqrt(2.0)))
+
+    upper = 8.0 + abs(h)
+    x = 0.5 * (nodes + 1.0) * upper
+    w = 0.5 * upper * weights
+    sq = np.sqrt(1.0 - rho * rho)
+
+    def phi(z):
+        return np.exp(-0.5 * z * z) / np.sqrt(2.0 * np.pi)
+
+    term1 = float((phi(x - h) * cdf(-(h + rho * (x - h)) / sq) * w).sum())
+    term2 = float(
+        (phi(-x - h) * (1.0 - cdf(-(h + rho * (-x - h)) / sq)) * w).sum()
+    )
+    return float(np.clip(term1 + term2, 0.0, 1.0))
+
+
+def test_sign_activity_zero_mean_unchanged_by_hoisting():
+    for rho in (-0.9, -0.3, 0.0, 0.5, 0.99):
+        assert gaussian_sign_activity(rho, 0.0) == pytest.approx(
+            np.arccos(rho) / np.pi, abs=1e-15
+        )
+
+
+@pytest.mark.parametrize("rho", [-0.8, -0.2, 0.0, 0.4, 0.9, 0.999])
+@pytest.mark.parametrize("h", [0.05, 0.5, 1.7, -1.1, 4.0])
+def test_sign_activity_nonzero_mean_unchanged_by_hoisting(rho, h):
+    assert gaussian_sign_activity(rho, h) == pytest.approx(
+        _legacy_sign_activity(rho, h), abs=1e-12
+    )
+
+
+def test_quadrature_rule_is_cached():
+    from repro.stats.dbt import _QUADRATURE_ORDER, _gauss_legendre
+
+    nodes1, weights1 = _gauss_legendre(_QUADRATURE_ORDER)
+    nodes2, weights2 = _gauss_legendre(_QUADRATURE_ORDER)
+    assert nodes1 is nodes2 and weights1 is weights2
+    assert len(nodes1) == _QUADRATURE_ORDER
