@@ -1,12 +1,28 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-small bench-sim bench-smoke report examples clean
+.PHONY: install test test-all fuzz verify bench bench-small bench-sim bench-smoke report examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Everything, including the slow sweeps and long-budget fuzz markers the
+# default run deselects.
+test-all:
+	pytest tests/ -m ''
+
+# Differential fuzzing: bool vs packed engines vs the pure-Python oracle,
+# plus the metamorphic relations (docs/VERIFICATION.md).  Seeded, so a
+# given budget/seed pair is fully reproducible.  The nightly-scale
+# invocation is:  python -m repro.cli verify fuzz --budget 100000
+fuzz:
+	PYTHONPATH=src python -m repro.cli verify fuzz --budget 5000 --seed 0
+
+# Tier-1 tests plus a ~30 second fuzz smoke: the pre-merge gate.
+verify: test
+	PYTHONPATH=src python -m repro.cli verify fuzz --budget 100000 --seed 0
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

@@ -15,6 +15,7 @@ Usage examples::
     repro-power verilog --kind csa_multiplier --width 8 -o mult.v
     repro-power hotspots --kind csa_multiplier --width 8 --data-type III
     repro-power budget my_filter.json --models ./model_cache
+    repro-power verify fuzz --budget 2000 --seed 0
 
 The ``table``/``figure``/``reproduce`` subcommands regenerate the paper's
 evaluation artifacts (see EXPERIMENTS.md); ``--scale small`` trades
@@ -120,6 +121,27 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="default operand width")
     p.add_argument("--patterns", type=int, default=3000)
     p.add_argument("--models", help="directory for persisted model library")
+
+    p = sub.add_parser(
+        "verify", help="differential verification (see docs/VERIFICATION.md)"
+    )
+    p.add_argument("action", choices=["fuzz"],
+                   help="'fuzz': cross-engine/oracle differential fuzzing")
+    p.add_argument("--budget", type=int, default=2000,
+                   help="total transitions to simulate across all cases")
+    p.add_argument("--seed", type=int, default=0,
+                   help="session seed; the whole run is reproducible from it")
+    p.add_argument("--kinds",
+                   help="comma-separated module kinds (default: all)")
+    p.add_argument("--max-width", type=int, default=6,
+                   help="largest operand width drawn")
+    p.add_argument("--oracle-prefix", type=int, default=24,
+                   help="transitions per case re-checked by the Python "
+                        "oracle (the slow, obviously-correct model)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report mismatches without minimizing them")
+    p.add_argument("--artifacts", default="artifacts/repros",
+                   help="directory for generated repro scripts")
 
     p = sub.add_parser(
         "reproduce", help="regenerate every table and figure"
@@ -368,6 +390,33 @@ def _cmd_budget(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from .verify import run_fuzz
+
+    kinds = None
+    if args.kinds:
+        from .modules import module_kinds
+
+        kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+        unknown = sorted(set(kinds) - set(module_kinds()))
+        if unknown:
+            print(f"error: unknown module kind(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+    report = run_fuzz(
+        budget=args.budget,
+        seed=args.seed,
+        kinds=kinds,
+        max_width=args.max_width,
+        oracle_prefix=args.oracle_prefix,
+        shrink=not args.no_shrink,
+        artifacts_dir=args.artifacts,
+        progress=print,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_reproduce(args) -> int:
     from .eval import render_report, reproduce_all
 
@@ -437,6 +486,7 @@ _COMMANDS = {
     "verilog": _cmd_verilog,
     "hotspots": _cmd_hotspots,
     "budget": _cmd_budget,
+    "verify": _cmd_verify,
     "reproduce": _cmd_reproduce,
     "table": _cmd_table,
     "figure": _cmd_figure,

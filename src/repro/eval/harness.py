@@ -56,6 +56,14 @@ class ExperimentConfig:
             are bit-identical, so this is a speed knob, not a provenance
             knob — the persistent cache deliberately excludes it from its
             keys (see :func:`repro.runtime.cache._config_payload`).
+        self_check: When True, every freshly simulated evaluation trace
+            has a short prefix re-simulated by the pure-Python oracle
+            (:func:`repro.verify.oracles.verify_trace_prefix`) before it
+            is used or stored.  A mismatch raises
+            :class:`~repro.verify.oracles.VerificationError` immediately
+            instead of contaminating downstream tables.  Like ``engine``,
+            this cannot change results, only reject wrong ones, so the
+            cache also excludes it from its keys.
     """
 
     n_characterization: int = 4000
@@ -66,6 +74,7 @@ class ExperimentConfig:
     basic_stimulus: str = "uniform_hd"
     enhanced_stimulus: str = "mixed"
     engine: str = "auto"
+    self_check: bool = False
 
 
 @dataclass(frozen=True)
@@ -104,9 +113,10 @@ class Harness:
             on a fully cache-served run), ``simulated_toggles`` (total
             toggle events those simulations counted), per-engine run
             counts (``engine_bool_runs``/``engine_packed_runs``, so the
-            kernel that did the work is observable, not assumed) and
+            kernel that did the work is observable, not assumed),
             ``characterize_seconds`` / ``simulate_seconds`` wall-clock
-            totals.
+            totals, and ``self_checks`` (oracle prefix verifications run
+            when ``config.self_check`` is on).
     """
 
     def __init__(
@@ -127,6 +137,7 @@ class Harness:
             "engine_packed_runs": 0,
             "characterize_seconds": 0.0,
             "simulate_seconds": 0.0,
+            "self_checks": 0,
         }
         self._modules: Dict[Tuple[str, int], DatapathModule] = {}
         self._characterizations: Dict[
@@ -161,6 +172,22 @@ class Harness:
             return
         self.counters["simulated_toggles"] += stats.total_toggles
         self.counters[f"engine_{stats.engine}_runs"] += 1
+
+    def _self_check(
+        self, module: DatapathModule, bits: np.ndarray, trace: PowerTrace
+    ) -> None:
+        """Oracle-check a trace prefix when ``config.self_check`` is set."""
+        if not getattr(self.config, "self_check", False):
+            return
+        from ..verify.oracles import verify_trace_prefix
+
+        verify_trace_prefix(
+            module.netlist, bits, trace,
+            glitch_aware=self.config.glitch_aware,
+            glitch_weight=self.config.glitch_weight,
+            prefix=16,
+        )
+        self.counters["self_checks"] += 1
 
     def characterization(
         self, kind: str, width: int, enhanced: bool = False
@@ -237,6 +264,7 @@ class Harness:
             )
             self.counters["simulated_patterns"] += len(bits)
             self._record_simulation(simulator)
+            self._self_check(module, bits, trace)
             events = classify_transitions(bits)
             self._eval_data[key] = (events, trace)
             if self.cache is not None and disk_key is not None:
@@ -290,6 +318,7 @@ class Harness:
         simulator = self.simulator(kind, width)
         trace = simulator.simulate(bits)
         self._record_simulation(simulator)
+        self._self_check(module, bits, trace)
         events = classify_transitions(bits)
         characterization = self.characterization(kind, width, enhanced=enhanced)
         basic = characterization.model.predict_cycle(events.hd)

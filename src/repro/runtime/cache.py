@@ -75,8 +75,11 @@ def _config_payload(config: Any) -> Dict[str, Any]:
         )
     # The simulation engine is bit-identical by contract (parity-tested),
     # so it is pure speed provenance: keying on it would split the cache
-    # between runs that produce byte-for-byte the same artifacts.
+    # between runs that produce byte-for-byte the same artifacts.  The
+    # oracle self-check can only *reject* a wrong trace, never change a
+    # correct one, so it is excluded for the same reason.
     payload.pop("engine", None)
+    payload.pop("self_check", None)
     return payload
 
 
@@ -91,6 +94,11 @@ class ModelCache:
         hits: Successful loads served by this instance.
         misses: Lookups that found no entry.
         stores: Entries written by this instance.
+        quarantined: Corrupt records found and moved aside (``.corrupt``)
+            by this instance.  A truncated or garbled file — a crashed
+            writer, a full disk, bit rot — is treated as a miss, never an
+            exception, and is renamed out of the lookup path so the next
+            run re-characterizes and re-stores cleanly.
     """
 
     def __init__(self, directory: Optional[PathLike] = None):
@@ -102,6 +110,7 @@ class ModelCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     # Keys
@@ -156,15 +165,54 @@ class ModelCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt record out of the lookup path (``.corrupt``)."""
+        path = self._path(key)
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            # Renaming failed (e.g. permissions): best effort removal so
+            # the poisoned record cannot be served again.
+            path.unlink(missing_ok=True)
+        self.quarantined += 1
+
+    def _demote_to_quarantined_miss(self, key: str) -> None:
+        """Turn an already counted hit into a quarantined miss.
+
+        Used by the typed loaders when a record parses as JSON (so
+        :meth:`load` counted a hit) but its payload is structurally
+        unusable.
+        """
+        self.hits -= 1
+        self.misses += 1
+        self._quarantine(key)
+
     def load(self, key: str) -> Optional[Dict[str, Any]]:
-        """Fetch a raw record; counts a hit or miss."""
+        """Fetch a raw record; counts a hit or miss.
+
+        A record that exists but cannot be parsed — truncated write,
+        binary garbage, or a non-object top level — is quarantined and
+        reported as a miss rather than raised.
+        """
         path = self._path(key)
         try:
             record = json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, UnicodeDecodeError):
+            # json.JSONDecodeError is a ValueError; UnicodeDecodeError
+            # covers non-text garbage.
+            self._quarantine(key)
+            self.misses += 1
+            return None
+        if not isinstance(record, dict):
+            self._quarantine(key)
             self.misses += 1
             return None
         if record.get("format") != CACHE_FORMAT_VERSION:
+            # Valid record of another layout generation: plain miss, the
+            # file may still be readable by other tooling.
             self.misses += 1
             return None
         self.hits += 1
@@ -204,24 +252,33 @@ class ModelCache:
         record = self.load(key)
         if record is None:
             return None
-        payload = record["payload"]
-        accumulator = None
-        if payload.get("accumulator") is not None:
-            accumulator = ClassAccumulator.from_dict(payload["accumulator"])
-        return CharacterizationResult(
-            model=model_from_dict(payload["model"]),
-            enhanced=(
-                model_from_dict(payload["enhanced"])
-                if payload.get("enhanced") is not None
-                else None
-            ),
-            n_patterns=int(payload["n_patterns"]),
-            converged=bool(payload["converged"]),
-            history=[float(v) for v in payload["history"]],
-            average_charge=float(payload["average_charge"]),
-            convergence_reason=payload.get("convergence_reason", ""),
-            accumulator=accumulator,
-        )
+        try:
+            payload = record["payload"]
+            accumulator = None
+            if payload.get("accumulator") is not None:
+                accumulator = ClassAccumulator.from_dict(
+                    payload["accumulator"]
+                )
+            return CharacterizationResult(
+                model=model_from_dict(payload["model"]),
+                enhanced=(
+                    model_from_dict(payload["enhanced"])
+                    if payload.get("enhanced") is not None
+                    else None
+                ),
+                n_patterns=int(payload["n_patterns"]),
+                converged=bool(payload["converged"]),
+                history=[float(v) for v in payload["history"]],
+                average_charge=float(payload["average_charge"]),
+                convergence_reason=payload.get("convergence_reason", ""),
+                accumulator=accumulator,
+            )
+        except (KeyError, TypeError, ValueError, AttributeError):
+            # Parsed as JSON but structurally wrong (e.g. a truncated
+            # rewrite that still closed its braces): same treatment as
+            # unparseable — quarantine and miss.
+            self._demote_to_quarantined_miss(key)
+            return None
 
     def store_characterization(
         self,
@@ -262,20 +319,28 @@ class ModelCache:
         record = self.load(key)
         if record is None:
             return None
-        payload = record["payload"]
-        events = TransitionEvents(
-            width=int(payload["width"]),
-            hd=np.asarray(payload["hd"], dtype=np.int64),
-            stable_zeros=np.asarray(payload["stable_zeros"], dtype=np.int64),
-            stable_ones=np.asarray(payload["stable_ones"], dtype=np.int64),
-        )
-        trace = PowerTrace(
-            charge=np.asarray(payload["charge"], dtype=np.float64),
-            total_toggles=np.asarray(
-                payload["total_toggles"], dtype=np.int64
-            ),
-        )
-        return events, trace
+        try:
+            payload = record["payload"]
+            events = TransitionEvents(
+                width=int(payload["width"]),
+                hd=np.asarray(payload["hd"], dtype=np.int64),
+                stable_zeros=np.asarray(
+                    payload["stable_zeros"], dtype=np.int64
+                ),
+                stable_ones=np.asarray(
+                    payload["stable_ones"], dtype=np.int64
+                ),
+            )
+            trace = PowerTrace(
+                charge=np.asarray(payload["charge"], dtype=np.float64),
+                total_toggles=np.asarray(
+                    payload["total_toggles"], dtype=np.int64
+                ),
+            )
+            return events, trace
+        except (KeyError, TypeError, ValueError, AttributeError):
+            self._demote_to_quarantined_miss(key)
+            return None
 
     def store_trace(
         self,
@@ -325,8 +390,9 @@ class ModelCache:
         for path in self.directory.glob("*.json"):
             path.unlink(missing_ok=True)
             removed += 1
-        for path in self.directory.glob("*.tmp"):
-            path.unlink(missing_ok=True)
+        for pattern in ("*.tmp", "*.corrupt"):
+            for path in self.directory.glob(pattern):
+                path.unlink(missing_ok=True)
         return removed
 
     def stats(self) -> Dict[str, Any]:
@@ -339,4 +405,5 @@ class ModelCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "quarantined": self.quarantined,
         }

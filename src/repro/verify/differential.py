@@ -1,0 +1,589 @@
+"""Seeded differential fuzzing of the simulation and statistics stack.
+
+A fuzz *case* is a small, fully described experiment: one module kind at
+one width, one stimulus stream, one simulator configuration.  For every
+case the fuzzer runs the production engines (``bool`` and ``packed``)
+against each other and against the :mod:`repro.verify.oracles` golden
+model, and checks a set of *metamorphic relations* — transformations of
+the input whose effect on the output is known exactly:
+
+* **engine parity** — identical ``charge``/``total_toggles`` between the
+  two engines at equal chunk size (the PR-2 contract, now fuzzed instead
+  of example-tested);
+* **oracle agreement** — dense per-net toggles, per-cycle totals and
+  charge against the per-gate Python reference, on a stream prefix;
+* **golden function** — settled outputs must equal the module's integer
+  reference function;
+* **concatenation** — splitting a stream at any cycle and concatenating
+  the two traces must reproduce the full trace (toggles exactly, charge to
+  float-summation tolerance);
+* **accumulator merge** — folding a stream into one
+  :class:`~repro.core.accumulator.ClassAccumulator` must equal merging two
+  half-stream accumulators (counts exactly, sums to tolerance);
+* **operand swap** — commutative, structurally symmetric modules
+  (:data:`SWAP_SYMMETRIC_KINDS`) consume identical power when the operands
+  are exchanged;
+* **classification permutation** — Hamming distance and stable-zero
+  counts are invariant under any permutation of input bit columns;
+* **cache keys** — the persistent cache must key identically for
+  bit-identical engines (``engine`` is speed provenance, not result
+  provenance).
+
+On a mismatch the case is handed to :mod:`repro.verify.shrink`, which
+minimizes it and writes a standalone repro script under
+``artifacts/repros/``.  Entry points: ``repro-power verify fuzz`` and
+``make fuzz`` / ``make verify``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, asdict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit.packed import PACKED_AVAILABLE
+from ..circuit.power import PowerSimulator, PowerTrace
+from ..circuit.simulate import (
+    evaluate_outputs,
+    functional_values,
+    unit_delay_transition,
+)
+from ..core.accumulator import ClassAccumulator
+from ..core.characterize import (
+    corner_input_bits,
+    random_input_bits,
+    uniform_hd_input_bits,
+)
+from ..core.events import classify_transitions
+from ..modules.library import DatapathModule, make_module, module_kinds
+from .oracles import oracle_power_trace
+
+#: Module kinds whose netlists are bit-for-bit symmetric under exchanging
+#: the two operands: every gate that mixes ``a_i`` and ``b_i`` is itself
+#: commutative (XOR/MAJ/AND/OR carry structures), so internal net values
+#: are invariant and the operand input nets merely swap toggle counts.
+#: Multipliers/subtractors/comparators are structurally asymmetric and are
+#: deliberately absent.
+SWAP_SYMMETRIC_KINDS: Tuple[str, ...] = (
+    "ripple_adder",
+    "cla_adder",
+    "carry_select_adder",
+    "kogge_stone_adder",
+)
+
+#: Kinds exercised by default: everything registered.
+DEFAULT_KINDS: Tuple[str, ...] = tuple(module_kinds())
+
+_STIMULI: Dict[str, Callable] = {
+    "random": random_input_bits,
+    "uniform_hd": uniform_hd_input_bits,
+    "corner": corner_input_bits,
+}
+
+#: Float tolerance for relations that reorder float additions (stream
+#: splits, accumulator merges).  Engine parity at equal chunk size is
+#: exact and uses no tolerance at all.
+SPLIT_RTOL = 1e-12
+#: Oracle charge tolerance: the oracle sums per-net charge in plain Python
+#: order, the engines through a BLAS matmul.
+ORACLE_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fully described differential-fuzz experiment.
+
+    The triple the shrinker minimizes is ``(n_patterns, width, seed)``;
+    the remaining fields select the code paths under test.
+    """
+
+    kind: str
+    width: int
+    n_patterns: int
+    seed: int
+    glitch_aware: bool = True
+    glitch_weight: float = 1.0
+    chunk_size: Optional[int] = None
+    stimulus: str = "random"
+
+    def __post_init__(self):
+        if self.n_patterns < 2:
+            raise ValueError("n_patterns must be >= 2 (one transition)")
+        if self.stimulus not in _STIMULI:
+            raise ValueError(
+                f"unknown stimulus {self.stimulus!r}; use {sorted(_STIMULI)}"
+            )
+
+    @property
+    def n_transitions(self) -> int:
+        return self.n_patterns - 1
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    def describe(self) -> str:
+        chunk = self.chunk_size if self.chunk_size is not None else "default"
+        return (
+            f"{self.kind}/w{self.width} {self.stimulus} "
+            f"n={self.n_patterns} seed={self.seed} "
+            f"gw={self.glitch_weight if self.glitch_aware else 'zero-delay'} "
+            f"chunk={chunk}"
+        )
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One failed check of one case."""
+
+    check: str
+    case: FuzzCase
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.case.describe()}: {self.detail}"
+
+
+def make_stream(case: FuzzCase, module: DatapathModule) -> np.ndarray:
+    """The deterministic stimulus stream of a case."""
+    bits = _STIMULI[case.stimulus](
+        case.n_patterns, module.input_bits, seed=case.seed
+    )
+    return np.asarray(bits[: case.n_patterns], dtype=bool)
+
+
+def _simulator(case: FuzzCase, module: DatapathModule, engine: str) -> PowerSimulator:
+    return PowerSimulator(
+        module.compiled,
+        glitch_aware=case.glitch_aware,
+        glitch_weight=case.glitch_weight,
+        chunk_size=case.chunk_size,
+        engine=engine,
+    )
+
+
+def _first_diff(a: np.ndarray, b: np.ndarray) -> str:
+    index = np.nonzero(np.asarray(a) != np.asarray(b))[0]
+    if len(index) == 0:
+        return "no per-element diff (length/shape mismatch)"
+    j = int(index[0])
+    return (
+        f"first diff at cycle {j}: {np.asarray(a)[j]!r} vs "
+        f"{np.asarray(b)[j]!r} ({len(index)} differing cycles)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Individual checks.  Each returns a list of Mismatch (empty = pass).
+# ----------------------------------------------------------------------
+def check_engine_parity(
+    case: FuzzCase, module: DatapathModule, bits: np.ndarray
+) -> List[Mismatch]:
+    """bool vs packed: exact charge and toggle traces at equal chunking."""
+    if not PACKED_AVAILABLE:
+        return []
+    ref = _simulator(case, module, "bool").simulate(bits)
+    got = _simulator(case, module, "packed").simulate(bits)
+    out = []
+    if not np.array_equal(ref.total_toggles, got.total_toggles):
+        out.append(Mismatch(
+            "engine_parity_toggles", case,
+            _first_diff(ref.total_toggles, got.total_toggles),
+        ))
+    if not np.array_equal(ref.charge, got.charge):
+        out.append(Mismatch(
+            "engine_parity_charge", case, _first_diff(ref.charge, got.charge),
+        ))
+    return out
+
+
+def check_oracle_trace(
+    case: FuzzCase,
+    module: DatapathModule,
+    bits: np.ndarray,
+    prefix: int = 24,
+) -> List[Mismatch]:
+    """Both engines vs the per-gate Python golden model, on a prefix."""
+    n = min(prefix, case.n_transitions)
+    head = bits[: n + 1]
+    oracle = oracle_power_trace(
+        module.netlist, head,
+        glitch_aware=case.glitch_aware, glitch_weight=case.glitch_weight,
+    )
+    out: List[Mismatch] = []
+    engines = ["bool"] + (["packed"] if PACKED_AVAILABLE else [])
+    for engine in engines:
+        trace = _simulator(case, module, engine).simulate(head)
+        if not np.array_equal(oracle.total_toggles, trace.total_toggles):
+            out.append(Mismatch(
+                f"oracle_toggles_{engine}", case,
+                _first_diff(oracle.total_toggles, trace.total_toggles),
+            ))
+        if not np.allclose(
+            oracle.charge, trace.charge, rtol=ORACLE_RTOL, atol=0.0
+        ):
+            out.append(Mismatch(
+                f"oracle_charge_{engine}", case,
+                _first_diff(oracle.charge, trace.charge),
+            ))
+    # Dense per-net toggle matrix against the boolean kernel directly.
+    if case.glitch_aware:
+        settled = functional_values(module.compiled, head[:-1])
+        _, dense = unit_delay_transition(module.compiled, settled, head[1:])
+        if not np.array_equal(dense.astype(np.int64), oracle.per_net_toggles):
+            nets = np.nonzero(
+                (dense.astype(np.int64) != oracle.per_net_toggles).any(axis=1)
+            )[0]
+            out.append(Mismatch(
+                "oracle_per_net_toggles", case,
+                f"{len(nets)} nets disagree, first net {int(nets[0])}",
+            ))
+    return out
+
+
+def check_golden_function(
+    case: FuzzCase,
+    module: DatapathModule,
+    bits: np.ndarray,
+    max_rows: int = 64,
+) -> List[Mismatch]:
+    """Settled outputs must equal the module's integer reference function."""
+    rows = bits[: min(max_rows, len(bits))]
+    outputs = evaluate_outputs(module.compiled, rows)
+    weights_out = 1 << np.arange(module.output_width, dtype=np.int64)
+    got = outputs.astype(np.int64) @ weights_out
+    start = 0
+    operands = []
+    for _name, width in module.operand_specs:
+        weights = 1 << np.arange(width, dtype=np.int64)
+        operands.append(rows[:, start:start + width].astype(np.int64) @ weights)
+        start += width
+    for j in range(len(rows)):
+        expected = module.golden(*(int(op[j]) for op in operands))
+        if int(got[j]) != int(expected):
+            return [Mismatch(
+                "golden_function", case,
+                f"pattern {j}: netlist output {int(got[j])}, "
+                f"golden {int(expected)}",
+            )]
+    return []
+
+
+def check_concatenation(
+    case: FuzzCase, module: DatapathModule, bits: np.ndarray
+) -> List[Mismatch]:
+    """trace(stream) == trace(head) ++ trace(tail) when split anywhere."""
+    if case.n_transitions < 2:
+        return []
+    sim = _simulator(case, module, "auto")
+    full = sim.simulate(bits)
+    split = case.n_transitions // 2
+    head = sim.simulate(bits[: split + 1])
+    tail = sim.simulate(bits[split:])
+    toggles = np.concatenate([head.total_toggles, tail.total_toggles])
+    charge = np.concatenate([head.charge, tail.charge])
+    out = []
+    if not np.array_equal(full.total_toggles, toggles):
+        out.append(Mismatch(
+            "concat_toggles", case, _first_diff(full.total_toggles, toggles),
+        ))
+    if not np.allclose(full.charge, charge, rtol=SPLIT_RTOL, atol=0.0):
+        out.append(Mismatch(
+            "concat_charge", case, _first_diff(full.charge, charge),
+        ))
+    return out
+
+
+def check_accumulator_merge(
+    case: FuzzCase, module: DatapathModule, bits: np.ndarray
+) -> List[Mismatch]:
+    """One-shot accumulation == merge of split-stream accumulators."""
+    if case.n_transitions < 2:
+        return []
+    trace = _simulator(case, module, "auto").simulate(bits)
+    events = classify_transitions(bits)
+    width = module.input_bits
+    split = case.n_transitions // 2
+
+    whole = ClassAccumulator(width).update(
+        events.hd, events.stable_zeros, trace.charge
+    )
+    left = ClassAccumulator(width).update(
+        events.hd[:split], events.stable_zeros[:split], trace.charge[:split]
+    )
+    right = ClassAccumulator(width).update(
+        events.hd[split:], events.stable_zeros[split:], trace.charge[split:]
+    )
+    merged = left.merge(right)
+    out = []
+    if not np.array_equal(whole.counts, merged.counts):
+        out.append(Mismatch(
+            "accumulator_merge_counts", case,
+            f"count matrices differ in "
+            f"{int((whole.counts != merged.counts).sum())} cells",
+        ))
+    for name in ("sums", "sumsq"):
+        a, b = getattr(whole, name), getattr(merged, name)
+        if not np.allclose(a, b, rtol=SPLIT_RTOL, atol=1e-300):
+            out.append(Mismatch(
+                f"accumulator_merge_{name}", case,
+                f"max abs diff {float(np.abs(a - b).max())!r}",
+            ))
+    return out
+
+
+def check_operand_swap(
+    case: FuzzCase, module: DatapathModule, bits: np.ndarray
+) -> List[Mismatch]:
+    """Symmetric modules consume identical power with operands exchanged."""
+    if case.kind not in SWAP_SYMMETRIC_KINDS:
+        return []
+    specs = module.operand_specs
+    if len(specs) < 2 or specs[0][1] != specs[1][1]:
+        return []
+    w = specs[0][1]
+    swapped = bits.copy()
+    swapped[:, :w] = bits[:, w:2 * w]
+    swapped[:, w:2 * w] = bits[:, :w]
+    sim = _simulator(case, module, "auto")
+    ref = sim.simulate(bits)
+    got = sim.simulate(swapped)
+    out = []
+    if not np.array_equal(ref.total_toggles, got.total_toggles):
+        out.append(Mismatch(
+            "swap_toggles", case,
+            _first_diff(ref.total_toggles, got.total_toggles),
+        ))
+    if not np.allclose(ref.charge, got.charge, rtol=ORACLE_RTOL, atol=0.0):
+        out.append(Mismatch(
+            "swap_charge", case, _first_diff(ref.charge, got.charge),
+        ))
+    return out
+
+
+def check_classification_permutation(
+    case: FuzzCase, module: DatapathModule, bits: np.ndarray
+) -> List[Mismatch]:
+    """Hd / stable-zero classification is input-bit-permutation invariant."""
+    rng = np.random.default_rng(case.seed ^ 0x5EED)
+    perm = rng.permutation(module.input_bits)
+    ref = classify_transitions(bits)
+    got = classify_transitions(bits[:, perm])
+    out = []
+    if not np.array_equal(ref.hd, got.hd):
+        out.append(Mismatch(
+            "classification_perm_hd", case, _first_diff(ref.hd, got.hd),
+        ))
+    if not np.array_equal(ref.stable_zeros, got.stable_zeros):
+        out.append(Mismatch(
+            "classification_perm_zeros", case,
+            _first_diff(ref.stable_zeros, got.stable_zeros),
+        ))
+    return out
+
+
+def check_cache_key_engine_independence() -> List[Mismatch]:
+    """Cache keys must not depend on the (bit-identical) engine choice."""
+    from ..eval.harness import ExperimentConfig
+    from ..runtime.cache import ModelCache
+
+    cache = ModelCache("/nonexistent-but-never-touched")
+    reference_case = FuzzCase(kind="ripple_adder", width=4, n_patterns=2,
+                              seed=0)
+    keys = set()
+    trace_keys = set()
+    for engine in ("bool", "packed", "auto"):
+        config = ExperimentConfig(engine=engine)
+        keys.add(cache.characterization_key(
+            reference_case.kind, reference_case.width, False, config, 7
+        ))
+        trace_keys.add(cache.trace_key(
+            reference_case.kind, reference_case.width, "III", config, 7
+        ))
+    out = []
+    if len(keys) != 1:
+        out.append(Mismatch(
+            "cache_key_engine", reference_case,
+            f"characterization keys split by engine: {sorted(keys)}",
+        ))
+    if len(trace_keys) != 1:
+        out.append(Mismatch(
+            "cache_key_engine_trace", reference_case,
+            f"trace keys split by engine: {sorted(trace_keys)}",
+        ))
+    return out
+
+
+#: All per-case checks, in execution order.
+CASE_CHECKS: Tuple[Callable, ...] = (
+    check_engine_parity,
+    check_oracle_trace,
+    check_golden_function,
+    check_concatenation,
+    check_accumulator_merge,
+    check_operand_swap,
+    check_classification_permutation,
+)
+
+
+def check_case(
+    case: FuzzCase,
+    oracle_prefix: int = 24,
+    checks: Optional[Sequence[Callable]] = None,
+) -> List[Mismatch]:
+    """Run every applicable check for one case; empty list means pass.
+
+    This is also the entry point generated repro scripts call — it must
+    stay deterministic for a fixed case.
+    """
+    module = make_module(case.kind, case.width)
+    bits = make_stream(case, module)
+    mismatches: List[Mismatch] = []
+    for check in (CASE_CHECKS if checks is None else checks):
+        if check is check_oracle_trace:
+            mismatches.extend(check(case, module, bits, prefix=oracle_prefix))
+        else:
+            mismatches.extend(check(case, module, bits))
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# The fuzz loop
+# ----------------------------------------------------------------------
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`run_fuzz` session."""
+
+    budget: int
+    seed: int
+    n_cases: int = 0
+    n_transitions: int = 0
+    mismatches: List[Mismatch] = field(default_factory=list)
+    repro_paths: List[str] = field(default_factory=list)
+    shrunk_cases: List[FuzzCase] = field(default_factory=list)
+    kind_counts: Dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {self.n_cases} cases, {self.n_transitions} transitions "
+            f"(budget {self.budget}, seed {self.seed}) "
+            f"in {self.seconds:.1f}s",
+            f"kinds: " + ", ".join(
+                f"{kind}x{count}"
+                for kind, count in sorted(self.kind_counts.items())
+            ),
+        ]
+        if self.ok:
+            lines.append("result: OK — no cross-engine or oracle mismatches")
+        else:
+            lines.append(f"result: {len(self.mismatches)} MISMATCH(ES)")
+            for mismatch in self.mismatches:
+                lines.append(f"  {mismatch}")
+            for path in self.repro_paths:
+                lines.append(f"  repro script: {path}")
+        return "\n".join(lines)
+
+
+def random_case(
+    rng: np.random.Generator,
+    kinds: Sequence[str] = DEFAULT_KINDS,
+    max_width: int = 6,
+    max_patterns: int = 120,
+) -> FuzzCase:
+    """Draw one random case: kind, width, stream shape, engine knobs."""
+    kind = str(rng.choice(list(kinds)))
+    width = int(rng.integers(2, max_width + 1))
+    n_patterns = int(rng.integers(2, max_patterns + 1))
+    glitch_aware = bool(rng.random() > 0.15)
+    glitch_weight = float(rng.choice([1.0, 1.0, 0.5, 0.37, 0.0]))
+    chunk_size = rng.choice([0, 7, 17, 64])  # 0 -> engine default
+    stimulus = str(rng.choice(list(_STIMULI)))
+    return FuzzCase(
+        kind=kind,
+        width=width,
+        n_patterns=n_patterns,
+        seed=int(rng.integers(0, 2**31)),
+        glitch_aware=glitch_aware,
+        glitch_weight=glitch_weight if glitch_aware else 1.0,
+        chunk_size=int(chunk_size) or None,
+        stimulus=stimulus,
+    )
+
+
+def run_fuzz(
+    budget: int = 2000,
+    seed: int = 0,
+    kinds: Optional[Sequence[str]] = None,
+    max_width: int = 6,
+    oracle_prefix: int = 24,
+    shrink: bool = True,
+    artifacts_dir: str = "artifacts/repros",
+    max_mismatching_cases: int = 3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Differential-fuzz the simulation stack until the budget is spent.
+
+    Args:
+        budget: Total transitions to simulate across all cases.
+        seed: Session seed; the whole session is reproducible from it.
+        kinds: Module kinds to draw from (default: the full registry).
+        max_width: Largest operand width drawn.
+        oracle_prefix: Transitions per case re-simulated by the Python
+            oracle (the expensive part — scale with budget care).
+        shrink: Minimize mismatching cases and write repro scripts.
+        artifacts_dir: Where repro scripts land.
+        max_mismatching_cases: Stop fuzzing after this many distinct
+            failing cases (each may carry several mismatches).
+        progress: Optional line sink for periodic status.
+
+    Returns:
+        A :class:`FuzzReport`; ``report.ok`` is the pass/fail verdict.
+    """
+    started = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    report = FuzzReport(budget=budget, seed=seed)
+    report.mismatches.extend(check_cache_key_engine_independence())
+    pool = tuple(kinds) if kinds else DEFAULT_KINDS
+    failing_cases = 0
+    while report.n_transitions < budget:
+        case = random_case(rng, kinds=pool, max_width=max_width)
+        mismatches = check_case(case, oracle_prefix=oracle_prefix)
+        report.n_cases += 1
+        report.n_transitions += case.n_transitions
+        report.kind_counts[case.kind] = report.kind_counts.get(case.kind, 0) + 1
+        if progress is not None and report.n_cases % 25 == 0:
+            progress(
+                f"  ... {report.n_cases} cases, "
+                f"{report.n_transitions}/{budget} transitions"
+            )
+        if not mismatches:
+            continue
+        report.mismatches.extend(mismatches)
+        failing_cases += 1
+        if shrink:
+            from .shrink import shrink_case, write_repro
+
+            result = shrink_case(
+                case, failing_checks=[m.check for m in mismatches],
+                oracle_prefix=oracle_prefix,
+            )
+            report.shrunk_cases.append(result.minimized)
+            path = write_repro(
+                result.minimized, result.mismatches, directory=artifacts_dir
+            )
+            report.repro_paths.append(str(path))
+            if progress is not None:
+                progress(
+                    f"  mismatch in {case.describe()} — shrunk to "
+                    f"{result.minimized.describe()}, repro at {path}"
+                )
+        if failing_cases >= max_mismatching_cases:
+            break
+    report.seconds = time.perf_counter() - started
+    return report

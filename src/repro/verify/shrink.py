@@ -1,0 +1,277 @@
+"""Delta-debugging shrinker for failing differential-fuzz cases.
+
+When :func:`repro.verify.differential.check_case` reports a mismatch, the
+raw case is usually noisy: hundreds of transitions, a wide module, an
+arbitrary 31-bit seed.  :func:`shrink_case` minimizes the
+``(n_patterns, width, seed)`` triple — plus the configuration knobs — by
+greedy descent: each candidate is re-checked, and a step is kept only if
+the *same* check still fails.  The loop repeats until no pass makes
+progress (a fixpoint), so the result is 1-minimal with respect to the
+moves tried.
+
+:func:`write_repro` then freezes the minimized case into a standalone
+script under ``artifacts/repros/`` that re-runs the check and exits
+non-zero while the bug is alive — small enough to paste into a bug
+report, and stable enough to re-run after a fix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pprint
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .differential import FuzzCase, Mismatch, check_case
+
+#: Smallest stream the case model allows: two patterns, one transition.
+MIN_PATTERNS = 2
+#: Smallest operand width every registered module kind accepts.
+MIN_WIDTH = 2
+#: Seeds tried (in order) when canonicalizing the random seed.
+CANONICAL_SEEDS = tuple(range(8))
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink session."""
+
+    original: FuzzCase
+    minimized: FuzzCase
+    mismatches: List[Mismatch]
+    n_evaluations: int
+
+    @property
+    def n_transitions(self) -> int:
+        return self.minimized.n_transitions
+
+
+class _Predicate:
+    """Memoized "does this candidate still fail the same way?" oracle."""
+
+    def __init__(
+        self,
+        failing_checks: Optional[Sequence[str]],
+        oracle_prefix: int,
+        max_evaluations: int,
+    ):
+        self.failing_checks = set(failing_checks) if failing_checks else None
+        self.oracle_prefix = oracle_prefix
+        self.max_evaluations = max_evaluations
+        self.n_evaluations = 0
+        self._seen: Dict[FuzzCase, List[Mismatch]] = {}
+
+    def __call__(self, case: FuzzCase) -> List[Mismatch]:
+        """Mismatches that reproduce the original failure (empty = lost it)."""
+        if case in self._seen:
+            return self._seen[case]
+        if self.n_evaluations >= self.max_evaluations:
+            return []
+        self.n_evaluations += 1
+        try:
+            mismatches = check_case(case, oracle_prefix=self.oracle_prefix)
+        except Exception:
+            # A candidate that crashes outright (e.g. a width the kind
+            # rejects) is not a reproduction — skip it, don't abort.
+            mismatches = []
+        if self.failing_checks is not None:
+            mismatches = [
+                m for m in mismatches if m.check in self.failing_checks
+            ]
+        self._seen[case] = mismatches
+        return mismatches
+
+
+def _shrink_patterns(case: FuzzCase, predicate: _Predicate) -> FuzzCase:
+    """Binary-then-linear descent on the stream length."""
+    # Halve while the failure survives.
+    while case.n_patterns > MIN_PATTERNS:
+        candidate = replace(
+            case, n_patterns=max(MIN_PATTERNS, case.n_patterns // 2)
+        )
+        if not predicate(candidate):
+            break
+        case = candidate
+    # Then walk down one pattern at a time (catches off-by-one floors the
+    # halving jumps over).
+    while case.n_patterns > MIN_PATTERNS:
+        candidate = replace(case, n_patterns=case.n_patterns - 1)
+        if not predicate(candidate):
+            break
+        case = candidate
+    return case
+
+
+def _shrink_width(case: FuzzCase, predicate: _Predicate) -> FuzzCase:
+    """Smallest width (ascending scan) that still reproduces."""
+    for width in range(MIN_WIDTH, case.width):
+        candidate = replace(case, width=width)
+        if predicate(candidate):
+            return candidate
+    return case
+
+
+def _canonicalize_seed(case: FuzzCase, predicate: _Predicate) -> FuzzCase:
+    for seed in CANONICAL_SEEDS:
+        if seed == case.seed:
+            break
+        candidate = replace(case, seed=seed)
+        if predicate(candidate):
+            return candidate
+    return case
+
+
+def _simplify_knobs(case: FuzzCase, predicate: _Predicate) -> FuzzCase:
+    """Reset configuration knobs to their defaults where possible."""
+    for knob in (
+        {"chunk_size": None},
+        {"stimulus": "random"},
+        {"glitch_aware": True, "glitch_weight": 1.0},
+        {"glitch_weight": 1.0},
+    ):
+        if all(getattr(case, key) == value for key, value in knob.items()):
+            continue
+        candidate = replace(case, **knob)
+        if predicate(candidate):
+            case = candidate
+    return case
+
+
+_PASSES: Tuple[Callable[[FuzzCase, _Predicate], FuzzCase], ...] = (
+    _shrink_patterns,
+    _shrink_width,
+    _canonicalize_seed,
+    _simplify_knobs,
+)
+
+
+def shrink_case(
+    case: FuzzCase,
+    failing_checks: Optional[Sequence[str]] = None,
+    oracle_prefix: int = 24,
+    max_evaluations: int = 200,
+) -> ShrinkResult:
+    """Minimize a failing case while preserving its failure signature.
+
+    Args:
+        case: A case for which ``check_case`` reported mismatches.
+        failing_checks: Check names that must keep failing for a candidate
+            to count as a reproduction (default: any mismatch counts).
+        oracle_prefix: Forwarded to ``check_case``.
+        max_evaluations: Budget on candidate evaluations; when exhausted
+            the best case found so far is returned.
+
+    Returns:
+        A :class:`ShrinkResult` whose ``minimized`` case still fails.
+    """
+    predicate = _Predicate(failing_checks, oracle_prefix, max_evaluations)
+    original = case
+    mismatches = predicate(case)
+    if not mismatches:
+        # The caller's mismatch did not reproduce (flaky environment or
+        # wrong check filter): return the input untouched.
+        return ShrinkResult(case, case, [], predicate.n_evaluations)
+    while True:
+        before = case
+        for shrink_pass in _PASSES:
+            case = shrink_pass(case, predicate)
+        if case == before:
+            break
+    return ShrinkResult(
+        original=original,
+        minimized=case,
+        mismatches=predicate(case),
+        n_evaluations=predicate.n_evaluations,
+    )
+
+
+# ----------------------------------------------------------------------
+# Repro artifact emission
+# ----------------------------------------------------------------------
+_REPRO_TEMPLATE = '''\
+#!/usr/bin/env python3
+"""Auto-generated differential-fuzz reproduction.
+
+Failing check(s): {checks}
+Original detail:
+{details}
+
+Run me from the repository root:
+
+    python {filename}
+
+Exit status 0 means the bug is fixed; 1 means it still reproduces.
+See docs/VERIFICATION.md ("Replying to a repro artifact").
+"""
+
+import sys
+from pathlib import Path
+
+# Make the script standalone when run from a source checkout.
+_SRC = Path(__file__).resolve().parents[2] / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.verify.differential import FuzzCase, check_case  # noqa: E402
+
+CASE = FuzzCase(**{case_literal})
+
+EXPECTED_CHECKS = {checks_json}
+
+
+def main() -> int:
+    mismatches = check_case(CASE, oracle_prefix={oracle_prefix})
+    relevant = [m for m in mismatches if m.check in EXPECTED_CHECKS]
+    if relevant:
+        print(f"REPRODUCED: {{len(relevant)}} mismatch(es)")
+        for mismatch in relevant:
+            print(f"  {{mismatch}}")
+        return 1
+    if mismatches:
+        print("check names changed; case still fails differently:")
+        for mismatch in mismatches:
+            print(f"  {{mismatch}}")
+        return 1
+    print("OK: case no longer fails (bug fixed?)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+'''
+
+
+def repro_name(case: FuzzCase, mismatches: Sequence[Mismatch]) -> str:
+    """Deterministic, content-addressed artifact filename."""
+    checks = sorted({m.check for m in mismatches}) or ["unknown"]
+    digest = hashlib.sha256(
+        json.dumps(
+            {"case": case.to_dict(), "checks": checks}, sort_keys=True
+        ).encode()
+    ).hexdigest()[:10]
+    return f"repro_{case.kind}_{checks[0]}_{digest}.py"
+
+
+def write_repro(
+    case: FuzzCase,
+    mismatches: Sequence[Mismatch],
+    directory: str = "artifacts/repros",
+    oracle_prefix: int = 24,
+) -> Path:
+    """Freeze a (minimized) failing case into a standalone script."""
+    target_dir = Path(directory)
+    target_dir.mkdir(parents=True, exist_ok=True)
+    checks = sorted({m.check for m in mismatches}) or ["unknown"]
+    details = "\n".join(f"  {m}" for m in mismatches) or "  (none recorded)"
+    path = target_dir / repro_name(case, mismatches)
+    path.write_text(_REPRO_TEMPLATE.format(
+        checks=", ".join(checks),
+        details=details,
+        filename=path.name,
+        case_literal=pprint.pformat(case.to_dict(), indent=4, sort_dicts=True),
+        checks_json=json.dumps(checks),
+        oracle_prefix=oracle_prefix,
+    ))
+    return path

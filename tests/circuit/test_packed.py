@@ -42,6 +42,11 @@ pytestmark = pytest.mark.skipif(
 #: everything in the registry accepts 4).
 SWEEP_WIDTH = 4
 
+#: Structurally diverse trimmed subset for the default (fast) run: a
+#: carry chain, a carry-save tree, a control-heavy module and a wide-OR
+#: reduction.  The full registry sweep runs under ``-m slow``.
+FAST_SWEEP_KINDS = ("ripple_adder", "csa_multiplier", "alu", "popcount")
+
 
 def _stream(module, n_patterns, seed=0):
     rng = np.random.default_rng(seed)
@@ -70,9 +75,20 @@ def _parity(module, bits, **kwargs):
 # ----------------------------------------------------------------------
 # Engine parity
 # ----------------------------------------------------------------------
+@pytest.mark.slow
 @pytest.mark.parametrize("kind", module_kinds())
 def test_parity_every_module_kind(kind):
     """Glitch-aware parity on a random stream, for every registry entry."""
+    module = make_module(kind, SWEEP_WIDTH)
+    bits = _stream(module, 130, seed=hash(kind) % 2**32)
+    trace = _parity(module, bits)
+    assert trace.n_cycles == 129
+
+
+@pytest.mark.fast
+@pytest.mark.parametrize("kind", FAST_SWEEP_KINDS)
+def test_parity_fast_subset(kind):
+    """Tier-1 trimmed variant of the full registry sweep."""
     module = make_module(kind, SWEEP_WIDTH)
     bits = _stream(module, 130, seed=hash(kind) % 2**32)
     trace = _parity(module, bits)
@@ -221,6 +237,75 @@ def test_popcount_lut_fallback_matches(monkeypatch):
     fast = popcount(words)
     monkeypatch.setattr(packed_mod, "_BITWISE_COUNT", None)
     np.testing.assert_array_equal(popcount(words), fast)
+
+
+def test_popcount_lut_fallback_edge_words(monkeypatch):
+    """The LUT path on the byte-boundary words the random draw can miss."""
+    monkeypatch.setattr(packed_mod, "_BITWISE_COUNT", None)
+    words = np.array(
+        [0, 1, 2**63, 2**64 - 1, 0x0101010101010101, 0xFF00FF00FF00FF00],
+        dtype=np.uint64,
+    )
+    np.testing.assert_array_equal(
+        popcount(words), np.array([0, 1, 1, 64, 8, 32], dtype=np.uint64)
+    )
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    HAVE_HYPOTHESIS = False
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**64 - 1),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_popcount_lut_property(values):
+        """LUT fallback == bin().count('1') for arbitrary uint64 words."""
+        words = np.array(values, dtype=np.uint64)
+        saved = packed_mod._BITWISE_COUNT
+        packed_mod._BITWISE_COUNT = None
+        try:
+            got = popcount(words)
+        finally:
+            packed_mod._BITWISE_COUNT = saved
+        expected = [bin(v).count("1") for v in values]
+        np.testing.assert_array_equal(got, np.array(expected, dtype=np.uint64))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("kind", module_kinds())
+def test_parity_every_module_kind_lut_fallback(kind, monkeypatch):
+    """The full engine-parity sweep with np.bitwise_count patched away.
+
+    Covers the 8-bit LUT popcount path end to end (ToggleAccumulator
+    per-row totals and charge accounting), not just the popcount helper
+    in isolation.
+    """
+    monkeypatch.setattr(packed_mod, "_BITWISE_COUNT", None)
+    module = make_module(kind, SWEEP_WIDTH)
+    bits = _stream(module, 130, seed=hash(kind) % 2**32)
+    _parity(module, bits)
+
+
+@pytest.mark.fast
+@pytest.mark.parametrize("kind", FAST_SWEEP_KINDS)
+def test_parity_fast_subset_lut_fallback(kind, monkeypatch):
+    """Tier-1 trimmed variant of the LUT-fallback parity sweep."""
+    monkeypatch.setattr(packed_mod, "_BITWISE_COUNT", None)
+    module = make_module(kind, SWEEP_WIDTH)
+    bits = _stream(module, 130, seed=hash(kind) % 2**32)
+    _parity(module, bits)
 
 
 # ----------------------------------------------------------------------

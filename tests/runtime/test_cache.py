@@ -119,6 +119,101 @@ def test_corrupt_entry_is_a_miss(tmp_path, result):
     assert ModelCache(tmp_path).load_characterization(key) is None
 
 
+# ----------------------------------------------------------------------
+# Degradation: broken on-disk records must be quarantined misses, never
+# exceptions that take down a benchmark run.
+# ----------------------------------------------------------------------
+def _stored_characterization(tmp_path, result):
+    cache = ModelCache(tmp_path)
+    key = cache.characterization_key(
+        "ripple_adder", 3, True, ExperimentConfig(), 1
+    )
+    path = cache.store_characterization(key, result)
+    return cache, key, path
+
+
+def test_truncated_record_quarantined(tmp_path, result):
+    """A half-written file (crashed writer, full disk) is quarantined."""
+    cache, key, path = _stored_characterization(tmp_path, result)
+    full = path.read_text()
+    path.write_text(full[: len(full) // 2])
+
+    fresh = ModelCache(tmp_path)
+    assert fresh.load_characterization(key) is None
+    assert fresh.misses == 1 and fresh.hits == 0
+    assert fresh.quarantined == 1
+    assert not path.exists()
+    assert path.with_suffix(".corrupt").exists()
+    # The quarantined file no longer pollutes listings, and a re-store
+    # plus reload works normally.
+    assert fresh.entries() == []
+    fresh.store_characterization(key, result)
+    assert fresh.load_characterization(key) is not None
+
+
+def test_binary_garbage_record_quarantined(tmp_path, result):
+    cache, key, path = _stored_characterization(tmp_path, result)
+    path.write_bytes(bytes([0x80, 0xFF, 0x00, 0x13, 0x37]))
+    fresh = ModelCache(tmp_path)
+    assert fresh.load_characterization(key) is None
+    assert fresh.quarantined == 1
+    assert path.with_suffix(".corrupt").exists()
+
+
+def test_structurally_wrong_payload_quarantined(tmp_path, result):
+    """Valid JSON with the right format tag but a gutted payload: the
+    typed loader must demote the hit to a quarantined miss."""
+    cache, key, path = _stored_characterization(tmp_path, result)
+    record = json.loads(path.read_text())
+    record["payload"] = {"model": {"what": "is this"}}
+    path.write_text(json.dumps(record))
+
+    fresh = ModelCache(tmp_path)
+    assert fresh.load_characterization(key) is None
+    assert fresh.hits == 0 and fresh.misses == 1
+    assert fresh.quarantined == 1
+    assert not path.exists()
+
+
+def test_non_object_top_level_quarantined(tmp_path, result):
+    cache, key, path = _stored_characterization(tmp_path, result)
+    path.write_text("[1, 2, 3]")
+    fresh = ModelCache(tmp_path)
+    assert fresh.load(key) is None
+    assert fresh.quarantined == 1
+
+
+def test_corrupt_trace_record_quarantined(tmp_path):
+    module = make_module("ripple_adder", 3)
+    bits = uniform_hd_input_bits(50, module.input_bits, seed=3)
+    trace = PowerSimulator(module.compiled).simulate(bits)
+    events = classify_transitions(bits)
+    cache = ModelCache(tmp_path)
+    key = cache.trace_key("ripple_adder", 3, "I", ExperimentConfig(), 7)
+    path = cache.store_trace(key, events, trace)
+    record = json.loads(path.read_text())
+    del record["payload"]["charge"]
+    path.write_text(json.dumps(record))
+
+    fresh = ModelCache(tmp_path)
+    assert fresh.load_trace(key) is None
+    assert fresh.quarantined == 1
+    assert path.with_suffix(".corrupt").exists()
+
+
+def test_clear_removes_quarantined_files(tmp_path, result):
+    cache, key, path = _stored_characterization(tmp_path, result)
+    path.write_text("{broken")
+    fresh = ModelCache(tmp_path)
+    assert fresh.load_characterization(key) is None
+    assert fresh.clear() == 0  # no healthy entries left...
+    assert list(tmp_path.glob("*.corrupt")) == []  # ...and no quarantine
+
+    stats = fresh.stats()
+    assert stats["quarantined"] == 1
+    assert stats["entries"] == 0
+
+
 def test_stats_ls_clear(tmp_path, result):
     cache = ModelCache(tmp_path)
     config = ExperimentConfig()
@@ -226,6 +321,14 @@ def test_engine_never_in_cache_keys(tmp_path):
     from repro.runtime.cache import _config_payload
 
     assert _config_payload({"n": 1, "engine": "packed"}) == {"n": 1}
+    # The oracle self-check can only reject wrong traces, never change
+    # correct ones — it must not split the cache either.
+    assert _config_payload({"n": 1, "self_check": True}) == {"n": 1}
+    assert cache.characterization_key(
+        "ripple_adder", 3, False, ExperimentConfig(self_check=True), 1
+    ) == cache.characterization_key(
+        "ripple_adder", 3, False, ExperimentConfig(self_check=False), 1
+    )
     # Everything else still keys: a different seed is a different entry.
     assert cache.characterization_key(
         "ripple_adder", 3, False, ExperimentConfig(), 1

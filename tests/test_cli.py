@@ -196,3 +196,56 @@ def test_cache_subcommands(tmp_path, capsys):
     assert "entries     : 1" in capsys.readouterr().out
     assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
     assert "removed 1" in capsys.readouterr().out
+
+
+def test_verify_fuzz_command(tmp_path, capsys):
+    assert main([
+        "verify", "fuzz", "--budget", "200", "--seed", "0",
+        "--artifacts", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "no cross-engine or oracle mismatches" in out
+    assert "budget 200" in out
+
+
+def test_verify_fuzz_kind_filter(tmp_path, capsys):
+    assert main([
+        "verify", "fuzz", "--budget", "100", "--seed", "3",
+        "--kinds", "ripple_adder,cla_adder", "--max-width", "4",
+        "--artifacts", str(tmp_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "ripple_adder" in out or "cla_adder" in out
+
+
+def test_verify_fuzz_unknown_kind(capsys):
+    assert main([
+        "verify", "fuzz", "--budget", "50", "--kinds", "flux_capacitor",
+    ]) == 2
+    assert "unknown module kind" in capsys.readouterr().err
+
+
+def test_verify_fuzz_reports_failure(tmp_path, capsys, monkeypatch):
+    """With a corrupted packed kernel the CLI exits 1 and points at the
+    generated repro artifact."""
+    import numpy as np
+
+    import repro.circuit.power as power_mod
+
+    real = power_mod.packed_unit_delay_transition
+
+    def corrupted(compiled, settled, new_inputs):
+        final, accumulator = real(compiled, settled, new_inputs)
+        if accumulator.planes:
+            accumulator.planes[0][0, 0] ^= np.uint64(1)
+        return final, accumulator
+
+    monkeypatch.setattr(power_mod, "packed_unit_delay_transition", corrupted)
+    assert main([
+        "verify", "fuzz", "--budget", "2000", "--seed", "0",
+        "--artifacts", str(tmp_path),
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "MISMATCH" in out
+    assert "repro script" in out
+    assert list(tmp_path.glob("repro_*.py"))
