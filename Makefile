@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test test-all fuzz verify bench bench-small bench-sim bench-smoke report examples clean
+.PHONY: install test test-all fuzz verify bench bench-small bench-sim bench-serve bench-smoke serve-smoke report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -36,11 +36,22 @@ bench-small:
 bench-sim:
 	PYTHONPATH=src python benchmarks/bench_simulate.py
 
+# Micro-batched vs per-request serving throughput on a 16-bit multiplier;
+# verifies 1e-9 result parity and appends the speedup to BENCH_serve.json.
+bench-serve:
+	PYTHONPATH=src python benchmarks/bench_serve.py
+
 # Tiny end-to-end check of the parallel characterization path and the
 # persistent cache: two CLI runs with --jobs 2; the second must be served
 # entirely from disk.
 bench-smoke:
 	PYTHONPATH=src python scripts/bench_smoke.py
+
+# End-to-end check of the serving layer (docs/SERVING.md): real HTTP over
+# loopback, 200-request burst across every estimate endpoint, 1e-9 parity
+# vs a direct estimator call, populated histograms, 429 under flood.
+serve-smoke:
+	PYTHONPATH=src python scripts/serve_smoke.py
 
 report:
 	python -m repro.cli reproduce -o REPORT.txt

@@ -1,0 +1,228 @@
+"""Serving-layer benchmark: micro-batched vs per-request estimation.
+
+Short trace requests are dominated by fixed per-call overhead (argument
+validation, classification setup), not numpy work — the regime the
+:class:`~repro.serve.batching.MicroBatcher` targets.  This benchmark
+measures that effect twice on a 16-bit CSA multiplier model:
+
+* **engine level** — ``estimate_batch_from_bits`` over coalesced batches
+  vs a per-request ``estimate_from_bits`` loop, results checked for
+  exact parity (the batch API drops the spurious boundary cycles);
+* **HTTP level** — closed-loop load through the full asyncio server,
+  once with the default 64-deep micro-batcher and once with
+  ``max_batch=1`` (coalescing disabled).
+
+Appends the measurement to ``BENCH_serve.json`` at the repository root.
+Entry points mirror ``bench_simulate.py``: ``make bench-serve`` for the
+standalone JSON-writing run, ``pytest benchmarks/ --benchmark-only`` for
+the pytest-benchmark hooks.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+MODULE_KIND = "csa_multiplier"
+MODULE_WIDTH = 16
+SMALL = os.environ.get("REPRO_BENCH_SCALE", "full") == "small"
+#: Patterns for the one-off characterization; model quality is irrelevant
+#: here, the benchmark only exercises the serving path.
+N_CHARACTERIZATION = 300 if SMALL else 800
+#: Rows per request — short traces, where batching pays.
+TRACE_ROWS = 24
+N_REQUESTS = 256 if SMALL else 1024
+BATCH = 64
+REPEATS = 3 if SMALL else 5
+HTTP_REQUESTS = 200 if SMALL else 600
+HTTP_CONCURRENCY = 16
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def _make_served(seed=5):
+    """Materialize the benchmark model through the registry (no cache)."""
+    from repro.eval import ExperimentConfig
+    from repro.serve import ModelRegistry
+
+    config = ExperimentConfig(n_characterization=N_CHARACTERIZATION,
+                              seed=seed)
+    registry = ModelRegistry(config=config, cache=None)
+    return registry, registry.get(MODULE_KIND, MODULE_WIDTH)
+
+
+def _request_matrices(served, n_requests=N_REQUESTS, seed=11):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, 2, size=(TRACE_ROWS, served.module.input_bits))
+        for _ in range(n_requests)
+    ]
+
+
+def _best_of(fn, repeats=REPEATS):
+    result, elapsed = None, float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = min(elapsed, time.perf_counter() - started)
+    return result, elapsed
+
+
+def run_engine_comparison(served, matrices, repeats=REPEATS):
+    """Per-request loop vs coalesced batches; exact-parity checked."""
+    estimator = served.estimator
+
+    def unbatched():
+        return [estimator.estimate_from_bits(m) for m in matrices]
+
+    def batched():
+        results = []
+        for start in range(0, len(matrices), BATCH):
+            results.extend(estimator.estimate_batch_from_bits(
+                matrices[start:start + BATCH]
+            ))
+        return results
+
+    loop_results, loop_seconds = _best_of(unbatched, repeats)
+    batch_results, batch_seconds = _best_of(batched, repeats)
+    worst = max(
+        abs(a.average_charge - b.average_charge)
+        for a, b in zip(loop_results, batch_results)
+    )
+    assert worst < 1e-9, f"batch parity broken: max deviation {worst}"
+    return {
+        "n_requests": len(matrices),
+        "trace_rows": TRACE_ROWS,
+        "batch": BATCH,
+        "repeats": repeats,
+        "unbatched_seconds": loop_seconds,
+        "batched_seconds": batch_seconds,
+        "speedup": loop_seconds / batch_seconds,
+        "unbatched_rps": len(matrices) / loop_seconds,
+        "batched_rps": len(matrices) / batch_seconds,
+    }
+
+
+def run_http_comparison(n_requests=HTTP_REQUESTS,
+                        concurrency=HTTP_CONCURRENCY, seed=5):
+    """Closed-loop load through the full server, batched vs max_batch=1."""
+    from repro.eval import ExperimentConfig
+    from repro.serve import (
+        EstimationServer,
+        ModelRegistry,
+        ServerThread,
+        build_payloads,
+        run_load_sync,
+    )
+
+    payloads = build_payloads(
+        MODULE_KIND, MODULE_WIDTH, endpoints=("bits",),
+        trace_rows=TRACE_ROWS, seed=seed,
+    )
+    out = {}
+    for label, max_batch in (("batched", BATCH), ("unbatched", 1)):
+        config = ExperimentConfig(n_characterization=N_CHARACTERIZATION,
+                                  seed=seed)
+        registry = ModelRegistry(config=config, cache=None)
+        registry.get(MODULE_KIND, MODULE_WIDTH)  # pre-warm: no load time
+        server = EstimationServer(registry, max_queue=4096, jobs=2,
+                                  max_batch=max_batch)
+        with ServerThread(server) as thread:
+            report = run_load_sync(
+                server.host, thread.port, payloads,
+                n_requests=n_requests, concurrency=concurrency,
+            )
+        assert report.n_5xx == 0 and report.errors == 0, report.summary()
+        out[label] = report.to_dict()
+    out["http_speedup"] = (
+        out["batched"]["throughput_rps"] / out["unbatched"]["throughput_rps"]
+    )
+    return out
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_estimate_unbatched(benchmark):
+    from .conftest import run_once
+
+    _, served = _make_served()
+    matrices = _request_matrices(served, n_requests=128)
+    results = run_once(
+        benchmark,
+        lambda: [served.estimator.estimate_from_bits(m) for m in matrices],
+    )
+    assert len(results) == len(matrices)
+
+
+def test_estimate_batched(benchmark):
+    from .conftest import run_once
+
+    _, served = _make_served()
+    matrices = _request_matrices(served, n_requests=128)
+    results = run_once(
+        benchmark,
+        lambda: served.estimator.estimate_batch_from_bits(matrices),
+    )
+    assert len(results) == len(matrices)
+
+
+def test_batched_speedup_floor():
+    """The acceptance gate: coalescing must beat per-request by >= 3x."""
+    _, served = _make_served()
+    matrices = _request_matrices(served, n_requests=256)
+    record = run_engine_comparison(served, matrices, repeats=3)
+    assert record["speedup"] >= 3.0, (
+        f"micro-batching speedup {record['speedup']:.2f}x below 3x floor"
+    )
+
+
+# ----------------------------------------------------------------------
+def append_entry(record, path=BENCH_FILE):
+    entries = []
+    if path.exists():
+        try:
+            entries = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            entries = []
+    entries.append({"timestamp": time.time(), **record})
+    path.write_text(json.dumps(entries, indent=2) + "\n")
+    return path
+
+
+def main():
+    print(
+        f"serving benchmark: {MODULE_KIND}/{MODULE_WIDTH}, "
+        f"{N_REQUESTS} requests x {TRACE_ROWS} rows, batch={BATCH}, "
+        f"best of {REPEATS}"
+    )
+    _, served = _make_served()
+    matrices = _request_matrices(served)
+    engine = run_engine_comparison(served, matrices)
+    print(f"  unbatched: {engine['unbatched_rps']:10.0f} req/s")
+    print(f"  batched:   {engine['batched_rps']:10.0f} req/s")
+    print(f"  speedup:   {engine['speedup']:10.2f}x  (parity verified)")
+    http = run_http_comparison()
+    print(f"  http batched:   {http['batched']['throughput_rps']:7.0f} req/s"
+          f"  (p99 {http['batched']['p99_ms']:.2f} ms)")
+    print(f"  http unbatched: {http['unbatched']['throughput_rps']:7.0f} req/s"
+          f"  (p99 {http['unbatched']['p99_ms']:.2f} ms)")
+    print(f"  http speedup:   {http['http_speedup']:7.2f}x")
+    record = {
+        "module": f"{MODULE_KIND}/{MODULE_WIDTH}",
+        "engine": engine,
+        "http": http,
+    }
+    path = append_entry(record)
+    print(f"  recorded in {path}")
+    if engine["speedup"] < 3.0:
+        raise SystemExit(
+            f"FAIL: micro-batching speedup {engine['speedup']:.2f}x "
+            f"below the 3x acceptance floor"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,8 @@ Usage examples::
     repro-power hotspots --kind csa_multiplier --width 8 --data-type III
     repro-power budget my_filter.json --models ./model_cache
     repro-power verify fuzz --budget 2000 --seed 0
+    repro-power serve --port 8719 --jobs 4
+    repro-power loadgen --port 8719 -n 1000 --kind csa_multiplier
 
 The ``table``/``figure``/``reproduce`` subcommands regenerate the paper's
 evaluation artifacts (see EXPERIMENTS.md); ``--scale small`` trades
@@ -38,7 +40,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list-modules", help="list datapath module kinds")
+    p = sub.add_parser("list-modules", help="list datapath module kinds")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="machine-readable listing (kind, operands, width "
+                        "probe, complexity features) for ops tooling")
 
     p = sub.add_parser("characterize", help="characterize modules")
     p.add_argument("--kind", required=True,
@@ -144,6 +149,57 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="directory for generated repro scripts")
 
     p = sub.add_parser(
+        "serve",
+        help="run the online estimation server (see docs/SERVING.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8719,
+                   help="bind port; 0 picks an ephemeral port")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="worker threads for batch estimation and model "
+                        "loads")
+    p.add_argument("--max-queue", type=int, default=256,
+                   help="admission limit; excess requests get 429")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="micro-batch flush size (1 disables coalescing)")
+    p.add_argument("--batch-wait-ms", type=float, default=2.0,
+                   help="micro-batch flush window in milliseconds")
+    p.add_argument("--request-timeout", type=float, default=30.0,
+                   help="per-request deadline in seconds (504 past it)")
+    p.add_argument("--max-exact-width", type=int, default=16,
+                   help="widths above this are served from the Eq. 6-10 "
+                        "width regression instead of being characterized")
+    p.add_argument("--patterns", type=int, default=2000,
+                   help="patterns per on-demand characterization")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", default="auto",
+                   choices=["auto", "bool", "packed"])
+    p.add_argument("--cache-dir",
+                   help="persistent model cache directory (default "
+                        "~/.cache/repro-hd or $REPRO_CACHE_DIR)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the persistent cache (every cold lookup "
+                        "characterizes)")
+
+    p = sub.add_parser(
+        "loadgen", help="closed-loop load generator for a running server"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("-n", "--requests", type=int, default=200)
+    p.add_argument("--concurrency", type=int, default=8)
+    p.add_argument("--kind", default="csa_multiplier")
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--endpoints", default="bits,streams,distribution,analytic",
+                   help="comma-separated endpoint families to mix")
+    p.add_argument("--trace-rows", type=int, default=24,
+                   help="rows per synthesized trace request")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.add_argument("-o", "--output",
+                   help="also write the report as JSON to this file")
+
+    p = sub.add_parser(
         "reproduce", help="regenerate every table and figure"
     )
     p.add_argument("--scale", default="full", choices=["full", "small"])
@@ -170,6 +226,37 @@ def _make_harness(scale: str):
 
 def _cmd_list_modules(args) -> int:
     from .modules import MODULE_KINDS, PAPER_MODULE_KINDS, make_module
+
+    if getattr(args, "as_json", False):
+        import json
+
+        entries = []
+        for name in sorted(MODULE_KINDS):
+            entry = MODULE_KINDS[name]
+            record = {
+                "kind": name,
+                "paper": name in PAPER_MODULE_KINDS,
+                "features": list(entry.feature_names),
+            }
+            min_width = None
+            for width in range(1, 9):
+                try:
+                    module = make_module(name, width)
+                except ValueError:
+                    continue
+                if min_width is None:
+                    min_width = width
+                if width == 8:
+                    record["gates_at_w8"] = module.netlist.n_gates
+                    record["input_bits_at_w8"] = module.input_bits
+                    record["operands"] = [
+                        {"name": op_name, "width": op_width}
+                        for op_name, op_width in module.operand_specs
+                    ]
+            record["min_width"] = min_width
+            entries.append(record)
+        print(json.dumps({"modules": entries}, indent=2))
+        return 0
 
     print(f"{'kind':26s} {'features':14s} {'gates@w=8':>9s}")
     for name in sorted(MODULE_KINDS):
@@ -478,8 +565,75 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .eval import ExperimentConfig
+    from .runtime import ModelCache
+    from .serve import EstimationServer, ModelRegistry
+
+    config = ExperimentConfig(
+        n_characterization=args.patterns,
+        seed=args.seed,
+        engine=args.engine,
+    )
+    cache = None if args.no_cache else ModelCache(args.cache_dir)
+    registry = ModelRegistry(
+        config=config, cache=cache, max_exact_width=args.max_exact_width
+    )
+    server = EstimationServer(
+        registry,
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        request_timeout=args.request_timeout,
+        jobs=args.jobs,
+        max_batch=args.max_batch,
+        batch_wait=args.batch_wait_ms / 1e3,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        cache_note = "disabled" if cache is None else cache.directory
+        print(f"serving on http://{server.host}:{server.port} "
+              f"(cache: {cache_note}) — SIGTERM/Ctrl-C drains gracefully",
+              flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass  # signal handler already drained; bare Ctrl-C on exotic loops
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+
+    from .serve import build_payloads, run_load_sync
+
+    endpoints = [e.strip() for e in args.endpoints.split(",") if e.strip()]
+    payloads = build_payloads(
+        args.kind, args.width, endpoints=endpoints,
+        trace_rows=args.trace_rows, seed=args.seed,
+    )
+    report = run_load_sync(
+        args.host, args.port, payloads,
+        n_requests=args.requests, concurrency=args.concurrency,
+        timeout=args.timeout,
+    )
+    print(report.summary())
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.output}")
+    return 1 if report.n_5xx or report.errors else 0
+
+
 _COMMANDS = {
     "list-modules": _cmd_list_modules,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "characterize": _cmd_characterize,
     "cache": _cmd_cache,
     "estimate": _cmd_estimate,

@@ -15,7 +15,7 @@ Three estimation paths, in increasing abstraction (decreasing cost):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -88,6 +88,64 @@ class PowerEstimator:
     ) -> EstimationResult:
         """Trace-based estimation from per-operand pattern streams."""
         return self.estimate_from_bits(module_stimulus(module, streams))
+
+    def estimate_batch_from_bits(
+        self, batch: Sequence[np.ndarray]
+    ) -> List[EstimationResult]:
+        """Vectorized trace estimation over many independent bit matrices.
+
+        The request matrices are concatenated row-wise and classified in
+        **one** :func:`classify_transitions` call; the spurious cycle that
+        classification produces at each request boundary (last row of one
+        request against first row of the next) is dropped when the
+        per-cycle estimates are split back out.  Because the per-cycle
+        model is a pure per-class lookup, the per-cycle charges are
+        *identical* to calling :meth:`estimate_from_bits` on that matrix
+        alone, and the averages agree to floating-point summation order
+        (the batch path uses one cumulative sum instead of per-request
+        ``mean`` calls; deviation is ~1e-14, far inside the serving
+        layer's 1e-9 parity contract).  This is the micro-batching fast
+        path: one numpy pass instead of per-request Python overhead.
+        """
+        matrices = []
+        for bits in batch:
+            bits = np.asarray(bits, dtype=bool)
+            if bits.ndim != 2 or bits.shape[0] < 2:
+                raise ValueError(
+                    "each batch entry needs a 2-D bit matrix with >= 2 rows"
+                )
+            if bits.shape[1] != self.model.width:
+                raise ValueError(
+                    f"bit matrix has {bits.shape[1]} inputs, model expects "
+                    f"{self.model.width}"
+                )
+            matrices.append(bits)
+        if not matrices:
+            return []
+        events = classify_transitions(np.concatenate(matrices, axis=0))
+        if self.enhanced is not None:
+            cycle = self.enhanced.predict_cycle(
+                events.hd, events.stable_zeros
+            )
+        else:
+            cycle = self.model.predict_cycle(events.hd)
+        # One cumulative sum gives every request's mean in O(1): request i
+        # spans cycle[start_i : start_i + n_i - 1] (the +n_i-th entry is
+        # the bogus boundary cycle against the next request's first row).
+        rows = np.array([bits.shape[0] for bits in matrices])
+        starts = np.concatenate(([0], np.cumsum(rows)[:-1]))
+        ends = starts + rows - 1
+        sums = np.concatenate(([0.0], np.cumsum(cycle)))
+        averages = ((sums[ends] - sums[starts]) / (rows - 1)).tolist()
+        bounds = zip(starts.tolist(), ends.tolist())
+        return [
+            EstimationResult(
+                average_charge=average,
+                method="trace",
+                cycle_charge=cycle[start:end],
+            )
+            for average, (start, end) in zip(averages, bounds)
+        ]
 
     # ------------------------------------------------------------------
     def estimate_from_distribution(

@@ -195,7 +195,9 @@ class Harness:
         """Characterize (cached, memory then disk) one module instance."""
         key = (kind, width, enhanced)
         if key not in self._characterizations:
-            seed = characterization_seed(self.config.seed, width, enhanced)
+            seed = characterization_seed(
+                self.config.seed, width, enhanced, kind
+            )
             disk_key = None
             if self.cache is not None:
                 disk_key = self.cache.characterization_key(

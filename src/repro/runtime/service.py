@@ -20,6 +20,7 @@ counters so benchmarks can report the speedup.
 from __future__ import annotations
 
 import time
+import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -29,9 +30,27 @@ from ..modules.library import make_module
 from .cache import ModelCache
 
 
-def characterization_seed(base_seed: int, width: int, enhanced: bool) -> int:
-    """Deterministic per-job seed (the derivation the harness uses)."""
-    return int(base_seed) + width * 17 + (1 if enhanced else 0)
+def characterization_seed(
+    base_seed: int, width: int, enhanced: bool, kind: Optional[str] = None
+) -> int:
+    """Deterministic per-job seed (the derivation the harness uses).
+
+    ``kind`` is mixed in via a stable crc32 hash (the same construction as
+    the evaluation-data seed fix) so that two different module kinds at the
+    same width characterize from *different* stimulus streams.  Without it,
+    e.g. ``ripple_adder/4`` and ``cla_adder/4`` saw bit-identical
+    characterization patterns, coupling their sampling noise.
+
+    ``kind=None`` reproduces the historic kind-blind derivation.  The
+    persistent :class:`~repro.runtime.cache.ModelCache` embeds the seed in
+    every content address, so entries characterized under the old
+    derivation are never served for kind-mixed requests (and vice versa) —
+    they are simply orphaned and reclaimed by ``repro-power cache clear``.
+    """
+    seed = int(base_seed) + width * 17 + (1 if enhanced else 0)
+    if kind is not None:
+        seed += zlib.crc32(kind.encode("utf-8"))
+    return seed
 
 
 @dataclass(frozen=True)
@@ -60,17 +79,26 @@ class ServiceReport:
 
     Attributes:
         jobs: The jobs, in request order.
-        results: One result per job (same order).
+        results: One result per job (same order).  With ``strict=False``,
+            failed jobs hold ``None`` here instead of raising.
         cache_hits: Jobs served from the persistent cache.
-        cache_misses: Jobs that had to simulate.
+        cache_misses: Jobs that had to simulate (including ones that then
+            failed).
+        failures: Jobs whose characterization raised.
+        errors: One entry per job: ``None`` on success, else the rendered
+            exception.
         elapsed_seconds: Wall-clock time of the whole call.
         n_workers: Worker processes used for the misses.
     """
 
     jobs: Tuple[CharacterizationJob, ...]
-    results: List[CharacterizationResult] = field(default_factory=list)
+    results: List[Optional[CharacterizationResult]] = field(
+        default_factory=list
+    )
     cache_hits: int = 0
     cache_misses: int = 0
+    failures: int = 0
+    errors: List[Optional[str]] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     n_workers: int = 1
 
@@ -80,11 +108,14 @@ class ServiceReport:
         return self.cache_hits / total if total else 0.0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{len(self.jobs)} jobs | cache hits: {self.cache_hits} | "
             f"misses: {self.cache_misses} | workers: {self.n_workers} | "
             f"elapsed: {self.elapsed_seconds:.2f}s"
         )
+        if self.failures:
+            text += f" | failures: {self.failures}"
+        return text
 
 
 def _config_params(config: Any) -> Dict[str, Any]:
@@ -110,7 +141,7 @@ def _run_job(
     return characterize_module(
         module,
         n_patterns=params["n_characterization"],
-        seed=characterization_seed(params["seed"], width, enhanced),
+        seed=characterization_seed(params["seed"], width, enhanced, kind),
         enhanced=enhanced,
         glitch_aware=params["glitch_aware"],
         glitch_weight=params["glitch_weight"],
@@ -127,6 +158,7 @@ def characterize_jobs(
     config: Any = None,
     n_jobs: int = 1,
     cache: Optional[ModelCache] = None,
+    strict: bool = True,
 ) -> ServiceReport:
     """Characterize many modules, in parallel, behind the persistent cache.
 
@@ -138,9 +170,13 @@ def characterize_jobs(
         n_jobs: Worker processes; 1 runs inline (no pool, no pickling).
         cache: Persistent cache consulted before — and filled after —
             simulating.  ``None`` disables disk caching.
+        strict: When True (default) the first job failure raises.  When
+            False, failed jobs yield ``None`` in ``results`` with the
+            rendered exception in ``errors`` — the mode the serving
+            registry uses, so one bad request cannot take down a batch.
 
     Returns:
-        A :class:`ServiceReport` with per-call hit/timing counters.
+        A :class:`ServiceReport` with per-call hit/miss/failure counters.
     """
     if config is None:
         # Imported lazily: eval is a higher layer that itself imports
@@ -155,6 +191,7 @@ def characterize_jobs(
     started = time.perf_counter()
     report = ServiceReport(jobs=jobs, n_workers=n_jobs)
     results: List[Optional[CharacterizationResult]] = [None] * len(jobs)
+    errors: List[Optional[str]] = [None] * len(jobs)
 
     pending: List[Tuple[int, CharacterizationJob, Optional[str]]] = []
     for index, job in enumerate(jobs):
@@ -162,7 +199,9 @@ def characterize_jobs(
         if cache is not None:
             key = cache.characterization_key(
                 job.kind, job.width, job.enhanced, config,
-                characterization_seed(config.seed, job.width, job.enhanced),
+                characterization_seed(
+                    config.seed, job.width, job.enhanced, job.kind
+                ),
             )
             cached = cache.load_characterization(key)
             if cached is not None:
@@ -174,22 +213,39 @@ def characterize_jobs(
 
     if pending:
         if n_jobs == 1 or len(pending) == 1:
-            computed = [
-                _run_job(job.kind, job.width, job.enhanced, params)
-                for _, job, _ in pending
-            ]
+            computed = []
+            for _, job, _ in pending:
+                try:
+                    computed.append(
+                        _run_job(job.kind, job.width, job.enhanced, params)
+                    )
+                except Exception as exc:
+                    if strict:
+                        raise
+                    computed.append(exc)
         else:
             with ProcessPoolExecutor(
                 max_workers=min(n_jobs, len(pending))
             ) as pool:
-                computed = list(pool.map(
-                    _run_job,
-                    [job.kind for _, job, _ in pending],
-                    [job.width for _, job, _ in pending],
-                    [job.enhanced for _, job, _ in pending],
-                    [params] * len(pending),
-                ))
+                futures = [
+                    pool.submit(
+                        _run_job, job.kind, job.width, job.enhanced, params
+                    )
+                    for _, job, _ in pending
+                ]
+                computed = []
+                for future in futures:
+                    try:
+                        computed.append(future.result())
+                    except Exception as exc:
+                        if strict:
+                            raise
+                        computed.append(exc)
         for (index, job, key), result in zip(pending, computed):
+            if isinstance(result, Exception):
+                report.failures += 1
+                errors[index] = f"{type(result).__name__}: {result}"
+                continue
             results[index] = result
             if cache is not None and key is not None:
                 cache.store_characterization(
@@ -198,6 +254,7 @@ def characterize_jobs(
                           "enhanced": job.enhanced},
                 )
 
-    report.results = results  # type: ignore[assignment]
+    report.results = results
+    report.errors = errors
     report.elapsed_seconds = time.perf_counter() - started
     return report

@@ -1,0 +1,51 @@
+"""Online estimation serving layer.
+
+The paper's economics — characterize once, then answer power queries with
+Hd-class lookups and analytic DBT statistics — make estimation ideal for a
+high-throughput service.  This package is that service (docs/SERVING.md):
+
+* :mod:`registry` — lazy, single-flight model materialization backed by
+  the persistent :class:`~repro.runtime.cache.ModelCache`, with the
+  Section-5 width regression serving never-characterized widths;
+* :mod:`batching` — micro-batching of concurrent trace estimations into
+  single vectorized passes, plus direct analytic fast paths;
+* :mod:`server` — the asyncio JSON-over-HTTP front-end with bounded
+  queues, 429 backpressure, deadlines and graceful drain;
+* :mod:`metrics` — process-local counters/histograms exported at
+  ``/metrics`` in Prometheus text format;
+* :mod:`loadgen` — the closed-loop load generator behind
+  ``repro-power loadgen`` and ``benchmarks/bench_serve.py``.
+"""
+
+from .batching import DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT, MicroBatcher
+from .loadgen import ENDPOINTS, LoadReport, build_payloads, run_load_sync
+from .metrics import MetricsRegistry, ServeMetrics
+from .registry import (
+    DEFAULT_PROTOTYPE_WIDTHS,
+    CharacterizationFailed,
+    ModelRegistry,
+    RegistryError,
+    ServedModel,
+    UnknownKindError,
+)
+from .server import EstimationServer, ServerThread
+
+__all__ = [
+    "CharacterizationFailed",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_WAIT",
+    "DEFAULT_PROTOTYPE_WIDTHS",
+    "ENDPOINTS",
+    "EstimationServer",
+    "LoadReport",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "ModelRegistry",
+    "RegistryError",
+    "ServeMetrics",
+    "ServedModel",
+    "ServerThread",
+    "UnknownKindError",
+    "build_payloads",
+    "run_load_sync",
+]

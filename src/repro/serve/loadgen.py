@@ -1,0 +1,255 @@
+"""Closed-loop async load generator for the estimation server.
+
+``concurrency`` workers each hold one persistent (keep-alive) connection
+and issue requests back-to-back from a shared payload list until
+``n_requests`` have completed — the classic closed-loop model, so the
+measured throughput is the server's, not the generator's open-loop offered
+rate.  Per-request latencies are recorded for p50/p99; non-2xx responses
+are counted by status, never retried (a 429 under deliberate overload is
+a *result*, not an error).
+
+Used three ways: ``repro-power loadgen`` (ops tooling),
+``benchmarks/bench_serve.py`` (throughput trajectory in
+``BENCH_serve.json``) and ``make serve-smoke`` (CI gate).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Endpoint families the generator knows how to synthesize payloads for.
+ENDPOINTS = ("bits", "streams", "distribution", "analytic")
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run.
+
+    Attributes:
+        n_requests: Completed requests (including non-2xx answers).
+        elapsed_seconds: Wall-clock time of the whole run.
+        status_counts: Responses by HTTP status code.
+        latencies: Per-request seconds, completion order.
+        errors: Transport-level failures (connection refused/reset).
+    """
+
+    n_requests: int = 0
+    elapsed_seconds: float = 0.0
+    status_counts: Dict[int, int] = field(default_factory=dict)
+    latencies: List[float] = field(default_factory=list)
+    errors: int = 0
+
+    @property
+    def throughput(self) -> float:
+        return (
+            self.n_requests / self.elapsed_seconds
+            if self.elapsed_seconds > 0 else 0.0
+        )
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    @property
+    def n_5xx(self) -> int:
+        return sum(
+            count for status, count in self.status_counts.items()
+            if status >= 500
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_requests": self.n_requests,
+            "elapsed_seconds": self.elapsed_seconds,
+            "throughput_rps": self.throughput,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+            "status_counts": {
+                str(k): v for k, v in sorted(self.status_counts.items())
+            },
+            "errors": self.errors,
+        }
+
+    def summary(self) -> str:
+        statuses = ", ".join(
+            f"{status}: {count}"
+            for status, count in sorted(self.status_counts.items())
+        )
+        return (
+            f"{self.n_requests} requests in {self.elapsed_seconds:.2f}s | "
+            f"{self.throughput:.0f} req/s | p50 "
+            f"{self.percentile(50) * 1e3:.2f}ms | p99 "
+            f"{self.percentile(99) * 1e3:.2f}ms | [{statuses}] | "
+            f"errors: {self.errors}"
+        )
+
+
+async def http_request(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    method: str,
+    path: str,
+    body: Optional[bytes] = None,
+) -> Tuple[int, bytes]:
+    """One keep-alive HTTP/1.1 exchange over an open connection."""
+    head = [
+        f"{method} {path} HTTP/1.1",
+        "Host: loadgen",
+        "Connection: keep-alive",
+    ]
+    if body is not None:
+        head.append("Content-Type: application/json")
+        head.append(f"Content-Length: {len(body)}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + (body or b""))
+    await writer.drain()
+    header_block = await reader.readuntil(b"\r\n\r\n")
+    lines = header_block.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    length = 0
+    for line in lines[1:]:
+        if line.lower().startswith("content-length:"):
+            length = int(line.split(":", 1)[1])
+    payload = await reader.readexactly(length) if length else b""
+    return status, payload
+
+
+def build_payloads(
+    kind: str,
+    width: int,
+    endpoints: Sequence[str] = ENDPOINTS,
+    n_payloads: int = 64,
+    trace_rows: int = 24,
+    seed: int = 0,
+    enhanced: bool = False,
+    mode: str = "auto",
+) -> List[Tuple[str, bytes]]:
+    """Synthesize a mixed request set for one model.
+
+    Returns ``(path, body)`` pairs cycling through the requested endpoint
+    families with randomized (seeded) stimulus, sized so every request is
+    small — the regime where micro-batching pays.
+    """
+    from ..modules.library import make_module
+    from ..signals.encoding import signed_range
+
+    unknown = sorted(set(endpoints) - set(ENDPOINTS))
+    if unknown:
+        raise ValueError(f"unknown endpoint families: {unknown}")
+    module = make_module(kind, width)
+    rng = np.random.default_rng(seed)
+    payloads: List[Tuple[str, bytes]] = []
+    base: Dict[str, Any] = {"kind": kind, "width": width, "mode": mode}
+    if enhanced:
+        base["enhanced"] = True
+    for index in range(n_payloads):
+        family = endpoints[index % len(endpoints)]
+        request = dict(base)
+        if family == "bits":
+            request["bits"] = rng.integers(
+                0, 2, size=(trace_rows, module.input_bits)
+            ).tolist()
+        elif family == "streams":
+            request["words"] = [
+                rng.integers(
+                    *signed_range(operand_width), endpoint=True,
+                    size=trace_rows,
+                ).tolist()
+                for _, operand_width in module.operand_specs
+            ]
+        elif family == "distribution":
+            pmf = rng.random(module.input_bits + 1)
+            request["distribution"] = (pmf / pmf.sum()).tolist()
+        else:  # analytic
+            request["operand_stats"] = [
+                {
+                    "mean": float(rng.uniform(-10, 10)),
+                    "variance": float(rng.uniform(1, 200)),
+                    "rho": float(rng.uniform(-0.9, 0.9)),
+                }
+                for _ in module.operand_specs
+            ]
+        payloads.append((
+            f"/v1/estimate/{family}",
+            json.dumps(request).encode(),
+        ))
+    return payloads
+
+
+async def run_load(
+    host: str,
+    port: int,
+    payloads: Sequence[Tuple[str, bytes]],
+    n_requests: int = 200,
+    concurrency: int = 8,
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Drive the server closed-loop and collect a :class:`LoadReport`."""
+    if not payloads:
+        raise ValueError("need at least one payload")
+    report = LoadReport()
+    counter = {"next": 0}
+    lock = asyncio.Lock()
+
+    async def worker() -> None:
+        reader = writer = None
+        try:
+            while True:
+                async with lock:
+                    index = counter["next"]
+                    if index >= n_requests:
+                        return
+                    counter["next"] = index + 1
+                path, body = payloads[index % len(payloads)]
+                started = time.perf_counter()
+                try:
+                    if writer is None:
+                        reader, writer = await asyncio.open_connection(
+                            host, port
+                        )
+                    status, _ = await asyncio.wait_for(
+                        http_request(reader, writer, "POST", path, body),
+                        timeout,
+                    )
+                except (ConnectionError, asyncio.IncompleteReadError,
+                        asyncio.TimeoutError, OSError):
+                    report.errors += 1
+                    report.n_requests += 1
+                    if writer is not None:
+                        writer.close()
+                    reader = writer = None
+                    continue
+                report.latencies.append(time.perf_counter() - started)
+                report.status_counts[status] = (
+                    report.status_counts.get(status, 0) + 1
+                )
+                report.n_requests += 1
+        finally:
+            if writer is not None:
+                writer.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+def run_load_sync(
+    host: str,
+    port: int,
+    payloads: Sequence[Tuple[str, bytes]],
+    n_requests: int = 200,
+    concurrency: int = 8,
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Synchronous wrapper around :func:`run_load` (CLI / scripts)."""
+    return asyncio.run(run_load(
+        host, port, payloads,
+        n_requests=n_requests, concurrency=concurrency, timeout=timeout,
+    ))

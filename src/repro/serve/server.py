@@ -1,0 +1,576 @@
+"""Asyncio JSON-over-HTTP estimation server (stdlib only).
+
+The online half of the characterize-once/evaluate-many contract: models
+materialize through the :class:`~repro.serve.registry.ModelRegistry`
+(memory → disk cache → characterize → width regression) and queries are
+answered by cheap Hd-class lookups and analytic DBT statistics, coalesced
+per model by the :class:`~repro.serve.batching.MicroBatcher`.
+
+Endpoints (protocol reference: docs/SERVING.md):
+
+==========================  ====================================================
+``GET  /healthz``           liveness + queue/model gauges
+``GET  /metrics``           Prometheus text exposition
+``GET  /v1/models``         resident models + servable kinds
+``POST /v1/estimate/bits``          trace estimation of a 0/1 row matrix
+``POST /v1/estimate/streams``       trace estimation of per-operand words
+``POST /v1/estimate/distribution``  Section 6.3 Hd-distribution estimation
+``POST /v1/estimate/analytic``      Eq. 18 DBT estimation from (μ, σ², ρ)
+==========================  ====================================================
+
+Operational behavior:
+
+* **Backpressure** — at most ``max_queue`` estimation requests are
+  admitted at once; the rest get ``429`` with a ``Retry-After`` header
+  instead of unbounded queueing.
+* **Deadlines** — every request runs under ``request_timeout`` seconds;
+  expiry answers ``504 deadline_exceeded``.
+* **Validation** — malformed requests get structured
+  ``{"error": {"code", "message"}}`` bodies, never stack traces.
+* **Graceful drain** — SIGTERM/SIGINT stops accepting, answers ``503``
+  to new estimation work, flushes pending batches and waits for
+  in-flight requests before exiting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..modules.library import module_kinds
+from .batching import MicroBatcher
+from .metrics import ServeMetrics
+from .registry import (
+    CharacterizationFailed,
+    ModelRegistry,
+    RegistryError,
+    UnknownKindError,
+)
+
+#: Hard cap on request body size (bits matrices can be bulky but bounded).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Hard cap on trace rows per request; longer traces should be chunked
+#: client-side (the per-request results are averages anyway).
+MAX_TRACE_ROWS = 65536
+#: Header-block read limit.
+MAX_HEADER_BYTES = 32 * 1024
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+class ApiError(Exception):
+    """A structured client-visible failure."""
+
+    def __init__(self, status: int, code: str, message: str,
+                 headers: Optional[Dict[str, str]] = None):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.headers = headers or {}
+
+    def body(self) -> Dict[str, Any]:
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Dict[str, Any]:
+        if not self.body:
+            raise ApiError(400, "bad_request", "request body required")
+        try:
+            payload = json.loads(self.body)
+        except (ValueError, UnicodeDecodeError):
+            raise ApiError(400, "bad_request", "body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise ApiError(400, "bad_request", "body must be a JSON object")
+        return payload
+
+
+class EstimationServer:
+    """The asyncio front-end wiring registry, batcher and metrics.
+
+    Args:
+        registry: Model registry (owns characterization provenance).
+        batcher: Micro-batcher; a default one (sharing ``metrics``) is
+            created when omitted.
+        metrics: Shared metric set; defaults to the registry's.
+        host/port: Bind address; port 0 picks an ephemeral port
+            (``server.port`` reports the actual one after ``start``).
+        max_queue: Admission limit on concurrent estimation requests.
+        request_timeout: Per-request deadline in seconds.
+        jobs: Worker threads for estimation flushes and model loads.
+        max_batch/batch_wait: Flush bounds for the default batcher
+            (ignored when an explicit ``batcher`` is passed).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        batcher: Optional[MicroBatcher] = None,
+        metrics: Optional[ServeMetrics] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_queue: int = 256,
+        request_timeout: float = 30.0,
+        jobs: int = 2,
+        max_batch: Optional[int] = None,
+        batch_wait: Optional[float] = None,
+    ):
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.registry = registry
+        self.metrics = metrics or registry.metrics
+        self._compute_pool = ThreadPoolExecutor(
+            max_workers=max(1, jobs), thread_name_prefix="serve-compute"
+        )
+        self._load_pool = ThreadPoolExecutor(
+            max_workers=max(1, jobs), thread_name_prefix="serve-load"
+        )
+        if batcher is None:
+            from .batching import DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT
+
+            batcher = MicroBatcher(
+                executor=self._compute_pool,
+                max_batch=(
+                    DEFAULT_MAX_BATCH if max_batch is None else max_batch
+                ),
+                max_wait=(
+                    DEFAULT_MAX_WAIT if batch_wait is None else batch_wait
+                ),
+                metrics=self.metrics,
+            )
+        self.batcher = batcher
+        self.host = host
+        self.port = port
+        self.max_queue = int(max_queue)
+        self.request_timeout = float(request_timeout)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._in_flight = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_HEADER_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self, install_signals: bool = True) -> None:
+        """Start, then run until SIGTERM/SIGINT triggers a graceful drain."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-main thread or platform without signals
+        await stop.wait()
+        await self.drain()
+
+    async def drain(self, timeout: float = 30.0) -> None:
+        """Stop accepting, flush batches, wait for in-flight requests."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.batcher.drain()
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass
+        self._compute_pool.shutdown(wait=False)
+        self._load_pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                status, payload, extra = await self._dispatch(request)
+                keep_alive = (
+                    request.headers.get("connection", "keep-alive").lower()
+                    != "close" and not self._draining
+                )
+                await self._write_response(
+                    writer, status, payload, extra, keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[_Request]:
+        try:
+            header_block = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            return None
+        except asyncio.LimitOverrunError:
+            raise ConnectionError("header block too large")
+        try:
+            head = header_block.decode("latin-1")
+            request_line, *header_lines = head.split("\r\n")
+            method, path, _version = request_line.split(" ", 2)
+        except ValueError:
+            raise ConnectionError("malformed request line")
+        headers: Dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ConnectionError("body too large")
+        body = await reader.readexactly(length) if length else b""
+        return _Request(
+            method=method.upper(), path=path, headers=headers, body=body
+        )
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        extra_headers: Dict[str, str],
+        keep_alive: bool,
+    ) -> None:
+        if isinstance(payload, (bytes, str)):
+            body = payload.encode() if isinstance(payload, str) else payload
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
+        lines = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{k}: {v}" for k, v in extra_headers.items())
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    _ESTIMATE_ROUTES = {
+        "/v1/estimate/bits": "bits",
+        "/v1/estimate/streams": "streams",
+        "/v1/estimate/distribution": "distribution",
+        "/v1/estimate/analytic": "analytic",
+    }
+
+    async def _dispatch(
+        self, request: _Request
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        endpoint = "other"
+        extra: Dict[str, str] = {}
+        try:
+            if request.method == "GET":
+                if request.path == "/healthz":
+                    endpoint = "healthz"
+                    status, payload = 200, self._healthz()
+                elif request.path == "/metrics":
+                    endpoint = "metrics"
+                    status, payload = 200, self.metrics.render()
+                elif request.path == "/v1/models":
+                    endpoint = "models"
+                    status, payload = 200, self._models()
+                else:
+                    raise ApiError(404, "not_found",
+                                   f"no route for {request.path}")
+            elif request.method == "POST":
+                endpoint = self._ESTIMATE_ROUTES.get(request.path, "other")
+                if endpoint == "other":
+                    raise ApiError(404, "not_found",
+                                   f"no route for {request.path}")
+                status, payload = await self._estimate(endpoint, request)
+            else:
+                raise ApiError(405, "method_not_allowed",
+                               f"{request.method} not supported")
+        except ApiError as error:
+            status, payload = error.status, error.body()
+            extra.update(error.headers)
+            if error.code in ("queue_full", "draining"):
+                self.metrics.rejected_total.inc(reason=error.code)
+            elif error.code == "deadline_exceeded":
+                self.metrics.rejected_total.inc(reason="deadline")
+        except Exception as error:  # noqa: BLE001 — never leak a traceback
+            status = 500
+            payload = {"error": {
+                "code": "internal",
+                "message": f"{type(error).__name__}: {error}",
+            }}
+        self.metrics.requests_total.inc(
+            endpoint=endpoint, status=str(status)
+        )
+        self.metrics.request_seconds.observe(
+            loop.time() - started, endpoint=endpoint
+        )
+        return status, payload, extra
+
+    # ------------------------------------------------------------------
+    # Estimation endpoints
+    # ------------------------------------------------------------------
+    async def _estimate(
+        self, endpoint: str, request: _Request
+    ) -> Tuple[int, Any]:
+        if self._draining:
+            raise ApiError(503, "draining", "server is draining",
+                           {"Retry-After": "1"})
+        if self._in_flight >= self.max_queue:
+            raise ApiError(
+                429, "queue_full",
+                f"queue limit {self.max_queue} reached; retry later",
+                {"Retry-After": "0.05"},
+            )
+        self._in_flight += 1
+        self._idle.clear()
+        self.metrics.in_flight.set(self._in_flight)
+        try:
+            return await asyncio.wait_for(
+                self._estimate_inner(endpoint, request.json()),
+                self.request_timeout,
+            )
+        except asyncio.TimeoutError:
+            raise ApiError(
+                504, "deadline_exceeded",
+                f"request exceeded {self.request_timeout:.3f}s deadline",
+            )
+        finally:
+            self._in_flight -= 1
+            self.metrics.in_flight.set(self._in_flight)
+            if self._in_flight == 0:
+                self._idle.set()
+
+    async def _estimate_inner(
+        self, endpoint: str, payload: Dict[str, Any]
+    ) -> Tuple[int, Any]:
+        kind = payload.get("kind")
+        width = payload.get("width")
+        if not isinstance(kind, str):
+            raise ApiError(400, "bad_request", "'kind' (string) required")
+        if not isinstance(width, int) or isinstance(width, bool) or width < 1:
+            raise ApiError(400, "bad_request",
+                           "'width' (positive integer) required")
+        enhanced = bool(payload.get("enhanced", False))
+        mode = payload.get("mode", "auto")
+        served = await self._get_model(kind, width, enhanced, mode)
+
+        if endpoint == "bits":
+            bits = self._parse_bits(payload, served.module.input_bits)
+            result = await self.batcher.estimate_bits(served, bits)
+        elif endpoint == "streams":
+            words = payload.get("words")
+            if (not isinstance(words, list)
+                    or not all(isinstance(w, list) for w in words)):
+                raise ApiError(
+                    400, "bad_request",
+                    "'words' must be a list of per-operand integer lists",
+                )
+            if words and any(len(w) > MAX_TRACE_ROWS for w in words):
+                raise ApiError(413, "too_large",
+                               f"trace longer than {MAX_TRACE_ROWS} words")
+            try:
+                result = await self.batcher.estimate_streams(served, words)
+            except ValueError as error:
+                raise ApiError(400, "bad_request", str(error))
+        elif endpoint == "distribution":
+            distribution = payload.get("distribution")
+            if not isinstance(distribution, list) or not distribution:
+                raise ApiError(400, "bad_request",
+                               "'distribution' (list of floats) required")
+            try:
+                result = self.batcher.estimate_distribution(
+                    served, distribution
+                )
+            except (TypeError, ValueError) as error:
+                raise ApiError(400, "bad_request", str(error))
+        else:  # analytic
+            stats = payload.get("operand_stats")
+            if (not isinstance(stats, list)
+                    or not all(isinstance(s, dict) for s in stats)):
+                raise ApiError(
+                    400, "bad_request",
+                    "'operand_stats' must be a list of "
+                    "{mean, variance, rho} objects",
+                )
+            try:
+                result = self.batcher.estimate_analytic(
+                    served, stats,
+                    use_distribution=bool(
+                        payload.get("use_distribution", True)
+                    ),
+                )
+            except (KeyError, TypeError, ValueError) as error:
+                raise ApiError(400, "bad_request",
+                               f"invalid operand_stats: {error}")
+
+        body: Dict[str, Any] = {
+            "average_charge": result.average_charge,
+            "method": result.method,
+            "model": served.name,
+            "source": served.source,
+            "input_bits": served.module.input_bits,
+        }
+        if result.cycle_charge is not None:
+            body["n_cycles"] = int(len(result.cycle_charge))
+            if payload.get("per_cycle"):
+                body["cycle_charge"] = result.cycle_charge.tolist()
+        return 200, body
+
+    async def _get_model(self, kind, width, enhanced, mode):
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                self._load_pool,
+                self.registry.get, kind, width, enhanced, mode,
+            )
+        except UnknownKindError as error:
+            raise ApiError(404, "unknown_kind", str(error))
+        except CharacterizationFailed as error:
+            raise ApiError(500, "characterization_failed", str(error))
+        except RegistryError as error:
+            raise ApiError(400, "bad_request", str(error))
+
+    def _parse_bits(self, payload: Dict[str, Any], input_bits: int):
+        rows = payload.get("bits")
+        if not isinstance(rows, list) or len(rows) < 2:
+            raise ApiError(400, "bad_request",
+                           "'bits' must be a list of >= 2 rows of 0/1")
+        if len(rows) > MAX_TRACE_ROWS:
+            raise ApiError(413, "too_large",
+                           f"trace longer than {MAX_TRACE_ROWS} rows")
+        try:
+            matrix = np.asarray(rows, dtype=np.int64)
+        except (TypeError, ValueError):
+            raise ApiError(400, "bad_request", "'bits' rows must be numeric")
+        if (matrix.ndim != 2 or matrix.shape[1] != input_bits
+                or not np.isin(matrix, (0, 1)).all()):
+            raise ApiError(
+                400, "bad_request",
+                f"'bits' must be an [n, {input_bits}] 0/1 matrix for this "
+                f"model",
+            )
+        return matrix.astype(bool)
+
+    # ------------------------------------------------------------------
+    # Introspection endpoints
+    # ------------------------------------------------------------------
+    def _healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "in_flight": self._in_flight,
+            "max_queue": self.max_queue,
+            "models_loaded": len(self.registry),
+            "pending_batched": self.batcher.pending_requests,
+        }
+
+    def _models(self) -> Dict[str, Any]:
+        return {
+            "loaded": self.registry.loaded(),
+            "kinds": module_kinds(),
+            "max_exact_width": self.registry.max_exact_width,
+            "prototype_widths": list(self.registry.prototype_widths),
+        }
+
+
+class ServerThread:
+    """Run an :class:`EstimationServer` on a dedicated event-loop thread.
+
+    The embedding used by tests, the smoke script and the benchmark: the
+    caller's thread stays free to drive load while the server runs in the
+    background.  ``stop()`` performs the same graceful drain as SIGTERM.
+    """
+
+    def __init__(self, server: EstimationServer):
+        self.server = server
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._stop_event: Optional[asyncio.Event] = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("server failed to start in time")
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self._stop_event = asyncio.Event()
+
+        async def main():
+            await self.server.start()
+            self._started.set()
+            await self._stop_event.wait()
+            await self.server.drain()
+
+        try:
+            self._loop.run_until_complete(main())
+        finally:
+            self._loop.close()
+
+    def stop(self) -> None:
+        if (self._loop is None or self._thread is None
+                or self._stop_event is None):
+            return
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

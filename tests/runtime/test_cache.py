@@ -335,3 +335,56 @@ def test_engine_never_in_cache_keys(tmp_path):
     ) != cache.characterization_key(
         "ripple_adder", 3, False, ExperimentConfig(), 2
     )
+
+
+def test_concurrent_readers_during_writes(tmp_path, result):
+    """Readers racing a writer see either a miss or a complete record —
+    never an exception, never a partial read (the serving registry loads
+    from threads while ``characterize_jobs`` stores)."""
+    import threading
+
+    cache = ModelCache(tmp_path)
+    config = ExperimentConfig(n_characterization=400)
+    keys = [
+        cache.characterization_key("ripple_adder", 3, True, config, seed)
+        for seed in range(8)
+    ]
+    failures = []
+    done = threading.Event()
+
+    def reader():
+        readers_cache = ModelCache(tmp_path)
+        while not done.is_set():
+            for key in keys:
+                try:
+                    loaded = readers_cache.load_characterization(key)
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(exc)
+                    return
+                if loaded is not None:
+                    np.testing.assert_array_equal(
+                        loaded.model.coefficients,
+                        result.model.coefficients,
+                    )
+        if readers_cache.quarantined:
+            failures.append(
+                AssertionError("reader quarantined an in-flight record")
+            )
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for t in threads:
+        t.start()
+    try:
+        for _ in range(3):
+            for key in keys:
+                cache.store_characterization(key, result)
+    finally:
+        done.set()
+        for t in threads:
+            t.join()
+    assert not failures
+    # After the dust settles every key loads cleanly.
+    final = ModelCache(tmp_path)
+    for key in keys:
+        assert final.load_characterization(key) is not None
+    assert final.hits == len(keys)

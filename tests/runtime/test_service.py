@@ -42,7 +42,9 @@ def test_serial_matches_direct_characterization():
         direct = characterize_module(
             module,
             n_patterns=CONFIG.n_characterization,
-            seed=characterization_seed(CONFIG.seed, job.width, job.enhanced),
+            seed=characterization_seed(
+                CONFIG.seed, job.width, job.enhanced, job.kind
+            ),
             enhanced=job.enhanced,
             stimulus=(CONFIG.enhanced_stimulus if job.enhanced
                       else CONFIG.basic_stimulus),
@@ -120,3 +122,92 @@ def test_default_config_is_stock():
         [CharacterizationJob("ripple_adder", 2)], n_jobs=1
     )
     assert report.results[0].n_patterns >= 4000
+
+
+# ----------------------------------------------------------------------
+# Seed derivation: distinct kinds must get distinct stimulus streams
+# ----------------------------------------------------------------------
+def test_seed_mixes_kind():
+    """Regression: two kinds at equal width used to share one stream."""
+    adder = characterization_seed(0, 8, False, "ripple_adder")
+    multiplier = characterization_seed(0, 8, False, "csa_multiplier")
+    assert adder != multiplier
+    # The legacy kind-blind derivation is preserved for provenance of old
+    # cache entries (kind=None), and the new one builds on top of it.
+    assert characterization_seed(0, 8, False) == 0 + 8 * 17
+    assert characterization_seed(3, 4, True) == 3 + 4 * 17 + 1
+
+
+def test_all_kinds_distinct_seeds_at_equal_width():
+    from repro.modules import MODULE_KINDS
+
+    seeds = {
+        kind: characterization_seed(0, 8, False, kind)
+        for kind in MODULE_KINDS
+    }
+    assert len(set(seeds.values())) == len(seeds)
+
+
+def test_distinct_kinds_get_distinct_streams():
+    """The actual stimulus bits differ, not just the seed arithmetic."""
+    from repro.core.characterize import uniform_hd_input_bits
+
+    streams = [
+        uniform_hd_input_bits(
+            64, 8, characterization_seed(0, 8, False, kind)
+        )
+        for kind in ("ripple_adder", "csa_multiplier")
+    ]
+    assert not np.array_equal(streams[0], streams[1])
+
+
+# ----------------------------------------------------------------------
+# Failure tolerance: mixed hit / miss / failure job sets (strict=False)
+# ----------------------------------------------------------------------
+def test_mixed_hit_miss_failure_counters(tmp_path):
+    good = CharacterizationJob("ripple_adder", 3)
+    fresh = CharacterizationJob("ripple_adder", 4)
+    broken = CharacterizationJob("absval", 1)  # absval needs width >= 2
+
+    # Warm the cache with only the first job.
+    characterize_jobs([good], config=CONFIG, n_jobs=1,
+                      cache=ModelCache(tmp_path))
+
+    report = characterize_jobs(
+        [good, fresh, broken], config=CONFIG, n_jobs=1,
+        cache=ModelCache(tmp_path), strict=False,
+    )
+    assert report.cache_hits == 1
+    assert report.cache_misses == 2  # fresh + the failed attempt
+    assert report.failures == 1
+    assert report.results[0] is not None
+    assert report.results[1] is not None
+    assert report.results[2] is None
+    assert report.errors[0] is None and report.errors[1] is None
+    assert "ValueError" in report.errors[2]
+    assert "failures: 1" in report.summary()
+
+
+def test_mixed_failure_parallel_matches_serial(tmp_path):
+    jobs = [
+        CharacterizationJob("ripple_adder", 3),
+        CharacterizationJob("absval", 1),
+        CharacterizationJob("ripple_adder", 4),
+    ]
+    serial = characterize_jobs(jobs, config=CONFIG, n_jobs=1, strict=False)
+    parallel = characterize_jobs(jobs, config=CONFIG, n_jobs=2, strict=False)
+    assert serial.failures == parallel.failures == 1
+    for a, b in zip(serial.results, parallel.results):
+        if a is None:
+            assert b is None
+            continue
+        np.testing.assert_array_equal(
+            a.model.coefficients, b.model.coefficients
+        )
+
+
+def test_strict_mode_still_raises():
+    with pytest.raises(ValueError):
+        characterize_jobs(
+            [CharacterizationJob("absval", 1)], config=CONFIG, n_jobs=1
+        )

@@ -1,0 +1,23 @@
+"""Shared serving-layer fixtures: one small registry per test session.
+
+Characterization is the expensive part, so a single ripple_adder/4 model
+(300 patterns) is materialized once and shared by the batching and server
+tests; registry-behavior tests build their own registries.
+"""
+
+import pytest
+
+from repro.eval import ExperimentConfig
+from repro.serve import ModelRegistry
+
+SERVE_CONFIG = ExperimentConfig(n_characterization=300, seed=5)
+
+
+@pytest.fixture(scope="session")
+def serve_registry():
+    return ModelRegistry(config=SERVE_CONFIG, cache=None)
+
+
+@pytest.fixture(scope="session")
+def served_adder4(serve_registry):
+    return serve_registry.get("ripple_adder", 4)

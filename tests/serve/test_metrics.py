@@ -1,0 +1,126 @@
+"""Metric primitives: counters, gauges, histograms, Prometheus rendering."""
+
+import threading
+
+import pytest
+
+from repro.serve.metrics import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    ServeMetrics,
+)
+
+
+def test_counter_basic_and_labels():
+    r = MetricsRegistry()
+    plain = r.counter("c_total", "plain")
+    plain.inc()
+    plain.inc(2.5)
+    assert plain.value() == 3.5
+    labelled = r.counter("l_total", "labelled", ("reason",))
+    labelled.inc(reason="a")
+    labelled.inc(3, reason="b")
+    assert labelled.value(reason="a") == 1
+    assert labelled.value(reason="b") == 3
+    assert labelled.total() == 4
+
+
+def test_counter_rejects_negative_and_wrong_labels():
+    r = MetricsRegistry()
+    c = r.counter("c_total", "c", ("reason",))
+    with pytest.raises(ValueError):
+        c.inc(-1, reason="a")
+    with pytest.raises(ValueError):
+        c.inc(1)  # missing label
+    with pytest.raises(ValueError):
+        c.inc(1, reason="a", extra="b")
+
+
+def test_gauge_set_inc_dec():
+    g = MetricsRegistry().gauge("g", "g")
+    g.set(5)
+    g.inc(2)
+    g.dec()
+    assert g.value() == 6
+
+
+def test_histogram_le_semantics():
+    """A value exactly on a boundary lands in that bucket (le = <=)."""
+    h = MetricsRegistry().histogram("h", "h", (1.0, 2.0, 4.0))
+    for value in (0.5, 1.0, 1.5, 4.0, 99.0):
+        h.observe(value)
+    text = "\n".join(h.render())
+    assert 'h_bucket{le="1"} 2' in text
+    assert 'h_bucket{le="2"} 3' in text
+    assert 'h_bucket{le="4"} 4' in text
+    assert 'h_bucket{le="+Inf"} 5' in text
+    assert "h_count 5" in text
+    assert h.count() == 5
+
+
+def test_histogram_quantile_upper_bound():
+    h = MetricsRegistry().histogram("h", "h", (1.0, 2.0, 4.0))
+    assert h.quantile(0.5) is None
+    for value in (0.1, 0.2, 0.3, 3.0):
+        h.observe(value)
+    assert h.quantile(0.5) == 1.0
+    assert h.quantile(0.99) == 4.0
+    h.observe(100.0)
+    assert h.quantile(1.0) == float("inf")
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        MetricsRegistry().histogram("h", "h", (2.0, 1.0))
+    with pytest.raises(ValueError):
+        MetricsRegistry().histogram("h", "h", ())
+
+
+def test_registry_rejects_duplicates_and_renders_all():
+    r = MetricsRegistry()
+    r.counter("a_total", "a")
+    with pytest.raises(ValueError, match="duplicate"):
+        r.gauge("a_total", "again")
+    r.gauge("b", "b").set(7)
+    page = r.render()
+    assert "# TYPE a_total counter" in page
+    assert "# TYPE b gauge" in page
+    assert "b 7" in page
+    assert page.endswith("\n")
+
+
+def test_render_escapes_label_values():
+    c = MetricsRegistry().counter("c_total", "c", ("path",))
+    c.inc(path='has "quotes" and \\slash')
+    line = [l for l in c.render() if l.startswith("c_total{")][0]
+    assert r"\"quotes\"" in line and r"\\slash" in line
+
+
+def test_counter_thread_safety():
+    c = MetricsRegistry().counter("c_total", "c")
+
+    def spin():
+        for _ in range(10_000):
+            c.inc()
+
+    threads = [threading.Thread(target=spin) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value() == 40_000
+
+
+def test_serve_metrics_wires_standard_series():
+    m = ServeMetrics()
+    m.requests_total.inc(endpoint="bits", status="200")
+    m.request_seconds.observe(0.003, endpoint="bits")
+    m.batch_size.observe(17)
+    m.registry_lookups_total.inc(result="memory")
+    page = m.render()
+    assert 'serve_requests_total{endpoint="bits",status="200"} 1' in page
+    assert "serve_request_seconds_bucket" in page
+    assert "serve_batch_size_count 1" in page
+    assert 'serve_registry_lookups_total{result="memory"} 1' in page
+    assert len(LATENCY_BUCKETS) > 0 and len(BATCH_SIZE_BUCKETS) > 0

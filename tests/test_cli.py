@@ -249,3 +249,42 @@ def test_verify_fuzz_reports_failure(tmp_path, capsys, monkeypatch):
     assert "MISMATCH" in out
     assert "repro script" in out
     assert list(tmp_path.glob("repro_*.py"))
+
+
+def test_list_modules_json(capsys):
+    assert main(["list-modules", "--json"]) == 0
+    listing = json.loads(capsys.readouterr().out)
+    by_kind = {m["kind"]: m for m in listing["modules"]}
+    adder = by_kind["ripple_adder"]
+    assert adder["paper"] is True
+    assert adder["min_width"] >= 1
+    assert adder["gates_at_w8"] > 0
+    assert adder["input_bits_at_w8"] == 16
+    assert [op["name"] for op in adder["operands"]] == ["a", "b"]
+    # Machine-readable output must cover the whole library.
+    from repro.modules import MODULE_KINDS
+    assert set(by_kind) == set(MODULE_KINDS)
+
+
+def test_loadgen_against_server(tmp_path, capsys):
+    """repro-power loadgen drives a live in-process server to completion."""
+    from repro.eval import ExperimentConfig
+    from repro.serve import EstimationServer, ModelRegistry, ServerThread
+
+    registry = ModelRegistry(
+        config=ExperimentConfig(n_characterization=300, seed=5), cache=None
+    )
+    server = EstimationServer(registry)
+    report_path = tmp_path / "load.json"
+    with ServerThread(server) as thread:
+        code = main([
+            "loadgen", "--port", str(thread.port), "-n", "24",
+            "--concurrency", "4", "--kind", "ripple_adder", "--width", "4",
+            "-o", str(report_path),
+        ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "24 requests" in out
+    report = json.loads(report_path.read_text())
+    assert report["status_counts"] == {"200": 24}
+    assert report["errors"] == 0
