@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test test-all fuzz verify bench bench-small bench-sim bench-serve bench-smoke serve-smoke report examples clean
+.PHONY: install test test-all fuzz verify bench bench-small bench-sim bench-serve bench-smoke serve-smoke profile-smoke report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -52,6 +52,13 @@ bench-smoke:
 # vs a direct estimator call, populated histograms, 429 under flood.
 serve-smoke:
 	PYTHONPATH=src python scripts/serve_smoke.py
+
+# End-to-end check of the tracing/profiling subsystem
+# (docs/OBSERVABILITY.md): --profile produces an about://tracing-loadable
+# Chrome artifact covering every layer (including --jobs 2 worker
+# processes), and a traced serve request returns its span summary.
+profile-smoke:
+	PYTHONPATH=src python scripts/profile_smoke.py
 
 report:
 	python -m repro.cli reproduce -o REPORT.txt

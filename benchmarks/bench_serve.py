@@ -142,6 +142,41 @@ def run_http_comparison(n_requests=HTTP_REQUESTS,
     return out
 
 
+def traced_exemplar(seed=5):
+    """One ``X-Repro-Trace: 1`` request; its span summary lands in the
+    bench record so the trajectory file shows where serve time goes."""
+    import asyncio
+
+    from repro.eval import ExperimentConfig
+    from repro.serve import EstimationServer, ModelRegistry, ServerThread
+    from repro.serve.loadgen import http_request
+
+    config = ExperimentConfig(n_characterization=N_CHARACTERIZATION,
+                              seed=seed)
+    registry = ModelRegistry(config=config, cache=None)
+    served = registry.get(MODULE_KIND, MODULE_WIDTH)
+    bits = _request_matrices(served, n_requests=1)[0].tolist()
+    body = json.dumps({
+        "kind": MODULE_KIND, "width": MODULE_WIDTH, "bits": bits,
+    }).encode()
+    server = EstimationServer(registry, jobs=2)
+
+    async def go(port):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            return await http_request(
+                reader, writer, "POST", "/v1/estimate/bits", body,
+                headers={"X-Repro-Trace": "1"},
+            )
+        finally:
+            writer.close()
+
+    with ServerThread(server) as thread:
+        status, raw = asyncio.run(go(thread.port))
+    assert status == 200, raw
+    return json.loads(raw)["trace"]["spans"]
+
+
 # ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
@@ -210,10 +245,16 @@ def main():
     print(f"  http unbatched: {http['unbatched']['throughput_rps']:7.0f} req/s"
           f"  (p99 {http['unbatched']['p99_ms']:.2f} ms)")
     print(f"  http speedup:   {http['http_speedup']:7.2f}x")
+    spans = traced_exemplar()
+    print("  traced exemplar: " + ", ".join(
+        f"{name} {entry['total_s'] * 1e3:.2f}ms"
+        for name, entry in sorted(spans.items())
+    ))
     record = {
         "module": f"{MODULE_KIND}/{MODULE_WIDTH}",
         "engine": engine,
         "http": http,
+        "span_summary": spans,
     }
     path = append_entry(record)
     print(f"  recorded in {path}")

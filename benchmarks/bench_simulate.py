@@ -85,6 +85,42 @@ def run_comparison(n_patterns=N_PATTERNS, glitch_weight=1.0, repeats=REPEATS):
     }
 
 
+def measure_observability(record):
+    """Traced exemplar + the < 2% disabled-tracing overhead guard.
+
+    Two measurements land in the bench record: the span summary of one
+    traced run (what ``--profile`` would show), and the disabled-tracing
+    overhead — spans the run *would* open times the measured cost of one
+    disabled ``span()`` call, relative to the packed-engine wall clock.
+    The product form is stable where an end-to-end re-run diff would
+    drown in scheduler noise.
+    """
+    from repro.obs import span, span_summary, tracing
+
+    module = make_module(MODULE_KIND, MODULE_WIDTH)
+    bits = _stream(module, record["n_patterns"])
+    simulator = PowerSimulator(module.compiled, engine="packed")
+    with tracing.trace("bench.simulate", engine="packed") as ctx:
+        simulator.simulate(bits)
+    record["span_summary"] = span_summary(ctx)
+    spans_opened = len(ctx.records()) - 1  # minus the bench root span
+
+    n = 20_000
+    started = time.perf_counter()
+    for _ in range(n):
+        with span("bench.noop"):
+            pass
+    disabled_cost = (time.perf_counter() - started) / n
+    overhead = spans_opened * disabled_cost / record["packed_seconds"]
+    record["tracing_spans"] = spans_opened
+    record["tracing_disabled_overhead"] = overhead
+    assert overhead < 0.02, (
+        f"disabled-tracing overhead {overhead * 100:.3f}% breaks "
+        f"the 2% budget"
+    )
+    return record
+
+
 def append_entry(record, path=BENCH_FILE):
     """Append one measurement to the JSON trajectory file."""
     entries = []
@@ -136,6 +172,10 @@ def main():
     print(f"  bool   engine: {record['bool_seconds'] * 1e3:8.1f} ms")
     print(f"  packed engine: {record['packed_seconds'] * 1e3:8.1f} ms")
     print(f"  speedup:       {record['speedup']:8.2f}x  (parity verified)")
+    measure_observability(record)
+    print(f"  tracing:       {record['tracing_spans']:8d} spans/run, "
+          f"disabled overhead "
+          f"{record['tracing_disabled_overhead'] * 100:.3f}% (< 2% budget)")
     path = append_entry(record)
     print(f"  recorded in {path}")
 

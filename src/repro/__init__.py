@@ -28,6 +28,11 @@ paper-vs-measured record.
 __version__ = "1.0.0"
 
 __all__ = [
+    # The public facade (PR 5) — the documented front door.
+    "Session",
+    "api",
+    "obs",
+    # Subpackages.
     "circuit",
     "cli",
     "core",
@@ -36,6 +41,27 @@ __all__ = [
     "modules",
     "opt",
     "runtime",
+    "serve",
     "signals",
     "stats",
+    "verify",
 ]
+
+_LAZY = {"Session": ("repro.api", "Session")}
+
+
+def __getattr__(name):
+    # Lazy so that ``import repro`` stays light: the facade pulls in
+    # numpy-heavy layers only when actually touched.
+    if name in _LAZY:
+        import importlib
+
+        module_name, attribute = _LAZY[name]
+        value = getattr(importlib.import_module(module_name), attribute)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -32,6 +32,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .._compat import pop_renamed_kwarg
+from ..obs.events import EVENTS
+from ..obs.tracing import span
 from .compiled import CompiledNetlist
 from .netlist import Netlist
 from .packed import (
@@ -136,8 +139,19 @@ class PowerSimulator:
         glitch_aware: bool = True,
         glitch_weight: float = 1.0,
         chunk_size: Optional[int] = None,
-        engine: str = "auto",
+        engine: Optional[str] = None,
+        **legacy,
     ):
+        # PR 5 rename: ``simulation_engine=`` → ``engine=`` (warns once).
+        engine = pop_renamed_kwarg(
+            legacy, "simulation_engine", "engine", "PowerSimulator", engine
+        )
+        if legacy:
+            raise TypeError(
+                f"unexpected keyword arguments: {sorted(legacy)}"
+            )
+        if engine is None:
+            engine = "auto"
         if isinstance(netlist, CompiledNetlist):
             self.compiled = netlist
         else:
@@ -217,36 +231,45 @@ class PowerSimulator:
         # network), so it is carried across chunks instead of re-settled.
         boundary: Optional[np.ndarray] = None
         chunk_size = self._resolve_chunk(engine)
-        for start in range(0, n_cycles, chunk_size):
-            stop = min(start + chunk_size, n_cycles)
-            old_vecs = input_bits[start:stop]
-            new_vecs = input_bits[start + 1 : stop + 1]
-            toggles, functional, boundary = run_chunk(
-                old_vecs, new_vecs, boundary, need_functional
-            )
-            # Integer counts are converted to float64 once, up front: the
-            # conversion is exact (counts are tiny), routes the matmul
-            # through BLAS instead of numpy's slow integer inner loop, and
-            # keeps every arithmetic step dtype-identical for both engines
-            # (the bit-for-bit parity contract).
-            toggles_f = toggles.astype(np.float64)
-            if need_functional:
-                # Split functional toggles (settled-value changes, full
-                # swing) from glitch toggles (extra transitions, partial
-                # swing weighted by glitch_weight).
-                functional_f = functional.astype(np.float64)
-                glitch = toggles_f - functional_f
-                weighted = functional_f + self.glitch_weight * glitch
-                charge[start:stop] = caps @ weighted
-            else:
-                charge[start:stop] = caps @ toggles_f
-            total[start:stop] = toggles.sum(axis=0, dtype=np.int64)
+        with span("sim.stream", engine=engine, n_cycles=n_cycles):
+            for start in range(0, n_cycles, chunk_size):
+                stop = min(start + chunk_size, n_cycles)
+                old_vecs = input_bits[start:stop]
+                new_vecs = input_bits[start + 1 : stop + 1]
+                with span("sim.chunk", rows=stop - start):
+                    toggles, functional, boundary = run_chunk(
+                        old_vecs, new_vecs, boundary, need_functional
+                    )
+                    # Integer counts are converted to float64 once, up
+                    # front: the conversion is exact (counts are tiny),
+                    # routes the matmul through BLAS instead of numpy's
+                    # slow integer inner loop, and keeps every arithmetic
+                    # step dtype-identical for both engines (the
+                    # bit-for-bit parity contract).
+                    toggles_f = toggles.astype(np.float64)
+                    if need_functional:
+                        # Split functional toggles (settled-value changes,
+                        # full swing) from glitch toggles (extra
+                        # transitions, partial swing weighted by
+                        # glitch_weight).
+                        functional_f = functional.astype(np.float64)
+                        glitch = toggles_f - functional_f
+                        weighted = functional_f + self.glitch_weight * glitch
+                        charge[start:stop] = caps @ weighted
+                    else:
+                        charge[start:stop] = caps @ toggles_f
+                    total[start:stop] = toggles.sum(axis=0, dtype=np.int64)
+        seconds = time.perf_counter() - started
+        total_toggles = int(total.sum())
         self.last_stats = SimulationStats(
             engine=engine,
             n_cycles=n_cycles,
-            total_toggles=int(total.sum()),
-            seconds=time.perf_counter() - started,
+            total_toggles=total_toggles,
+            seconds=seconds,
         )
+        EVENTS.sim_transitions.inc(n_cycles, engine=engine)
+        EVENTS.sim_toggles.inc(total_toggles)
+        EVENTS.sim_seconds.inc(seconds)
         return PowerTrace(charge=charge, total_toggles=total)
 
     # ------------------------------------------------------------------

@@ -6,6 +6,9 @@ Usage examples::
     repro-power characterize --kind csa_multiplier --width 8 -o model.json
     repro-power characterize --kind ripple_adder,csa_multiplier \\
         --width 4,8,16 --jobs 4 --cache
+    repro-power characterize --kind ripple_adder --width 8 --json
+    repro-power characterize --kind ripple_adder --width 8 \\
+        --profile trace.json   # Chrome about://tracing artifact
     repro-power cache stats
     repro-power estimate --model model.json --kind csa_multiplier \\
         --width 8 --data-type III
@@ -22,6 +25,16 @@ Usage examples::
 The ``table``/``figure``/``reproduce`` subcommands regenerate the paper's
 evaluation artifacts (see EXPERIMENTS.md); ``--scale small`` trades
 fidelity for speed.
+
+Machine-facing conventions (see docs/API.md):
+
+* ``--json`` on ``characterize``/``estimate``/``verify fuzz`` prints one
+  JSON envelope on stdout — ``{"status", "command", "elapsed_seconds",
+  ..., "artifacts"}`` — with all human chatter on stderr.
+* ``--profile PATH`` wraps the command in a trace and writes a Chrome
+  ``about://tracing`` JSON to PATH (plus a span tree on stderr).
+* Exit codes: 0 success, 1 partial/complete failure (failed jobs,
+  fuzz mismatches, 5xx), 2 usage errors.
 """
 
 from __future__ import annotations
@@ -73,6 +86,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output",
                    help="write the model as JSON (with several jobs: a "
                         "directory, one <kind>_<width>[_enhanced].json each)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="print one machine-readable result envelope on "
+                        "stdout (status, per-job results, artifacts)")
+    p.add_argument("--profile", metavar="PATH",
+                   help="trace the run and write a Chrome about://tracing "
+                        "JSON to PATH")
 
     p = sub.add_parser(
         "cache", help="inspect the persistent characterization cache"
@@ -99,6 +118,11 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="also run the gate-level reference simulation")
     p.add_argument("--vdd", type=float, help="report watts at this supply")
     p.add_argument("--f-clk", type=float, default=50e6)
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="print one machine-readable result envelope")
+    p.add_argument("--profile", metavar="PATH",
+                   help="trace the run and write a Chrome about://tracing "
+                        "JSON to PATH")
 
     p = sub.add_parser("verilog", help="export a module as structural Verilog")
     p.add_argument("--kind", required=True)
@@ -147,6 +171,9 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="report mismatches without minimizing them")
     p.add_argument("--artifacts", default="artifacts/repros",
                    help="directory for generated repro scripts")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="print one machine-readable result envelope "
+                        "(progress and chatter go to stderr)")
 
     p = sub.add_parser(
         "serve",
@@ -216,6 +243,30 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _emit_envelope(args, command, status, started, payload, artifacts=()):
+    """Print the one-object ``--json`` envelope on stdout.
+
+    Every machine-facing subcommand shares this shape so callers can
+    parse results uniformly: ``status`` is "ok" or "failed", timings are
+    wall-clock, and ``artifacts`` lists every file the command wrote
+    (model JSON, Chrome traces, repro scripts).
+    """
+    import json
+    import time
+
+    envelope = {
+        "status": status,
+        "command": command,
+        "elapsed_seconds": round(time.perf_counter() - started, 6),
+    }
+    envelope.update(payload)
+    artifacts = [str(a) for a in artifacts if a]
+    if getattr(args, "profile", None):
+        artifacts.append(str(args.profile))
+    envelope["artifacts"] = artifacts
+    print(json.dumps(envelope, indent=2))
+
+
 def _make_harness(scale: str):
     from .eval import ExperimentConfig, Harness
 
@@ -273,12 +324,15 @@ def _cmd_list_modules(args) -> int:
 
 
 def _cmd_characterize(args) -> int:
+    import time
     from pathlib import Path
 
     from .core.serialize import save_model
     from .eval import ExperimentConfig
     from .runtime import CharacterizationJob, ModelCache, characterize_jobs
 
+    started = time.perf_counter()
+    info = sys.stderr if args.as_json else sys.stdout
     kinds = [k.strip() for k in args.kind.split(",") if k.strip()]
     try:
         widths = [int(w) for w in args.width.split(",") if w.strip()]
@@ -300,34 +354,86 @@ def _cmd_characterize(args) -> int:
     cache = None
     if args.cache or args.cache_dir:
         cache = ModelCache(args.cache_dir)
+    # strict=False: one bad job no longer aborts the batch — failed jobs
+    # are reported per-job and turn the exit code to 1.
     report = characterize_jobs(
-        jobs, config=config, n_jobs=args.jobs, cache=cache
+        jobs, config=config, jobs=args.jobs, cache=cache, strict=False
     )
+    artifacts = []
     for job, result in zip(report.jobs, report.results):
+        if result is None:
+            continue
         model = result.model
         print(f"characterized {model.name}: {result.n_patterns} patterns"
-              f" (converged: {result.converged})")
+              f" (converged: {result.converged})", file=info)
         print(f"total average deviation eps = "
-              f"{model.total_average_deviation * 100:.1f}%")
-        print("p_i:", np.array2string(model.coefficients, precision=1))
+              f"{model.total_average_deviation * 100:.1f}%", file=info)
+        print("p_i:", np.array2string(model.coefficients, precision=1),
+              file=info)
+    for job, error in zip(report.jobs, report.errors):
+        if error is not None:
+            print(f"error: {job.label} failed: {error}", file=sys.stderr)
     if args.output:
         if len(jobs) == 1:
             result = report.results[0]
-            target = result.enhanced if args.enhanced else result.model
-            save_model(args.output, target)
-            print(f"model written to {args.output}")
+            if result is not None:
+                target = result.enhanced if args.enhanced else result.model
+                save_model(args.output, target)
+                artifacts.append(args.output)
+                print(f"model written to {args.output}", file=info)
         else:
             directory = Path(args.output)
             directory.mkdir(parents=True, exist_ok=True)
             for job, result in zip(report.jobs, report.results):
+                if result is None:
+                    continue
                 target = result.enhanced if args.enhanced else result.model
                 suffix = "_enhanced" if args.enhanced else ""
                 path = directory / f"{job.kind}_{job.width}{suffix}.json"
                 save_model(path, target)
-            print(f"{len(jobs)} models written to {directory}")
+                artifacts.append(path)
+            print(f"{len(artifacts)} models written to {directory}",
+                  file=info)
     if cache is not None or args.jobs > 1 or len(jobs) > 1:
-        print(report.summary())
-    return 0
+        print(report.summary(), file=info)
+    if args.as_json:
+        records = []
+        for job, result, error in zip(
+            report.jobs, report.results, report.errors
+        ):
+            record = {
+                "kind": job.kind,
+                "width": job.width,
+                "enhanced": job.enhanced,
+                "label": job.label,
+                "status": "ok" if result is not None else "failed",
+            }
+            if result is not None:
+                record.update(
+                    n_patterns=result.n_patterns,
+                    converged=bool(result.converged),
+                    epsilon=float(result.model.total_average_deviation),
+                    coefficients=[
+                        float(c) for c in result.model.coefficients
+                    ],
+                )
+            else:
+                record["error"] = error
+            records.append(record)
+        _emit_envelope(
+            args, "characterize",
+            "ok" if not report.failures else "failed",
+            started,
+            {
+                "jobs": records,
+                "failures": report.failures,
+                "cache_hits": report.cache_hits,
+                "cache_misses": report.cache_misses,
+                "workers": report.n_workers,
+            },
+            artifacts,
+        )
+    return 1 if report.failures else 0
 
 
 def _cmd_cache(args) -> int:
@@ -365,6 +471,8 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_estimate(args) -> int:
+    import time
+
     from .circuit import OperatingPoint, PowerSimulator
     from .core import PowerEstimator, characterize_module
     from .core.serialize import load_model
@@ -373,6 +481,8 @@ def _cmd_estimate(args) -> int:
     from .modules import make_module
     from .signals import make_operand_streams, module_stimulus
 
+    started = time.perf_counter()
+    info = sys.stderr if args.as_json else sys.stdout
     module = make_module(args.kind, args.width)
     enhanced = None
     if args.model:
@@ -408,13 +518,25 @@ def _cmd_estimate(args) -> int:
         estimate = estimator.estimate_analytic_from_streams(
             module, streams, use_distribution=False
         )
-    print(f"method            : {estimate.method}")
-    print(f"estimated charge  : {estimate.average_charge:.2f} per cycle")
+    print(f"method            : {estimate.method}", file=info)
+    print(f"estimated charge  : {estimate.average_charge:.2f} per cycle",
+          file=info)
+    payload = {
+        "kind": args.kind,
+        "width": args.width,
+        "data_type": args.data_type,
+        "method": estimate.method,
+        "average_charge": float(estimate.average_charge),
+        "n_patterns": args.patterns,
+    }
     if args.vdd:
         op = OperatingPoint(vdd=args.vdd, f_clk=args.f_clk)
         watts = op.average_power(estimate.average_charge)
         print(f"estimated power   : {watts * 1e6:.2f} uW "
-              f"@ {args.vdd}V, {args.f_clk / 1e6:.0f}MHz")
+              f"@ {args.vdd}V, {args.f_clk / 1e6:.0f}MHz", file=info)
+        payload["power_watts"] = float(watts)
+        payload["vdd"] = args.vdd
+        payload["f_clk"] = args.f_clk
     if args.reference:
         bits = module_stimulus(module, streams)
         reference = PowerSimulator(
@@ -422,7 +544,11 @@ def _cmd_estimate(args) -> int:
         ).simulate(bits)
         err = (estimate.average_charge / reference.average_charge - 1) * 100
         print(f"reference charge  : {reference.average_charge:.2f} "
-              f"(error {err:+.1f}%)")
+              f"(error {err:+.1f}%)", file=info)
+        payload["reference_charge"] = float(reference.average_charge)
+        payload["reference_error_percent"] = float(err)
+    if args.as_json:
+        _emit_envelope(args, "estimate", "ok", started, payload)
     return 0
 
 
@@ -478,8 +604,12 @@ def _cmd_budget(args) -> int:
 
 
 def _cmd_verify(args) -> int:
+    import time
+
     from .verify import run_fuzz
 
+    started = time.perf_counter()
+    info = sys.stderr if args.as_json else sys.stdout
     kinds = None
     if args.kinds:
         from .modules import module_kinds
@@ -498,9 +628,28 @@ def _cmd_verify(args) -> int:
         oracle_prefix=args.oracle_prefix,
         shrink=not args.no_shrink,
         artifacts_dir=args.artifacts,
-        progress=print,
+        progress=lambda line: print(line, file=info),
     )
-    print(report.summary())
+    print(report.summary(), file=info)
+    if args.as_json:
+        _emit_envelope(
+            args, "verify fuzz",
+            "ok" if report.ok else "failed",
+            started,
+            {
+                "n_cases": report.n_cases,
+                "n_transitions": report.n_transitions,
+                "budget": report.budget,
+                "seed": report.seed,
+                "kind_counts": report.kind_counts,
+                "mismatches": [
+                    {"check": m.check, "case": m.case.to_dict(),
+                     "detail": m.detail}
+                    for m in report.mismatches
+                ],
+            },
+            report.repro_paths,
+        )
     return 0 if report.ok else 1
 
 
@@ -650,7 +799,22 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    handler = _COMMANDS[args.command]
+    profile_path = getattr(args, "profile", None)
+    if not profile_path:
+        return handler(args)
+
+    # --profile: run the whole command under a trace, then emit both the
+    # Chrome about://tracing artifact and a human span tree (stderr, so
+    # --json output on stdout stays a single parseable object).
+    from .obs import profile_tree, tracing, write_chrome
+
+    with tracing.trace(f"cli.{args.command}") as ctx:
+        code = handler(args)
+    write_chrome(ctx, profile_path)
+    print(profile_tree(ctx), file=sys.stderr)
+    print(f"profile written to {profile_path}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

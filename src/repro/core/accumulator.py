@@ -32,6 +32,9 @@ from typing import Any, Dict
 
 import numpy as np
 
+from ..obs.events import EVENTS
+from ..obs.tracing import span
+
 
 class ClassAccumulator:
     """Running ``(hd, stable_zeros)`` subclass statistics of a charge stream.
@@ -88,6 +91,17 @@ class ClassAccumulator:
             raise ValueError("hd, stable_zeros and charge must align")
         if hd.size == 0:
             return self
+        EVENTS.fit_updates.inc()
+        EVENTS.fit_samples.inc(int(hd.size))
+        with span("fit.update", samples=int(hd.size)):
+            return self._update(hd, stable_zeros, charge)
+
+    def _update(
+        self,
+        hd: np.ndarray,
+        stable_zeros: np.ndarray,
+        charge: np.ndarray,
+    ) -> "ClassAccumulator":
         if hd.min() < 0 or hd.max() > self.width:
             raise ValueError(f"Hd values out of range 0..{self.width}")
         if stable_zeros.min() < 0 or np.any(hd + stable_zeros > self.width):

@@ -16,8 +16,11 @@ from typing import List, Optional
 
 import numpy as np
 
+from .._compat import pop_renamed_kwarg
 from ..circuit.power import PowerSimulator
 from ..modules.library import DatapathModule
+from ..obs.events import EVENTS
+from ..obs.tracing import span
 from .accumulator import ClassAccumulator
 from .enhanced import EnhancedHdModel
 from .events import classify_transitions
@@ -173,7 +176,8 @@ def characterize_module(
     glitch_weight: float = 1.0,
     stimulus: str = "uniform_hd",
     max_patterns: Optional[int] = None,
-    engine: str = "auto",
+    engine: Optional[str] = None,
+    **legacy,
 ) -> CharacterizationResult:
     """Characterize one module prototype with random patterns.
 
@@ -206,6 +210,14 @@ def characterize_module(
     Returns:
         A :class:`CharacterizationResult`.
     """
+    # PR 5 rename: ``simulation_engine=`` → ``engine=`` (warns once).
+    engine = pop_renamed_kwarg(
+        legacy, "simulation_engine", "engine", "characterize_module", engine
+    )
+    if legacy:
+        raise TypeError(f"unexpected keyword arguments: {sorted(legacy)}")
+    if engine is None:
+        engine = "auto"
     if max_patterns is None:
         max_patterns = 4 * n_patterns
     generators = {
@@ -235,38 +247,50 @@ def characterize_module(
     consumed = 0
     last_vector: Optional[np.ndarray] = None
 
-    while consumed < max_patterns:
-        batch = min(batch_size, max_patterns - consumed)
-        bits = make_bits(batch, width, seed=int(rng.integers(0, 2**31)))
-        if last_vector is not None:
-            # Stitch batches so no transition is lost at the seam.
-            bits = np.vstack([last_vector[None, :], bits])
-        last_vector = bits[-1]
-        consumed += batch
-        trace = simulator.simulate(bits)
-        events = classify_transitions(bits)
-        accumulator.update(events.hd, events.stable_zeros, trace.charge)
+    with span(
+        "characterize", module=module.netlist.name, width=width,
+        stimulus=stimulus, enhanced=enhanced,
+    ):
+        while consumed < max_patterns:
+            batch = min(batch_size, max_patterns - consumed)
+            with span("characterize.batch", rows=batch):
+                bits = make_bits(
+                    batch, width, seed=int(rng.integers(0, 2**31))
+                )
+                if last_vector is not None:
+                    # Stitch batches so no transition is lost at the seam.
+                    bits = np.vstack([last_vector[None, :], bits])
+                last_vector = bits[-1]
+                consumed += batch
+                trace = simulator.simulate(bits)
+                events = classify_transitions(bits)
+                accumulator.update(
+                    events.hd, events.stable_zeros, trace.charge
+                )
 
-        counts = accumulator.hd_counts
-        current = accumulator.hd_means()
-        if previous is not None:
-            # Observed means equal the refit coefficients exactly, and the
-            # check only ever looks at well-populated classes, so the
-            # interpolated entries a full fit would add are irrelevant.
-            mask = counts >= min_class_count
-            mask[0] = False
-            if mask.any():
-                prev = previous[mask]
-                cur = current[mask]
-                denom = np.where(np.abs(prev) > 0, np.abs(prev), 1.0)
-                change = float(np.max(np.abs(cur - prev) / denom))
-            else:
-                change = float("inf")
-            history.append(change)
-            if consumed >= n_patterns and change < tolerance:
-                converged = True
-                break
-        previous = current
+            counts = accumulator.hd_counts
+            current = accumulator.hd_means()
+            if previous is not None:
+                # Observed means equal the refit coefficients exactly, and
+                # the check only ever looks at well-populated classes, so
+                # the interpolated entries a full fit would add are
+                # irrelevant.
+                mask = counts >= min_class_count
+                mask[0] = False
+                if mask.any():
+                    prev = previous[mask]
+                    cur = current[mask]
+                    denom = np.where(np.abs(prev) > 0, np.abs(prev), 1.0)
+                    change = float(np.max(np.abs(cur - prev) / denom))
+                else:
+                    change = float("inf")
+                history.append(change)
+                if consumed >= n_patterns and change < tolerance:
+                    converged = True
+                    break
+            previous = current
+    EVENTS.characterize_runs.inc()
+    EVENTS.characterize_patterns.inc(consumed)
 
     if converged:
         reason = "converged"

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.events import EVENTS
 from ..stats.bitstats import (
     hamming_distances,
     stable_one_counts,
@@ -51,9 +52,12 @@ def classify_transitions(bits: np.ndarray) -> TransitionEvents:
         bits: ``[n, m]`` boolean input-vector matrix (n >= 2).
     """
     bits = np.asarray(bits, dtype=bool)
-    return TransitionEvents(
+    events = TransitionEvents(
         width=bits.shape[1],
         hd=hamming_distances(bits),
         stable_zeros=stable_zero_counts(bits),
         stable_ones=stable_one_counts(bits),
     )
+    EVENTS.classify_passes.inc()
+    EVENTS.classify_cycles.inc(events.n_cycles)
+    return events

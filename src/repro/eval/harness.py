@@ -17,6 +17,7 @@ import numpy as np
 
 from ..circuit.power import PowerSimulator, PowerTrace
 from ..core.characterize import CharacterizationResult, characterize_module
+from ..obs.tracing import span
 from ..core.events import TransitionEvents, classify_transitions
 from ..core.metrics import average_error, cycle_error
 from ..modules.library import DatapathModule, make_module
@@ -211,17 +212,21 @@ class Harness:
                 self.counters["characterization_misses"] += 1
             module = self.module(kind, width)
             started = time.perf_counter()
-            result = characterize_module(
-                module,
-                n_patterns=self.config.n_characterization,
-                seed=seed,
+            with span(
+                "harness.characterize", kind=kind, width=width,
                 enhanced=enhanced,
-                glitch_aware=self.config.glitch_aware,
-                glitch_weight=self.config.glitch_weight,
-                stimulus=(self.config.enhanced_stimulus if enhanced
-                          else self.config.basic_stimulus),
-                engine=getattr(self.config, "engine", "auto"),
-            )
+            ):
+                result = characterize_module(
+                    module,
+                    n_patterns=self.config.n_characterization,
+                    seed=seed,
+                    enhanced=enhanced,
+                    glitch_aware=self.config.glitch_aware,
+                    glitch_weight=self.config.glitch_weight,
+                    stimulus=(self.config.enhanced_stimulus if enhanced
+                              else self.config.basic_stimulus),
+                    engine=getattr(self.config, "engine", "auto"),
+                )
             self.counters["characterize_seconds"] += (
                 time.perf_counter() - started
             )
@@ -288,8 +293,13 @@ class Harness:
         enhanced: bool = False,
     ) -> EvaluationRow:
         """Model-vs-reference errors for one module and data type."""
-        characterization = self.characterization(kind, width, enhanced=enhanced)
-        events, trace = self.evaluation_data(kind, width, data_type)
+        with span(
+            "harness.evaluate", kind=kind, width=width, data_type=data_type,
+        ):
+            characterization = self.characterization(
+                kind, width, enhanced=enhanced
+            )
+            events, trace = self.evaluation_data(kind, width, data_type)
         basic = characterization.model.predict_cycle(events.hd)
         row = dict(
             kind=kind,

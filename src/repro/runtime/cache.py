@@ -33,6 +33,7 @@ import numpy as np
 
 from ..circuit.power import PowerTrace
 from ..core.accumulator import ClassAccumulator
+from ..obs.events import EVENTS
 from ..core.characterize import (
     CHARACTERIZATION_VERSION,
     CharacterizationResult,
@@ -175,6 +176,7 @@ class ModelCache:
             # the poisoned record cannot be served again.
             path.unlink(missing_ok=True)
         self.quarantined += 1
+        EVENTS.cache_quarantined.inc()
 
     def _demote_to_quarantined_miss(self, key: str) -> None:
         """Turn an already counted hit into a quarantined miss.
@@ -185,6 +187,10 @@ class ModelCache:
         """
         self.hits -= 1
         self.misses += 1
+        # The global counters are monotonic, so the earlier hit cannot be
+        # retracted; record the demotion as its own outcome instead
+        # (true hits = hit - demoted when aggregating).
+        EVENTS.cache_lookups.inc(result="demoted")
         self._quarantine(key)
 
     def load(self, key: str) -> Optional[Dict[str, Any]]:
@@ -198,25 +204,30 @@ class ModelCache:
         try:
             record = json.loads(path.read_text())
         except FileNotFoundError:
-            self.misses += 1
+            self._count_miss()
             return None
         except (ValueError, UnicodeDecodeError):
             # json.JSONDecodeError is a ValueError; UnicodeDecodeError
             # covers non-text garbage.
             self._quarantine(key)
-            self.misses += 1
+            self._count_miss()
             return None
         if not isinstance(record, dict):
             self._quarantine(key)
-            self.misses += 1
+            self._count_miss()
             return None
         if record.get("format") != CACHE_FORMAT_VERSION:
             # Valid record of another layout generation: plain miss, the
             # file may still be readable by other tooling.
-            self.misses += 1
+            self._count_miss()
             return None
         self.hits += 1
+        EVENTS.cache_lookups.inc(result="hit")
         return record
+
+    def _count_miss(self) -> None:
+        self.misses += 1
+        EVENTS.cache_lookups.inc(result="miss")
 
     def store(
         self, key: str, payload: Dict[str, Any], meta: Dict[str, Any]
@@ -241,6 +252,7 @@ class ModelCache:
         finally:
             tmp.unlink(missing_ok=True)
         self.stores += 1
+        EVENTS.cache_stores.inc()
         return path
 
     # ------------------------------------------------------------------

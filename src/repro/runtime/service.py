@@ -25,8 +25,10 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from .._compat import warn_once
 from ..core.characterize import CharacterizationResult, characterize_module
 from ..modules.library import make_module
+from ..obs import tracing
 from .cache import ModelCache
 
 
@@ -134,40 +136,60 @@ def _config_params(config: Any) -> Dict[str, Any]:
 
 
 def _run_job(
-    kind: str, width: int, enhanced: bool, params: Dict[str, Any]
-) -> CharacterizationResult:
-    """Worker entry point (module-level so the pool can pickle it)."""
-    module = make_module(kind, width)
-    return characterize_module(
-        module,
-        n_patterns=params["n_characterization"],
-        seed=characterization_seed(params["seed"], width, enhanced, kind),
-        enhanced=enhanced,
-        glitch_aware=params["glitch_aware"],
-        glitch_weight=params["glitch_weight"],
-        stimulus=(
-            params["enhanced_stimulus"] if enhanced
-            else params["basic_stimulus"]
-        ),
-        engine=params.get("engine", "auto"),
-    )
+    kind: str,
+    width: int,
+    enhanced: bool,
+    params: Dict[str, Any],
+    trace_token: Optional[Dict[str, Any]] = None,
+) -> Tuple[CharacterizationResult, Optional[Dict[str, Any]]]:
+    """Worker entry point (module-level so the pool can pickle it).
+
+    ``trace_token`` is the explicit cross-process trace handoff: a worker
+    re-activates the parent's trace with it and ships its span records
+    back as the second element, which the parent grafts in via
+    :meth:`~repro.obs.TraceContext.absorb`.  Inline (same-process) calls
+    pass ``None`` — their spans land in the caller's active context
+    directly and the payload is ``None``.
+    """
+    with tracing.remote_trace(trace_token) as trace_ctx:
+        module = make_module(kind, width)
+        result = characterize_module(
+            module,
+            n_patterns=params["n_characterization"],
+            seed=characterization_seed(
+                params["seed"], width, enhanced, kind
+            ),
+            enhanced=enhanced,
+            glitch_aware=params["glitch_aware"],
+            glitch_weight=params["glitch_weight"],
+            stimulus=(
+                params["enhanced_stimulus"] if enhanced
+                else params["basic_stimulus"]
+            ),
+            engine=params.get("engine", "auto"),
+        )
+    return result, trace_ctx.payload() if trace_ctx is not None else None
 
 
 def characterize_jobs(
-    jobs: Sequence[CharacterizationJob],
+    requests: Optional[Sequence[CharacterizationJob]] = None,
     config: Any = None,
-    n_jobs: int = 1,
+    jobs: Any = 1,
     cache: Optional[ModelCache] = None,
     strict: bool = True,
+    **legacy,
 ) -> ServiceReport:
     """Characterize many modules, in parallel, behind the persistent cache.
 
     Args:
-        jobs: Jobs to run; results come back in the same order.
+        requests: Jobs to run; results come back in the same order.
+            (Known as ``jobs=`` before PR 5; the old keyword still works
+            with a :class:`DeprecationWarning`.)
         config: An :class:`~repro.eval.harness.ExperimentConfig` (or any
             object with the same characterization attributes).  Defaults to
             the stock configuration.
-        n_jobs: Worker processes; 1 runs inline (no pool, no pickling).
+        jobs: Worker processes; 1 runs inline (no pool, no pickling).
+            (``n_jobs=`` before PR 5.)
         cache: Persistent cache consulted before — and filled after —
             simulating.  ``None`` disables disk caching.
         strict: When True (default) the first job failure raises.  When
@@ -178,81 +200,126 @@ def characterize_jobs(
     Returns:
         A :class:`ServiceReport` with per-call hit/miss/failure counters.
     """
+    # PR 5 renames.  Two legacy spellings collide on the name ``jobs``:
+    # the request list used to *be* the ``jobs=`` keyword, while the
+    # worker count was ``n_jobs=``.  A sequence passed as ``jobs=`` is
+    # therefore the legacy request list, an int is the worker count.
+    if "n_jobs" in legacy:
+        warn_once(
+            "characterize_jobs:n_jobs",
+            "characterize_jobs: keyword 'n_jobs=' is deprecated, "
+            "use 'jobs='",
+        )
+        value = legacy.pop("n_jobs")
+        if isinstance(jobs, int):
+            jobs = value
+    if legacy:
+        raise TypeError(f"unexpected keyword arguments: {sorted(legacy)}")
+    if not isinstance(jobs, int):
+        warn_once(
+            "characterize_jobs:jobs",
+            "characterize_jobs: passing the job list as 'jobs=' is "
+            "deprecated, use 'requests='",
+        )
+        if requests is None:
+            requests = jobs
+        jobs = 1
+    if requests is None:
+        raise TypeError("characterize_jobs() missing the 'requests' list")
     if config is None:
         # Imported lazily: eval is a higher layer that itself imports
         # runtime, so a module-level import would be circular.
         from ..eval.harness import ExperimentConfig
 
         config = ExperimentConfig()
-    jobs = tuple(jobs)
-    if n_jobs < 1:
-        raise ValueError("n_jobs must be >= 1")
+    requests = tuple(requests)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
     params = _config_params(config)
     started = time.perf_counter()
-    report = ServiceReport(jobs=jobs, n_workers=n_jobs)
-    results: List[Optional[CharacterizationResult]] = [None] * len(jobs)
-    errors: List[Optional[str]] = [None] * len(jobs)
+    report = ServiceReport(jobs=requests, n_workers=jobs)
+    results: List[Optional[CharacterizationResult]] = [None] * len(requests)
+    errors: List[Optional[str]] = [None] * len(requests)
 
-    pending: List[Tuple[int, CharacterizationJob, Optional[str]]] = []
-    for index, job in enumerate(jobs):
-        key = None
-        if cache is not None:
-            key = cache.characterization_key(
-                job.kind, job.width, job.enhanced, config,
-                characterization_seed(
-                    config.seed, job.width, job.enhanced, job.kind
-                ),
-            )
-            cached = cache.load_characterization(key)
-            if cached is not None:
-                results[index] = cached
-                report.cache_hits += 1
-                continue
-        pending.append((index, job, key))
-    report.cache_misses = len(pending) if cache is not None else 0
+    with tracing.span(
+        "service.characterize_jobs", requests=len(requests), workers=jobs
+    ):
+        pending: List[Tuple[int, CharacterizationJob, Optional[str]]] = []
+        for index, job in enumerate(requests):
+            key = None
+            if cache is not None:
+                key = cache.characterization_key(
+                    job.kind, job.width, job.enhanced, config,
+                    characterization_seed(
+                        config.seed, job.width, job.enhanced, job.kind
+                    ),
+                )
+                cached = cache.load_characterization(key)
+                if cached is not None:
+                    results[index] = cached
+                    report.cache_hits += 1
+                    continue
+            pending.append((index, job, key))
+        report.cache_misses = len(pending) if cache is not None else 0
 
-    if pending:
-        if n_jobs == 1 or len(pending) == 1:
-            computed = []
-            for _, job, _ in pending:
-                try:
-                    computed.append(
-                        _run_job(job.kind, job.width, job.enhanced, params)
-                    )
-                except Exception as exc:
-                    if strict:
-                        raise
-                    computed.append(exc)
-        else:
-            with ProcessPoolExecutor(
-                max_workers=min(n_jobs, len(pending))
-            ) as pool:
-                futures = [
-                    pool.submit(
-                        _run_job, job.kind, job.width, job.enhanced, params
-                    )
-                    for _, job, _ in pending
-                ]
+        if pending:
+            trace_ctx = tracing.current()
+            if jobs == 1 or len(pending) == 1:
                 computed = []
-                for future in futures:
+                for _, job, _ in pending:
                     try:
-                        computed.append(future.result())
+                        # Inline: spans land in the active context
+                        # directly, no token round-trip needed.
+                        result, _payload = _run_job(
+                            job.kind, job.width, job.enhanced, params
+                        )
+                        computed.append(result)
                     except Exception as exc:
                         if strict:
                             raise
                         computed.append(exc)
-        for (index, job, key), result in zip(pending, computed):
-            if isinstance(result, Exception):
-                report.failures += 1
-                errors[index] = f"{type(result).__name__}: {result}"
-                continue
-            results[index] = result
-            if cache is not None and key is not None:
-                cache.store_characterization(
-                    key, result,
-                    meta={"kind": job.kind, "width": job.width,
-                          "enhanced": job.enhanced},
-                )
+            else:
+                # Explicit cross-process handoff: contextvars do not
+                # survive pickling, so each worker gets a token and ships
+                # its span records back with the result.
+                token = tracing.worker_token()
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(pending))
+                ) as pool:
+                    futures = [
+                        pool.submit(
+                            _run_job, job.kind, job.width, job.enhanced,
+                            params, token,
+                        )
+                        for _, job, _ in pending
+                    ]
+                    computed = []
+                    for future in futures:
+                        try:
+                            result, payload = future.result()
+                            if trace_ctx is not None:
+                                trace_ctx.absorb(
+                                    payload,
+                                    parent=token.get("parent")
+                                    if token else None,
+                                )
+                            computed.append(result)
+                        except Exception as exc:
+                            if strict:
+                                raise
+                            computed.append(exc)
+            for (index, job, key), result in zip(pending, computed):
+                if isinstance(result, Exception):
+                    report.failures += 1
+                    errors[index] = f"{type(result).__name__}: {result}"
+                    continue
+                results[index] = result
+                if cache is not None and key is not None:
+                    cache.store_characterization(
+                        key, result,
+                        meta={"kind": job.kind, "width": job.width,
+                              "enhanced": job.enhanced},
+                    )
 
     report.results = results
     report.errors = errors

@@ -34,6 +34,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.estimator import EstimationResult
+from ..obs import tracing
+from ..obs.events import EVENTS
 from ..stats.wordstats import WordStats
 from .metrics import ServeMetrics
 from .registry import ServedModel
@@ -141,21 +143,32 @@ class MicroBatcher:
         self.metrics.batch_flush_total.inc(reason=reason)
         self.metrics.batch_size.observe(len(batch))
         loop = asyncio.get_running_loop()
+        # Executor threads do not inherit contextvars — tracing.wrap
+        # captures the flusher's context (size-triggered flushes run in
+        # the requester's context, timeout flushes in the loop's) so the
+        # batch.flush span lands in the active trace, if any.
         task = loop.run_in_executor(
-            self.executor, self._compute, queue.served,
-            [p.bits for p in batch],
+            self.executor,
+            tracing.wrap(
+                self._compute, queue.served, [p.bits for p in batch], reason
+            ),
         )
         task.add_done_callback(
             lambda done, batch=batch: self._deliver(done, batch)
         )
 
     def _compute(
-        self, served: ServedModel, matrices: List[np.ndarray]
+        self, served: ServedModel, matrices: List[np.ndarray],
+        reason: str = "size",
     ) -> List[EstimationResult]:
-        results = served.estimator.estimate_batch_from_bits(matrices)
+        with tracing.span(
+            "batch.flush", model=served.name, size=len(matrices),
+            reason=reason,
+        ):
+            results = served.estimator.estimate_batch_from_bits(matrices)
         cycles = sum(max(m.shape[0] - 1, 0) for m in matrices)
-        self.metrics.engine_cycles_total.inc(cycles)
-        self.metrics.engine_requests_total.inc(len(matrices))
+        EVENTS.batch_cycles.inc(cycles)
+        EVENTS.batch_requests.inc(len(matrices))
         return results
 
     @staticmethod

@@ -97,6 +97,7 @@ async def http_request(
     method: str,
     path: str,
     body: Optional[bytes] = None,
+    headers: Optional[Dict[str, str]] = None,
 ) -> Tuple[int, bytes]:
     """One keep-alive HTTP/1.1 exchange over an open connection."""
     head = [
@@ -104,6 +105,8 @@ async def http_request(
         "Host: loadgen",
         "Connection: keep-alive",
     ]
+    for name, value in (headers or {}).items():
+        head.append(f"{name}: {value}")
     if body is not None:
         head.append("Content-Type: application/json")
         head.append(f"Content-Length: {len(body)}")

@@ -1,272 +1,36 @@
-"""Process-local metrics: counters, gauges and fixed-bucket histograms.
+"""Serving-layer metrics, rendered over the shared ``repro.obs`` registry.
 
-A deliberately small, dependency-free subset of the Prometheus client
-data model — enough for the serving layer to expose hit rates, queue
-depths, batch-size distributions and latency histograms at ``/metrics``
-in the Prometheus text exposition format.  All metric types are
-thread-safe: the server observes from the event loop *and* from executor
-threads (batch flushes, characterization loads).
+The metric primitives (:class:`Counter`, :class:`Gauge`,
+:class:`Histogram`, :class:`MetricsRegistry`) live in
+:mod:`repro.obs.events` since PR 5 and are re-exported here unchanged for
+back-compat.  :class:`ServeMetrics` keeps the serve-local series
+(request latency, admission, registry, batching) in a private registry,
+and its ``/metrics`` page is now a *renderer* over both that registry
+and the process-global :data:`~repro.obs.events.EVENTS` counters — the
+engine-level series (``repro_batch_requests_total`` etc.) are defined
+exactly once, in ``repro.obs``, and merely exposed here.
 
-Histograms use fixed, caller-chosen bucket boundaries; cumulative bucket
-counts are computed at render time, so ``observe`` stays a dict increment
-under a lock.
+``engine_cycles_total`` / ``engine_requests_total`` remain as attribute
+aliases to the shared ``repro_batch_*`` counters so existing dashboards
+and call sites keep working; they are no longer independent series.
 """
 
 from __future__ import annotations
 
-import threading
-from bisect import bisect_left
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict
 
-#: Latency buckets (seconds) sized for an in-process estimation service:
-#: sub-millisecond fast paths up to multi-second characterization misses.
-LATENCY_BUCKETS: Tuple[float, ...] = (
-    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
-    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+from ..obs.events import (  # noqa: F401  (re-exports: public back-compat)
+    BATCH_SIZE_BUCKETS,
+    Counter,
+    EVENTS,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    _format_labels,
+    _format_value,
+    _Metric,
 )
-
-#: Batch-size buckets (requests per flush).
-BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
-
-
-def _format_value(value: float) -> str:
-    """Prometheus-style number rendering (integers without trailing .0)."""
-    if value == int(value) and abs(value) < 1e15:
-        return str(int(value))
-    return repr(float(value))
-
-
-def _format_labels(label_names: Sequence[str], values: Tuple[str, ...]) -> str:
-    if not label_names:
-        return ""
-    pairs = []
-    for name, value in zip(label_names, values):
-        escaped = (
-            str(value).replace("\\", r"\\").replace('"', r"\"")
-            .replace("\n", r"\n")
-        )
-        pairs.append(f'{name}="{escaped}"')
-    return "{" + ",".join(pairs) + "}"
-
-
-class _Metric:
-    """Shared name/help/label plumbing for all metric types."""
-
-    kind = "untyped"
-
-    def __init__(self, name: str, help_text: str,
-                 label_names: Sequence[str] = ()):
-        self.name = name
-        self.help_text = help_text
-        self.label_names = tuple(label_names)
-        self._lock = threading.Lock()
-
-    def _key(self, labels: Dict[str, str]) -> Tuple[str, ...]:
-        if set(labels) != set(self.label_names):
-            raise ValueError(
-                f"{self.name} expects labels {self.label_names}, "
-                f"got {tuple(labels)}"
-            )
-        return tuple(str(labels[name]) for name in self.label_names)
-
-    def header(self) -> List[str]:
-        return [
-            f"# HELP {self.name} {self.help_text}",
-            f"# TYPE {self.name} {self.kind}",
-        ]
-
-
-class Counter(_Metric):
-    """Monotonically increasing counter, optionally labelled."""
-
-    kind = "counter"
-
-    def __init__(self, name, help_text, label_names=()):
-        super().__init__(name, help_text, label_names)
-        self._values: Dict[Tuple[str, ...], float] = {}
-
-    def inc(self, amount: float = 1.0, **labels: str) -> None:
-        if amount < 0:
-            raise ValueError("counters only go up")
-        key = self._key(labels)
-        with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
-
-    def value(self, **labels: str) -> float:
-        with self._lock:
-            return self._values.get(self._key(labels), 0.0)
-
-    def total(self) -> float:
-        """Sum over every label combination."""
-        with self._lock:
-            return sum(self._values.values())
-
-    def render(self) -> List[str]:
-        lines = self.header()
-        with self._lock:
-            items = sorted(self._values.items())
-        for key, value in items:
-            labels = _format_labels(self.label_names, key)
-            lines.append(f"{self.name}{labels} {_format_value(value)}")
-        if not items and not self.label_names:
-            lines.append(f"{self.name} 0")
-        return lines
-
-
-class Gauge(_Metric):
-    """Settable value (queue depth, in-flight requests)."""
-
-    kind = "gauge"
-
-    def __init__(self, name, help_text, label_names=()):
-        super().__init__(name, help_text, label_names)
-        self._values: Dict[Tuple[str, ...], float] = {}
-
-    def set(self, value: float, **labels: str) -> None:
-        key = self._key(labels)
-        with self._lock:
-            self._values[key] = float(value)
-
-    def inc(self, amount: float = 1.0, **labels: str) -> None:
-        key = self._key(labels)
-        with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
-
-    def dec(self, amount: float = 1.0, **labels: str) -> None:
-        self.inc(-amount, **labels)
-
-    def value(self, **labels: str) -> float:
-        with self._lock:
-            return self._values.get(self._key(labels), 0.0)
-
-    def render(self) -> List[str]:
-        lines = self.header()
-        with self._lock:
-            items = sorted(self._values.items())
-        for key, value in items:
-            labels = _format_labels(self.label_names, key)
-            lines.append(f"{self.name}{labels} {_format_value(value)}")
-        if not items and not self.label_names:
-            lines.append(f"{self.name} 0")
-        return lines
-
-
-class Histogram(_Metric):
-    """Fixed-bucket histogram with Prometheus cumulative rendering."""
-
-    kind = "histogram"
-
-    def __init__(self, name, help_text, buckets: Sequence[float],
-                 label_names=()):
-        super().__init__(name, help_text, label_names)
-        if not buckets or list(buckets) != sorted(buckets):
-            raise ValueError("buckets must be a non-empty ascending sequence")
-        self.buckets = tuple(float(b) for b in buckets)
-        # Per label set: per-bucket counts (+1 overflow slot), sum, count.
-        self._counts: Dict[Tuple[str, ...], List[int]] = {}
-        self._sums: Dict[Tuple[str, ...], float] = {}
-
-    def observe(self, value: float, **labels: str) -> None:
-        key = self._key(labels)
-        index = bisect_left(self.buckets, value)
-        with self._lock:
-            counts = self._counts.get(key)
-            if counts is None:
-                counts = [0] * (len(self.buckets) + 1)
-                self._counts[key] = counts
-                self._sums[key] = 0.0
-            counts[index] += 1
-            self._sums[key] += value
-
-    def count(self, **labels: str) -> int:
-        with self._lock:
-            counts = self._counts.get(self._key(labels))
-            return sum(counts) if counts else 0
-
-    def quantile(self, q: float, **labels: str) -> Optional[float]:
-        """Bucket upper-bound estimate of the q-quantile (for /healthz)."""
-        with self._lock:
-            counts = self._counts.get(self._key(labels))
-            if not counts or sum(counts) == 0:
-                return None
-            target = q * sum(counts)
-            running = 0
-            for index, bucket_count in enumerate(counts):
-                running += bucket_count
-                if running >= target:
-                    if index < len(self.buckets):
-                        return self.buckets[index]
-                    return float("inf")
-        return None
-
-    def render(self) -> List[str]:
-        lines = self.header()
-        with self._lock:
-            items = sorted(self._counts.items())
-            sums = dict(self._sums)
-        for key, counts in items:
-            cumulative = 0
-            for bound, bucket_count in zip(self.buckets, counts):
-                cumulative += bucket_count
-                labels = _format_labels(
-                    self.label_names + ("le",),
-                    key + (_format_value(bound),),
-                )
-                lines.append(f"{self.name}_bucket{labels} {cumulative}")
-            cumulative += counts[-1]
-            labels = _format_labels(
-                self.label_names + ("le",), key + ("+Inf",)
-            )
-            lines.append(f"{self.name}_bucket{labels} {cumulative}")
-            base = _format_labels(self.label_names, key)
-            lines.append(
-                f"{self.name}_sum{base} {_format_value(sums[key])}"
-            )
-            lines.append(f"{self.name}_count{base} {cumulative}")
-        return lines
-
-
-class MetricsRegistry:
-    """Ordered collection of metrics rendered as one /metrics page."""
-
-    def __init__(self):
-        self._metrics: Dict[str, _Metric] = {}
-        self._lock = threading.Lock()
-
-    def _register(self, metric: _Metric) -> _Metric:
-        with self._lock:
-            if metric.name in self._metrics:
-                raise ValueError(f"duplicate metric {metric.name!r}")
-            self._metrics[metric.name] = metric
-        return metric
-
-    def counter(self, name: str, help_text: str,
-                label_names: Sequence[str] = ()) -> Counter:
-        return self._register(Counter(name, help_text, label_names))
-
-    def gauge(self, name: str, help_text: str,
-              label_names: Sequence[str] = ()) -> Gauge:
-        return self._register(Gauge(name, help_text, label_names))
-
-    def histogram(self, name: str, help_text: str,
-                  buckets: Sequence[float],
-                  label_names: Sequence[str] = ()) -> Histogram:
-        return self._register(
-            Histogram(name, help_text, buckets, label_names)
-        )
-
-    def get(self, name: str) -> Optional[_Metric]:
-        with self._lock:
-            return self._metrics.get(name)
-
-    def render(self) -> str:
-        """The full Prometheus text exposition page."""
-        with self._lock:
-            metrics: Iterable[_Metric] = list(self._metrics.values())
-        lines: List[str] = []
-        for metric in metrics:
-            lines.extend(metric.render())
-        return "\n".join(lines) + "\n"
 
 
 class ServeMetrics:
@@ -320,15 +84,40 @@ class ServeMetrics:
             "serve_batch_flush_total", "Batch flushes by trigger.",
             ("reason",),
         )
-        # Engine counters (SimulationStats-style, summed over flushes).
-        self.engine_cycles_total = r.counter(
-            "serve_engine_cycles_total",
-            "Transition cycles classified by the estimation engine.",
+        # Tracing exemplar: the most recent traced request's span rollup.
+        self.traced_requests_total = r.counter(
+            "serve_traced_requests_total",
+            "Requests that carried X-Repro-Trace and were traced.",
         )
-        self.engine_requests_total = r.counter(
-            "serve_engine_requests_total",
-            "Estimation requests processed by the batch engine.",
+        self.trace_span_seconds = r.gauge(
+            "serve_trace_span_seconds",
+            "Total seconds per span name in the most recent traced "
+            "request (exemplar, not an aggregate).",
+            ("span",),
         )
+        # Engine counters: aliases onto the shared repro.obs series —
+        # defined once in EVENTS, rendered below with the global set.
+        self.engine_cycles_total = EVENTS.batch_cycles
+        self.engine_requests_total = EVENTS.batch_requests
+
+    def note_trace(self, ctx: Any) -> None:
+        """Record a traced request: bump the counter, refresh the exemplar.
+
+        ``ctx`` is a :class:`repro.obs.TraceContext`; the per-span-name
+        totals of this trace overwrite the previous exemplar gauges.
+        """
+        from ..obs.export import span_summary
+
+        self.traced_requests_total.inc()
+        for name, entry in span_summary(ctx).items():
+            self.trace_span_seconds.set(entry["total_s"], span=name)
 
     def render(self) -> str:
-        return self.registry.render()
+        """Serve-local series followed by the shared repro.obs counters."""
+        return self.registry.render() + EVENTS.render()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat view of both registries (serve-local + shared)."""
+        flat = self.registry.snapshot()
+        flat.update(EVENTS.snapshot())
+        return flat

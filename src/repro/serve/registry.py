@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.estimator import PowerEstimator
 from ..core.regression import fit_width_regression
 from ..modules.library import MODULE_KINDS, DatapathModule, make_module
+from ..obs.tracing import span
 from ..runtime.cache import ModelCache
 from ..runtime.service import CharacterizationJob, characterize_jobs
 from .metrics import ServeMetrics
@@ -175,8 +176,11 @@ class ModelRegistry:
                 self._inflight[key] = slot
                 leader = True
         if not leader:
-            self.metrics.registry_coalesced_total.inc()
-            slot.event.wait()
+            # Single-flight follower: the wait is worth a span of its own
+            # — coalesced time is latency the leader's load imposes.
+            with span("registry.coalesce", key="/".join(map(str, key))):
+                self.metrics.registry_coalesced_total.inc()
+                slot.event.wait()
             if slot.error is not None:
                 raise slot.error
             assert slot.model is not None
@@ -184,10 +188,14 @@ class ModelRegistry:
 
         started = time.perf_counter()
         try:
-            if resolved == "exact":
-                model = self._materialize_exact(kind, width, enhanced)
-            else:
-                model = self._materialize_regressed(kind, width)
+            with span(
+                "registry.materialize",
+                key="/".join(map(str, key)), mode=resolved,
+            ):
+                if resolved == "exact":
+                    model = self._materialize_exact(kind, width, enhanced)
+                else:
+                    model = self._materialize_regressed(kind, width)
         except BaseException as exc:
             slot.error = exc
             with self._lock:
@@ -211,7 +219,7 @@ class ModelRegistry:
     ) -> ServedModel:
         job = CharacterizationJob(kind=kind, width=width, enhanced=enhanced)
         report = characterize_jobs(
-            [job], config=self.config, n_jobs=1, cache=self.cache,
+            [job], config=self.config, jobs=1, cache=self.cache,
             strict=False,
         )
         result = report.results[0]

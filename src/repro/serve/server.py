@@ -45,6 +45,8 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from ..modules.library import module_kinds
+from ..obs import tracing
+from ..obs.export import chrome_trace, span_summary
 from .batching import MicroBatcher
 from .metrics import ServeMetrics
 from .registry import (
@@ -303,6 +305,32 @@ class EstimationServer:
     async def _dispatch(
         self, request: _Request
     ) -> Tuple[int, Any, Dict[str, str]]:
+        traced = request.headers.get("x-repro-trace", "").lower() not in (
+            "", "0", "false", "no",
+        )
+        if not traced:
+            return await self._dispatch_inner(request)
+        # X-Repro-Trace: activate a trace for this request's lifetime.
+        # contextvars flow into the awaited estimation path (and into
+        # wait_for's task); executor hops are covered by tracing.wrap in
+        # _get_model and the batcher.
+        with tracing.trace(
+            "serve.request", method=request.method, path=request.path
+        ) as ctx:
+            status, payload, extra = await self._dispatch_inner(request)
+        self.metrics.note_trace(ctx)
+        if isinstance(payload, dict):
+            payload = dict(payload)
+            payload["trace"] = {
+                "trace_id": ctx.trace_id,
+                "spans": span_summary(ctx),
+                "chrome": chrome_trace(ctx),
+            }
+        return status, payload, extra
+
+    async def _dispatch_inner(
+        self, request: _Request
+    ) -> Tuple[int, Any, Dict[str, str]]:
         loop = asyncio.get_running_loop()
         started = loop.time()
         endpoint = "other"
@@ -464,9 +492,12 @@ class EstimationServer:
     async def _get_model(self, kind, width, enhanced, mode):
         loop = asyncio.get_running_loop()
         try:
+            # Explicit context handoff: executor threads do not inherit
+            # contextvars, so a traced request's registry spans would be
+            # lost without the wrap.
             return await loop.run_in_executor(
                 self._load_pool,
-                self.registry.get, kind, width, enhanced, mode,
+                tracing.wrap(self.registry.get, kind, width, enhanced, mode),
             )
         except UnknownKindError as error:
             raise ApiError(404, "unknown_kind", str(error))

@@ -1,0 +1,83 @@
+"""Disabled-tracing overhead guard.
+
+The acceptance budget is < 2% on ``make bench-sim``.  Wall-clock ratio
+tests on a shared CI box are too noisy to pin at 2%, so the guard is
+decomposed into two stable measurements:
+
+1. the absolute cost of one *disabled* ``span()`` call (the only thing
+   instrumentation adds to a hot path when no trace is active), and
+2. the number of spans an instrumented simulate run would open,
+
+whose product must sit far below 2% of the measured simulate time.  The
+benchmark itself re-measures the end-to-end ratio (see
+``benchmarks/bench_simulate.py``).
+"""
+
+import time
+
+import numpy as np
+
+from repro.obs import span, tracing
+
+
+def _best_of(fn, repeats=5):
+    return min(fn() for _ in range(repeats))
+
+
+def test_disabled_span_is_cheap():
+    assert tracing.current() is None
+    n = 20_000
+
+    def timed():
+        start = time.perf_counter()
+        for _ in range(n):
+            with span("guard.noop", rows=1):
+                pass
+        return time.perf_counter() - start
+
+    per_call = _best_of(timed) / n
+    # ~0.5 µs on commodity hardware; 20 µs still keeps any realistic
+    # span density far under budget.
+    assert per_call < 20e-6, f"disabled span cost {per_call * 1e6:.2f} µs"
+
+
+def test_disabled_overhead_under_two_percent_of_simulate(ripple8, rng):
+    """Span-count x span-cost must be < 2% of the simulate time it taxes."""
+    assert tracing.current() is None
+    bits = rng.integers(0, 2, size=(600, ripple8.input_bits)).astype(bool)
+    simulator_args = dict(engine="bool", chunk_size=64)
+
+    from repro.circuit import PowerSimulator
+
+    simulator = PowerSimulator(ripple8.compiled, **simulator_args)
+
+    def timed():
+        start = time.perf_counter()
+        simulator.simulate(bits)
+        return time.perf_counter() - start
+
+    sim_seconds = _best_of(timed)
+
+    # Count the spans the same workload opens when tracing IS on.
+    with tracing.trace("count"):
+        simulator.simulate(bits)
+        spans_opened = len(tracing.current().records()) - 1
+
+    n = 20_000
+    start = time.perf_counter()
+    for _ in range(n):
+        with span("guard.noop"):
+            pass
+    disabled_cost = (time.perf_counter() - start) / n
+
+    overhead = spans_opened * disabled_cost / sim_seconds
+    assert overhead < 0.02, (
+        f"{spans_opened} spans x {disabled_cost * 1e6:.2f} µs "
+        f"= {overhead * 100:.3f}% of {sim_seconds * 1e3:.1f} ms simulate"
+    )
+
+
+def test_null_span_allocates_nothing():
+    first = span("a")
+    second = span("b", attr=1)
+    assert first is second  # the shared NULL_SPAN singleton

@@ -1,0 +1,161 @@
+"""Trace-context propagation: nesting, threads, process fan-out."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs import NULL_SPAN, TraceContext, span, trace, tracing
+
+
+def _by_name(ctx):
+    out = {}
+    for record in ctx.records():
+        out.setdefault(record["name"], []).append(record)
+    return out
+
+
+def test_span_without_trace_is_noop():
+    handle = span("never.recorded", rows=4)
+    assert handle is NULL_SPAN
+    with handle as live:
+        live.set(more=1)  # attribute calls are silently dropped
+    assert tracing.current() is None
+
+
+def test_nested_spans_record_parentage():
+    with trace("root", run=7) as ctx:
+        with span("outer"):
+            with span("inner", rows=3):
+                pass
+            with span("inner"):
+                pass
+    records = _by_name(ctx)
+    assert set(records) == {"root", "outer", "inner"}
+    root = records["root"][0]
+    outer = records["outer"][0]
+    assert root["parent"] is None
+    assert root["attrs"] == {"run": 7}
+    assert outer["parent"] == root["id"]
+    assert len(records["inner"]) == 2
+    assert all(r["parent"] == outer["id"] for r in records["inner"])
+    assert records["inner"][0]["attrs"] == {"rows": 3}
+    for record in ctx.records():
+        assert record["dur"] >= 0.0
+
+
+def test_trace_deactivates_after_block():
+    with trace("outer.block"):
+        assert tracing.current() is not None
+    assert tracing.current() is None
+    assert span("after") is NULL_SPAN
+
+
+def test_nested_trace_degrades_to_span():
+    """Library-level trace() inside a caller's trace must not restart."""
+    with trace("caller") as outer:
+        with trace("library.boundary") as inner:
+            assert inner is outer
+            with span("leaf"):
+                pass
+    records = _by_name(outer)
+    assert set(records) == {"caller", "library.boundary", "leaf"}
+    boundary = records["library.boundary"][0]
+    assert boundary["parent"] == records["caller"][0]["id"]
+    assert records["leaf"][0]["parent"] == boundary["id"]
+
+
+def test_span_attrs_can_be_set_late():
+    with trace("t") as ctx:
+        with span("work") as live:
+            live.set(result="ok", rows=12)
+    record = _by_name(ctx)["work"][0]
+    assert record["attrs"] == {"result": "ok", "rows": 12}
+
+
+def test_wrap_carries_context_into_executor_threads():
+    """Plain executor threads do not inherit contextvars; wrap() must."""
+
+    def unwrapped_probe():
+        return tracing.current()
+
+    def wrapped_work():
+        with span("thread.work"):
+            pass
+        return tracing.current()
+
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        with trace("threaded") as ctx:
+            assert pool.submit(unwrapped_probe).result() is None
+            assert pool.submit(tracing.wrap(wrapped_work)).result() is ctx
+    records = _by_name(ctx)
+    thread_record = records["thread.work"][0]
+    assert thread_record["parent"] == records["threaded"][0]["id"]
+    assert thread_record["tid"] != threading.get_ident()
+
+
+def test_worker_token_roundtrip_and_absorb():
+    """The process-handoff protocol, exercised without a real process."""
+    assert tracing.worker_token() is None
+
+    with trace("parent") as ctx:
+        token = tracing.worker_token()
+        assert token is not None
+        assert token["trace_id"] == ctx.trace_id
+        dispatch_parent = token["parent"]
+        assert dispatch_parent is not None  # the open root span
+
+        # Worker side normally runs in another process; a bare thread has
+        # the same property we rely on (fresh contextvars).
+        payload = {}
+
+        def worker():
+            with tracing.remote_trace(token) as worker_ctx:
+                with span("worker.unit", shard=1):
+                    pass
+            payload.update(worker_ctx.payload())
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        ctx.absorb(payload, parent=dispatch_parent)
+
+    records = _by_name(ctx)
+    assert set(records) == {"parent", "worker.unit"}
+    unit = records["worker.unit"][0]
+    assert unit["parent"] == dispatch_parent
+    local_ids = {r["id"] for r in records["parent"]}
+    assert unit["id"] not in local_ids  # remapped, no collisions
+
+
+def test_absorb_none_and_empty_payloads():
+    ctx = TraceContext()
+    ctx.absorb(None)
+    ctx.absorb({"trace_id": "x", "records": []})
+    assert ctx.records() == []
+
+
+def test_remote_trace_none_token_records_nothing():
+    with tracing.remote_trace(None) as ctx:
+        assert ctx is None
+        assert span("ignored") is NULL_SPAN
+
+
+def test_trace_context_propagates_across_process_fanout():
+    """End to end: characterize_jobs(jobs=2) workers feed the trace."""
+    from repro.eval import ExperimentConfig
+    from repro.runtime import CharacterizationJob, characterize_jobs
+
+    config = ExperimentConfig(n_characterization=200, seed=11)
+    jobs = [
+        CharacterizationJob("ripple_adder", 2),
+        CharacterizationJob("ripple_adder", 3),
+    ]
+    with trace("fanout") as ctx:
+        report = characterize_jobs(jobs, config=config, jobs=2)
+    assert report.failures == 0
+    records = _by_name(ctx)
+    # Worker-side spans were shipped back and re-parented locally.
+    assert len(records["characterize"]) == 2
+    assert "sim.stream" in records
+    service = records["service.characterize_jobs"][0]
+    for record in records["characterize"]:
+        assert record["parent"] == service["id"]

@@ -34,7 +34,7 @@ def test_job_label():
 
 
 def test_serial_matches_direct_characterization():
-    report = characterize_jobs(JOBS, config=CONFIG, n_jobs=1)
+    report = characterize_jobs(JOBS, config=CONFIG, jobs=1)
     assert len(report.results) == len(JOBS)
     assert report.cache_hits == 0 and report.cache_misses == 0
     for job, result in zip(JOBS, report.results):
@@ -56,8 +56,8 @@ def test_serial_matches_direct_characterization():
 
 
 def test_parallel_matches_serial():
-    serial = characterize_jobs(JOBS, config=CONFIG, n_jobs=1)
-    parallel = characterize_jobs(JOBS, config=CONFIG, n_jobs=2)
+    serial = characterize_jobs(JOBS, config=CONFIG, jobs=1)
+    parallel = characterize_jobs(JOBS, config=CONFIG, jobs=2)
     assert parallel.n_workers == 2
     for a, b in zip(serial.results, parallel.results):
         np.testing.assert_array_equal(
@@ -70,14 +70,14 @@ def test_parallel_matches_serial():
 def test_second_run_served_from_cache(tmp_path):
     """Acceptance: unchanged config -> all hits, zero simulator cycles."""
     cold = characterize_jobs(
-        JOBS, config=CONFIG, n_jobs=2, cache=ModelCache(tmp_path)
+        JOBS, config=CONFIG, jobs=2, cache=ModelCache(tmp_path)
     )
     assert cold.cache_hits == 0
     assert cold.cache_misses == len(JOBS)
 
     warm_cache = ModelCache(tmp_path)
     warm = characterize_jobs(
-        JOBS, config=CONFIG, n_jobs=2, cache=warm_cache
+        JOBS, config=CONFIG, jobs=2, cache=warm_cache
     )
     assert warm.cache_hits == len(JOBS)
     assert warm.cache_misses == 0
@@ -93,33 +93,33 @@ def test_second_run_served_from_cache(tmp_path):
 
 
 def test_changed_config_misses(tmp_path):
-    characterize_jobs(JOBS, config=CONFIG, n_jobs=1,
+    characterize_jobs(JOBS, config=CONFIG, jobs=1,
                       cache=ModelCache(tmp_path))
     changed = ExperimentConfig(n_characterization=301, seed=11)
-    report = characterize_jobs(JOBS, config=changed, n_jobs=1,
+    report = characterize_jobs(JOBS, config=changed, jobs=1,
                                cache=ModelCache(tmp_path))
     assert report.cache_hits == 0
     assert report.cache_misses == len(JOBS)
 
 
 def test_partial_hits(tmp_path):
-    characterize_jobs(JOBS[:1], config=CONFIG, n_jobs=1,
+    characterize_jobs(JOBS[:1], config=CONFIG, jobs=1,
                       cache=ModelCache(tmp_path))
-    report = characterize_jobs(JOBS, config=CONFIG, n_jobs=1,
+    report = characterize_jobs(JOBS, config=CONFIG, jobs=1,
                                cache=ModelCache(tmp_path))
     assert report.cache_hits == 1
     assert report.cache_misses == 1
     assert report.hit_rate == pytest.approx(0.5)
 
 
-def test_n_jobs_validation():
-    with pytest.raises(ValueError, match="n_jobs"):
-        characterize_jobs(JOBS, config=CONFIG, n_jobs=0)
+def test_jobs_validation():
+    with pytest.raises(ValueError, match="jobs"):
+        characterize_jobs(JOBS, config=CONFIG, jobs=0)
 
 
 def test_default_config_is_stock():
     report = characterize_jobs(
-        [CharacterizationJob("ripple_adder", 2)], n_jobs=1
+        [CharacterizationJob("ripple_adder", 2)], jobs=1
     )
     assert report.results[0].n_patterns >= 4000
 
@@ -170,11 +170,11 @@ def test_mixed_hit_miss_failure_counters(tmp_path):
     broken = CharacterizationJob("absval", 1)  # absval needs width >= 2
 
     # Warm the cache with only the first job.
-    characterize_jobs([good], config=CONFIG, n_jobs=1,
+    characterize_jobs([good], config=CONFIG, jobs=1,
                       cache=ModelCache(tmp_path))
 
     report = characterize_jobs(
-        [good, fresh, broken], config=CONFIG, n_jobs=1,
+        [good, fresh, broken], config=CONFIG, jobs=1,
         cache=ModelCache(tmp_path), strict=False,
     )
     assert report.cache_hits == 1
@@ -194,8 +194,8 @@ def test_mixed_failure_parallel_matches_serial(tmp_path):
         CharacterizationJob("absval", 1),
         CharacterizationJob("ripple_adder", 4),
     ]
-    serial = characterize_jobs(jobs, config=CONFIG, n_jobs=1, strict=False)
-    parallel = characterize_jobs(jobs, config=CONFIG, n_jobs=2, strict=False)
+    serial = characterize_jobs(jobs, config=CONFIG, jobs=1, strict=False)
+    parallel = characterize_jobs(jobs, config=CONFIG, jobs=2, strict=False)
     assert serial.failures == parallel.failures == 1
     for a, b in zip(serial.results, parallel.results):
         if a is None:
@@ -209,5 +209,5 @@ def test_mixed_failure_parallel_matches_serial(tmp_path):
 def test_strict_mode_still_raises():
     with pytest.raises(ValueError):
         characterize_jobs(
-            [CharacterizationJob("absval", 1)], config=CONFIG, n_jobs=1
+            [CharacterizationJob("absval", 1)], config=CONFIG, jobs=1
         )

@@ -273,3 +273,71 @@ def test_graceful_shutdown_leaves_no_thread():
     assert not thread._thread.is_alive()
     with pytest.raises(OSError):
         asyncio.run(asyncio.open_connection("127.0.0.1", port))
+
+
+# ----------------------------------------------------------------------
+# Per-request tracing: X-Repro-Trace opt-in (see docs/OBSERVABILITY.md)
+# ----------------------------------------------------------------------
+def traced_request(port, method, path, payload=None, headers=None):
+    body = json.dumps(payload).encode() if payload is not None else None
+
+    async def go():
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            return await http_request(
+                reader, writer, method, path, body, headers=headers
+            )
+        finally:
+            writer.close()
+
+    status, raw = asyncio.run(go())
+    return status, json.loads(raw) if raw.startswith(b"{") else raw.decode()
+
+
+def test_untraced_request_has_no_trace_payload(server):
+    status, answer = request(server.port, "POST", "/v1/estimate/bits", {
+        "kind": KIND, "width": WIDTH, "bits": _bits(rows=6),
+    })
+    assert status == 200
+    assert "trace" not in answer
+
+
+def test_traced_request_returns_span_summary_and_chrome(server):
+    from repro.obs import validate_chrome
+
+    bits = _bits(rows=8)
+    status, answer = traced_request(
+        server.port, "POST", "/v1/estimate/bits",
+        {"kind": KIND, "width": WIDTH, "bits": bits},
+        headers={"X-Repro-Trace": "1"},
+    )
+    assert status == 200
+    # The estimate itself is unchanged by tracing.
+    direct = server.server.registry.get(
+        KIND, WIDTH
+    ).estimator.estimate_from_bits(np.asarray(bits))
+    assert abs(answer["average_charge"] - direct.average_charge) <= 1e-9
+
+    trace = answer["trace"]
+    assert trace["trace_id"]
+    spans = trace["spans"]
+    assert "serve.request" in spans
+    assert "batch.flush" in spans  # thread-pool handoff kept the context
+    assert spans["serve.request"]["count"] == 1
+    assert validate_chrome(trace["chrome"]) == []
+
+    # The traced exemplar also lands on /metrics.
+    status, page = request(server.port, "GET", "/metrics")
+    assert status == 200
+    assert "serve_traced_requests_total" in page
+    assert 'serve_trace_span_seconds{span="serve.request"}' in page
+
+
+def test_trace_header_false_values_disable(server):
+    status, answer = traced_request(
+        server.port, "POST", "/v1/estimate/bits",
+        {"kind": KIND, "width": WIDTH, "bits": _bits(rows=6)},
+        headers={"X-Repro-Trace": "0"},
+    )
+    assert status == 200
+    assert "trace" not in answer

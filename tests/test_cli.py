@@ -288,3 +288,113 @@ def test_loadgen_against_server(tmp_path, capsys):
     report = json.loads(report_path.read_text())
     assert report["status_counts"] == {"200": 24}
     assert report["errors"] == 0
+
+
+# ----------------------------------------------------------------------
+# Machine-facing envelopes: --json and --profile (see docs/API.md)
+# ----------------------------------------------------------------------
+def test_characterize_json_envelope(tmp_path, capsys):
+    model_path = tmp_path / "model.json"
+    code = main([
+        "characterize", "--kind", "ripple_adder", "--width", "3",
+        "--patterns", "300", "-o", str(model_path), "--json",
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    envelope = json.loads(captured.out)  # stdout is ONE parseable object
+    assert envelope["status"] == "ok"
+    assert envelope["command"] == "characterize"
+    assert envelope["elapsed_seconds"] > 0
+    assert envelope["failures"] == 0
+    job = envelope["jobs"][0]
+    assert job["label"] == "ripple_adder/3"
+    assert job["status"] == "ok"
+    assert job["converged"] is True
+    assert len(job["coefficients"]) == 7
+    assert envelope["artifacts"] == [str(model_path)]
+    assert "characterized ripple_adder_3" in captured.err
+
+
+def test_characterize_json_partial_failure_exits_1(capsys):
+    code = main([
+        "characterize", "--kind", "ripple_adder,absval", "--width", "3",
+        "--patterns", "300", "--json",
+    ])
+    assert code == 0  # absval/3 is fine
+    capsys.readouterr()
+    code = main([
+        "characterize", "--kind", "absval", "--width", "1,3",
+        "--patterns", "300", "--json",
+    ])
+    assert code == 1
+    captured = capsys.readouterr()
+    envelope = json.loads(captured.out)
+    assert envelope["status"] == "failed"
+    assert envelope["failures"] == 1
+    statuses = {j["label"]: j["status"] for j in envelope["jobs"]}
+    assert statuses == {"absval/1": "failed", "absval/3": "ok"}
+    failed = [j for j in envelope["jobs"] if j["status"] == "failed"][0]
+    assert "width" in failed["error"]
+    assert "failed" in captured.err
+
+
+def test_characterize_partial_failure_without_json(capsys):
+    """Human mode also survives a bad job and exits 1."""
+    code = main([
+        "characterize", "--kind", "absval", "--width", "1,3",
+        "--patterns", "300",
+    ])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "characterized absval_3" in captured.out
+    assert "absval/1 failed" in captured.err
+
+
+def test_estimate_json_envelope(capsys):
+    code = main([
+        "estimate", "--kind", "ripple_adder", "--width", "3",
+        "--patterns", "300", "--json", "--vdd", "2.5",
+    ])
+    assert code == 0
+    envelope = json.loads(capsys.readouterr().out)
+    assert envelope["command"] == "estimate"
+    assert envelope["status"] == "ok"
+    assert envelope["method"] == "trace"
+    assert envelope["average_charge"] > 0
+    assert envelope["power_watts"] > 0
+
+
+def test_verify_fuzz_json_envelope(tmp_path, capsys):
+    code = main([
+        "verify", "fuzz", "--budget", "200", "--seed", "0",
+        "--artifacts", str(tmp_path), "--json",
+    ])
+    assert code == 0
+    envelope = json.loads(capsys.readouterr().out)
+    assert envelope["command"] == "verify fuzz"
+    assert envelope["status"] == "ok"
+    assert envelope["n_cases"] >= 1
+    assert envelope["mismatches"] == []
+
+
+def test_profile_writes_loadable_chrome_trace(tmp_path, capsys):
+    from repro.obs import validate_chrome
+
+    trace_path = tmp_path / "trace.json"
+    code = main([
+        "characterize", "--kind", "ripple_adder", "--width", "3",
+        "--patterns", "300", "--json", "--profile", str(trace_path),
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    envelope = json.loads(captured.out)
+    assert str(trace_path) in envelope["artifacts"]
+    loaded = json.loads(trace_path.read_text())
+    assert validate_chrome(loaded) == []
+    names = {e["name"] for e in loaded["traceEvents"]}
+    assert "cli.characterize" in names
+    assert "characterize" in names
+    assert "sim.stream" in names
+    # The human span tree goes to stderr, keeping stdout machine-clean.
+    assert "cli.characterize" in captured.err
+    assert "profile written" in captured.err
