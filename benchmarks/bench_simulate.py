@@ -1,7 +1,7 @@
-"""Simulation kernel benchmark: bit-packed engine vs boolean engine.
+"""Simulation kernel benchmark: compiled vs bit-packed vs boolean engine.
 
 Times a glitch-aware reference simulation of a 16-bit CSA multiplier under
-both engines, checks the bit-for-bit parity contract, and appends the
+all three engines, checks the bit-for-bit parity contract, and appends the
 measurement to ``BENCH_simulate.json`` at the repository root so the
 performance trajectory is tracked run over run.
 
@@ -49,15 +49,15 @@ def _best_of(simulator, bits, repeats=REPEATS):
 
 
 def run_comparison(n_patterns=N_PATTERNS, glitch_weight=1.0, repeats=REPEATS):
-    """Time both engines on the same stream; returns the result record.
+    """Time all three engines on the same stream; returns the record.
 
-    Raises ``AssertionError`` if the engines disagree — a benchmark of a
-    wrong kernel is worse than no benchmark.
+    Raises ``AssertionError`` if any engine disagrees with the boolean
+    reference — a benchmark of a wrong kernel is worse than no benchmark.
     """
     module = make_module(MODULE_KIND, MODULE_WIDTH)
     bits = _stream(module, n_patterns)
     traces, seconds = {}, {}
-    for engine in ("bool", "packed"):
+    for engine in ("bool", "packed", "compiled"):
         simulator = PowerSimulator(
             module.compiled,
             glitch_aware=True,
@@ -67,12 +67,13 @@ def run_comparison(n_patterns=N_PATTERNS, glitch_weight=1.0, repeats=REPEATS):
         traces[engine], seconds[engine] = _best_of(
             simulator, bits, repeats=repeats
         )
-    assert np.array_equal(
-        traces["bool"].charge, traces["packed"].charge
-    ), "engine parity broken: charge differs"
-    assert np.array_equal(
-        traces["bool"].total_toggles, traces["packed"].total_toggles
-    ), "engine parity broken: toggle counts differ"
+    for engine in ("packed", "compiled"):
+        assert np.array_equal(
+            traces["bool"].charge, traces[engine].charge
+        ), f"engine parity broken: charge differs (bool vs {engine})"
+        assert np.array_equal(
+            traces["bool"].total_toggles, traces[engine].total_toggles
+        ), f"engine parity broken: toggle counts differ (bool vs {engine})"
     return {
         "module": f"{MODULE_KIND}/{MODULE_WIDTH}",
         "n_patterns": n_patterns,
@@ -80,7 +81,9 @@ def run_comparison(n_patterns=N_PATTERNS, glitch_weight=1.0, repeats=REPEATS):
         "repeats": repeats,
         "bool_seconds": seconds["bool"],
         "packed_seconds": seconds["packed"],
+        "compiled_seconds": seconds["compiled"],
         "speedup": seconds["bool"] / seconds["packed"],
+        "compiled_speedup": seconds["packed"] / seconds["compiled"],
         "total_toggles": int(traces["bool"].total_toggles.sum()),
     }
 
@@ -157,6 +160,17 @@ def test_simulate_packed_engine(benchmark):
     assert trace.n_cycles == N_PATTERNS - 1
 
 
+def test_simulate_compiled_engine(benchmark):
+    from .conftest import run_once
+
+    module = make_module(MODULE_KIND, MODULE_WIDTH)
+    bits = _stream(module, N_PATTERNS)
+    simulator = PowerSimulator(module.compiled, engine="compiled")
+    simulator.simulate(bits[:130])  # warm: tape compile + native build
+    trace = run_once(benchmark, lambda: simulator.simulate(bits))
+    assert trace.n_cycles == N_PATTERNS - 1
+
+
 def test_engines_agree_at_benchmark_scale():
     record = run_comparison(n_patterns=1025, repeats=1)
     assert record["total_toggles"] > 0
@@ -169,9 +183,12 @@ def main():
         f"{N_PATTERNS - 1} transitions, glitch-aware, best of {REPEATS}"
     )
     record = run_comparison()
-    print(f"  bool   engine: {record['bool_seconds'] * 1e3:8.1f} ms")
-    print(f"  packed engine: {record['packed_seconds'] * 1e3:8.1f} ms")
-    print(f"  speedup:       {record['speedup']:8.2f}x  (parity verified)")
+    print(f"  bool     engine: {record['bool_seconds'] * 1e3:8.1f} ms")
+    print(f"  packed   engine: {record['packed_seconds'] * 1e3:8.1f} ms")
+    print(f"  compiled engine: {record['compiled_seconds'] * 1e3:8.1f} ms")
+    print(f"  speedup:         {record['speedup']:8.2f}x bool->packed, "
+          f"{record['compiled_speedup']:.2f}x packed->compiled "
+          f"(parity verified)")
     measure_observability(record)
     print(f"  tracing:       {record['tracing_spans']:8d} spans/run, "
           f"disabled overhead "

@@ -50,9 +50,9 @@ class Session:
             simulates; pass a path (or ``"default"`` for the standard
             ``~/.cache/repro-hd`` location) to enable
             characterize-once/evaluate-many.
-        engine: Simulation kernel: ``"auto"`` (default), ``"bool"`` or
-            ``"packed"``.  Engines are bit-identical by contract; this is
-            a speed knob.
+        engine: Simulation kernel: ``"auto"`` (default), ``"bool"``,
+            ``"packed"`` or ``"compiled"``.  Engines are bit-identical
+            by contract; this is a speed knob.
         jobs: Worker processes for multi-module characterization fan-out
             (``Session.characterize_many``); single characterizations run
             inline.

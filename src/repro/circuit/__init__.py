@@ -19,7 +19,9 @@ from .packed import (
     popcount,
     unpack_lanes,
 )
+from .native import native_status
 from .power import ENGINES, PowerSimulator, PowerTrace, SimulationStats
+from .program import BitwiseProgram, compile_program
 from .simulate import (
     evaluate_outputs,
     functional_values,
@@ -30,6 +32,7 @@ from .technology import GATE_TYPES, GateType, gate_type
 from .units import CAP_UNIT_FARAD, OperatingPoint
 
 __all__ = [
+    "BitwiseProgram",
     "CAP_UNIT_FARAD",
     "CONST0",
     "CONST1",
@@ -48,9 +51,11 @@ __all__ = [
     "PowerTrace",
     "SimulationStats",
     "ToggleAccumulator",
+    "compile_program",
     "evaluate_outputs",
     "functional_values",
     "gate_type",
+    "native_status",
     "net_power_breakdown",
     "pack_lanes",
     "packed_functional_values",

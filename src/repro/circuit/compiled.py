@@ -47,17 +47,23 @@ class CompiledNetlist:
         netlist: The source netlist.
         n_nets: Net count.
         depth: Longest path in gate levels (bounds unit-delay settling).
+        levels: Per-net topological level (intp, length ``n_nets``).
         level_groups: Gate groups ordered by (level, type) for single-pass
             zero-delay evaluation.
         type_groups: Gate groups keyed by type only, for synchronous
             unit-delay iteration.
+        type_group_positions: Per type group, the positions of its outputs
+            within ``gate_output_nets`` (compact staging indices).
         net_caps: Per-net switched capacitance (float64, length ``n_nets``).
     """
 
     def __init__(self, netlist: Netlist):
         self.netlist = netlist
         self.n_nets = netlist.n_nets
+        # levelize() memoizes on the netlist, so a validated netlist is
+        # not re-levelized here (it used to be computed twice per build).
         levels = netlist.levelize()
+        self.levels = np.asarray(levels, dtype=np.intp)
         self.depth = max(levels) if levels else 0
 
         # --- level-ordered groups (zero-delay single pass) ---
@@ -95,6 +101,13 @@ class CompiledNetlist:
         self.gate_output_nets = np.array(
             sorted(g.output for g in netlist.gates), dtype=np.intp
         )
+        # Position of each type group's outputs within gate_output_nets,
+        # so the unit-delay engines can stage writes into a compact
+        # [n_gates, ...] buffer instead of copying the full value matrix.
+        self.type_group_positions: List[np.ndarray] = [
+            np.searchsorted(self.gate_output_nets, group.outputs)
+            for group in self.type_groups
+        ]
 
     @property
     def input_nets(self) -> np.ndarray:

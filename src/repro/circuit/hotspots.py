@@ -23,6 +23,7 @@ from .packed import (
     packed_functional_values,
     packed_unit_delay_transition,
 )
+from .program import compile_program
 from .simulate import functional_values, unit_delay_transition
 
 
@@ -51,10 +52,13 @@ def net_power_breakdown(
         input_bits: ``[n, m]`` input vector stream.
         top: Keep only the ``top`` hottest nets (all when None).
         chunk_size: Vectorization batch size.
-        engine: ``"bool"``, ``"packed"`` or ``"auto"``.  The report only
-            needs per-net *totals*, so the packed engine never decodes
-            dense counts: each toggle bit-plane collapses straight through
-            ``popcount`` (:meth:`ToggleAccumulator.per_row_totals`).
+        engine: ``"bool"``, ``"packed"``, ``"compiled"`` or ``"auto"``.
+            The report only needs per-net *totals*, so the packed and
+            compiled engines never decode dense counts: each toggle
+            bit-plane collapses straight through ``popcount``
+            (:meth:`ToggleAccumulator.per_row_totals`; the compiled
+            engine's program-order totals are permuted back to net
+            order through ``row_of_net``).
 
     Returns:
         :class:`NetHotspot` list sorted by charge, highest first.
@@ -67,15 +71,28 @@ def net_power_breakdown(
     n_cycles = input_bits.shape[0] - 1
     if n_cycles < 1:
         raise ValueError("need at least 2 patterns")
-    if engine not in ("auto", "bool", "packed"):
+    if engine not in ("auto", "bool", "packed", "compiled"):
         raise ValueError(f"unknown engine {engine!r}")
     if engine == "auto":
         engine = "packed" if PACKED_AVAILABLE and n_cycles >= 64 else "bool"
-    if engine == "packed" and not PACKED_AVAILABLE:
-        raise ValueError("engine='packed' needs a little-endian host")
+    if engine in ("packed", "compiled") and not PACKED_AVAILABLE:
+        raise ValueError(f"engine={engine!r} needs a little-endian host")
+    program = compile_program(compiled) if engine == "compiled" else None
     toggles_total = np.zeros(compiled.n_nets, dtype=np.int64)
     for start in range(0, n_cycles, chunk_size):
         stop = min(start + chunk_size, n_cycles)
+        if engine == "compiled":
+            n_lanes = stop - start
+            n_words = n_words_for(n_lanes)
+            old_packed = pack_lanes(input_bits[start:stop].T, n_words)
+            new_packed = pack_lanes(
+                input_bits[start + 1 : stop + 1].T, n_words
+            )
+            settled = program.settle(old_packed, n_words)
+            _, accumulator, _ = program.relax(settled, new_packed)
+            row_totals = accumulator.per_row_totals(program.n_rows)
+            toggles_total += row_totals[program.row_of_net]
+            continue
         if engine == "packed":
             n_lanes = stop - start
             n_words = n_words_for(n_lanes)

@@ -22,6 +22,14 @@ from .technology import GATE_TYPES, GateType, gate_type
 CONST0 = 0
 CONST1 = 1
 
+#: Instrumentation of :meth:`Netlist.levelize`: ``gate_visits`` counts how
+#: many times a gate's level was computed since process start.  Kahn-style
+#: propagation touches every gate exactly once per call, so tests pin
+#: ``gate_visits == n_gates`` for a single levelization of any netlist —
+#: a regression guard against reintroducing the old quadratic
+#: scan-until-settled loop (O(gates x depth) on ripple-carry chains).
+LEVELIZE_STATS: Dict[str, int] = {"calls": 0, "gate_visits": 0, "cache_hits": 0}
+
 
 @dataclass(frozen=True)
 class Gate:
@@ -65,6 +73,17 @@ class Netlist:
     outputs: List[int]
     gates: List[Gate]
     net_names: Dict[int, str] = field(default_factory=dict)
+    # Memoized levelize() result plus the (n_nets, n_gates) shape it was
+    # computed for.  Rebuilding a netlist (builder, mutation helpers)
+    # creates a fresh instance, so staleness can only arise from in-place
+    # topology edits that keep both counts — call invalidate_levels()
+    # after such surgery.
+    _levels_cache: Optional[List[int]] = field(
+        default=None, repr=False, compare=False
+    )
+    _levels_key: Optional[Tuple[int, int]] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -140,39 +159,74 @@ class Netlist:
                 raise NetlistError(f"net {net} is undriven (dangling)")
         self.levelize()  # raises on cycles
 
+    def invalidate_levels(self) -> None:
+        """Drop the memoized :meth:`levelize` result after in-place edits."""
+        self._levels_cache = None
+        self._levels_key = None
+
     def levelize(self) -> List[int]:
         """Assign a topological level to every net.
 
         Constants and primary inputs are level 0; a gate output is one more
-        than the maximum level of its inputs.
+        than the maximum level of its inputs.  Kahn-style worklist
+        propagation — each gate is resolved exactly once when its last
+        pending input resolves, so the cost is O(nets + gate pins) rather
+        than one full scan of the remaining gates per level (which was
+        quadratic on ripple-carry chains).  The result is memoized on the
+        instance (``validate()`` and ``CompiledNetlist`` both need it;
+        without the memo every compile levelized twice).
 
         Returns:
-            Per-net level list.
+            Per-net level list (a copy; mutating it cannot corrupt the
+            memo).
 
         Raises:
             NetlistError: If the gate graph contains a combinational cycle.
         """
-        level: List[Optional[int]] = [None] * self.n_nets
-        level[CONST0] = level[CONST1] = 0
-        for net in self.inputs:
-            level[net] = 0
-        remaining = list(self.gates)
-        while remaining:
-            progressed = False
-            still: List[Gate] = []
-            for gate in remaining:
-                in_levels = [level[n] for n in gate.inputs]
-                if all(lv is not None for lv in in_levels):
-                    level[gate.output] = 1 + max(in_levels)  # type: ignore[arg-type]
-                    progressed = True
-                else:
-                    still.append(gate)
-            if not progressed:
-                raise NetlistError(
-                    f"combinational cycle involving {len(still)} gates"
-                )
-            remaining = still
-        return [lv if lv is not None else 0 for lv in level]
+        key = (self.n_nets, len(self.gates))
+        if self._levels_cache is not None and self._levels_key == key:
+            LEVELIZE_STATS["cache_hits"] += 1
+            return list(self._levels_cache)
+        LEVELIZE_STATS["calls"] += 1
+
+        level: List[int] = [0] * self.n_nets
+        # Pending gate-driven inputs per gate; gates fed only by constants
+        # and primary inputs seed the worklist.
+        gate_of_output: Dict[int, int] = {
+            g.output: i for i, g in enumerate(self.gates)
+        }
+        consumers: Dict[int, List[int]] = {}
+        pending = [0] * len(self.gates)
+        ready: List[int] = []
+        for index, gate in enumerate(self.gates):
+            count = 0
+            for net in gate.inputs:
+                if net in gate_of_output:
+                    count += 1
+                    consumers.setdefault(net, []).append(index)
+            pending[index] = count
+            if count == 0:
+                ready.append(index)
+
+        resolved = 0
+        while ready:
+            index = ready.pop()
+            gate = self.gates[index]
+            level[gate.output] = 1 + max(level[n] for n in gate.inputs)
+            resolved += 1
+            LEVELIZE_STATS["gate_visits"] += 1
+            for consumer in consumers.get(gate.output, ()):
+                pending[consumer] -= 1
+                if pending[consumer] == 0:
+                    ready.append(consumer)
+        if resolved != len(self.gates):
+            raise NetlistError(
+                f"combinational cycle involving "
+                f"{len(self.gates) - resolved} gates"
+            )
+        self._levels_cache = level
+        self._levels_key = key
+        return list(level)
 
     def depth(self) -> int:
         """Longest combinational path length, in gate levels."""

@@ -8,27 +8,32 @@ count.  Charge units are normalized (gate-capacitance units); the paper only
 ever compares relative errors against the reference simulator, never absolute
 numbers across tools.
 
-Two interchangeable kernels produce the trace (see docs/SIMULATION.md):
+Three interchangeable kernels produce the trace (see docs/SIMULATION.md):
 
 * ``engine="bool"`` — the original byte-per-value matrices of
   :mod:`repro.circuit.simulate`;
 * ``engine="packed"`` — the bit-packed kernels of
   :mod:`repro.circuit.packed`, 64 transitions per ``uint64`` word;
+* ``engine="compiled"`` — the straight-line instruction tape of
+  :mod:`repro.circuit.program`: the packed lane layout plus fused
+  (level, type) instructions and event-driven relaxation (no per-step
+  full-matrix work);
 * ``engine="auto"`` (default) — packed for streams long enough to fill
   words, boolean otherwise (and on hosts without packed support).
 
-Bit-for-bit parity between the engines is the contract: both feed the
-*identical* dense toggle matrices into the identical charge accounting, so
-``PowerTrace.charge`` and ``total_toggles`` match exactly, not just to
-tolerance.  The parity suite in ``tests/circuit/test_packed.py`` enforces
-this across every registered module kind.
+Bit-for-bit parity between the engines is the contract: all feed the
+*identical* dense toggle matrices (in net order) into the identical charge
+accounting, so ``PowerTrace.charge`` and ``total_toggles`` match exactly,
+not just to tolerance.  The parity suites in
+``tests/circuit/test_packed.py`` and ``tests/circuit/test_program.py``
+enforce this across every registered module kind.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -47,10 +52,12 @@ from .packed import (
     packed_unit_delay_transition,
     unpack_lanes,
 )
+from .native import decode_native, native_decode, native_tables
+from .program import compile_program, decode_planes
 from .simulate import functional_values, unit_delay_transition, zero_delay_toggles
 
 #: Engine names accepted by :class:`PowerSimulator`.
-ENGINES = ("auto", "bool", "packed")
+ENGINES = ("auto", "bool", "packed", "compiled")
 
 #: Default chunk sizes (transitions per vectorized batch) per engine.
 #: Equal on purpose: benchmarking showed the packed engine is *fastest* at
@@ -60,6 +67,7 @@ ENGINES = ("auto", "bool", "packed")
 #: summation order matches chunk by chunk).
 DEFAULT_CHUNK_BOOL = 2048
 DEFAULT_CHUNK_PACKED = 2048
+DEFAULT_CHUNK_COMPILED = 2048
 
 #: Streams shorter than this gain nothing from packing (the pack/unpack
 #: overhead exceeds one word's worth of lane parallelism).
@@ -71,7 +79,8 @@ class SimulationStats:
     """Telemetry of one :meth:`PowerSimulator.simulate` call.
 
     Attributes:
-        engine: Resolved engine that produced the trace ("bool"/"packed").
+        engine: Resolved engine that produced the trace
+            ("bool"/"packed"/"compiled").
         n_cycles: Transitions simulated.
         total_toggles: Sum of per-cycle toggle counts over the run.
         seconds: Wall-clock time of the call.
@@ -109,6 +118,18 @@ class PowerTrace:
         return float(self.charge.sum())
 
 
+def _totals(toggles: np.ndarray) -> np.ndarray:
+    """Per-cycle toggle totals from a ``uint8`` toggle matrix.
+
+    Exactly ``toggles.sum(axis=0, dtype=np.int64)`` — integer sums have a
+    single correct answer — but accumulating in ``uint32`` first keeps the
+    reduction in a quarter of the memory traffic, which is measurable at
+    chunk scale.  Safe while ``n_nets * 255 < 2**32`` (tens of millions of
+    nets; far beyond any module here).
+    """
+    return toggles.sum(axis=0, dtype=np.uint32).astype(np.int64)
+
+
 class PowerSimulator:
     """Per-cycle charge simulation for one combinational module.
 
@@ -126,7 +147,11 @@ class PowerSimulator:
             peak memory (``~3 * n_nets * chunk_size`` bytes of booleans, an
             eighth of that packed).  ``None`` picks an engine-appropriate
             default.
-        engine: ``"bool"``, ``"packed"`` or ``"auto"`` (see module doc).
+        engine: ``"bool"``, ``"packed"``, ``"compiled"`` or ``"auto"``
+            (see module doc).  ``"compiled"`` is opt-in: it shares the
+            packed lane layout (and its little-endian requirement) and is
+            the fastest on long streams, but ``"auto"`` stays conservative
+            and resolves to ``"packed"``.
 
     Attributes:
         last_stats: :class:`SimulationStats` of the most recent
@@ -167,12 +192,16 @@ class PowerSimulator:
         self.chunk_size = chunk_size
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
-        if engine == "packed" and not PACKED_AVAILABLE:
+        if engine in ("packed", "compiled") and not PACKED_AVAILABLE:
             raise ValueError(
-                "engine='packed' needs a little-endian host; use 'auto'"
+                f"engine={engine!r} needs a little-endian host; use 'auto'"
             )
         self.engine = engine
         self.last_stats: Optional[SimulationStats] = None
+        # Reusable buffers of the compiled engine's fused native path,
+        # keyed by (n_lanes, n_words); see _fused_buffers.
+        self._fused_cache: Dict[Tuple[int, int], Tuple[
+            np.ndarray, np.ndarray, np.ndarray]] = {}
 
     @property
     def n_inputs(self) -> int:
@@ -190,7 +219,10 @@ class PowerSimulator:
     def _resolve_chunk(self, engine: str) -> int:
         if self.chunk_size is not None:
             return self.chunk_size
-        return DEFAULT_CHUNK_PACKED if engine == "packed" else DEFAULT_CHUNK_BOOL
+        return {
+            "packed": DEFAULT_CHUNK_PACKED,
+            "compiled": DEFAULT_CHUNK_COMPILED,
+        }.get(engine, DEFAULT_CHUNK_BOOL)
 
     # ------------------------------------------------------------------
     def simulate(self, input_bits: np.ndarray) -> PowerTrace:
@@ -222,7 +254,10 @@ class PowerSimulator:
         charge = np.empty(n_cycles, dtype=np.float64)
         total = np.empty(n_cycles, dtype=np.int64)
         caps = self.compiled.net_caps
-        run_chunk = self._packed_chunk if engine == "packed" else self._bool_chunk
+        run_chunk = {
+            "packed": self._packed_chunk,
+            "compiled": self._compiled_chunk,
+        }.get(engine, self._bool_chunk)
         # Glitch weighting needs the functional (settled-value) toggles to
         # split full swings from partial ones; weight 1.0 does not.
         need_functional = self.glitch_aware and self.glitch_weight != 1.0
@@ -237,28 +272,39 @@ class PowerSimulator:
                 old_vecs = input_bits[start:stop]
                 new_vecs = input_bits[start + 1 : stop + 1]
                 with span("sim.chunk", rows=stop - start):
-                    toggles, functional, boundary = run_chunk(
+                    toggles, functional, boundary, pre = run_chunk(
                         old_vecs, new_vecs, boundary, need_functional
                     )
-                    # Integer counts are converted to float64 once, up
-                    # front: the conversion is exact (counts are tiny),
-                    # routes the matmul through BLAS instead of numpy's
-                    # slow integer inner loop, and keeps every arithmetic
-                    # step dtype-identical for both engines (the
-                    # bit-for-bit parity contract).
-                    toggles_f = toggles.astype(np.float64)
+                    pre_charge, pre_totals = (
+                        pre if pre is not None else (None, None)
+                    )
                     if need_functional:
                         # Split functional toggles (settled-value changes,
                         # full swing) from glitch toggles (extra
                         # transitions, partial swing weighted by
-                        # glitch_weight).
+                        # glitch_weight).  Integer counts are converted
+                        # to float64 once, up front: the conversion is
+                        # exact (counts are tiny), routes the matmul
+                        # through BLAS instead of numpy's slow integer
+                        # inner loop, and keeps every arithmetic step
+                        # dtype-identical for all engines (the
+                        # bit-for-bit parity contract).
+                        toggles_f = toggles.astype(np.float64)
                         functional_f = functional.astype(np.float64)
                         glitch = toggles_f - functional_f
                         weighted = functional_f + self.glitch_weight * glitch
                         charge[start:stop] = caps @ weighted
+                    elif pre_charge is not None:
+                        charge[start:stop] = pre_charge
                     else:
+                        toggles_f = toggles.astype(np.float64)
                         charge[start:stop] = caps @ toggles_f
-                    total[start:stop] = toggles.sum(axis=0, dtype=np.int64)
+                    if pre_totals is not None:
+                        total[start:stop] = pre_totals
+                    else:
+                        total[start:stop] = toggles.sum(
+                            axis=0, dtype=np.int64
+                        )
         seconds = time.perf_counter() - started
         total_toggles = int(total.sum())
         self.last_stats = SimulationStats(
@@ -273,11 +319,20 @@ class PowerSimulator:
         return PowerTrace(charge=charge, total_toggles=total)
 
     # ------------------------------------------------------------------
-    # Engine chunk kernels.  Both return the *same* dense representation —
-    # ``(toggles [n_nets, L], functional | None, boundary)`` with integer
-    # counts (the exact dtype may differ; the shared accounting above
-    # converts to float64 before any arithmetic) — so the charge math is
-    # shared verbatim and the engines stay bit-identical by construction.
+    # Engine chunk kernels.  All return the *same* dense representation —
+    # ``(toggles [n_nets, L], functional | None, boundary, pre | None)``
+    # with integer counts (the exact dtype may differ; the shared
+    # accounting above converts to float64 before any arithmetic) — so the
+    # charge math is shared verbatim and the engines stay bit-identical by
+    # construction.  ``pre`` is an optional ``(charge | None, totals)``
+    # pair a kernel may supply when it can compute those cheaper than the
+    # shared path: ``totals`` ([L] int64) must be exactly equal to
+    # ``toggles.sum(axis=0)`` (integer arithmetic, no rounding freedom),
+    # and a kernel ``charge`` must come from the *same* BLAS dgemv on a
+    # float64 matrix holding bit-for-bit the values the shared astype
+    # would produce — never from a reassociated or mixed-precision
+    # shortcut.  A kernel supplying both may return ``toggles=None``
+    # (only legal when ``need_functional`` is False).
     # ------------------------------------------------------------------
     def _bool_chunk(
         self,
@@ -285,7 +340,8 @@ class PowerSimulator:
         new_vecs: np.ndarray,
         boundary: Optional[np.ndarray],
         need_functional: bool,
-    ) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+    ) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray,
+               Optional[np.ndarray]]:
         if boundary is None:
             settled = functional_values(self.compiled, old_vecs)
         else:
@@ -300,11 +356,11 @@ class PowerSimulator:
                 zero_delay_toggles(self.compiled, settled, final)
                 if need_functional else None
             )
-            return toggles, functional, final[:, -1].copy()
+            return toggles, functional, final[:, -1].copy(), None
         settled_new = functional_values(self.compiled, new_vecs)
         toggles = zero_delay_toggles(self.compiled, settled, settled_new)
         # Input pin charging is counted in both modes.
-        return toggles, None, settled_new[:, -1].copy()
+        return toggles, None, settled_new[:, -1].copy(), None
 
     def _packed_chunk(
         self,
@@ -312,7 +368,8 @@ class PowerSimulator:
         new_vecs: np.ndarray,
         boundary: Optional[np.ndarray],
         need_functional: bool,
-    ) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+    ) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray,
+               Optional[np.ndarray]]:
         n_lanes = len(old_vecs)
         n_words = n_words_for(n_lanes)
         old_packed = pack_lanes(old_vecs.T, n_words)
@@ -338,12 +395,127 @@ class PowerSimulator:
                 unpack_lanes(settled ^ final, n_lanes)
                 if need_functional else None
             )
-            return toggles, functional, extract_lane(final, n_lanes - 1)
+            return toggles, functional, extract_lane(final, n_lanes - 1), \
+                None
         settled_new = packed_functional_values(
             self.compiled, new_packed, n_words
         )
         toggles = unpack_lanes(settled ^ settled_new, n_lanes)
-        return toggles, None, extract_lane(settled_new, n_lanes - 1)
+        return toggles, None, extract_lane(settled_new, n_lanes - 1), None
+
+    def _compiled_chunk(
+        self,
+        old_vecs: np.ndarray,
+        new_vecs: np.ndarray,
+        boundary: Optional[np.ndarray],
+        need_functional: bool,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray,
+               Optional[np.ndarray]]:
+        # Same lane layout as the packed engine, but values live in
+        # *program row order*; everything handed back to the shared
+        # accounting is permuted to net order through row_of_net (a full
+        # permutation — lut_fold is never enabled here, it would break
+        # the glitch parity contract).  Permutation happens on the packed
+        # words (tiny) before any unpack/decode, never on dense matrices.
+        # The boundary column stays in program order: it is only ever
+        # consumed by this kernel.
+        program = compile_program(self.compiled)
+        n_lanes = len(old_vecs)
+        n_words = n_words_for(n_lanes)
+        old_packed = pack_lanes(old_vecs.T, n_words)
+        new_packed = pack_lanes(new_vecs.T, n_words)
+        settled = program.settle(old_packed, n_words)
+        if boundary is not None:
+            inject_lane(settled, 0, boundary)
+        row_of_net = program.row_of_net
+        if self.glitch_aware:
+            # Fused native path: relax into a persistent plane buffer,
+            # then one C pass decodes planes -> net-ordered float64
+            # counts + per-lane totals into persistent buffers (no
+            # multi-MB temporaries per chunk — the allocation churn, not
+            # the arithmetic, dominates sustained multi-chunk runs).
+            # The dgemv then runs on bit-for-bit the matrix the shared
+            # astype path would build, so charge stays bit-identical.
+            fused = (
+                not need_functional
+                and program.max_planes <= 8
+                and native_tables(program) is not None
+                and native_decode() is not None
+            )
+            if fused:
+                planes_buf, counts_f, totals_u32 = self._fused_buffers(
+                    program, n_lanes, n_words
+                )
+                final, accumulator, _ = program.relax(
+                    settled, new_packed, planes_buffer=planes_buf
+                )
+                n_used = len(accumulator.planes)
+                if n_used == 0:
+                    pre = (np.zeros(n_lanes),
+                           np.zeros(n_lanes, dtype=np.int64))
+                else:
+                    row64 = program.__dict__.get("_row_of_net64")
+                    if row64 is None:
+                        row64 = np.ascontiguousarray(
+                            row_of_net, dtype=np.int64
+                        )
+                        program.__dict__["_row_of_net64"] = row64
+                    decode_native(
+                        planes_buf[:n_used], row64, n_lanes,
+                        counts_f, totals_u32,
+                    )
+                    chunk_charge = np.empty(n_lanes)
+                    np.dot(self.compiled.net_caps, counts_f,
+                           out=chunk_charge)
+                    pre = (chunk_charge, totals_u32.astype(np.int64))
+                return None, None, extract_lane(final, n_lanes - 1), pre
+            final, accumulator, _ = program.relax(settled, new_packed)
+            if accumulator.planes:
+                toggles = decode_planes(
+                    [p[row_of_net] for p in accumulator.planes], n_lanes
+                )
+            else:
+                toggles = np.zeros(
+                    (self.compiled.n_nets, n_lanes), dtype=np.uint8
+                )
+            functional = (
+                unpack_lanes((settled ^ final)[row_of_net], n_lanes)
+                if need_functional else None
+            )
+            return (toggles, functional,
+                    extract_lane(final, n_lanes - 1),
+                    (None, _totals(toggles)))
+        settled_new = program.settle(new_packed, n_words)
+        toggles = unpack_lanes(
+            (settled ^ settled_new)[row_of_net], n_lanes
+        )
+        return (toggles, None,
+                extract_lane(settled_new, n_lanes - 1),
+                (None, _totals(toggles)))
+
+    def _fused_buffers(
+        self, program, n_lanes: int, n_words: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Persistent per-(lanes, words) buffers for the fused native path.
+
+        One plane buffer, one float64 count matrix and one uint32 totals
+        vector, reused across chunks: fresh multi-MB allocations per
+        chunk thrash the allocator and roughly triple the decode +
+        convert cost in sustained runs.
+        """
+        key = (n_lanes, n_words)
+        bufs = self._fused_cache.get(key)
+        if bufs is None:
+            bufs = (
+                np.zeros(
+                    (program.max_planes, program.n_rows, n_words),
+                    dtype=np.uint64,
+                ),
+                np.empty((self.compiled.n_nets, n_lanes), dtype=np.float64),
+                np.empty(n_lanes, dtype=np.uint32),
+            )
+            self._fused_cache[key] = bufs
+        return bufs
 
     def average_charge(self, input_bits: np.ndarray) -> float:
         """Convenience: mean per-cycle charge over a stream."""

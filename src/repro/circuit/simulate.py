@@ -109,18 +109,25 @@ def unit_delay_transition(
         toggles[input_nets] += input_changed.astype(np.uint32)
     values[input_nets] = new_inputs.T
 
+    # Only gate-output rows can change after the input application, so the
+    # relaxation stages, compares and accumulates over a compact
+    # [n_gates, n_transitions] buffer instead of copying the full
+    # [n_nets, n_transitions] matrix every step (inputs and constants are
+    # dead weight in that copy).
+    gate_rows = compiled.gate_output_nets
+    staged = np.empty((len(gate_rows), n_transitions), dtype=bool)
     for _ in range(max_steps):
         # Synchronous step: every gate reads the current snapshot, then all
         # outputs update at once (stage all reads before any write).
-        staged = [group.evaluate(values) for group in compiled.type_groups]
-        next_values = values.copy()
-        for group, result in zip(compiled.type_groups, staged):
-            next_values[group.outputs] = result
-        changed = next_values != values
+        for group, positions in zip(
+            compiled.type_groups, compiled.type_group_positions
+        ):
+            staged[positions] = group.evaluate(values)
+        changed = staged != values[gate_rows]
         if not changed.any():
             break
-        toggles += changed.astype(np.uint32)
-        values = next_values
+        toggles[gate_rows] += changed.astype(np.uint32)
+        values[gate_rows] = staged
     else:
         raise RuntimeError(
             f"unit-delay simulation of {compiled.netlist.name} did not settle "

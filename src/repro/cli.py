@@ -71,10 +71,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stimulus", default="uniform_hd",
                    choices=["random", "uniform_hd", "mixed", "corner"])
     p.add_argument("--engine", default="auto",
-                   choices=["auto", "bool", "packed"],
+                   choices=["auto", "bool", "packed", "compiled"],
                    help="simulation kernel: bit-packed uint64 lanes "
-                        "('packed'), byte-per-value ('bool'), or pick per "
-                        "stream ('auto'); results are bit-identical")
+                        "('packed'), byte-per-value ('bool'), the "
+                        "straight-line instruction tape ('compiled', "
+                        "fastest on long streams), or pick per stream "
+                        "('auto'); results are bit-identical")
     p.add_argument("--jobs", type=int, default=1,
                    help="characterize jobs in parallel with this many "
                         "worker processes")
@@ -112,7 +114,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="trace",
                    choices=["trace", "distribution", "avg-hd"])
     p.add_argument("--engine", default="auto",
-                   choices=["auto", "bool", "packed"],
+                   choices=["auto", "bool", "packed", "compiled"],
                    help="simulation kernel for reference/characterization")
     p.add_argument("--reference", action="store_true",
                    help="also run the gate-level reference simulation")
@@ -138,7 +140,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--top", type=int, default=15)
     p.add_argument("--engine", default="auto",
-                   choices=["auto", "bool", "packed"],
+                   choices=["auto", "bool", "packed", "compiled"],
                    help="simulation kernel for the per-net breakdown")
 
     p = sub.add_parser(
@@ -200,7 +202,7 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="patterns per on-demand characterization")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--engine", default="auto",
-                   choices=["auto", "bool", "packed"])
+                   choices=["auto", "bool", "packed", "compiled"])
     p.add_argument("--cache-dir",
                    help="persistent model cache directory (default "
                         "~/.cache/repro-hd or $REPRO_CACHE_DIR)")

@@ -202,8 +202,9 @@ def characterize_module(
             random stream), ``"mixed"`` (uniform_hd + corner pairs,
             recommended for the enhanced model) or ``"corner"``.
         max_patterns: Hard budget; defaults to ``4 * n_patterns``.
-        engine: Simulation kernel (``"auto"``, ``"bool"`` or ``"packed"``,
-            see :class:`~repro.circuit.power.PowerSimulator`).  Engines are
+        engine: Simulation kernel (``"auto"``, ``"bool"``, ``"packed"``
+            or ``"compiled"``, see
+            :class:`~repro.circuit.power.PowerSimulator`).  Engines are
             bit-identical by contract, so this never changes the fitted
             coefficients — only how fast the reference charges arrive.
 

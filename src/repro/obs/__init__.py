@@ -36,6 +36,7 @@ from .tracing import (
     TraceContext,
     current,
     remote_trace,
+    resync_clock,
     span,
     trace,
     worker_token,
@@ -59,6 +60,7 @@ __all__ = [
     "global_events",
     "profile_tree",
     "remote_trace",
+    "resync_clock",
     "span",
     "span_summary",
     "trace",

@@ -337,6 +337,27 @@ class EventCounters:
             "repro_sim_seconds_total",
             "Wall-clock seconds spent inside PowerSimulator.simulate.",
         )
+        # Bitwise-program compiler and executor (repro.circuit.program).
+        self.program_compiles = r.counter(
+            "repro_program_compiles_total",
+            "Netlist-to-bitwise-program compilations (compiled engine).",
+        )
+        self.program_instructions = r.counter(
+            "repro_program_instructions_total",
+            "Instructions emitted by the bitwise-program compiler, by kind "
+            "(op = fused (level, type) group, lut = folded cone group).",
+            ("kind",),
+        )
+        self.program_steps = r.counter(
+            "repro_program_steps_total",
+            "Unit-delay relaxation steps executed by the compiled engine.",
+        )
+        self.program_evals = r.counter(
+            "repro_program_evals_total",
+            "Windowed group evaluations executed by the compiled engine "
+            "(each covers one type block's still-active level suffix, so "
+            "this is far below steps x groups x gates).",
+        )
         # Switching-event classification (repro.core.events).
         self.classify_passes = r.counter(
             "repro_classify_passes_total",

@@ -20,9 +20,11 @@ The span model is deliberately small:
   (ship a picklable token out, collect the worker's span records back,
   :meth:`TraceContext.absorb` re-parents them into the caller's tree).
 
-Timestamps are ``time.perf_counter()`` deltas anchored to the epoch at
-import, so spans recorded in different processes land on one
-approximately shared timeline in the Chrome trace.
+Timestamps are ``time.perf_counter()`` deltas anchored to the epoch,
+re-anchored by :func:`resync_clock` at every trace root (import-time-only
+anchoring drifted in long-lived serve processes), so spans recorded in
+different processes land on one approximately shared timeline in the
+Chrome trace.
 """
 
 from __future__ import annotations
@@ -36,10 +38,28 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from .events import EVENTS
 
-#: Maps ``perf_counter`` readings onto the epoch timeline.  Computed once
-#: per process; good to well under a millisecond of cross-process skew,
-#: which is plenty for flamegraph alignment.
+#: Maps ``perf_counter`` readings onto the epoch timeline.  Re-anchored by
+#: :func:`resync_clock` at every :func:`trace` / :func:`remote_trace` root:
+#: an import-time-only offset drifts in long-lived serve processes
+#: (``perf_counter`` and the wall clock tick at slightly different rates,
+#: and NTP steps the wall clock), skewing cross-process Chrome trace
+#: alignment.  Per-root re-anchoring keeps skew bounded by one trace's
+#: duration instead of the process's uptime.
 _CLOCK_OFFSET = time.time() - time.perf_counter()
+
+
+def resync_clock() -> float:
+    """Re-anchor the perf_counter-to-epoch offset; returns the new offset.
+
+    Called automatically when a root :func:`trace` (or a worker's
+    :func:`remote_trace`) starts.  Cheap enough to call freely — two clock
+    reads — and safe mid-trace: spans only use the offset via :func:`_now`,
+    so a re-sync shifts subsequent timestamps onto the *corrected*
+    timeline, which is the point.
+    """
+    global _CLOCK_OFFSET
+    _CLOCK_OFFSET = time.time() - time.perf_counter()
+    return _CLOCK_OFFSET
 
 
 def _now() -> float:
@@ -232,6 +252,7 @@ def trace(name: str, trace_id: Optional[str] = None,
         with span(name, **attrs):
             yield existing
         return
+    resync_clock()  # fresh epoch anchor per trace root (serve drift fix)
     ctx = TraceContext(trace_id)
     token = _CURRENT.set(ctx)
     try:
@@ -289,6 +310,7 @@ def remote_trace(token: Optional[Dict[str, Any]]
     if token is None:
         yield None
         return
+    resync_clock()  # worker processes re-anchor like local trace roots
     ctx = TraceContext(token.get("trace_id"))
     cur_token = _CURRENT.set(ctx)
     # Forked workers inherit the dispatching thread's contextvars, so an

@@ -2,14 +2,16 @@
 
 A fuzz *case* is a small, fully described experiment: one module kind at
 one width, one stimulus stream, one simulator configuration.  For every
-case the fuzzer runs the production engines (``bool`` and ``packed``)
-against each other and against the :mod:`repro.verify.oracles` golden
-model, and checks a set of *metamorphic relations* — transformations of
-the input whose effect on the output is known exactly:
+case the fuzzer runs the production engines (``bool``, ``packed`` and
+``compiled``) against each other and against the
+:mod:`repro.verify.oracles` golden model, and checks a set of
+*metamorphic relations* — transformations of the input whose effect on
+the output is known exactly:
 
-* **engine parity** — identical ``charge``/``total_toggles`` between the
-  two engines at equal chunk size (the PR-2 contract, now fuzzed instead
-  of example-tested);
+* **engine parity** — identical ``charge``/``total_toggles`` between
+  every pair of engines at equal chunk size (the PR-2 contract, extended
+  to the compiled instruction-tape engine, fuzzed instead of
+  example-tested);
 * **oracle agreement** — dense per-net toggles, per-cycle totals and
   charge against the per-gate Python reference, on a stream prefix;
 * **golden function** — settled outputs must equal the module's integer
@@ -180,21 +182,27 @@ def _first_diff(a: np.ndarray, b: np.ndarray) -> str:
 def check_engine_parity(
     case: FuzzCase, module: DatapathModule, bits: np.ndarray
 ) -> List[Mismatch]:
-    """bool vs packed: exact charge and toggle traces at equal chunking."""
+    """All engine pairs: exact charge and toggle traces at equal chunking.
+
+    ``bool`` is the reference; ``packed`` and ``compiled`` are each
+    compared against it (which also pins them to each other).
+    """
     if not PACKED_AVAILABLE:
         return []
     ref = _simulator(case, module, "bool").simulate(bits)
-    got = _simulator(case, module, "packed").simulate(bits)
     out = []
-    if not np.array_equal(ref.total_toggles, got.total_toggles):
-        out.append(Mismatch(
-            "engine_parity_toggles", case,
-            _first_diff(ref.total_toggles, got.total_toggles),
-        ))
-    if not np.array_equal(ref.charge, got.charge):
-        out.append(Mismatch(
-            "engine_parity_charge", case, _first_diff(ref.charge, got.charge),
-        ))
+    for engine in ("packed", "compiled"):
+        got = _simulator(case, module, engine).simulate(bits)
+        if not np.array_equal(ref.total_toggles, got.total_toggles):
+            out.append(Mismatch(
+                f"engine_parity_toggles_{engine}", case,
+                _first_diff(ref.total_toggles, got.total_toggles),
+            ))
+        if not np.array_equal(ref.charge, got.charge):
+            out.append(Mismatch(
+                f"engine_parity_charge_{engine}", case,
+                _first_diff(ref.charge, got.charge),
+            ))
     return out
 
 
@@ -212,7 +220,9 @@ def check_oracle_trace(
         glitch_aware=case.glitch_aware, glitch_weight=case.glitch_weight,
     )
     out: List[Mismatch] = []
-    engines = ["bool"] + (["packed"] if PACKED_AVAILABLE else [])
+    engines = ["bool"] + (
+        ["packed", "compiled"] if PACKED_AVAILABLE else []
+    )
     for engine in engines:
         trace = _simulator(case, module, engine).simulate(head)
         if not np.array_equal(oracle.total_toggles, trace.total_toggles):
@@ -393,7 +403,7 @@ def check_cache_key_engine_independence() -> List[Mismatch]:
                               seed=0)
     keys = set()
     trace_keys = set()
-    for engine in ("bool", "packed", "auto"):
+    for engine in ("bool", "packed", "compiled", "auto"):
         config = ExperimentConfig(engine=engine)
         keys.add(cache.characterization_key(
             reference_case.kind, reference_case.width, False, config, 7

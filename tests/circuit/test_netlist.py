@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.circuit.netlist import CONST0, CONST1, Gate, Netlist, NetlistError
+from repro.circuit.netlist import (
+    CONST0,
+    CONST1,
+    LEVELIZE_STATS,
+    Gate,
+    Netlist,
+    NetlistError,
+)
 
 
 def _simple_netlist():
@@ -104,6 +111,35 @@ def test_levelize_levels():
     assert levels[2] == 0 and levels[3] == 0
     assert levels[4] == 1 and levels[5] == 2
     assert netlist.depth() == 2
+
+
+def test_levelize_is_single_pass_on_deep_chains():
+    """Kahn levelization visits every gate exactly once, however deep.
+
+    Regression guard for the quadratic re-walk the recursive levelizer
+    used to do on long chains, and for the double levelization a
+    validated netlist used to pay during compilation.
+    """
+    from repro.circuit.compiled import CompiledNetlist
+
+    depth = 500
+    gates = [Gate("INV", (2,), 3)]
+    for j in range(depth - 1):
+        gates.append(Gate("INV", (3 + j,), 4 + j))
+    netlist = Netlist(
+        "deep_chain", 3 + depth, [2], [2 + depth], gates
+    )
+    before = dict(LEVELIZE_STATS)
+    levels = netlist.levelize()
+    assert max(levels) == depth
+    assert LEVELIZE_STATS["gate_visits"] - before["gate_visits"] == depth
+    assert LEVELIZE_STATS["calls"] - before["calls"] == 1
+    # Validation + compilation reuse the memoized levels: no second walk.
+    netlist.validate()
+    CompiledNetlist(netlist)
+    assert LEVELIZE_STATS["gate_visits"] - before["gate_visits"] == depth
+    assert LEVELIZE_STATS["calls"] - before["calls"] == 1
+    assert LEVELIZE_STATS["cache_hits"] > before["cache_hits"]
 
 
 def test_constants_are_level_zero():

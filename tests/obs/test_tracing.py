@@ -159,3 +159,35 @@ def test_trace_context_propagates_across_process_fanout():
     service = records["service.characterize_jobs"][0]
     for record in records["characterize"]:
         assert record["parent"] == service["id"]
+
+
+def test_trace_root_resyncs_clock_offset():
+    """Each root trace re-anchors the perf_counter-to-epoch offset.
+
+    An import-time-only offset drifts in long-lived serve processes;
+    the drift fix re-syncs at every trace root, so a deliberately
+    corrupted offset must be repaired by the next trace() and the root
+    span's timestamps must land on the true epoch timeline.
+    """
+    import time
+
+    skewed = tracing.resync_clock() + 3600.0  # one hour of fake drift
+    tracing._CLOCK_OFFSET = skewed
+    before = time.time()
+    with trace("resync.root") as ctx:
+        pass
+    after = time.time()
+    assert abs(tracing._CLOCK_OFFSET - skewed) > 3000.0  # re-anchored
+    start = ctx.records()[0]["start"]
+    assert before - 1.0 <= start <= after + 1.0
+
+
+def test_remote_trace_resyncs_clock_offset():
+    """Workers re-anchor like local roots (the serve drift fix applies
+    to process-pool children too)."""
+    import time
+
+    tracing._CLOCK_OFFSET = tracing.resync_clock() + 3600.0
+    with tracing.remote_trace({"trace_id": "t", "parent": None}):
+        offset_inside = tracing._CLOCK_OFFSET
+    assert abs(offset_inside - (time.time() - time.perf_counter())) < 5.0

@@ -106,7 +106,33 @@ def test_engine_parity_catches_packed_corruption(monkeypatch):
     case = _case(n_patterns=50)
     module, bits = _prepared(case)
     mismatches = check_engine_parity(case, module, bits)
-    assert {m.check for m in mismatches} >= {"engine_parity_toggles"}
+    assert {m.check for m in mismatches} >= {"engine_parity_toggles_packed"}
+
+
+def test_engine_parity_catches_compiled_corruption(monkeypatch):
+    """An off-by-one in the compiled kernel's precomputed totals is
+    detected (covers the fused native accounting path too)."""
+    real = power_mod.PowerSimulator._compiled_chunk
+
+    def corrupted(self, old_vecs, new_vecs, boundary, need_functional):
+        toggles, functional, boundary, pre = real(
+            self, old_vecs, new_vecs, boundary, need_functional
+        )
+        if pre is not None and pre[1] is not None:
+            totals = pre[1].copy()
+            totals[0] += 1
+            pre = (pre[0], totals)
+        return toggles, functional, boundary, pre
+
+    monkeypatch.setattr(
+        power_mod.PowerSimulator, "_compiled_chunk", corrupted
+    )
+    case = _case(n_patterns=50)
+    module, bits = _prepared(case)
+    mismatches = check_engine_parity(case, module, bits)
+    assert {m.check for m in mismatches} >= {
+        "engine_parity_toggles_compiled"
+    }
 
 
 def test_oracle_catches_shared_engine_bug(monkeypatch):
