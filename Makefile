@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test test-all fuzz verify bench bench-small bench-sim bench-serve bench-smoke serve-smoke profile-smoke report examples clean
+.PHONY: install test test-all fuzz verify bench bench-small bench-sim bench-serve bench-fleet bench-smoke serve-smoke serve-fleet-smoke profile-smoke report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -42,6 +42,12 @@ bench-sim:
 bench-serve:
 	PYTHONPATH=src python benchmarks/bench_serve.py
 
+# Fleet capacity: closed-loop flood against the multi-process supervisor
+# at 1/2/4/8 workers (pre-warmed; first request asserted cold-start-free);
+# appends p50/p99/throughput per worker count to BENCH_serve.json.
+bench-fleet:
+	PYTHONPATH=src python benchmarks/bench_serve.py --workers 1,2,4,8
+
 # Tiny end-to-end check of the parallel characterization path and the
 # persistent cache: two CLI runs with --jobs 2; the second must be served
 # entirely from disk.
@@ -53,6 +59,13 @@ bench-smoke:
 # vs a direct estimator call, populated histograms, 429 under flood.
 serve-smoke:
 	PYTHONPATH=src python scripts/serve_smoke.py
+
+# End-to-end check of the multi-process fleet (docs/SERVING.md): two
+# forked SO_REUSEPORT workers on one port, warm-inherited model tier
+# (first request has zero characterize spans), flood spread over every
+# worker, 1e-9 parity, aggregated worker-labelled /metrics + /healthz.
+serve-fleet-smoke:
+	PYTHONPATH=src python scripts/serve_fleet_smoke.py
 
 # End-to-end check of the tracing/profiling subsystem
 # (docs/OBSERVABILITY.md): --profile produces an about://tracing-loadable

@@ -12,12 +12,21 @@ measures that effect twice on a 16-bit CSA multiplier model:
   once with the default 64-deep micro-batcher and once with
   ``max_batch=1`` (coalescing disabled).
 
+A third mode measures the **fleet**: ``--workers 1,2,4,8`` runs the
+closed-loop flood against the multi-process supervisor at each worker
+count (model pre-warmed in the parent so workers inherit it
+copy-on-write, and the first traced request is asserted to contain zero
+characterization spans), recording p50/p99/throughput per count.  On a
+single-core container the scaling curve is flat — the record keeps the
+measured numbers either way; multi-core hosts see the near-linear curve.
+
 Appends the measurement to ``BENCH_serve.json`` at the repository root.
 Entry points mirror ``bench_simulate.py``: ``make bench-serve`` for the
 standalone JSON-writing run, ``pytest benchmarks/ --benchmark-only`` for
 the pytest-benchmark hooks.
 """
 
+import argparse
 import json
 import os
 import time
@@ -177,6 +186,92 @@ def traced_exemplar(seed=5):
     return json.loads(raw)["trace"]["spans"]
 
 
+def run_fleet_capacity(worker_counts=(1, 2, 4, 8),
+                       n_requests=HTTP_REQUESTS,
+                       concurrency=HTTP_CONCURRENCY, seed=5):
+    """Closed-loop flood against the fleet at each worker count.
+
+    One registry is warmed once in this (parent) process; every fleet
+    inherits it through fork, so no run pays characterization and the
+    counts compare pure serving capacity.  Returns per-count latency and
+    throughput plus each count's speedup over the 1-worker baseline.
+    """
+    import asyncio
+
+    from repro.eval import ExperimentConfig
+    from repro.serve import (
+        ModelRegistry,
+        ServeFleet,
+        WarmupManifest,
+        build_payloads,
+        run_load_sync,
+        warm_registry,
+    )
+    from repro.serve.loadgen import http_request
+
+    config = ExperimentConfig(n_characterization=N_CHARACTERIZATION,
+                              seed=seed)
+    registry = ModelRegistry(config=config, cache=None)
+    manifest = WarmupManifest.from_dict({
+        "entries": [{"kind": MODULE_KIND, "widths": [MODULE_WIDTH]}],
+    })
+    warmup = warm_registry(registry, manifest)
+    assert warmup.ok, warmup.summary()
+    served = registry.get(MODULE_KIND, MODULE_WIDTH)
+    payloads = build_payloads(
+        MODULE_KIND, MODULE_WIDTH, endpoints=("bits",),
+        trace_rows=TRACE_ROWS, seed=seed,
+    )
+
+    async def traced_first_request(port):
+        bits = _request_matrices(served, n_requests=1, seed=seed)[0]
+        body = json.dumps({
+            "kind": MODULE_KIND, "width": MODULE_WIDTH,
+            "bits": bits.tolist(),
+        }).encode()
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            status, raw = await http_request(
+                reader, writer, "POST", "/v1/estimate/bits", body,
+                headers={"X-Repro-Trace": "1"},
+            )
+        finally:
+            writer.close()
+        assert status == 200, raw
+        return json.loads(raw)["trace"]["spans"]
+
+    out = {"counts": {}, "first_request_spans": None}
+    for workers in worker_counts:
+        fleet = ServeFleet(
+            registry, workers=workers,
+            server_options={"max_queue": 4096, "jobs": 2},
+        )
+        with fleet:
+            # Warm-inheritance contract: the fleet's first request must
+            # resolve from the forked-in memory tier — zero
+            # characterization or materialization spans in its trace.
+            spans = asyncio.run(traced_first_request(fleet.port))
+            cold = [name for name in spans
+                    if "characterize" in name or "materialize" in name]
+            assert not cold, f"first request was not warm: {cold}"
+            if out["first_request_spans"] is None:
+                out["first_request_spans"] = spans
+            report = run_load_sync(
+                "127.0.0.1", fleet.port, payloads,
+                n_requests=n_requests, concurrency=concurrency,
+            )
+        assert report.n_5xx == 0 and not report.errors, report.summary()
+        out["counts"][str(workers)] = {
+            "strategy": fleet.strategy,
+            **report.to_dict(),
+        }
+    baseline = out["counts"][str(worker_counts[0])]["throughput_rps"]
+    for workers in worker_counts:
+        entry = out["counts"][str(workers)]
+        entry["speedup_vs_1"] = entry["throughput_rps"] / baseline
+    return out
+
+
 # ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
@@ -227,7 +322,43 @@ def append_entry(record, path=BENCH_FILE):
     return path
 
 
-def main():
+def run_fleet_benchmark(worker_counts):
+    print(
+        f"fleet capacity benchmark: {MODULE_KIND}/{MODULE_WIDTH}, "
+        f"{HTTP_REQUESTS} requests x {TRACE_ROWS} rows at "
+        f"concurrency {HTTP_CONCURRENCY}, workers {list(worker_counts)}"
+    )
+    fleet = run_fleet_capacity(worker_counts)
+    for workers in worker_counts:
+        entry = fleet["counts"][str(workers)]
+        print(
+            f"  {workers} worker(s) [{entry['strategy']}]: "
+            f"{entry['throughput_rps']:7.0f} req/s | "
+            f"p50 {entry['p50_ms']:.2f} ms | p99 {entry['p99_ms']:.2f} ms"
+            f" | {entry['speedup_vs_1']:.2f}x vs {worker_counts[0]}"
+        )
+    print("  first request warm: zero characterize/materialize spans")
+    path = append_entry({
+        "module": f"{MODULE_KIND}/{MODULE_WIDTH}",
+        "mode": "fleet",
+        "n_cpus": os.cpu_count(),
+        "fleet": fleet,
+    })
+    print(f"  recorded in {path}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        help="comma-separated worker counts; runs the fleet capacity "
+             "benchmark instead of the batching comparison (e.g. 1,2,4,8)",
+    )
+    args = parser.parse_args(argv)
+    if args.workers:
+        counts = tuple(int(w) for w in args.workers.split(","))
+        run_fleet_benchmark(counts)
+        return
     print(
         f"serving benchmark: {MODULE_KIND}/{MODULE_WIDTH}, "
         f"{N_REQUESTS} requests x {TRACE_ROWS} rows, batch={BATCH}, "

@@ -1,0 +1,169 @@
+"""Smoke-test the multi-process serving fleet end to end.
+
+The ``make serve-fleet-smoke`` target (and the CI gate): warms a model
+registry from a warmup manifest, brings up a real
+:class:`~repro.serve.fleet.ServeFleet` of two forked workers on one
+ephemeral port, then asserts, in order:
+
+1. the first request — traced — resolves entirely from the warm,
+   fork-inherited model tier: **zero** characterize/materialize spans;
+2. a closed-loop flood across the estimate endpoint families answers
+   with zero 5xx and zero transport errors, and *every* worker served a
+   share of it (read back through the ``worker``-labelled
+   ``serve_requests_total`` samples in the aggregated exposition);
+3. a served ``bits`` estimate matches the parent process's direct
+   :class:`~repro.core.estimator.PowerEstimator` call to 1e-9;
+4. the supervisor's :class:`~repro.serve.fleet.FleetMetricsServer`
+   serves the fleet-wide ``/metrics`` (single header per family, fleet
+   gauges present) and a ``/healthz`` rollup reporting every worker ok;
+5. ``stop()`` drains both workers and leaves no live children.
+
+Real fork(), real sockets, real HTTP — the whole check takes a few
+seconds on the warm path because nothing characterizes after warmup.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import sys
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.eval import ExperimentConfig  # noqa: E402
+from repro.serve import (  # noqa: E402
+    FleetMetricsServer,
+    ModelRegistry,
+    ServeFleet,
+    WarmupManifest,
+    build_payloads,
+    run_load_sync,
+    warm_registry,
+)
+from repro.serve.loadgen import http_request  # noqa: E402
+
+KIND = "ripple_adder"
+WIDTH = 4
+WORKERS = 2
+N_REQUESTS = 200
+CONFIG = ExperimentConfig(n_characterization=300, seed=5)
+
+
+def request_once(port: int, method: str, path: str, body: bytes = None,
+                 headers=None):
+    async def _go():
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            return await http_request(reader, writer, method, path, body,
+                                      headers=headers)
+        finally:
+            writer.close()
+
+    return asyncio.run(_go())
+
+
+def check_warm_first_request(port: int) -> None:
+    rng = np.random.default_rng(23)
+    bits = rng.integers(0, 2, size=(16, 2 * WIDTH)).tolist()
+    body = json.dumps({
+        "kind": KIND, "width": WIDTH, "bits": bits,
+    }).encode()
+    status, payload = request_once(
+        port, "POST", "/v1/estimate/bits", body,
+        headers={"X-Repro-Trace": "1"},
+    )
+    assert status == 200, payload
+    spans = json.loads(payload)["trace"]["spans"]
+    cold = [name for name in spans
+            if "characterize" in name or "materialize" in name]
+    assert not cold, f"first request paid cold-start work: {cold}"
+    print(f"  warm start: first request spans {sorted(spans)} — no "
+          f"characterization")
+
+
+def check_flood_spreads_over_workers(fleet: ServeFleet) -> None:
+    payloads = build_payloads(KIND, WIDTH, trace_rows=16, seed=3)
+    report = run_load_sync("127.0.0.1", fleet.port, payloads,
+                           n_requests=N_REQUESTS, concurrency=16)
+    print(f"  flood: {report.summary()}")
+    assert report.n_5xx == 0, f"5xx under flood: {report.status_counts}"
+    assert report.errors == 0, "transport errors under flood"
+    counts = fleet.worker_request_counts()
+    print(f"  spread: requests per worker {counts} "
+          f"[{fleet.strategy} strategy]")
+    assert set(counts) == set(range(WORKERS)), counts
+    assert all(count > 0 for count in counts.values()), (
+        f"a worker served nothing: {counts}"
+    )
+
+
+def check_parity(port: int, registry: ModelRegistry) -> None:
+    served = registry.get(KIND, WIDTH)
+    rng = np.random.default_rng(17)
+    bits = rng.integers(0, 2, size=(64, served.module.input_bits))
+    direct = served.estimator.estimate_from_bits(bits)
+    body = json.dumps({
+        "kind": KIND, "width": WIDTH, "bits": bits.tolist(),
+    }).encode()
+    status, payload = request_once(port, "POST", "/v1/estimate/bits", body)
+    assert status == 200, payload
+    answer = json.loads(payload)
+    deviation = abs(answer["average_charge"] - direct.average_charge)
+    print(f"  parity: served {answer['average_charge']:.12f} vs direct "
+          f"{direct.average_charge:.12f} (|Δ| = {deviation:.2e})")
+    assert deviation <= 1e-9, f"parity broken: |Δ| = {deviation}"
+
+
+def check_aggregated_metrics(metrics: FleetMetricsServer) -> None:
+    page = urllib.request.urlopen(
+        f"http://127.0.0.1:{metrics.port}/metrics", timeout=30
+    ).read().decode()
+    assert f"repro_fleet_workers {WORKERS}" in page
+    assert f"repro_fleet_workers_alive {WORKERS}" in page
+    for worker_id in range(WORKERS):
+        assert f'worker="{worker_id}"' in page, (
+            f"worker {worker_id} missing from aggregated exposition"
+        )
+    headers = re.findall(r"^# TYPE (\S+)", page, re.MULTILINE)
+    assert len(headers) == len(set(headers)), (
+        "duplicated family headers in aggregated exposition"
+    )
+    health = json.loads(urllib.request.urlopen(
+        f"http://127.0.0.1:{metrics.port}/healthz", timeout=30
+    ).read().decode())
+    assert health["status"] == "ok", health
+    assert len(health["workers"]) == WORKERS
+    print(f"  metrics: {len(headers)} families aggregated across "
+          f"{WORKERS} workers; healthz ok")
+
+
+def main() -> int:
+    print(f"fleet smoke: {WORKERS} workers, {KIND}/{WIDTH}, "
+          f"{N_REQUESTS}-request flood")
+    registry = ModelRegistry(config=CONFIG, cache=None)
+    manifest = WarmupManifest.from_dict({
+        "entries": [{"kind": KIND, "widths": [WIDTH]}],
+    })
+    report = warm_registry(registry, manifest)
+    assert report.ok, report.summary()
+    print(f"  warmup: {report.summary()}")
+
+    fleet = ServeFleet(registry, workers=WORKERS)
+    with fleet:
+        with FleetMetricsServer(fleet) as metrics:
+            check_warm_first_request(fleet.port)
+            check_flood_spreads_over_workers(fleet)
+            check_parity(fleet.port, registry)
+            check_aggregated_metrics(metrics)
+    assert fleet.alive_workers() == 0, "workers survived stop()"
+    print("fleet smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

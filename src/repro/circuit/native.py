@@ -53,6 +53,7 @@ __all__ = [
     "native_kernel",
     "native_status",
     "relax_native",
+    "set_native_enabled",
 ]
 
 #: Canonical class name -> kernel switch code (must match the C source).
@@ -319,21 +320,50 @@ _F64 = npct.ndpointer(np.float64, flags="C_CONTIGUOUS")
 _KERNEL = False
 _DECODE = False
 _STATUS = "unresolved"
+#: Programmatic gate override: None defers to $REPRO_NATIVE, True/False wins.
+_FORCED: Optional[bool] = None
+
+
+def _gate_disabled() -> bool:
+    """Whether the backend is switched off *right now*.
+
+    Evaluated on every :func:`native_kernel` call — the environment is
+    re-read each time rather than captured at import, so forked workers
+    and tests can flip ``REPRO_NATIVE`` (or call
+    :func:`set_native_enabled`) without re-importing the module.  Only
+    the expensive resolution (compile + dlopen) is cached.
+    """
+    if _FORCED is not None:
+        return not _FORCED
+    return os.environ.get("REPRO_NATIVE", "").lower() in ("0", "false", "off")
+
+
+def set_native_enabled(enabled: Optional[bool]) -> None:
+    """Override the ``REPRO_NATIVE`` gate programmatically.
+
+    ``True`` forces the native path on (if it can be built), ``False``
+    forces the numpy fallback, ``None`` restores deference to the
+    environment variable.  Takes effect on the next kernel lookup; the
+    compiled library, if already loaded, is kept and simply re-exposed
+    when re-enabled.
+    """
+    global _FORCED
+    _FORCED = enabled
 
 
 def native_kernel():
     """The loaded C relax function, or ``None`` when unavailable.
 
     Resolution (compiler lookup, compile, dlopen) runs once per process
-    and is controlled by ``REPRO_NATIVE`` (``0``/``false``/``off``
+    and is cached; the ``REPRO_NATIVE`` / :func:`set_native_enabled`
+    gate is re-evaluated on every call (``0``/``false``/``off``
     disables).
     """
     global _KERNEL, _DECODE, _STATUS
+    if _gate_disabled():
+        return None
     if _KERNEL is not False:
         return _KERNEL
-    if os.environ.get("REPRO_NATIVE", "").lower() in ("0", "false", "off"):
-        _KERNEL, _DECODE, _STATUS = None, None, "disabled by REPRO_NATIVE"
-        return None
     so_path = _build_library()
     if so_path is None:
         _KERNEL, _DECODE, _STATUS = None, None, "no compiler or build failed"
@@ -366,14 +396,17 @@ def native_kernel():
 
 def native_decode():
     """The loaded C decode function, or ``None`` (same gating as relax)."""
-    native_kernel()
+    if native_kernel() is None:
+        return None
     return _DECODE
 
 
 def native_status() -> str:
     """Human-readable state of the native backend (for diagnostics)."""
-    if _KERNEL is False:
-        return _STATUS
+    if _FORCED is False:
+        return "disabled by set_native_enabled(False)"
+    if _FORCED is None and _gate_disabled():
+        return "disabled by REPRO_NATIVE"
     return _STATUS
 
 

@@ -20,6 +20,8 @@ Usage examples::
     repro-power budget my_filter.json --models ./model_cache
     repro-power verify fuzz --budget 2000 --seed 0
     repro-power serve --port 8719 --jobs 4
+    repro-power warmup --jobs 4           # pre-fill the model cache
+    repro-power serve --port 8719 --workers 4 --warmup default
     repro-power loadgen --port 8719 -n 1000 --kind csa_multiplier
 
 The ``table``/``figure``/``reproduce`` subcommands regenerate the paper's
@@ -209,6 +211,39 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true",
                    help="disable the persistent cache (every cold lookup "
                         "characterizes)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes; >1 runs the SO_REUSEPORT fleet "
+                        "supervisor (docs/SERVING.md)")
+    p.add_argument("--metrics-port", type=int,
+                   help="fleet-only: serve the aggregated /metrics + "
+                        "/healthz on this port (default: serve port + 1)")
+    p.add_argument("--warmup", metavar="MANIFEST",
+                   help="pre-materialize models from a warmup manifest "
+                        "before accepting traffic; 'default' sweeps every "
+                        "Table-1 family across the stock widths")
+
+    p = sub.add_parser(
+        "warmup",
+        help="pre-materialize models into the cache from a manifest",
+    )
+    p.add_argument("--manifest",
+                   help="warmup manifest JSON (default: every Table-1 "
+                        "family across the stock width sweep)")
+    p.add_argument("--write-default", metavar="PATH",
+                   help="write the default manifest to PATH and exit")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel characterization processes")
+    p.add_argument("--max-exact-width", type=int, default=16)
+    p.add_argument("--patterns", type=int, default=2000,
+                   help="patterns per characterization")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", default="auto",
+                   choices=["auto", "bool", "packed", "compiled"])
+    p.add_argument("--cache-dir",
+                   help="persistent model cache directory (default "
+                        "~/.cache/repro-hd or $REPRO_CACHE_DIR)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="print one machine-readable result envelope")
 
     p = sub.add_parser(
         "loadgen", help="closed-loop load generator for a running server"
@@ -716,6 +751,15 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _resolve_manifest(spec):
+    """``--warmup`` / ``--manifest`` value -> WarmupManifest."""
+    from .serve import WarmupManifest, default_manifest
+
+    if spec is None or spec == "default":
+        return default_manifest()
+    return WarmupManifest.load(spec)
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -732,6 +776,15 @@ def _cmd_serve(args) -> int:
     registry = ModelRegistry(
         config=config, cache=cache, max_exact_width=args.max_exact_width
     )
+    if args.warmup:
+        from .serve import warm_registry
+
+        report = warm_registry(
+            registry, _resolve_manifest(args.warmup), jobs=args.jobs,
+        )
+        print(f"warmup: {report.summary()}", flush=True)
+    if args.workers > 1:
+        return _serve_fleet(args, registry, cache)
     server = EstimationServer(
         registry,
         host=args.host,
@@ -756,6 +809,105 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass  # signal handler already drained; bare Ctrl-C on exotic loops
     return 0
+
+
+def _serve_fleet(args, registry, cache) -> int:
+    """``serve --workers N``: supervise a multi-process fleet."""
+    import signal
+    import threading
+
+    from .serve import FleetMetricsServer, ServeFleet
+
+    fleet = ServeFleet(
+        registry,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        server_options={
+            "max_queue": args.max_queue,
+            "request_timeout": args.request_timeout,
+            "jobs": args.jobs,
+            "max_batch": args.max_batch,
+            "batch_wait": args.batch_wait_ms / 1e3,
+        },
+    )
+    fleet.start()
+    metrics_port = (
+        args.metrics_port if args.metrics_port is not None
+        else fleet.port + 1
+    )
+    metrics = FleetMetricsServer(fleet, host=args.host, port=metrics_port)
+    metrics.start()
+    cache_note = "disabled" if cache is None else cache.directory
+    print(
+        f"fleet of {fleet.n_workers} workers on "
+        f"http://{fleet.host}:{fleet.port} "
+        f"[{fleet.strategy}] (cache: {cache_note}); aggregated metrics on "
+        f"http://{metrics.host}:{metrics.port}/metrics — "
+        f"SIGTERM/Ctrl-C drains gracefully",
+        flush=True,
+    )
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, lambda *_: stop.set())
+        except (ValueError, OSError):
+            pass  # non-main thread / exotic platform: Ctrl-C still works
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        metrics.stop()
+        fleet.stop()
+    return 0
+
+
+def _cmd_warmup(args) -> int:
+    import json
+    import time
+
+    from .eval import ExperimentConfig
+    from .runtime import ModelCache
+    from .serve import ModelRegistry, warm_registry
+
+    started = time.time()
+    if args.write_default:
+        path = _resolve_manifest(None).dump(args.write_default)
+        print(f"default manifest written to {path}")
+        return 0
+    try:
+        manifest = _resolve_manifest(args.manifest)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = ExperimentConfig(
+        n_characterization=args.patterns,
+        seed=args.seed,
+        engine=args.engine,
+    )
+    cache = ModelCache(args.cache_dir)
+    registry = ModelRegistry(
+        config=config, cache=cache, max_exact_width=args.max_exact_width
+    )
+    report = warm_registry(
+        registry, manifest, jobs=args.jobs,
+        progress=None if args.as_json else (
+            lambda line: print(f"  {line}", file=sys.stderr, flush=True)
+        ),
+    )
+    if args.as_json:
+        _emit_envelope(
+            args, "warmup", "ok" if report.ok else "failed", started,
+            {**report.to_dict(), "cache_dir": str(cache.directory),
+             "n_jobs": len(manifest.jobs())},
+        )
+    else:
+        print(report.summary())
+        for failure in report.failures:
+            print(f"  FAIL {failure['model']}: {failure['error']}",
+                  file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_loadgen(args) -> int:
@@ -784,6 +936,7 @@ def _cmd_loadgen(args) -> int:
 _COMMANDS = {
     "list-modules": _cmd_list_modules,
     "serve": _cmd_serve,
+    "warmup": _cmd_warmup,
     "loadgen": _cmd_loadgen,
     "characterize": _cmd_characterize,
     "cache": _cmd_cache,

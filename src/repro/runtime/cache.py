@@ -49,12 +49,31 @@ DEFAULT_CACHE_DIR = "~/.cache/repro-hd"
 #: On-disk payload format; bump when the JSON layout itself changes.
 CACHE_FORMAT_VERSION = "1"
 
-#: Per-process sequence for temp-file names.  Combined with the pid it
-#: makes every in-flight write target a distinct file, so two ``--jobs``
-#: workers storing the same key can never interleave writes to a shared
-#: temp name (which could rename a half-written record into place) or
-#: steal each other's temp file out from under the atomic ``replace``.
+#: Per-process sequence for temp-file names.  Combined with the pid —
+#: read at *call* time, never captured at import — it makes every
+#: in-flight write target a distinct file, so two ``--jobs`` workers
+#: storing the same key can never interleave writes to a shared temp
+#: name (which could rename a half-written record into place) or steal
+#: each other's temp file out from under the atomic ``replace``.
 _TMP_SEQUENCE = itertools.count()
+
+
+def _reset_tmp_sequence() -> None:
+    """Restart the temp-name sequence in a freshly forked child.
+
+    ``fork()`` copies the parent's counter position into every child, so
+    a fleet of workers forked from one warm parent would all mint their
+    next temp name from the same sequence value.  The pid component keeps
+    the names unique while the pids stay alive, but a recycled pid (or a
+    pid-agnostic consumer of the names) would collide — resetting per
+    child keeps the sequence a genuinely per-process namespace.
+    """
+    global _TMP_SEQUENCE
+    _TMP_SEQUENCE = itertools.count()
+
+
+if hasattr(os, "register_at_fork"):  # absent on platforms without fork()
+    os.register_at_fork(after_in_child=_reset_tmp_sequence)
 
 
 def default_cache_dir() -> Path:

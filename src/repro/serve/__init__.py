@@ -14,12 +14,23 @@ high-throughput service.  This package is that service (docs/SERVING.md):
 * :mod:`metrics` — process-local counters/histograms exported at
   ``/metrics`` in Prometheus text format;
 * :mod:`loadgen` — the closed-loop load generator behind
-  ``repro-power loadgen`` and ``benchmarks/bench_serve.py``.
+  ``repro-power loadgen`` and ``benchmarks/bench_serve.py``;
+* :mod:`warmup` — warmup manifests pre-materializing the model tier
+  before traffic (``repro-power warmup``);
+* :mod:`fleet` — the multi-process supervisor: N ``SO_REUSEPORT``
+  workers on one port with fleet-wide aggregated metrics
+  (``repro-power serve --workers N``).
 """
 
 from .batching import DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT, MicroBatcher
+from .fleet import FleetMetricsServer, ServeFleet, WorkerSpec
 from .loadgen import ENDPOINTS, LoadReport, build_payloads, run_load_sync
-from .metrics import MetricsRegistry, ServeMetrics
+from .metrics import (
+    MetricsRegistry,
+    ServeMetrics,
+    aggregate_expositions,
+    inject_label,
+)
 from .registry import (
     DEFAULT_PROTOTYPE_WIDTHS,
     CharacterizationFailed,
@@ -29,23 +40,44 @@ from .registry import (
     UnknownKindError,
 )
 from .server import EstimationServer, ServerThread
+from .warmup import (
+    DEFAULT_WIDTH_SWEEP,
+    MANIFEST_VERSION,
+    WarmupEntry,
+    WarmupManifest,
+    WarmupReport,
+    default_manifest,
+    warm_registry,
+)
 
 __all__ = [
     "CharacterizationFailed",
     "DEFAULT_MAX_BATCH",
     "DEFAULT_MAX_WAIT",
     "DEFAULT_PROTOTYPE_WIDTHS",
+    "DEFAULT_WIDTH_SWEEP",
     "ENDPOINTS",
     "EstimationServer",
+    "FleetMetricsServer",
     "LoadReport",
+    "MANIFEST_VERSION",
     "MetricsRegistry",
     "MicroBatcher",
     "ModelRegistry",
     "RegistryError",
+    "ServeFleet",
     "ServeMetrics",
     "ServedModel",
     "ServerThread",
     "UnknownKindError",
+    "WarmupEntry",
+    "WarmupManifest",
+    "WarmupReport",
+    "WorkerSpec",
+    "aggregate_expositions",
     "build_payloads",
+    "default_manifest",
+    "inject_label",
     "run_load_sync",
+    "warm_registry",
 ]

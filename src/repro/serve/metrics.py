@@ -17,7 +17,7 @@ and call sites keep working; they are no longer independent series.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List, Mapping
 
 from ..obs.events import (  # noqa: F401  (re-exports: public back-compat)
     BATCH_SIZE_BUCKETS,
@@ -121,3 +121,98 @@ class ServeMetrics:
         flat = self.registry.snapshot()
         flat.update(EVENTS.snapshot())
         return flat
+
+
+# ----------------------------------------------------------------------
+# Fleet aggregation: merge per-worker expositions under a `worker` label
+# ----------------------------------------------------------------------
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+    )
+
+
+def inject_label(line: str, label: str, value: str) -> str:
+    """Prefix one sample line's label set with ``label="value"``.
+
+    ``line`` is a Prometheus text-format sample (``name value`` or
+    ``name{labels} value``); comments and blank lines pass through
+    untouched.  The injected label goes first so a pre-existing label of
+    the same name (there are none in our series) would merely be
+    shadowed, not corrupted.
+    """
+    if not line or line.startswith("#"):
+        return line
+    name_part, _, sample_value = line.rpartition(" ")
+    if not name_part:
+        return line
+    pair = f'{label}="{_escape_label_value(value)}"'
+    if name_part.endswith("}"):
+        brace = name_part.index("{")
+        inner = name_part[brace + 1:-1]
+        merged = pair + ("," + inner if inner else "")
+        name_part = f"{name_part[:brace]}{{{merged}}}"
+    else:
+        name_part = f"{name_part}{{{pair}}}"
+    return f"{name_part} {sample_value}"
+
+
+def aggregate_expositions(
+    pages: Mapping[str, str], label: str = "worker"
+) -> str:
+    """Merge several ``/metrics`` pages into one fleet-wide exposition.
+
+    ``pages`` maps a label value (worker id) to that worker's Prometheus
+    text page.  Samples are re-labelled with ``label="<id>"`` and
+    regrouped per metric family so each family's ``# HELP``/``# TYPE``
+    header appears exactly once, with every worker's samples beneath it
+    — the shape Prometheus requires and the shape the fleet supervisor
+    serves.
+    """
+    headers: Dict[str, List[str]] = {}
+    samples: Dict[str, List[str]] = {}
+    order: List[str] = []
+
+    def family_of(name: str) -> str:
+        # Histogram samples use suffixed names under the family header.
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in headers:
+                return name[: -len(suffix)]
+        return name
+
+    for value in sorted(pages, key=str):
+        current = None
+        for line in pages[value].splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                parts = line.split(" ", 3)
+                if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                    current = parts[2]
+                    if current not in headers:
+                        headers[current] = []
+                        samples[current] = []
+                        order.append(current)
+                    kept = headers[current]
+                    if not any(
+                        k.startswith(f"# {parts[1]} ") for k in kept
+                    ):
+                        kept.append(line)
+                continue
+            name = line.split("{", 1)[0].split(" ", 1)[0]
+            family = (
+                current
+                if current is not None and name.startswith(current)
+                else family_of(name)
+            )
+            if family not in headers:
+                headers[family] = []
+                samples[family] = []
+                order.append(family)
+            samples[family].append(inject_label(line, label, value))
+
+    lines: List[str] = []
+    for family in order:
+        lines.extend(headers[family])
+        lines.extend(samples[family])
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -19,8 +19,11 @@ this request?".  Resolution order for ``(kind, width, enhanced)``:
 Concurrent misses for the same key are **single-flight deduplicated**: the
 first caller characterizes, every concurrent caller for the same key
 blocks on the leader's result instead of launching a duplicate simulation.
-The registry is thread-safe — the asyncio server calls it from executor
-threads.
+A *failed* leader never poisons the key: its in-flight slot is removed
+under the lock before the error propagates, and every waiting follower
+retries from scratch (one of them becomes the next leader) instead of
+re-raising the stale error or hanging.  The registry is thread-safe — the
+asyncio server calls it from executor threads.
 """
 
 from __future__ import annotations
@@ -164,27 +167,30 @@ class ModelRegistry:
                 "request enhanced=false or an exact width"
             )
         key = (kind, int(width), bool(enhanced), resolved)
-        leader = False
-        with self._lock:
-            model = self._models.get(key)
-            if model is not None:
-                self.metrics.registry_lookups_total.inc(result="memory")
-                return model
-            slot = self._inflight.get(key)
-            if slot is None:
-                slot = _InFlight()
-                self._inflight[key] = slot
-                leader = True
-        if not leader:
+        while True:
+            with self._lock:
+                model = self._models.get(key)
+                if model is not None:
+                    self.metrics.registry_lookups_total.inc(result="memory")
+                    return model
+                slot = self._inflight.get(key)
+                if slot is None:
+                    slot = _InFlight()
+                    self._inflight[key] = slot
+                    break  # this thread leads the load
             # Single-flight follower: the wait is worth a span of its own
             # — coalesced time is latency the leader's load imposes.
             with span("registry.coalesce", key="/".join(map(str, key))):
                 self.metrics.registry_coalesced_total.inc()
                 slot.event.wait()
-            if slot.error is not None:
-                raise slot.error
-            assert slot.model is not None
-            return slot.model
+            if slot.error is None:
+                assert slot.model is not None
+                return slot.model
+            # The leader failed.  Its slot is already gone from
+            # _inflight (removed under the lock before the event was
+            # set), so loop and retry: either a newer leader is already
+            # loading, or this thread claims leadership and gets a fresh
+            # attempt instead of a stale error.
 
         started = time.perf_counter()
         try:

@@ -37,10 +37,11 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import socket as socket_module
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -116,6 +117,9 @@ class EstimationServer:
         metrics: Shared metric set; defaults to the registry's.
         host/port: Bind address; port 0 picks an ephemeral port
             (``server.port`` reports the actual one after ``start``).
+        sock: An already-bound listening socket to serve on instead of
+            binding ``host:port`` — the serve-fleet workers pass their
+            ``SO_REUSEPORT`` (or fork-inherited) socket here.
         max_queue: Admission limit on concurrent estimation requests.
         request_timeout: Per-request deadline in seconds.
         jobs: Worker threads for estimation flushes and model loads.
@@ -130,6 +134,7 @@ class EstimationServer:
         metrics: Optional[ServeMetrics] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        sock: Optional[socket_module.socket] = None,
         max_queue: int = 256,
         request_timeout: float = 30.0,
         jobs: int = 2,
@@ -162,6 +167,7 @@ class EstimationServer:
         self.batcher = batcher
         self.host = host
         self.port = port
+        self._sock = sock
         self.max_queue = int(max_queue)
         self.request_timeout = float(request_timeout)
         self._server: Optional[asyncio.AbstractServer] = None
@@ -169,16 +175,31 @@ class EstimationServer:
         self._draining = False
         self._idle = asyncio.Event()
         self._idle.set()
+        # Every open client connection, plus how many of them are mid
+        # request (head read through response written): drain uses the
+        # first to force-close stragglers and the second to know when it
+        # is safe to do so without truncating a response in flight.
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._busy = 0
+        self._quiet = asyncio.Event()
+        self._quiet.set()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port,
-            limit=MAX_HEADER_BYTES,
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._sock,
+                limit=MAX_HEADER_BYTES,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port,
+                limit=MAX_HEADER_BYTES,
+            )
+        name = self._server.sockets[0].getsockname()
+        self.host, self.port = name[0], name[1]
 
     async def serve_forever(self, install_signals: bool = True) -> None:
         """Start, then run until SIGTERM/SIGINT triggers a graceful drain."""
@@ -196,43 +217,85 @@ class EstimationServer:
         await self.drain()
 
     async def drain(self, timeout: float = 30.0) -> None:
-        """Stop accepting, flush batches, wait for in-flight requests."""
+        """Stop accepting, flush batches, wait for in-flight work —
+        then **enforce** the deadline.
+
+        ``timeout`` bounds the whole drain: requests get until the
+        deadline to finish naturally, after which every connection still
+        open — stalled keep-alive clients included — is force-closed
+        instead of being awaited indefinitely.  (``Server.wait_closed``
+        alone would block on a client that simply never hangs up.)
+        """
         self._draining = True
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + float(timeout)
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
         await self.batcher.drain()
         try:
-            await asyncio.wait_for(self._idle.wait(), timeout)
+            # Until the head of a request is read a connection is idle;
+            # _quiet covers dispatch *and* the response write, so waiting
+            # on it never abandons a response mid-flight.
+            await asyncio.wait_for(
+                self._quiet.wait(), max(0.0, deadline - loop.time())
+            )
         except asyncio.TimeoutError:
-            pass
+            pass  # deadline passed with requests still running: cut them
+        for writer in list(self._connections):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        if self._server is not None:
+            try:
+                await asyncio.wait_for(
+                    self._server.wait_closed(),
+                    max(0.1, deadline - loop.time()),
+                )
+            except asyncio.TimeoutError:
+                pass
         self._compute_pool.shutdown(wait=False)
         self._load_pool.shutdown(wait=False)
 
     # ------------------------------------------------------------------
     # HTTP plumbing
     # ------------------------------------------------------------------
+    def _enter_request(self) -> None:
+        self._busy += 1
+        self._quiet.clear()
+
+    def _exit_request(self) -> None:
+        self._busy -= 1
+        if self._busy == 0:
+            self._quiet.set()
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connections.add(writer)
         try:
             while True:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                status, payload, extra = await self._dispatch(request)
-                keep_alive = (
-                    request.headers.get("connection", "keep-alive").lower()
-                    != "close" and not self._draining
-                )
-                await self._write_response(
-                    writer, status, payload, extra, keep_alive
-                )
+                self._enter_request()
+                try:
+                    status, payload, extra = await self._dispatch(request)
+                    keep_alive = (
+                        request.headers.get(
+                            "connection", "keep-alive"
+                        ).lower() != "close" and not self._draining
+                    )
+                    await self._write_response(
+                        writer, status, payload, extra, keep_alive
+                    )
+                finally:
+                    self._exit_request()
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
+            self._connections.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -534,6 +597,7 @@ class EstimationServer:
         return {
             "status": "draining" if self._draining else "ok",
             "in_flight": self._in_flight,
+            "open_connections": len(self._connections),
             "max_queue": self.max_queue,
             "models_loaded": len(self.registry),
             "pending_batched": self.batcher.pending_requests,

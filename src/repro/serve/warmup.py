@@ -1,0 +1,249 @@
+"""Warmup manifests: pre-materialize the model tier before serving.
+
+The serving fleet's latency contract is *no characterization on the
+request path*.  A warmup manifest names the model families and operand
+widths a deployment expects to serve; :func:`warm_registry` materializes
+every one of them through a :class:`~repro.serve.registry.ModelRegistry`
+**before** traffic arrives — exact characterization (cached in the
+content-addressed :class:`~repro.runtime.cache.ModelCache`) up to the
+registry's ``max_exact_width``, the Eq. 6-10 width regression beyond it.
+A fleet supervisor runs the warmup once in the parent process and then
+forks, so every worker inherits the warm in-memory tier copy-on-write
+and the very first request of every worker is a memory hit.
+
+Manifest JSON schema (``version`` 1, see docs/SERVING.md)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"kind": "csa_multiplier", "widths": [4, 8, 16, 32]},
+        {"kind": "ripple_adder",   "widths": [8, 16], "enhanced": true}
+      ]
+    }
+
+``repro-power warmup`` is the CLI face: it loads (or synthesizes) a
+manifest and fills the persistent cache so later ``serve`` processes —
+single or fleet — start warm.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..modules.library import MODULE_KINDS, PAPER_MODULE_KINDS
+from .registry import ModelRegistry, RegistryError
+
+#: Manifest layout generation; bump on breaking schema changes.
+MANIFEST_VERSION = 1
+
+#: Default width sweep: the exact tier (4-16) plus regression-served
+#: widths (24-64) so both resolution paths are exercised and warm.
+DEFAULT_WIDTH_SWEEP: Tuple[int, ...] = (4, 6, 8, 12, 16, 24, 32, 48, 64)
+
+
+@dataclass(frozen=True)
+class WarmupEntry:
+    """One module family's slice of the manifest."""
+
+    kind: str
+    widths: Tuple[int, ...]
+    enhanced: bool = False
+
+
+@dataclass
+class WarmupManifest:
+    """A validated set of (kind, width, enhanced) models to pre-serve."""
+
+    entries: Tuple[WarmupEntry, ...]
+    version: int = MANIFEST_VERSION
+
+    def jobs(self) -> List[Tuple[str, int, bool]]:
+        """Deduplicated, deterministic (kind, width, enhanced) worklist."""
+        seen = set()
+        jobs = []
+        for entry in self.entries:
+            for width in entry.widths:
+                key = (entry.kind, int(width), bool(entry.enhanced))
+                if key not in seen:
+                    seen.add(key)
+                    jobs.append(key)
+        jobs.sort()
+        return jobs
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "entries": [
+                {
+                    "kind": e.kind,
+                    "widths": list(e.widths),
+                    **({"enhanced": True} if e.enhanced else {}),
+                }
+                for e in self.entries
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "WarmupManifest":
+        """Parse and validate; raises ``ValueError`` with a precise
+        message on any malformed field (never a KeyError/TypeError)."""
+        if not isinstance(payload, dict):
+            raise ValueError("manifest must be a JSON object")
+        version = payload.get("version", MANIFEST_VERSION)
+        if version != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {version!r} "
+                f"(this build reads version {MANIFEST_VERSION})"
+            )
+        raw_entries = payload.get("entries")
+        if not isinstance(raw_entries, list) or not raw_entries:
+            raise ValueError("manifest needs a non-empty 'entries' list")
+        entries = []
+        for index, raw in enumerate(raw_entries):
+            where = f"entries[{index}]"
+            if not isinstance(raw, dict):
+                raise ValueError(f"{where} must be an object")
+            kind = raw.get("kind")
+            if kind not in MODULE_KINDS:
+                raise ValueError(
+                    f"{where}: unknown module kind {kind!r}"
+                )
+            widths = raw.get("widths")
+            if (not isinstance(widths, list) or not widths
+                    or not all(
+                        isinstance(w, int) and not isinstance(w, bool)
+                        and w >= 1 for w in widths
+                    )):
+                raise ValueError(
+                    f"{where}: 'widths' must be a non-empty list of "
+                    f"positive integers"
+                )
+            enhanced = raw.get("enhanced", False)
+            if not isinstance(enhanced, bool):
+                raise ValueError(f"{where}: 'enhanced' must be a boolean")
+            entries.append(WarmupEntry(
+                kind=kind, widths=tuple(widths), enhanced=enhanced,
+            ))
+        return cls(entries=tuple(entries), version=version)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "WarmupManifest":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"cannot read manifest {path}: {exc}")
+        return cls.from_dict(payload)
+
+    def dump(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+
+def default_manifest(
+    kinds: Sequence[str] = PAPER_MODULE_KINDS,
+    widths: Sequence[int] = DEFAULT_WIDTH_SWEEP,
+    enhanced: bool = False,
+) -> WarmupManifest:
+    """The stock manifest: every Table-1 module family across the
+    default width sweep."""
+    unknown = sorted(set(kinds) - set(MODULE_KINDS))
+    if unknown:
+        raise ValueError(f"unknown module kinds: {unknown}")
+    return WarmupManifest(entries=tuple(
+        WarmupEntry(kind=kind, widths=tuple(int(w) for w in widths),
+                    enhanced=enhanced)
+        for kind in kinds
+    ))
+
+
+@dataclass
+class WarmupReport:
+    """Outcome of one warmup pass."""
+
+    n_models: int = 0
+    sources: Dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_models": self.n_models,
+            "sources": dict(sorted(self.sources.items())),
+            "elapsed_seconds": self.elapsed_seconds,
+            "failures": list(self.failures),
+        }
+
+    def summary(self) -> str:
+        sources = ", ".join(
+            f"{source}: {count}"
+            for source, count in sorted(self.sources.items())
+        )
+        tail = f" | FAILURES: {len(self.failures)}" if self.failures else ""
+        return (
+            f"{self.n_models} models warm in {self.elapsed_seconds:.1f}s "
+            f"[{sources}]{tail}"
+        )
+
+
+def warm_registry(
+    registry: ModelRegistry,
+    manifest: WarmupManifest,
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> WarmupReport:
+    """Materialize every manifest model through ``registry``.
+
+    With ``jobs > 1`` and a persistent cache attached, the exact-width
+    characterizations are first fanned out across worker processes to
+    fill the disk cache, then pulled into memory — the registry path
+    stays the single source of truth for resolution either way.  A model
+    that cannot be built (e.g. an invalid width for its family) is
+    recorded as a failure, never raised: warmup is best-effort by design
+    so one bad manifest line cannot keep a fleet down.
+    """
+    report = WarmupReport()
+    worklist = manifest.jobs()
+    started = time.perf_counter()
+
+    if jobs > 1 and registry.cache is not None:
+        # Pre-fill the disk cache in parallel; registry.get below then
+        # costs a cache load per model instead of a characterization.
+        from ..runtime.service import CharacterizationJob, characterize_jobs
+
+        exact = [
+            CharacterizationJob(kind=kind, width=width, enhanced=enhanced)
+            for kind, width, enhanced in worklist
+            if registry.resolve_mode(kind, width) == "exact"
+        ]
+        if exact:
+            characterize_jobs(
+                exact, config=registry.config, jobs=jobs,
+                cache=registry.cache, strict=False,
+            )
+
+    for kind, width, enhanced in worklist:
+        label = f"{kind}/{width}" + ("+enhanced" if enhanced else "")
+        try:
+            served = registry.get(kind, width, enhanced=enhanced)
+        except RegistryError as exc:
+            report.failures.append({"model": label, "error": str(exc)})
+            if progress is not None:
+                progress(f"FAIL {label}: {exc}")
+            continue
+        report.n_models += 1
+        report.sources[served.source] = (
+            report.sources.get(served.source, 0) + 1
+        )
+        if progress is not None:
+            progress(f"warm {label} ({served.source})")
+    report.elapsed_seconds = time.perf_counter() - started
+    return report

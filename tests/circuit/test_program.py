@@ -297,6 +297,63 @@ def test_native_status_is_reportable():
     assert isinstance(native_status(), str) and native_status()
 
 
+def test_native_gate_reread_without_reimport(monkeypatch):
+    """The env gate is re-evaluated per call, not captured at import.
+
+    Forked serve-fleet workers (and tests) toggle ``REPRO_NATIVE`` at
+    runtime; the backend must flip accordingly with no re-import.
+    """
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    assert native_mod.native_kernel() is None
+    assert native_mod.native_decode() is None
+    assert "disabled" in native_mod.native_status()
+    # Clearing the gate re-enables (or at least re-attempts resolution).
+    monkeypatch.delenv("REPRO_NATIVE")
+    assert "disabled" not in native_mod.native_status()
+    kernel = native_mod.native_kernel()  # None only if no compiler exists
+    # Programmatic override beats the environment in both directions.
+    native_mod.set_native_enabled(False)
+    try:
+        assert native_mod.native_kernel() is None
+        assert "set_native_enabled" in native_mod.native_status()
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        native_mod.set_native_enabled(True)
+        assert native_mod.native_kernel() is kernel
+    finally:
+        native_mod.set_native_enabled(None)
+    assert native_mod.native_kernel() is None  # env gate back in charge
+
+
+def test_native_gate_toggles_in_subprocess():
+    """End-to-end in a pristine interpreter: one import, gate flipped
+    twice, kernel state follows (the forked-worker scenario)."""
+    import subprocess
+    import sys
+
+    code = "\n".join([
+        "import os",
+        "os.environ['REPRO_NATIVE'] = '0'",
+        "from repro.circuit import native",
+        "assert native.native_kernel() is None",
+        "assert native.native_decode() is None",
+        "assert 'disabled' in native.native_status()",
+        "os.environ['REPRO_NATIVE'] = '1'",
+        "kernel = native.native_kernel()  # may be None without a cc",
+        "assert 'disabled' not in native.native_status()",
+        "native.set_native_enabled(False)",
+        "assert native.native_kernel() is None",
+        "native.set_native_enabled(None)",
+        "assert native.native_kernel() is kernel",
+        "print('GATE-OK')",
+    ])
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "GATE-OK" in proc.stdout
+
+
 def test_hotspots_compiled_engine_parity():
     """net_power_breakdown(engine="compiled") matches the bool report
     exactly — program-order per-row totals permuted back to net order."""

@@ -1,6 +1,7 @@
 """Persistent content-addressed model/trace cache."""
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -302,6 +303,67 @@ def test_interleaved_writers_leave_valid_record(tmp_path, monkeypatch):
     assert record["payload"] == {"writer": "a"}
     assert list(tmp_path.glob("*.tmp*")) == []
     assert cache_a.stores == 1 and cache_b.stores == 1
+
+
+@pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="fork() not available on this platform"
+)
+def test_fork_resets_tmp_sequence_and_children_never_collide(tmp_path):
+    """Temp names must stay unique across fork() (the fleet's worker model).
+
+    The parent advances the shared sequence, then forks two children
+    that hammer the same key concurrently.  Each child must (a) observe
+    a *reset* sequence (the ``os.register_at_fork`` hook), (b) mint temp
+    names from its own pid read at call time, and (c) leave the contested
+    record valid with zero temp litter.
+    """
+    import pathlib
+
+    from repro.runtime import cache as cache_module
+
+    parent_cache = ModelCache(tmp_path)
+    # Advance the parent's sequence so inherited state is non-trivial.
+    for n in range(3):
+        parent_cache.store("warm", {"n": n}, {})
+
+    def child(tag: str) -> None:
+        status = 1
+        try:
+            # (a) the at-fork hook restarted the per-process sequence
+            seen = []
+            original_write_text = pathlib.Path.write_text
+            pathlib.Path.write_text = lambda self, *a, **k: (
+                seen.append(self.name), original_write_text(self, *a, **k)
+            )[-1]
+            child_cache = ModelCache(tmp_path)
+            for n in range(20):
+                child_cache.store("contested", {"writer": tag, "n": n}, {})
+            pathlib.Path.write_text = original_write_text
+            tmp_names = [s for s in seen if s.endswith(".tmp")]
+            # (b) names carry this child's pid and restart at sequence 0
+            assert all(f".{os.getpid()}." in s for s in tmp_names), tmp_names
+            assert any(".0.tmp" in s for s in tmp_names), (
+                "fork did not reset the temp sequence: %r" % tmp_names[:3]
+            )
+            status = 0
+        finally:
+            os._exit(status)
+
+    pids = []
+    for index in range(2):
+        pid = os.fork()
+        if pid == 0:
+            child("ab"[index])  # never returns: child() always _exits
+        pids.append(pid)
+    statuses = [os.waitpid(pid, 0)[1] for pid in pids]
+    assert all(os.WEXITSTATUS(s) == 0 for s in statuses), statuses
+    # (c) the contested record is a complete write from one child
+    record = json.loads((tmp_path / "contested.json").read_text())
+    assert record["payload"]["writer"] in ("a", "b")
+    assert record["payload"]["n"] == 19
+    assert list(tmp_path.glob("*.tmp")) == []
+    # The parent's own sequence keeps counting where it left off.
+    assert next(cache_module._TMP_SEQUENCE) >= 3
 
 
 def test_engine_never_in_cache_keys(tmp_path):

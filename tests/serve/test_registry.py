@@ -1,6 +1,7 @@
 """Model registry: resolution order, single-flight dedup, width regression."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -111,6 +112,70 @@ def test_single_flight_propagates_leader_error():
     assert len(errors) == 3
     # A failed load leaves nothing resident: a retry is a fresh attempt.
     assert len(registry) == 0
+
+
+def test_single_flight_failed_leader_lets_followers_retry():
+    """A failed leader must not strand its followers.
+
+    The first materialization raises after followers have queued behind
+    it; the waiting followers must *retry* (one becomes the new leader)
+    and come back with a real model, never hang on the dead slot or
+    re-raise the leader's stale error.
+    """
+    registry = ModelRegistry(config=CONFIG, cache=None)
+    original = registry._materialize_exact
+    calls = []
+    followers_queued = threading.Event()
+
+    def flaky(kind, width, enhanced):
+        calls.append((kind, width))
+        if len(calls) == 1:
+            # Hold the leader until the followers are blocked on the
+            # slot, then fail: the exact interleaving the bug hit.
+            followers_queued.wait(timeout=5.0)
+            raise RuntimeError("injected characterization failure")
+        return original(kind, width, enhanced)
+
+    registry._materialize_exact = flaky
+    outcomes = []
+    outcomes_lock = threading.Lock()
+    barrier = threading.Barrier(4)
+
+    def fetch(is_leader_candidate):
+        barrier.wait()
+        if not is_leader_candidate:
+            # Give the leader a head start so the followers coalesce.
+            time.sleep(0.05)
+            followers_queued.set()
+        try:
+            result = registry.get("ripple_adder", 4)
+        except RuntimeError as exc:
+            result = exc
+        with outcomes_lock:
+            outcomes.append(result)
+
+    threads = [
+        threading.Thread(target=fetch, args=(index == 0,))
+        for index in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30.0)
+    assert not any(t.is_alive() for t in threads), (
+        "a follower hung on the failed leader's slot"
+    )
+    models = [o for o in outcomes if not isinstance(o, Exception)]
+    failures = [o for o in outcomes if isinstance(o, Exception)]
+    # Exactly the injected failure surfaced (to the thread that led the
+    # doomed attempt); everyone else retried into a real model.
+    assert len(failures) == 1 and "injected" in str(failures[0])
+    assert len(models) == 3 and all(m is models[0] for m in models)
+    # The retry characterized for real: the flaky stub ran at least twice.
+    assert len(calls) >= 2
+    # Nothing in flight afterwards; the key is clean for future lookups.
+    assert registry._inflight == {}
+    assert registry.get("ripple_adder", 4) is models[0]
 
 
 def test_regressed_width_serving():

@@ -275,6 +275,57 @@ def test_graceful_shutdown_leaves_no_thread():
         asyncio.run(asyncio.open_connection("127.0.0.1", port))
 
 
+def test_drain_force_closes_stalled_keepalive_client():
+    """drain(timeout) must *enforce* the timeout.
+
+    A keep-alive client that opens a connection and then goes silent
+    (and another that stalls mid-request, promising a body it never
+    sends) used to keep the connection — and, on newer asyncio, the
+    whole drain — alive indefinitely.  Now drain returns within the
+    deadline and the stragglers see their connection cut.
+    """
+    import time
+
+    registry = ModelRegistry(config=CONFIG, cache=None)
+    registry.get(KIND, WIDTH)
+    instance = EstimationServer(registry, jobs=1)
+
+    async def scenario():
+        await instance.start()
+        port = instance.port
+        # Stalled client A: connects, never sends a byte.
+        reader_a, writer_a = await asyncio.open_connection("127.0.0.1", port)
+        # Stalled client B: sends headers claiming a body, then stops —
+        # the handler is parked inside readexactly().
+        reader_b, writer_b = await asyncio.open_connection("127.0.0.1", port)
+        writer_b.write(
+            b"POST /v1/estimate/bits HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: 10\r\n\r\n"
+        )
+        await writer_b.drain()
+        await asyncio.sleep(0.1)
+        assert len(instance._connections) == 2
+
+        started = time.perf_counter()
+        await instance.drain(timeout=0.5)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 5.0, f"drain ignored its deadline ({elapsed:.1f}s)"
+
+        # Both stalled clients must observe the force-close promptly.
+        for reader in (reader_a, reader_b):
+            try:
+                data = await asyncio.wait_for(reader.read(1), timeout=2.0)
+                assert data == b"", "connection survived the drain"
+            except (ConnectionError, asyncio.TimeoutError) as exc:
+                assert not isinstance(exc, asyncio.TimeoutError), (
+                    "stalled connection still open after drain"
+                )
+        for writer in (writer_a, writer_b):
+            writer.close()
+
+    asyncio.run(scenario())
+
+
 # ----------------------------------------------------------------------
 # Per-request tracing: X-Repro-Trace opt-in (see docs/OBSERVABILITY.md)
 # ----------------------------------------------------------------------
