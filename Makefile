@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test test-all fuzz verify bench bench-small bench-sim bench-serve bench-fleet bench-smoke serve-smoke serve-fleet-smoke profile-smoke report examples clean
+.PHONY: install test test-all fuzz verify coverage bench bench-small bench-sim bench-serve bench-fleet bench-smoke serve-smoke serve-fleet-smoke stream-smoke profile-smoke report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -66,6 +66,20 @@ serve-smoke:
 # worker, 1e-9 parity, aggregated worker-labelled /metrics + /healthz.
 serve-fleet-smoke:
 	PYTHONPATH=src python scripts/serve_fleet_smoke.py
+
+# Soak-test of the streaming session layer (docs/SERVING.md): one
+# 100-segment session with interleaved concurrent sessions on a single
+# server (zero 5xx, monotone transition counts, 1e-9 final parity vs the
+# offline estimate), then sticky sessions + clean wrong-worker 409s
+# against a 2-worker SO_REUSEPORT fleet.
+stream-smoke:
+	PYTHONPATH=src python scripts/stream_smoke.py
+
+# Tier-1 suite under pytest-cov with targeted floors on the incremental
+# core and the serve layer; the global number is informational only.
+# Skips cleanly when pytest-cov isn't installed (it is a test extra).
+coverage:
+	PYTHONPATH=src python scripts/coverage_gate.py
 
 # End-to-end check of the tracing/profiling subsystem
 # (docs/OBSERVABILITY.md): --profile produces an about://tracing-loadable

@@ -1,0 +1,256 @@
+"""Soak-test the streaming session layer end to end.
+
+The ``make stream-smoke`` target (and the CI gate), in two phases:
+
+**Phase 1 — single server.**  One long session is fed 100 segments while
+short concurrent sessions come and go on interleaved connections.  Assert
+zero 5xx, monotone nondecreasing transition counts after every append,
+and 1e-9 parity between the final running estimate and the offline
+one-shot estimate on the concatenated trace.  Then overflow the session
+budget and require a clean 429, and check the ``serve_sessions_*`` series
+on ``/metrics``.
+
+**Phase 2 — two-worker fleet** (skipped where ``os.fork`` is missing).
+Concurrent streaming sessions each ride one keep-alive connection against
+a ``--workers 2`` SO_REUSEPORT fleet: every session must complete with
+zero 5xx and per-session offline parity (stickiness by connection).
+Foreign-worker probes on fresh connections must answer 200 or a clean
+409 ``wrong_worker`` with the owner hint header — never 5xx.
+
+Real sockets, real HTTP, real fork(); a few seconds end to end because
+the model tier is warmed once up front.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.eval import ExperimentConfig  # noqa: E402
+from repro.serve import (  # noqa: E402
+    EstimationServer,
+    ModelRegistry,
+    ServeFleet,
+    ServerThread,
+    WarmupManifest,
+    run_stream_load_sync,
+    warm_registry,
+)
+from repro.serve.loadgen import http_request  # noqa: E402
+
+KIND = "ripple_adder"
+WIDTH = 4
+SEGMENTS = 100
+ROWS_PER_SEGMENT = 16
+PARITY_RTOL = 1e-9
+CONFIG = ExperimentConfig(n_characterization=300, seed=5)
+
+
+def request_once(port, method, path, payload=None):
+    body = json.dumps(payload).encode() if payload is not None else None
+
+    async def _go():
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            return await http_request(reader, writer, method, path, body)
+        finally:
+            writer.close()
+
+    status, raw = asyncio.run(_go())
+    return status, (json.loads(raw) if raw.startswith(b"{") else raw.decode())
+
+
+def assert_parity(label, running, served, bits):
+    offline = served.estimator.estimate_from_bits(np.asarray(bits, bool))
+    deviation = abs(running - offline.average_charge)
+    limit = PARITY_RTOL * abs(offline.average_charge)
+    assert deviation <= limit, (
+        f"{label}: running {running!r} vs offline "
+        f"{offline.average_charge!r} (|Δ| = {deviation:.2e})"
+    )
+    return deviation
+
+
+def check_long_session_with_interleaving(port, served) -> None:
+    """One 100-segment session, short sessions interleaved throughout."""
+    rng = np.random.default_rng(42)
+    statuses = []
+
+    status, created = request_once(port, "POST", "/v1/sessions", {
+        "kind": KIND, "width": WIDTH,
+    })
+    statuses.append(status)
+    assert status == 201, created
+    sid = created["session_id"]
+
+    segments = []
+    last_transitions = -1
+    for index in range(SEGMENTS):
+        rows = rng.integers(0, 2, size=(ROWS_PER_SEGMENT, 2 * WIDTH))
+        segments.append(rows)
+        status, running = request_once(
+            port, "POST", f"/v1/sessions/{sid}/append",
+            {"bits": rows.tolist()},
+        )
+        statuses.append(status)
+        assert status == 200, running
+        assert running["n_transitions"] >= last_transitions, (
+            f"transition count regressed at segment {index}"
+        )
+        last_transitions = running["n_transitions"]
+
+        if index % 10 == 5:  # interleave a short concurrent session
+            status, other = request_once(port, "POST", "/v1/sessions", {
+                "kind": KIND, "width": WIDTH,
+            })
+            statuses.append(status)
+            assert status == 201, other
+            status, _ = request_once(
+                port, "POST",
+                f"/v1/sessions/{other['session_id']}/append",
+                {"bits": rng.integers(
+                    0, 2, size=(8, 2 * WIDTH)).tolist()},
+            )
+            statuses.append(status)
+            status, _ = request_once(
+                port, "DELETE", f"/v1/sessions/{other['session_id']}"
+            )
+            statuses.append(status)
+
+    status, final = request_once(port, "DELETE", f"/v1/sessions/{sid}")
+    statuses.append(status)
+    assert status == 200, final
+
+    n_5xx = sum(1 for s in statuses if s >= 500)
+    assert n_5xx == 0, f"{n_5xx} 5xx answers during the soak"
+    full = np.concatenate(segments)
+    assert final["n_rows"] == len(full)
+    deviation = assert_parity(
+        "long session", final["average_charge"], served, full
+    )
+    print(f"  phase 1: {SEGMENTS} segments, {len(full)} rows, "
+          f"{len(statuses)} requests, 0 5xx, parity |Δ| = {deviation:.2e}")
+
+
+def check_budget_backpressure(port) -> None:
+    opened = []
+    answer = None
+    status = None
+    for _ in range(40):  # server budget is below this
+        status, answer = request_once(port, "POST", "/v1/sessions", {
+            "kind": KIND, "width": WIDTH,
+        })
+        if status != 201:
+            break
+        opened.append(answer["session_id"])
+    assert status == 429, f"budget never pushed back: last {status}"
+    assert answer["error"]["code"] == "session_budget", answer
+    for sid in opened:
+        request_once(port, "DELETE", f"/v1/sessions/{sid}")
+    print(f"  phase 1: budget 429 after {len(opened)} open sessions, "
+          f"clean close-out")
+
+
+def check_metrics(port) -> None:
+    status, page = request_once(port, "GET", "/metrics")
+    assert status == 200
+    for series in ("serve_sessions_open", "serve_sessions_created_total",
+                   "serve_session_appends_total", "serve_session_rows_total",
+                   "serve_sessions_closed_total"):
+        assert series in page, f"{series} missing from /metrics"
+    print("  phase 1: serve_sessions_* series exposed")
+
+
+def phase_single_server(registry) -> None:
+    served = registry.get(KIND, WIDTH)
+    server = EstimationServer(registry, max_sessions=8)
+    with ServerThread(server) as thread:
+        check_long_session_with_interleaving(thread.port, served)
+        check_budget_backpressure(thread.port)
+        check_metrics(thread.port)
+
+
+def check_fleet_sessions(fleet, served) -> None:
+    report, results = run_stream_load_sync(
+        "127.0.0.1", fleet.port, KIND, WIDTH,
+        n_sessions=6, segments_per_session=12,
+        rows_per_segment=ROWS_PER_SEGMENT, concurrency=3, seed=7,
+    )
+    print(f"  phase 2: {report.summary()}")
+    assert report.n_5xx == 0, f"5xx under fleet: {report.status_counts}"
+    assert report.errors == 0, "transport errors under fleet"
+    for index, result in enumerate(results):
+        assert result.ok, (
+            f"session {index} did not complete: statuses {result.statuses}"
+        )
+        rng = np.random.default_rng(7 + 7919 * index)
+        full = np.concatenate([
+            rng.integers(0, 2, size=(ROWS_PER_SEGMENT, 2 * WIDTH))
+            for _ in range(12)
+        ])
+        assert_parity(f"fleet session {index}",
+                      result.final["average_charge"], served, full)
+    print(f"  phase 2: {len(results)} sticky sessions, per-session "
+          f"1e-9 parity")
+
+
+def check_wrong_worker_is_clean(fleet) -> None:
+    """Probing a session from fresh connections must never 5xx: each
+    answer is 200 (landed on the owner) or a 409 redirect hint."""
+    status, created = request_once(fleet.port, "POST", "/v1/sessions", {
+        "kind": KIND, "width": WIDTH,
+    })
+    assert status == 201, created
+    sid = created["session_id"]
+    outcomes = {200: 0, 409: 0}
+    for _ in range(24):
+        status, answer = request_once(fleet.port, "GET",
+                                      f"/v1/sessions/{sid}")
+        assert status in (200, 409), (
+            f"foreign-worker probe answered {status}: {answer}"
+        )
+        if status == 409:
+            assert answer["error"]["code"] == "wrong_worker", answer
+        outcomes[status] += 1
+    assert outcomes[200] > 0, "owner worker never reached on reconnects"
+    print(f"  phase 2: wrong-worker probes clean "
+          f"(200 × {outcomes[200]}, 409 × {outcomes[409]}, 0 5xx)")
+
+
+def phase_fleet(registry) -> None:
+    if not hasattr(os, "fork"):
+        print("  phase 2: skipped (no os.fork on this platform)")
+        return
+    served = registry.get(KIND, WIDTH)
+    fleet = ServeFleet(registry, workers=2)
+    with fleet:
+        check_fleet_sessions(fleet, served)
+        check_wrong_worker_is_clean(fleet)
+    assert fleet.alive_workers() == 0, "workers survived stop()"
+
+
+def main() -> int:
+    print(f"stream smoke: {KIND}/{WIDTH}, {SEGMENTS}-segment soak + "
+          f"2-worker fleet stickiness")
+    registry = ModelRegistry(config=CONFIG, cache=None)
+    manifest = WarmupManifest.from_dict({
+        "entries": [{"kind": KIND, "widths": [WIDTH]}],
+    })
+    report = warm_registry(registry, manifest)
+    assert report.ok, report.summary()
+    print(f"  warmup: {report.summary()}")
+    phase_single_server(registry)
+    phase_fleet(registry)
+    print("stream smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -192,6 +192,34 @@ class Session:
             served.module, stats, use_distribution=use_distribution
         )
 
+    def stream(
+        self,
+        kind: str,
+        width: int,
+        enhanced: Optional[bool] = None,
+        self_check: bool = False,
+        check_prefix: int = 8,
+    ):
+        """An incremental estimation handle over a long trace.
+
+        Returns a :class:`~repro.serve.sessions.StreamingEstimator`: feed
+        it ``[n, input_bits]`` 0/1 segments with ``.append(segment)`` (or
+        its alias ``.feed``) and read the running
+        :class:`~repro.serve.sessions.RunningEstimate` it returns after
+        each one; ``.finalize()`` yields the last estimate.  After K
+        appends the running average equals :meth:`estimate` on the
+        concatenated trace to well within 1e-9.  With ``self_check=True``
+        every appended segment's leading ``check_prefix`` transitions are
+        re-verified against the gate-level simulator.
+        """
+        from .serve.sessions import StreamingEstimator
+
+        return StreamingEstimator(
+            self._served(kind, width, enhanced),
+            self_check=self_check,
+            check_prefix=check_prefix,
+        )
+
     # ------------------------------------------------------------------
     # Lower layers, for callers that need them
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ Usage examples::
     repro-power warmup --jobs 4           # pre-fill the model cache
     repro-power serve --port 8719 --workers 4 --warmup default
     repro-power loadgen --port 8719 -n 1000 --kind csa_multiplier
+    repro-power stream --port 8719 --segments 100 --kind ripple_adder
 
 The ``table``/``figure``/``reproduce`` subcommands regenerate the paper's
 evaluation artifacts (see EXPERIMENTS.md); ``--scale small`` trades
@@ -221,6 +222,16 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="pre-materialize models from a warmup manifest "
                         "before accepting traffic; 'default' sweeps every "
                         "Table-1 family across the stock widths")
+    p.add_argument("--max-sessions", type=int, default=64,
+                   help="streaming sessions open at once per worker; "
+                        "past it, POST /v1/sessions gets 429")
+    p.add_argument("--session-ttl", type=float, default=600.0,
+                   help="idle seconds before a streaming session is "
+                        "evicted")
+    p.add_argument("--session-snapshot", metavar="PATH",
+                   help="persist open sessions here on drain and restore "
+                        "them on the next start (fleet: suffixed per "
+                        "worker)")
 
     p = sub.add_parser(
         "warmup",
@@ -262,6 +273,33 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=30.0)
     p.add_argument("-o", "--output",
                    help="also write the report as JSON to this file")
+
+    p = sub.add_parser(
+        "stream",
+        help="drive streaming estimation sessions against a running server",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--kind", default="ripple_adder")
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--sessions", type=int, default=4,
+                   help="streaming sessions to run")
+    p.add_argument("--segments", type=int, default=20,
+                   help="append calls per session")
+    p.add_argument("--rows", type=int, default=16,
+                   help="trace rows per appended segment")
+    p.add_argument("--concurrency", type=int, default=4)
+    p.add_argument("--enhanced", action="store_true",
+                   help="use the enhanced (stable-zeros) model")
+    p.add_argument("--self-check", action="store_true",
+                   help="ask the server to re-verify each segment's "
+                        "leading transitions against the simulator")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.add_argument("-o", "--output",
+                   help="also write the report as JSON to this file")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="print one machine-readable result envelope")
 
     p = sub.add_parser(
         "reproduce", help="regenerate every table and figure"
@@ -794,6 +832,9 @@ def _cmd_serve(args) -> int:
         jobs=args.jobs,
         max_batch=args.max_batch,
         batch_wait=args.batch_wait_ms / 1e3,
+        max_sessions=args.max_sessions,
+        session_ttl=args.session_ttl,
+        session_snapshot_path=args.session_snapshot,
     )
 
     async def _run() -> None:
@@ -829,6 +870,9 @@ def _serve_fleet(args, registry, cache) -> int:
             "jobs": args.jobs,
             "max_batch": args.max_batch,
             "batch_wait": args.batch_wait_ms / 1e3,
+            "max_sessions": args.max_sessions,
+            "session_ttl": args.session_ttl,
+            "session_snapshot_path": args.session_snapshot,
         },
     )
     fleet.start()
@@ -933,11 +977,73 @@ def _cmd_loadgen(args) -> int:
     return 1 if report.n_5xx or report.errors else 0
 
 
+def _cmd_stream(args) -> int:
+    import json
+    import time
+
+    from .serve import run_stream_load_sync
+
+    started = time.perf_counter()
+    report, results = run_stream_load_sync(
+        args.host, args.port, args.kind, args.width,
+        n_sessions=args.sessions,
+        segments_per_session=args.segments,
+        rows_per_segment=args.rows,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        timeout=args.timeout,
+        enhanced=args.enhanced,
+        self_check=args.self_check,
+    )
+    completed = [r for r in results if r.ok]
+    failed = args.sessions - len(completed)
+    session_rows = [
+        {
+            "session_id": r.session_id,
+            "segments": r.n_segments,
+            "rows": r.n_rows,
+            "final": r.final,
+        }
+        for r in results
+    ]
+    ok = not (report.n_5xx or report.errors or failed)
+    if getattr(args, "as_json", False):
+        _emit_envelope(
+            args, "stream", "ok" if ok else "failed", started,
+            {
+                "sessions": session_rows,
+                "completed": len(completed),
+                "failed": failed,
+                **report.to_dict(),
+            },
+            artifacts=[args.output] if args.output else (),
+        )
+    else:
+        print(report.summary())
+        for row in session_rows:
+            final = row["final"] or {}
+            print(
+                f"  {row['session_id'] or '<not created>'}: "
+                f"{row['segments']} segments, {row['rows']} rows, "
+                f"avg charge {final.get('average_charge', float('nan')):.6g}"
+            )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(
+                {"report": report.to_dict(), "sessions": session_rows},
+                handle, indent=2,
+            )
+        if not getattr(args, "as_json", False):
+            print(f"report written to {args.output}")
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "list-modules": _cmd_list_modules,
     "serve": _cmd_serve,
     "warmup": _cmd_warmup,
     "loadgen": _cmd_loadgen,
+    "stream": _cmd_stream,
     "characterize": _cmd_characterize,
     "cache": _cmd_cache,
     "estimate": _cmd_estimate,

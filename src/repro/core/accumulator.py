@@ -28,6 +28,7 @@ stream and batch schedule.
 
 from __future__ import annotations
 
+import base64
 from typing import Any, Dict
 
 import numpy as np
@@ -209,6 +210,58 @@ class ClassAccumulator:
         acc.sumsq = np.asarray(data["sumsq"], dtype=np.float64)
         acc.abs_dev = np.asarray(data["abs_dev"], dtype=np.float64)
         acc.abs_dev_hd = np.asarray(data["abs_dev_hd"], dtype=np.float64)
+        return acc
+
+    #: Array fields in serialization order, with their fixed dtypes.
+    _ARRAY_FIELDS = (
+        ("counts", np.int64),
+        ("sums", np.float64),
+        ("sumsq", np.float64),
+        ("abs_dev", np.float64),
+        ("abs_dev_hd", np.float64),
+    )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Bit-exact JSON-compatible state capture; inverse of :meth:`restore`.
+
+        Unlike :meth:`to_dict` (which goes through ``tolist`` and decimal
+        repr), the arrays are captured as base64 of their raw little-endian
+        bytes, so every float — signed zeros, subnormals, the exact
+        summation residue — round-trips bitwise.  This is what lets a
+        streaming estimation session survive a serve-worker drain without
+        perturbing its running estimate by even one ulp.
+        """
+        return {
+            "version": 1,
+            "width": self.width,
+            "arrays": {
+                name: base64.b64encode(
+                    np.ascontiguousarray(
+                        getattr(self, name), dtype=dtype
+                    ).tobytes()
+                ).decode("ascii")
+                for name, dtype in self._ARRAY_FIELDS
+            },
+        }
+
+    @classmethod
+    def restore(cls, data: Dict[str, Any]) -> "ClassAccumulator":
+        """Rebuild an accumulator captured by :meth:`snapshot`, bit-exactly."""
+        acc = cls(int(data["width"]))
+        cells = acc.width + 1
+        shapes = {
+            "counts": (cells, cells),
+            "sums": (cells, cells),
+            "sumsq": (cells, cells),
+            "abs_dev": (cells, cells),
+            "abs_dev_hd": (cells,),
+        }
+        for name, dtype in cls._ARRAY_FIELDS:
+            raw = base64.b64decode(data["arrays"][name])
+            array = np.frombuffer(raw, dtype=dtype).reshape(
+                shapes[name]
+            ).copy()
+            setattr(acc, name, array)
         return acc
 
     def __eq__(self, other: object) -> bool:

@@ -19,12 +19,23 @@ high-throughput service.  This package is that service (docs/SERVING.md):
   before traffic (``repro-power warmup``);
 * :mod:`fleet` — the multi-process supervisor: N ``SO_REUSEPORT``
   workers on one port with fleet-wide aggregated metrics
-  (``repro-power serve --workers N``).
+  (``repro-power serve --workers N``);
+* :mod:`sessions` — long-lived streaming estimation sessions: chunked
+  appends over keep-alive connections with running estimates, TTL
+  eviction, budgets and drain-surviving snapshots
+  (``POST /v1/sessions`` …, ``Session.stream``).
 """
 
 from .batching import DEFAULT_MAX_BATCH, DEFAULT_MAX_WAIT, MicroBatcher
 from .fleet import FleetMetricsServer, ServeFleet, WorkerSpec
-from .loadgen import ENDPOINTS, LoadReport, build_payloads, run_load_sync
+from .loadgen import (
+    ENDPOINTS,
+    LoadReport,
+    StreamSessionResult,
+    build_payloads,
+    run_load_sync,
+    run_stream_load_sync,
+)
 from .metrics import (
     MetricsRegistry,
     ServeMetrics,
@@ -40,6 +51,14 @@ from .registry import (
     UnknownKindError,
 )
 from .server import EstimationServer, ServerThread
+from .sessions import (
+    RunningEstimate,
+    SessionBudgetError,
+    SessionStore,
+    StreamingEstimator,
+    UnknownSessionError,
+    WrongWorkerError,
+)
 from .warmup import (
     DEFAULT_WIDTH_SWEEP,
     MANIFEST_VERSION,
@@ -65,11 +84,18 @@ __all__ = [
     "MicroBatcher",
     "ModelRegistry",
     "RegistryError",
+    "RunningEstimate",
     "ServeFleet",
     "ServeMetrics",
     "ServedModel",
     "ServerThread",
+    "SessionBudgetError",
+    "SessionStore",
+    "StreamSessionResult",
+    "StreamingEstimator",
     "UnknownKindError",
+    "UnknownSessionError",
+    "WrongWorkerError",
     "WarmupEntry",
     "WarmupManifest",
     "WarmupReport",
@@ -79,5 +105,6 @@ __all__ = [
     "default_manifest",
     "inject_label",
     "run_load_sync",
+    "run_stream_load_sync",
     "warm_registry",
 ]

@@ -101,9 +101,18 @@ def _worker_main(spec, registry, inherited_sock, conn):  # pragma: no cover
     else:
         sock = _reuseport_socket(spec.host, spec.port)
         sock.listen(LISTEN_BACKLOG)
-    server = EstimationServer(
-        registry, sock=sock, **dict(spec.server_options)
-    )
+    options = dict(spec.server_options)
+    # Streaming sessions are worker-owned state: the worker id goes into
+    # every session id (wrong-worker accesses clean-reject with a hint)
+    # and a configured drain snapshot becomes per-worker so two workers
+    # never clobber each other's file.
+    options.setdefault("worker_id", spec.worker_id)
+    snapshot_path = options.get("session_snapshot_path")
+    if snapshot_path:
+        options["session_snapshot_path"] = (
+            f"{snapshot_path}.w{spec.worker_id}"
+        )
+    server = EstimationServer(registry, sock=sock, **options)
 
     async def main() -> None:
         await server.start()

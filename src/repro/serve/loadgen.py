@@ -256,3 +256,136 @@ def run_load_sync(
         host, port, payloads,
         n_requests=n_requests, concurrency=concurrency, timeout=timeout,
     ))
+
+
+# ----------------------------------------------------------------------
+# Sustained-connection streaming mode (docs/SERVING.md sessions)
+# ----------------------------------------------------------------------
+@dataclass
+class StreamSessionResult:
+    """One streamed session's lifecycle outcome."""
+
+    session_id: str = ""
+    n_segments: int = 0
+    n_rows: int = 0
+    final: Optional[Dict[str, Any]] = None
+    statuses: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.final) and all(s < 400 for s in self.statuses)
+
+
+async def run_stream_load(
+    host: str,
+    port: int,
+    kind: str,
+    width: int,
+    n_sessions: int = 4,
+    segments_per_session: int = 20,
+    rows_per_segment: int = 16,
+    concurrency: int = 4,
+    seed: int = 0,
+    timeout: float = 30.0,
+    enhanced: bool = False,
+    self_check: bool = False,
+) -> Tuple[LoadReport, List[StreamSessionResult]]:
+    """Streaming workload: long-lived sessions over keep-alive connections.
+
+    Unlike :func:`run_load` (one-shot bursts), each worker holds **one**
+    connection for a whole session lifecycle — create, N appends, read,
+    finalize — which is also what keeps the session worker-sticky under a
+    ``SO_REUSEPORT`` fleet.  Returns the transport report plus one
+    :class:`StreamSessionResult` per session (final running estimates,
+    so callers can assert offline parity).
+    """
+    from ..modules.library import make_module
+
+    module = make_module(kind, width)
+    report = LoadReport()
+    results: List[StreamSessionResult] = [
+        StreamSessionResult() for _ in range(n_sessions)
+    ]
+    counter = {"next": 0}
+    lock = asyncio.Lock()
+
+    async def exchange(reader, writer, method, path, payload, result):
+        body = json.dumps(payload).encode() if payload is not None else None
+        started = time.perf_counter()
+        status, raw = await asyncio.wait_for(
+            http_request(reader, writer, method, path, body), timeout
+        )
+        report.latencies.append(time.perf_counter() - started)
+        report.status_counts[status] = (
+            report.status_counts.get(status, 0) + 1
+        )
+        report.n_requests += 1
+        result.statuses.append(status)
+        return status, (json.loads(raw) if raw.startswith(b"{") else None)
+
+    async def drive_session(index: int) -> None:
+        result = results[index]
+        rng = np.random.default_rng(seed + 7919 * index)
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            status, answer = await exchange(
+                reader, writer, "POST", "/v1/sessions",
+                {
+                    "kind": kind, "width": width, "enhanced": enhanced,
+                    "self_check": self_check,
+                },
+                result,
+            )
+            if status != 201 or not answer:
+                return
+            session_id = answer["session_id"]
+            result.session_id = session_id
+            for _segment in range(segments_per_session):
+                rows = rng.integers(
+                    0, 2, size=(rows_per_segment, module.input_bits)
+                ).tolist()
+                status, answer = await exchange(
+                    reader, writer, "POST",
+                    f"/v1/sessions/{session_id}/append", {"bits": rows},
+                    result,
+                )
+                if status != 200:
+                    return
+                result.n_segments += 1
+                result.n_rows += rows_per_segment
+            status, answer = await exchange(
+                reader, writer, "DELETE", f"/v1/sessions/{session_id}",
+                None, result,
+            )
+            if status == 200:
+                result.final = answer
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.TimeoutError, OSError):
+            report.errors += 1
+        finally:
+            writer.close()
+
+    async def worker() -> None:
+        while True:
+            async with lock:
+                index = counter["next"]
+                if index >= n_sessions:
+                    return
+                counter["next"] = index + 1
+            await drive_session(index)
+
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(worker() for _ in range(max(1, min(concurrency, n_sessions))))
+    )
+    report.elapsed_seconds = time.perf_counter() - started
+    return report, results
+
+
+def run_stream_load_sync(
+    host: str, port: int, kind: str, width: int, **kwargs
+) -> Tuple[LoadReport, List[StreamSessionResult]]:
+    """Synchronous wrapper around :func:`run_stream_load` (CLI / smoke)."""
+    return asyncio.run(
+        run_stream_load(host, port, kind, width, **kwargs)
+    )

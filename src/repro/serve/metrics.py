@@ -84,6 +84,27 @@ class ServeMetrics:
             "serve_batch_flush_total", "Batch flushes by trigger.",
             ("reason",),
         )
+        # Streaming sessions (docs/SERVING.md "Streaming sessions").
+        self.sessions_open = r.gauge(
+            "serve_sessions_open", "Streaming sessions currently open."
+        )
+        self.sessions_created_total = r.counter(
+            "serve_sessions_created_total", "Streaming sessions opened."
+        )
+        self.sessions_closed_total = r.counter(
+            "serve_sessions_closed_total",
+            "Streaming sessions closed, by cause "
+            "(finalized / ttl / restored-over).",
+            ("reason",),
+        )
+        self.session_appends_total = r.counter(
+            "serve_session_appends_total",
+            "Segments appended across every streaming session.",
+        )
+        self.session_rows_total = r.counter(
+            "serve_session_rows_total",
+            "Input rows consumed across every streaming session.",
+        )
         # Tracing exemplar: the most recent traced request's span rollup.
         self.traced_requests_total = r.counter(
             "serve_traced_requests_total",

@@ -9,13 +9,17 @@ per model by the :class:`~repro.serve.batching.MicroBatcher`.
 Endpoints (protocol reference: docs/SERVING.md):
 
 ==========================  ====================================================
-``GET  /healthz``           liveness + queue/model gauges
+``GET  /healthz``           liveness + queue/model/session gauges
 ``GET  /metrics``           Prometheus text exposition
 ``GET  /v1/models``         resident models + servable kinds
 ``POST /v1/estimate/bits``          trace estimation of a 0/1 row matrix
 ``POST /v1/estimate/streams``       trace estimation of per-operand words
 ``POST /v1/estimate/distribution``  Section 6.3 Hd-distribution estimation
 ``POST /v1/estimate/analytic``      Eq. 18 DBT estimation from (μ, σ², ρ)
+``POST   /v1/sessions``             open a streaming estimation session
+``POST   /v1/sessions/{id}/append`` feed a segment; running estimate back
+``GET    /v1/sessions/{id}``        read the running estimate
+``DELETE /v1/sessions/{id}``        finalize: final estimate, state freed
 ==========================  ====================================================
 
 Operational behavior:
@@ -36,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import socket as socket_module
 import threading
@@ -56,6 +61,15 @@ from .registry import (
     RegistryError,
     UnknownKindError,
 )
+from .sessions import (
+    DEFAULT_MAX_SESSION_ROWS,
+    DEFAULT_MAX_SESSIONS,
+    DEFAULT_TTL_SECONDS,
+    SessionBudgetError,
+    SessionStore,
+    UnknownSessionError,
+    WrongWorkerError,
+)
 
 #: Hard cap on request body size (bits matrices can be bulky but bounded).
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -66,8 +80,8 @@ MAX_TRACE_ROWS = 65536
 MAX_HEADER_BYTES = 32 * 1024
 
 _STATUS_TEXT = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
     503: "Service Unavailable", 504: "Gateway Timeout",
 }
@@ -125,6 +139,13 @@ class EstimationServer:
         jobs: Worker threads for estimation flushes and model loads.
         max_batch/batch_wait: Flush bounds for the default batcher
             (ignored when an explicit ``batcher`` is passed).
+        worker_id: Fleet worker id (0 standalone) — embedded in session
+            ids so a wrong-worker access clean-rejects with a hint.
+        max_sessions/max_session_rows/session_ttl: Streaming-session
+            budgets (429 past them) and idle expiry (docs/SERVING.md).
+        session_snapshot_path: When set, ``drain()`` writes a bit-exact
+            snapshot of every open session here and ``start()`` restores
+            (and consumes) it — sessions survive a worker drain/restart.
     """
 
     def __init__(
@@ -140,6 +161,11 @@ class EstimationServer:
         jobs: int = 2,
         max_batch: Optional[int] = None,
         batch_wait: Optional[float] = None,
+        worker_id: int = 0,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        max_session_rows: int = DEFAULT_MAX_SESSION_ROWS,
+        session_ttl: float = DEFAULT_TTL_SECONDS,
+        session_snapshot_path: Optional[str] = None,
     ):
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
@@ -183,11 +209,26 @@ class EstimationServer:
         self._busy = 0
         self._quiet = asyncio.Event()
         self._quiet.set()
+        self.worker_id = int(worker_id)
+        self.session_snapshot_path = session_snapshot_path
+        self.sessions = SessionStore(
+            resolver=self.registry.get,
+            worker_id=self.worker_id,
+            max_sessions=max_sessions,
+            max_session_rows=max_session_rows,
+            ttl_seconds=session_ttl,
+            on_evict=self._note_session_evicted,
+        )
+
+    def _note_session_evicted(self, session_id: str, reason: str) -> None:
+        self.metrics.sessions_closed_total.inc(reason=reason)
+        self.metrics.sessions_open.set(len(self.sessions))
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
+        self._restore_sessions()
         if self._sock is not None:
             self._server = await asyncio.start_server(
                 self._handle_connection, sock=self._sock,
@@ -241,6 +282,9 @@ class EstimationServer:
             )
         except asyncio.TimeoutError:
             pass  # deadline passed with requests still running: cut them
+        # In-flight appends have finished (or lost their deadline); the
+        # per-session locks make the capture consistent regardless.
+        self._snapshot_sessions()
         for writer in list(self._connections):
             transport = writer.transport
             if transport is not None:
@@ -255,6 +299,34 @@ class EstimationServer:
                 pass
         self._compute_pool.shutdown(wait=False)
         self._load_pool.shutdown(wait=False)
+
+    def _snapshot_sessions(self) -> None:
+        """Persist open sessions on drain (when a path is configured)."""
+        if self.session_snapshot_path is None or not len(self.sessions):
+            return
+        try:
+            with open(self.session_snapshot_path, "w") as handle:
+                json.dump(self.sessions.snapshot(), handle)
+        except OSError:
+            pass  # drain must not fail because the snapshot disk did
+
+    def _restore_sessions(self) -> None:
+        """Consume a drain snapshot left by a previous incarnation."""
+        if self.session_snapshot_path is None:
+            return
+        try:
+            with open(self.session_snapshot_path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return
+        try:
+            self.sessions.restore(data)
+            self.metrics.sessions_open.set(len(self.sessions))
+        finally:
+            try:
+                os.unlink(self.session_snapshot_path)
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -365,6 +437,32 @@ class EstimationServer:
         "/v1/estimate/analytic": "analytic",
     }
 
+    @staticmethod
+    def _session_route(
+        method: str, path: str
+    ) -> Optional[Tuple[str, Optional[str]]]:
+        """Match the session endpoints; ``(endpoint, session_id)`` or None.
+
+        Session ids are path parameters, so this is the one place routing
+        is positional rather than a dict lookup.
+        """
+        if not path.startswith("/v1/sessions"):
+            return None
+        rest = path[len("/v1/sessions"):]
+        if rest in ("", "/"):
+            return ("session_create", None) if method == "POST" else None
+        parts = rest.lstrip("/").split("/")
+        if len(parts) == 1 and parts[0]:
+            if method == "GET":
+                return "session_get", parts[0]
+            if method == "DELETE":
+                return "session_delete", parts[0]
+            return None
+        if (len(parts) == 2 and parts[0] and parts[1] == "append"
+                and method == "POST"):
+            return "session_append", parts[0]
+        return None
+
     async def _dispatch(
         self, request: _Request
     ) -> Tuple[int, Any, Dict[str, str]]:
@@ -399,7 +497,13 @@ class EstimationServer:
         endpoint = "other"
         extra: Dict[str, str] = {}
         try:
-            if request.method == "GET":
+            session_route = self._session_route(request.method, request.path)
+            if session_route is not None:
+                endpoint, session_id = session_route
+                status, payload = await self._session(
+                    endpoint, request, session_id
+                )
+            elif request.method == "GET":
                 if request.path == "/healthz":
                     endpoint = "healthz"
                     status, payload = 200, self._healthz()
@@ -428,6 +532,10 @@ class EstimationServer:
                 self.metrics.rejected_total.inc(reason=error.code)
             elif error.code == "deadline_exceeded":
                 self.metrics.rejected_total.inc(reason="deadline")
+            elif error.code in (
+                "session_budget", "session_rows_budget", "wrong_worker",
+            ):
+                self.metrics.rejected_total.inc(reason=error.code)
         except Exception as error:  # noqa: BLE001 — never leak a traceback
             status = 500
             payload = {"error": {
@@ -445,9 +553,15 @@ class EstimationServer:
     # ------------------------------------------------------------------
     # Estimation endpoints
     # ------------------------------------------------------------------
-    async def _estimate(
-        self, endpoint: str, request: _Request
-    ) -> Tuple[int, Any]:
+    async def _admit(self, work) -> Any:
+        """Admission control shared by estimation and session endpoints.
+
+        ``work`` is a zero-argument callable returning the awaitable (a
+        factory, so nothing is scheduled when admission itself rejects):
+        draining answers 503, a full queue 429, and the per-request
+        deadline 504 — identical semantics on every compute-bearing
+        route.
+        """
         if self._draining:
             raise ApiError(503, "draining", "server is draining",
                            {"Retry-After": "1"})
@@ -461,10 +575,7 @@ class EstimationServer:
         self._idle.clear()
         self.metrics.in_flight.set(self._in_flight)
         try:
-            return await asyncio.wait_for(
-                self._estimate_inner(endpoint, request.json()),
-                self.request_timeout,
-            )
+            return await asyncio.wait_for(work(), self.request_timeout)
         except asyncio.TimeoutError:
             raise ApiError(
                 504, "deadline_exceeded",
@@ -475,6 +586,14 @@ class EstimationServer:
             self.metrics.in_flight.set(self._in_flight)
             if self._in_flight == 0:
                 self._idle.set()
+
+    async def _estimate(
+        self, endpoint: str, request: _Request
+    ) -> Tuple[int, Any]:
+        payload = request.json()
+        return await self._admit(
+            lambda: self._estimate_inner(endpoint, payload)
+        )
 
     async def _estimate_inner(
         self, endpoint: str, payload: Dict[str, Any]
@@ -552,6 +671,102 @@ class EstimationServer:
                 body["cycle_charge"] = result.cycle_charge.tolist()
         return 200, body
 
+    # ------------------------------------------------------------------
+    # Streaming session endpoints (docs/SERVING.md "Streaming sessions")
+    # ------------------------------------------------------------------
+    async def _session(
+        self, endpoint: str, request: _Request, session_id: Optional[str]
+    ) -> Tuple[int, Any]:
+        loop = asyncio.get_running_loop()
+        if endpoint == "session_create":
+            payload = request.json()
+            kind = payload.get("kind")
+            width = payload.get("width")
+            if not isinstance(kind, str):
+                raise ApiError(400, "bad_request", "'kind' (string) required")
+            if (not isinstance(width, int) or isinstance(width, bool)
+                    or width < 1):
+                raise ApiError(400, "bad_request",
+                               "'width' (positive integer) required")
+            try:
+                check_prefix = int(payload.get("check_prefix", 8))
+            except (TypeError, ValueError):
+                raise ApiError(400, "bad_request",
+                               "'check_prefix' must be an integer")
+            estimate = await self._admit(lambda: loop.run_in_executor(
+                self._load_pool,
+                tracing.wrap(
+                    self._session_call, self.sessions.create,
+                    kind, width,
+                    bool(payload.get("enhanced", False)),
+                    payload.get("mode", "auto"),
+                    bool(payload.get("self_check", False)),
+                    check_prefix,
+                ),
+            ))
+            self.metrics.sessions_created_total.inc()
+            self.metrics.sessions_open.set(len(self.sessions))
+            return 201, estimate.to_dict()
+
+        if endpoint == "session_append":
+            payload = request.json()
+            rows = payload.get("bits")
+            if not isinstance(rows, list):
+                raise ApiError(
+                    400, "bad_request",
+                    "'bits' must be a (possibly empty) list of 0/1 rows",
+                )
+            if len(rows) > MAX_TRACE_ROWS:
+                raise ApiError(413, "too_large",
+                               f"segment longer than {MAX_TRACE_ROWS} rows")
+            estimate = await self._admit(lambda: loop.run_in_executor(
+                self._compute_pool,
+                tracing.wrap(
+                    self._session_call, self.sessions.append,
+                    session_id, rows,
+                ),
+            ))
+            self.metrics.session_appends_total.inc()
+            self.metrics.session_rows_total.inc(len(rows))
+            return 200, estimate.to_dict()
+
+        # get/finalize: cheap accumulator reads — answered inline, but
+        # still refused while draining (the snapshot owns the state then).
+        if self._draining:
+            raise ApiError(503, "draining", "server is draining",
+                           {"Retry-After": "1"})
+        if endpoint == "session_get":
+            estimate = self._session_call(self.sessions.get, session_id)
+            return 200, estimate.to_dict()
+        estimate = self._session_call(self.sessions.finalize, session_id)
+        self.metrics.sessions_closed_total.inc(reason="finalized")
+        self.metrics.sessions_open.set(len(self.sessions))
+        return 200, estimate.to_dict()
+
+    def _session_call(self, method, *args):
+        """Run one SessionStore operation, mapping failures to ApiErrors."""
+        try:
+            return method(*args)
+        except WrongWorkerError as error:
+            raise ApiError(
+                409, "wrong_worker", str(error),
+                {"X-Repro-Owner-Worker": str(error.owner_worker)},
+            )
+        except UnknownSessionError as error:
+            # KeyError reprs with quotes; unwrap to the message itself.
+            raise ApiError(404, "unknown_session", str(error.args[0]))
+        except SessionBudgetError as error:
+            raise ApiError(429, error.reason, str(error),
+                           {"Retry-After": "1"})
+        except UnknownKindError as error:
+            raise ApiError(404, "unknown_kind", str(error))
+        except CharacterizationFailed as error:
+            raise ApiError(500, "characterization_failed", str(error))
+        except RegistryError as error:
+            raise ApiError(400, "bad_request", str(error))
+        except (TypeError, ValueError) as error:
+            raise ApiError(400, "bad_request", str(error))
+
     async def _get_model(self, kind, width, enhanced, mode):
         loop = asyncio.get_running_loop()
         try:
@@ -601,6 +816,8 @@ class EstimationServer:
             "max_queue": self.max_queue,
             "models_loaded": len(self.registry),
             "pending_batched": self.batcher.pending_requests,
+            "worker_id": self.worker_id,
+            "sessions": self.sessions.stats(),
         }
 
     def _models(self) -> Dict[str, Any]:

@@ -393,6 +393,66 @@ def check_classification_permutation(
     return out
 
 
+def check_session_stream(
+    case: FuzzCase, module: DatapathModule, bits: np.ndarray
+) -> List[Mismatch]:
+    """Session-path metamorphic relation: streaming appends through a
+    :class:`~repro.serve.sessions.SessionStore` — awkward segmentation
+    included — must reproduce the offline one-shot estimate to 1e-9.
+
+    The model is synthetic (seeded random coefficients, no
+    characterization) because the relation under test is the *session
+    plumbing* — seam carry, accumulator updates, lifecycle — not the
+    coefficients themselves.
+    """
+    if case.n_transitions < 2:
+        return []
+    from ..core.estimator import PowerEstimator
+    from ..core.hd_model import HdPowerModel
+    from ..serve.registry import ServedModel
+    from ..serve.sessions import SessionStore
+
+    rng = np.random.default_rng(case.seed ^ 0x7E55)
+    width = module.input_bits
+    model = HdPowerModel(
+        name=f"fuzz-{case.kind}-{case.width}",
+        width=width,
+        coefficients=rng.uniform(0.1, 5.0, size=width + 1),
+    )
+    served = ServedModel(
+        kind=case.kind, width=case.width, enhanced=False,
+        module=module, estimator=PowerEstimator(model),
+        source="synthetic",
+    )
+    store = SessionStore(resolver=lambda *args: served)
+    session_id = store.create(case.kind, case.width).session_id
+
+    # Awkward segmentation: 1-row head, an empty segment, then halves.
+    split = 1 + case.n_patterns // 2
+    segments = (bits[:1], bits[1:1], bits[1:split], bits[split:])
+    running = None
+    for segment in segments:
+        running = store.append(session_id, segment)
+    final = store.finalize(session_id)
+    offline = served.estimator.estimate_from_bits(bits)
+    out = []
+    if running is None or final.n_rows != case.n_patterns:
+        out.append(Mismatch(
+            "session_stream_rows", case,
+            f"fed {case.n_patterns} rows, session saw {final.n_rows}",
+        ))
+    if not np.allclose(
+        final.average_charge, offline.average_charge,
+        rtol=ORACLE_RTOL, atol=0.0,
+    ):
+        out.append(Mismatch(
+            "session_stream_parity", case,
+            f"running average {final.average_charge!r} vs offline "
+            f"{offline.average_charge!r}",
+        ))
+    return out
+
+
 def check_cache_key_engine_independence() -> List[Mismatch]:
     """Cache keys must not depend on the (bit-identical) engine choice."""
     from ..eval.harness import ExperimentConfig
@@ -434,6 +494,7 @@ CASE_CHECKS: Tuple[Callable, ...] = (
     check_accumulator_merge,
     check_operand_swap,
     check_classification_permutation,
+    check_session_stream,
 )
 
 

@@ -1,0 +1,200 @@
+"""Property tests for the incremental core (:class:`ClassAccumulator`).
+
+The streaming-session layer (``repro.serve.sessions``) leans on three
+algebraic properties of the accumulator, checked here over seeded-random
+inputs:
+
+* **merge** is associative and order-insensitive for the exact fields
+  (``counts``) and tolerance-exact for the float fields;
+* **chunked update equals one-shot update** for the exact fields across
+  awkward splits — 0-length chunks, 1-transition chunks, and splits at a
+  chunk boundary ±1.  (``abs_dev``/``abs_dev_hd`` accumulate against
+  *running* means and are schedule-dependent by documented contract, so
+  they are deliberately excluded from chunk-parity assertions.)
+* **snapshot → restore is bit-exact**, including through a JSON wire
+  round-trip — this is what lets a serve worker drain and hand its open
+  sessions to a successor without perturbing the running estimates.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.accumulator import ClassAccumulator
+
+pytestmark = pytest.mark.fast
+
+RTOL = 1e-12
+
+EXACT_FIELDS = ("counts",)
+FLOAT_FIELDS = ("sums", "sumsq", "abs_dev", "abs_dev_hd")
+CHUNK_PARITY_FIELDS = ("counts", "sums", "sumsq")
+
+
+def random_events(rng, width, n):
+    """A valid random classified stream: hd + stable_zeros <= width."""
+    hd = rng.integers(0, width + 1, size=n)
+    stable_zeros = np.array(
+        [rng.integers(0, width - h + 1) for h in hd], dtype=np.int64
+    )
+    charge = rng.gamma(2.0, 10.0, size=n)
+    return hd, stable_zeros, charge
+
+
+def filled(width, events):
+    return ClassAccumulator(width).update(*events)
+
+
+def assert_float_close(a, b, fields=FLOAT_FIELDS):
+    for name in fields:
+        left, right = getattr(a, name), getattr(b, name)
+        assert np.allclose(left, right, rtol=RTOL, atol=1e-300), (
+            f"{name}: max abs diff {float(np.abs(left - right).max())!r}"
+        )
+
+
+def assert_exact_equal(a, b, fields=EXACT_FIELDS):
+    for name in fields:
+        assert np.array_equal(getattr(a, name), getattr(b, name)), name
+
+
+# ----------------------------------------------------------------------
+# Merge algebra
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 7, 1999])
+@pytest.mark.parametrize("width", [1, 4, 9])
+def test_merge_associative(seed, width):
+    rng = np.random.default_rng(seed)
+    parts = [random_events(rng, width, int(n)) for n in (13, 1, 29)]
+    a, b, c = (filled(width, p) for p in parts)
+    a2, b2, c2 = (filled(width, p) for p in parts)
+
+    left = a.merge(b).merge(c)          # (a ⊕ b) ⊕ c
+    right = a2.merge(b2.merge(c2))      # a ⊕ (b ⊕ c)
+    assert_exact_equal(left, right)
+    assert_float_close(left, right)
+
+
+@pytest.mark.parametrize("seed", [3, 11, 42])
+def test_merge_order_insensitive(seed):
+    width = 6
+    rng = np.random.default_rng(seed)
+    parts = [random_events(rng, width, int(n)) for n in (17, 5, 0, 23, 8)]
+    forward = ClassAccumulator(width)
+    for part in parts:
+        forward.merge(filled(width, part))
+    shuffled = ClassAccumulator(width)
+    order = rng.permutation(len(parts))
+    for index in order:
+        shuffled.merge(filled(width, parts[index]))
+    assert_exact_equal(forward, shuffled)
+    assert_float_close(forward, shuffled)
+    assert forward.n_samples == sum(len(p[0]) for p in parts)
+
+
+def test_merge_identity_and_width_guard():
+    width = 5
+    rng = np.random.default_rng(2)
+    acc = filled(width, random_events(rng, width, 40))
+    before = acc.snapshot()
+    acc.merge(ClassAccumulator(width))  # empty accumulator is the identity
+    assert acc.snapshot() == before
+    with pytest.raises(ValueError):
+        acc.merge(ClassAccumulator(width + 1))
+
+
+# ----------------------------------------------------------------------
+# Chunked update == one-shot update (the streaming-session contract)
+# ----------------------------------------------------------------------
+def awkward_splits(n):
+    """Split points covering the edge cases the soak layer cares about:
+    0-length chunks, 1-transition chunks, and boundary +/- 1."""
+    half = n // 2
+    return [
+        [0, 0, n],            # two 0-length chunks up front
+        [1, 1, n],            # two 1-transition chunks
+        [half, half, n],      # 0-length chunk at the boundary
+        [half - 1, n],        # boundary - 1
+        [half + 1, n],        # boundary + 1
+        [n - 1, n],           # 1-transition tail
+        list(range(1, n + 1)),  # every chunk is a single transition
+    ]
+
+
+@pytest.mark.parametrize("seed", [0, 5, 123])
+@pytest.mark.parametrize("width", [2, 8])
+def test_chunked_update_matches_oneshot(seed, width):
+    n = 64
+    rng = np.random.default_rng(seed)
+    hd, stable_zeros, charge = random_events(rng, width, n)
+    oneshot = filled(width, (hd, stable_zeros, charge))
+
+    for cuts in awkward_splits(n):
+        chunked = ClassAccumulator(width)
+        start = 0
+        for stop in cuts:
+            chunked.update(
+                hd[start:stop], stable_zeros[start:stop], charge[start:stop]
+            )
+            start = stop
+        assert start == n
+        assert_exact_equal(oneshot, chunked, CHUNK_PARITY_FIELDS[:1])
+        assert_float_close(oneshot, chunked, CHUNK_PARITY_FIELDS[1:])
+        # The session layer's 1e-9 running-average contract rides on this.
+        assert chunked.average_charge == pytest.approx(
+            oneshot.average_charge, rel=1e-12
+        )
+
+
+def test_empty_update_is_noop():
+    width = 4
+    acc = ClassAccumulator(width)
+    empty = np.zeros(0, dtype=np.int64)
+    acc.update(empty, empty, np.zeros(0))
+    assert acc.n_samples == 0
+    assert not acc.counts.any()
+
+
+# ----------------------------------------------------------------------
+# Snapshot / restore: bit-exact, JSON-safe
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 9, 77])
+def test_snapshot_restore_bit_exact(seed):
+    width = 7
+    rng = np.random.default_rng(seed)
+    acc = filled(width, random_events(rng, width, 200))
+    # Through the JSON wire format, as the drain/restore path does.
+    data = json.loads(json.dumps(acc.snapshot()))
+    back = ClassAccumulator.restore(data)
+
+    assert back.width == acc.width
+    for name in EXACT_FIELDS + FLOAT_FIELDS:
+        left, right = getattr(acc, name), getattr(back, name)
+        assert left.dtype == right.dtype and left.shape == right.shape
+        assert left.tobytes() == right.tobytes(), name  # bit-exact
+
+
+def test_snapshot_restore_then_update_matches(seed=17):
+    """Restored state must be a drop-in continuation point."""
+    width = 5
+    rng = np.random.default_rng(seed)
+    head = random_events(rng, width, 50)
+    tail = random_events(rng, width, 50)
+
+    live = filled(width, head)
+    resumed = ClassAccumulator.restore(live.snapshot())
+    live.update(*tail)
+    resumed.update(*tail)
+    for name in EXACT_FIELDS + FLOAT_FIELDS:
+        assert getattr(live, name).tobytes() == getattr(resumed, name).tobytes()
+
+
+def test_restore_rejects_corrupt_payload():
+    acc = filled(3, random_events(np.random.default_rng(0), 3, 10))
+    data = acc.snapshot()
+    data["arrays"]["counts"] = data["arrays"]["counts"][:-8]
+    with pytest.raises(ValueError):
+        ClassAccumulator.restore(data)

@@ -1,16 +1,84 @@
-"""Shared serving-layer fixtures: one small registry per test session.
+"""Shared serving-layer fixtures and socket-test helpers.
 
 Characterization is the expensive part, so a single ripple_adder/4 model
 (300 patterns) is materialized once and shared by the batching and server
 tests; registry-behavior tests build their own registries.
+
+The HTTP plumbing every socket test used to duplicate lives here once:
+
+* :func:`request_once` — one synchronous request over a fresh loopback
+  connection (the common case for assertions);
+* :func:`free_port` — an OS-assigned ephemeral port, for the rare test
+  that must know its port *before* binding (servers normally bind port 0
+  and read it back);
+* :data:`SOCKET_TIMEOUT` — the per-test deadline socket-test modules
+  apply via ``pytest.mark.timeout``; enforced when pytest-timeout is
+  installed (CI), inert locally without the plugin.
 """
+
+import asyncio
+import json
+import socket
 
 import pytest
 
 from repro.eval import ExperimentConfig
 from repro.serve import ModelRegistry
+from repro.serve.loadgen import http_request
 
 SERVE_CONFIG = ExperimentConfig(n_characterization=300, seed=5)
+
+#: Per-test deadline for tests that move real bytes over loopback
+#: sockets; generous because CI machines stall, but finite so a deadlock
+#: fails the test instead of hanging the suite.
+SOCKET_TIMEOUT = 60
+
+
+def free_port() -> int:
+    """An ephemeral TCP port that was free a moment ago."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def request_once(port, method, path, payload=None, headers=None):
+    """One HTTP exchange over a fresh loopback connection.
+
+    Returns ``(status, body)`` with the body JSON-decoded when it looks
+    like JSON, else the raw text.
+    """
+    body = json.dumps(payload).encode() if payload is not None else None
+
+    async def go():
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            return await http_request(
+                reader, writer, method, path, body, headers=headers
+            )
+        finally:
+            writer.close()
+
+    status, raw = asyncio.run(go())
+    decoded = json.loads(raw) if raw.startswith(b"{") else raw.decode()
+    return status, decoded
+
+
+def request_full(port, method, path, payload=None):
+    """Like :func:`request_once` but also returns the response headers
+    (session tests assert on ``X-Repro-Owner-Worker`` / ``Retry-After``)."""
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        extra = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body, extra)
+        response = conn.getresponse()
+        raw = response.read()
+        decoded = json.loads(raw) if raw.startswith(b"{") else raw.decode()
+        return response.status, decoded, dict(response.getheaders())
+    finally:
+        conn.close()
 
 
 @pytest.fixture(scope="session")

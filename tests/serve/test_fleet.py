@@ -1,7 +1,6 @@
 """Fleet tests: warmup manifests, metrics aggregation, and the
 multi-process supervisor serving real HTTP across forked workers."""
 
-import asyncio
 import json
 import os
 
@@ -21,11 +20,16 @@ from repro.serve import (
     warm_registry,
 )
 from repro.serve.fleet import FleetMetricsServer
-from repro.serve.loadgen import http_request
 from repro.serve.registry import CharacterizationFailed
+
+from .conftest import SOCKET_TIMEOUT, request_once as _fleet_request
 
 CONFIG = ExperimentConfig(n_characterization=300, seed=5)
 KIND, WIDTH = "ripple_adder", 4
+
+# Forked workers + real sockets: bound every test in the module
+# (enforced by pytest-timeout in CI; inert without the plugin).
+pytestmark = pytest.mark.timeout(SOCKET_TIMEOUT)
 
 
 # ----------------------------------------------------------------------
@@ -203,22 +207,6 @@ def test_warm_registry_records_failures_without_raising(monkeypatch):
 needs_fork = pytest.mark.skipif(
     not hasattr(os, "fork"), reason="fleet requires fork()"
 )
-
-
-def _fleet_request(port, method, path, payload=None, headers=None):
-    body = json.dumps(payload).encode() if payload is not None else None
-
-    async def go():
-        reader, writer = await asyncio.open_connection("127.0.0.1", port)
-        try:
-            return await http_request(
-                reader, writer, method, path, body, headers=headers
-            )
-        finally:
-            writer.close()
-
-    status, raw = asyncio.run(go())
-    return status, json.loads(raw) if raw.startswith(b"{") else raw.decode()
 
 
 @needs_fork

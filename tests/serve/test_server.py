@@ -21,24 +21,14 @@ from repro.serve import (
 )
 from repro.serve.loadgen import http_request
 
+from .conftest import SOCKET_TIMEOUT, request_once as request
+
 CONFIG = ExperimentConfig(n_characterization=300, seed=5)
 KIND, WIDTH = "ripple_adder", 4
 
-
-def request(port, method, path, payload=None):
-    body = json.dumps(payload).encode() if payload is not None else None
-
-    async def go():
-        reader, writer = await asyncio.open_connection("127.0.0.1", port)
-        try:
-            return await http_request(reader, writer, method, path, body)
-        finally:
-            writer.close()
-
-    status, raw = asyncio.run(go())
-    if raw.startswith(b"{"):
-        return status, json.loads(raw)
-    return status, raw.decode()
+# Real sockets: bound the whole module so a wedged server fails loudly
+# (enforced by pytest-timeout in CI; inert without the plugin).
+pytestmark = pytest.mark.timeout(SOCKET_TIMEOUT)
 
 
 @pytest.fixture(scope="module")

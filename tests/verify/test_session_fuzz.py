@@ -1,0 +1,95 @@
+"""Session-path fuzz checks: the metamorphic relation and its teeth.
+
+``check_session_stream`` feeds every fuzz case through a
+:class:`~repro.serve.sessions.SessionStore` with awkward segmentation and
+demands 1e-9 parity with the offline one-shot estimate.  Healthy code
+passes; an injected accumulator-merge bug must be *caught* by the case
+checks and *shrunk* to a runnable repro, proving the relation has teeth.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.accumulator as accumulator_mod
+from repro.core.accumulator import ClassAccumulator
+from repro.modules.library import make_module
+from repro.verify.differential import (
+    FuzzCase,
+    check_case,
+    check_session_stream,
+    make_stream,
+)
+from repro.verify.shrink import ShrinkResult, shrink_case, write_repro
+
+
+@pytest.mark.parametrize("kind,width,n,seed", [
+    ("ripple_adder", 4, 40, 0),
+    ("ripple_adder", 8, 2, 3),      # minimum: a single transition
+    ("csa_multiplier", 4, 13, 11),
+])
+def test_session_stream_relation_passes_on_healthy_code(
+    kind, width, n, seed
+):
+    case = FuzzCase(kind=kind, width=width, n_patterns=n, seed=seed)
+    module = make_module(kind, width)
+    bits = make_stream(case, module)
+    assert check_session_stream(case, module, bits) == []
+
+
+def test_session_stream_check_is_registered():
+    from repro.verify.differential import CASE_CHECKS
+
+    assert check_session_stream in CASE_CHECKS
+
+
+@pytest.fixture
+def accumulator_update_bug(monkeypatch):
+    """Deterministically corrupt the accumulator's charge sums.
+
+    The corruption is tiny (1e-3 on one cell) but far above the 1e-9
+    session-parity tolerance and the 1e-12 merge tolerance, so both the
+    merge check and the session-stream check must flag it.
+    """
+    real = ClassAccumulator._update
+
+    def corrupted(self, hd, stable_zeros, charge):
+        real(self, hd, stable_zeros, charge)
+        self.sums[0, 0] += 1e-3
+        return self
+
+    monkeypatch.setattr(accumulator_mod.ClassAccumulator, "_update",
+                        corrupted)
+
+
+def test_injected_merge_bug_is_caught_and_shrinks(
+    accumulator_update_bug, tmp_path
+):
+    """ISSUE acceptance: an injected accumulator bug is detected by the
+    session/merge relations and shrunk to a small runnable repro."""
+    case = FuzzCase(
+        kind="ripple_adder", width=5, n_patterns=80, seed=20260808,
+    )
+    mismatches = check_case(case)
+    checks = {m.check for m in mismatches}
+    assert checks & {"accumulator_merge_sums", "session_stream_parity"}, (
+        f"injected accumulator bug not detected; saw {sorted(checks)}"
+    )
+
+    result = shrink_case(
+        case, failing_checks=[m.check for m in mismatches],
+        max_evaluations=60,
+    )
+    assert isinstance(result, ShrinkResult)
+    assert result.mismatches, "shrunk case no longer fails"
+    assert result.minimized.n_patterns <= case.n_patterns
+    assert result.minimized.width <= case.width
+
+    path = write_repro(result.minimized, result.mismatches,
+                       directory=str(tmp_path))
+    assert path.exists()
+    compile(path.read_text(), str(path), "exec")  # runnable artifact
+
+
+def test_healthy_accumulator_passes_merge_and_session_checks():
+    case = FuzzCase(kind="ripple_adder", width=4, n_patterns=30, seed=6)
+    assert check_case(case) == []
