@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test test-all fuzz verify coverage bench bench-small bench-sim bench-serve bench-fleet bench-smoke serve-smoke serve-fleet-smoke stream-smoke profile-smoke report examples clean
+.PHONY: install test test-all fuzz verify coverage bench bench-small bench-sim bench-serve bench-fleet bench-smoke serve-smoke serve-fleet-smoke stream-smoke tech-smoke profile-smoke report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -74,6 +74,15 @@ serve-fleet-smoke:
 # against a 2-worker SO_REUSEPORT fleet.
 stream-smoke:
 	PYTHONPATH=src python scripts/stream_smoke.py
+
+# End-to-end check of the technology calibration layer
+# (docs/TECHNOLOGY.md): a PAE sweep over two module families x three
+# widths x three nodes with schema validation and monotone
+# energy/leakage trends, then a live-server calibration check (physical
+# block with node, bit-identical normalized figures, 400 on unknown
+# nodes).
+tech-smoke:
+	PYTHONPATH=src python scripts/tech_smoke.py
 
 # Tier-1 suite under pytest-cov with targeted floors on the incremental
 # core and the serve layer; the global number is informational only.

@@ -5,7 +5,9 @@ minimums only where this repo has made explicit promises:
 
 * ``src/repro/core/accumulator.py`` — the incremental core the streaming
   sessions and property suite lean on;
-* ``src/repro/serve/`` — the serving layer, sessions included.
+* ``src/repro/serve/`` — the serving layer, sessions included;
+* ``src/repro/tech/`` — the technology calibration layer and its PAE
+  reports.
 
 There is deliberately **no hard global gate**: the global number is
 printed (and appended to ``$GITHUB_STEP_SUMMARY`` when set) so the trend
@@ -34,6 +36,7 @@ ROOT = Path(__file__).resolve().parent.parent
 FLOORS = (
     ("src/repro/core/accumulator.py", 75.0),
     ("src/repro/serve/", 55.0),
+    ("src/repro/tech/", 80.0),
 )
 
 

@@ -19,6 +19,8 @@ Subpackages:
               persistent content-addressed model/trace cache
     flow      model libraries and dataflow power budgeting
     opt       model-driven low-power optimization (binding, reordering)
+    tech      technology calibration: node tables, physical units
+              (coulombs/joules/watts/area/leakage), PAE reports
     cli       the `repro-power` command line
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
@@ -44,6 +46,7 @@ __all__ = [
     "serve",
     "signals",
     "stats",
+    "tech",
     "verify",
 ]
 

@@ -147,15 +147,22 @@ class Session:
         width: int,
         stream: Any,
         enhanced: Optional[bool] = None,
+        node: Any = None,
+        vdd: Optional[float] = None,
+        f_clk: Optional[float] = None,
     ) -> EstimationResult:
         """Trace-based estimation of a concrete stimulus.
 
         ``stream`` is either a ``[n, input_bits]`` 0/1 matrix or a list
-        of per-operand signed-word lists (the serve wire format).
+        of per-operand signed-word lists (the serve wire format).  With
+        ``node=`` (or ``vdd=``) the normalized result comes back wrapped
+        in a :class:`~repro.tech.CalibratedEstimate` carrying physical
+        units; without them it is returned untouched.
         """
         served = self._served(kind, width, enhanced)
         bits = self._as_bits(served, stream)
-        return served.estimator.estimate_from_bits(bits)
+        result = served.estimator.estimate_from_bits(bits)
+        return self._calibrate(result, served, node, vdd, f_clk)
 
     def estimate_distribution(
         self,
@@ -163,12 +170,16 @@ class Session:
         width: int,
         distribution: Sequence[float],
         enhanced: Optional[bool] = None,
+        node: Any = None,
+        vdd: Optional[float] = None,
+        f_clk: Optional[float] = None,
     ) -> EstimationResult:
         """Distribution-based estimation (Section 6.3 fast path)."""
         served = self._served(kind, width, enhanced)
-        return served.estimator.estimate_from_distribution(
+        result = served.estimator.estimate_from_distribution(
             np.asarray(distribution, dtype=np.float64)
         )
+        return self._calibrate(result, served, node, vdd, f_clk)
 
     def estimate_analytic(
         self,
@@ -177,6 +188,9 @@ class Session:
         operand_stats: Sequence[Union[WordStats, Dict[str, float]]],
         use_distribution: bool = True,
         enhanced: Optional[bool] = None,
+        node: Any = None,
+        vdd: Optional[float] = None,
+        f_clk: Optional[float] = None,
     ) -> EstimationResult:
         """Fully analytic estimation from (μ, σ², ρ) word statistics."""
         served = self._served(kind, width, enhanced)
@@ -188,9 +202,10 @@ class Session:
             )
             for s in operand_stats
         ]
-        return served.estimator.estimate_analytic(
+        result = served.estimator.estimate_analytic(
             served.module, stats, use_distribution=use_distribution
         )
+        return self._calibrate(result, served, node, vdd, f_clk)
 
     def stream(
         self,
@@ -199,6 +214,9 @@ class Session:
         enhanced: Optional[bool] = None,
         self_check: bool = False,
         check_prefix: int = 8,
+        node: Any = None,
+        vdd: Optional[float] = None,
+        f_clk: Optional[float] = None,
     ):
         """An incremental estimation handle over a long trace.
 
@@ -210,14 +228,19 @@ class Session:
         appends the running average equals :meth:`estimate` on the
         concatenated trace to well within 1e-9.  With ``self_check=True``
         every appended segment's leading ``check_prefix`` transitions are
-        re-verified against the gate-level simulator.
+        re-verified against the gate-level simulator.  With ``node=`` (or
+        ``vdd=``) every running estimate carries a ``physical`` unit
+        block alongside the normalized figures.
         """
         from .serve.sessions import StreamingEstimator
+        from .tech import Calibration
 
+        calibration = Calibration.from_spec(node=node, vdd=vdd, f_clk=f_clk)
         return StreamingEstimator(
             self._served(kind, width, enhanced),
             self_check=self_check,
             check_prefix=check_prefix,
+            calibration=None if calibration.is_identity else calibration,
         )
 
     # ------------------------------------------------------------------
@@ -247,6 +270,21 @@ class Session:
     # ------------------------------------------------------------------
     def _enhanced(self, override: Optional[bool]) -> bool:
         return self.enhanced if override is None else bool(override)
+
+    @staticmethod
+    def _calibrate(result, served, node, vdd, f_clk):
+        """Apply an optional post-hoc calibration to a facade result.
+
+        The identity (no node, no vdd) returns ``result`` itself — the
+        facade parity contract (≤ 1e-9 vs. the layered calls) is really
+        bit-identity here.
+        """
+        if node is None and vdd is None and f_clk is None:
+            return result
+        from .tech import Calibration
+
+        calibration = Calibration.from_spec(node=node, vdd=vdd, f_clk=f_clk)
+        return calibration.apply(result, netlist=served.module)
 
     def _served(self, kind: str, width: int, enhanced: Optional[bool]):
         return self.registry().get(

@@ -29,7 +29,7 @@ from .simulate import (
     zero_delay_toggles,
 )
 from .technology import GATE_TYPES, GateType, gate_type
-from .units import CAP_UNIT_FARAD, OperatingPoint
+from .units import CAP_UNIT_FARAD
 
 __all__ = [
     "BitwiseProgram",
@@ -65,3 +65,24 @@ __all__ = [
     "unpack_lanes",
     "zero_delay_toggles",
 ]
+
+
+def __getattr__(name):
+    # ``OperatingPoint`` moved to the technology calibration layer
+    # (``repro.tech``), which generalizes it across process nodes.  The
+    # old ``repro.circuit`` spelling keeps working — same class, bit
+    # -identical numerics — behind a one-shot deprecation.
+    if name == "OperatingPoint":
+        from .._compat import warn_once
+        from .units import OperatingPoint
+
+        warn_once(
+            "circuit:OperatingPoint",
+            "importing OperatingPoint from repro.circuit is deprecated; "
+            "use repro.tech (OperatingPoint, or the node-aware "
+            "Calibration)",
+        )
+        return OperatingPoint
+    raise AttributeError(
+        f"module 'repro.circuit' has no attribute {name!r}"
+    )

@@ -8,6 +8,13 @@ be reported in watts for a chosen supply voltage and clock frequency:
     Q_cycle [C]  = switched_cap * CAP_UNIT_FARAD * VDD
     E_cycle [J]  = switched_cap * CAP_UNIT_FARAD * VDD^2
     P_avg   [W]  = E_cycle * f_clk
+
+This module is the low-level home of the conversion; the public surface
+is :mod:`repro.tech`, whose :class:`~repro.tech.Calibration` generalizes
+:class:`OperatingPoint` across technology nodes (per-node capacitance,
+area and leakage tables).  Importing ``OperatingPoint`` from
+``repro.circuit`` is deprecated (warn-once shim); import it from
+``repro.tech`` instead.
 """
 
 from __future__ import annotations

@@ -121,8 +121,17 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="simulation kernel for reference/characterization")
     p.add_argument("--reference", action="store_true",
                    help="also run the gate-level reference simulation")
-    p.add_argument("--vdd", type=float, help="report watts at this supply")
-    p.add_argument("--f-clk", type=float, default=50e6)
+    p.add_argument("--node",
+                   help="technology node (e.g. 45nm) for physical units: "
+                        "charge/energy/power plus area and leakage from "
+                        "the repro.tech calibration table")
+    p.add_argument("--vdd", type=float,
+                   help="supply voltage in volts (default: the node's "
+                        "nominal; without --node, legacy 1 fF/unit "
+                        "conversion)")
+    p.add_argument("--f-clk", type=float,
+                   help="clock frequency in hertz (default: the node's "
+                        "nominal, or 50 MHz without --node)")
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="print one machine-readable result envelope")
     p.add_argument("--profile", metavar="PATH",
@@ -294,12 +303,54 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--self-check", action="store_true",
                    help="ask the server to re-verify each segment's "
                         "leading transitions against the simulator")
+    p.add_argument("--node",
+                   help="technology node (e.g. 45nm): sessions report "
+                        "physical units alongside the normalized estimate")
+    p.add_argument("--vdd", type=float,
+                   help="supply voltage in volts (default: the node's "
+                        "nominal)")
+    p.add_argument("--f-clk", type=float,
+                   help="clock frequency in hertz (default: the node's "
+                        "nominal, or 50 MHz without --node)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--timeout", type=float, default=30.0)
     p.add_argument("-o", "--output",
                    help="also write the report as JSON to this file")
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="print one machine-readable result envelope")
+
+    p = sub.add_parser(
+        "report",
+        help="deployment-facing reports (see docs/TECHNOLOGY.md)",
+    )
+    p.add_argument("action", choices=["pae"],
+                   help="'pae': power-area-energy sweep of module families "
+                        "across widths and technology nodes")
+    p.add_argument("--kinds", default="ripple_adder,csa_multiplier",
+                   help="comma-separated module families")
+    p.add_argument("--widths", default="4,8,16",
+                   help="comma-separated operand widths")
+    p.add_argument("--nodes", default="90nm,45nm,22nm",
+                   help="comma-separated technology nodes from the "
+                        "repro.tech table")
+    p.add_argument("--data-type", default="III",
+                   choices=list("I II III IV V".split()),
+                   help="stimulus class for the normalized estimates")
+    p.add_argument("--patterns", type=int, default=1500)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--vdd", type=float,
+                   help="override every node's nominal supply voltage")
+    p.add_argument("--f-clk", type=float,
+                   help="override every node's nominal clock frequency")
+    p.add_argument("--cache", action="store_true",
+                   help="serve/store models via the persistent cache")
+    p.add_argument("--cache-dir",
+                   help="persistent cache directory (implies --cache)")
+    p.add_argument("-o", "--output",
+                   help="also write the JSON envelope to this file")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="print one machine-readable result envelope "
+                        "(the table goes to stderr)")
 
     p = sub.add_parser(
         "reproduce", help="regenerate every table and figure"
@@ -548,13 +599,14 @@ def _cmd_cache(args) -> int:
 def _cmd_estimate(args) -> int:
     import time
 
-    from .circuit import OperatingPoint, PowerSimulator
+    from .circuit import PowerSimulator
     from .core import PowerEstimator, characterize_module
     from .core.serialize import load_model
     from .core.hd_model import HdPowerModel
     from .core.enhanced import EnhancedHdModel
     from .modules import make_module
     from .signals import make_operand_streams, module_stimulus
+    from .tech import Calibration
 
     started = time.perf_counter()
     info = sys.stderr if args.as_json else sys.stdout
@@ -604,14 +656,27 @@ def _cmd_estimate(args) -> int:
         "average_charge": float(estimate.average_charge),
         "n_patterns": args.patterns,
     }
-    if args.vdd:
-        op = OperatingPoint(vdd=args.vdd, f_clk=args.f_clk)
-        watts = op.average_power(estimate.average_charge)
-        print(f"estimated power   : {watts * 1e6:.2f} uW "
-              f"@ {args.vdd}V, {args.f_clk / 1e6:.0f}MHz", file=info)
-        payload["power_watts"] = float(watts)
-        payload["vdd"] = args.vdd
-        payload["f_clk"] = args.f_clk
+    try:
+        calibration = Calibration.from_spec(
+            node=args.node, vdd=args.vdd, f_clk=args.f_clk
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    physical = calibration.physical_block(
+        estimate.average_charge, netlist=module
+    )
+    if physical is not None:
+        print(f"estimated power   : {physical['power_watts'] * 1e6:.2f} uW "
+              f"@ {physical['vdd']}V, "
+              f"{physical['f_clk'] / 1e6:.0f}MHz"
+              + (f", {physical['node']}" if physical.get("node") else ""),
+              file=info)
+        if "leakage_watts" in physical:
+            print(f"leakage / area    : "
+                  f"{physical['leakage_watts'] * 1e6:.3f} uW / "
+                  f"{physical['area_m2'] * 1e12:.1f} um^2", file=info)
+        payload["physical"] = physical
     if args.reference:
         bits = module_stimulus(module, streams)
         reference = PowerSimulator(
@@ -994,6 +1059,9 @@ def _cmd_stream(args) -> int:
         timeout=args.timeout,
         enhanced=args.enhanced,
         self_check=args.self_check,
+        node=args.node,
+        vdd=args.vdd,
+        f_clk=args.f_clk,
     )
     completed = [r for r in results if r.ok]
     failed = args.sessions - len(completed)
@@ -1038,8 +1106,67 @@ def _cmd_stream(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_report(args) -> int:
+    import json
+    import time
+
+    import repro
+    from .tech import pae_report, render_pae, validate_pae
+
+    started = time.perf_counter()
+    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    try:
+        widths = [int(w) for w in args.widths.split(",") if w.strip()]
+    except ValueError:
+        print(f"error: bad --widths {args.widths!r}", file=sys.stderr)
+        return 2
+    nodes = [n.strip() for n in args.nodes.split(",") if n.strip()]
+    if not (kinds and widths and nodes):
+        print("error: --kinds, --widths and --nodes must be non-empty",
+              file=sys.stderr)
+        return 2
+    info = sys.stderr if args.as_json else sys.stdout
+    from .eval import ExperimentConfig
+
+    cache_dir = args.cache_dir or ("default" if args.cache else None)
+    session = repro.Session(
+        cache_dir=cache_dir,
+        config=ExperimentConfig(
+            n_characterization=args.patterns, n_eval=args.patterns
+        ),
+    )
+    try:
+        report = pae_report(
+            kinds, widths, nodes,
+            session=session,
+            data_type=args.data_type,
+            n_patterns=args.patterns,
+            seed=args.seed,
+            vdd=args.vdd,
+            f_clk=args.f_clk,
+            progress=lambda line: print(line, file=info),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    envelope = report.to_dict()
+    validate_pae(envelope)
+    print(render_pae(report), file=info)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(envelope, handle, indent=2)
+        print(f"report written to {args.output}", file=info)
+    if args.as_json:
+        _emit_envelope(
+            args, "report", "ok", started, envelope,
+            artifacts=[args.output] if args.output else (),
+        )
+    return 0
+
+
 _COMMANDS = {
     "list-modules": _cmd_list_modules,
+    "report": _cmd_report,
     "serve": _cmd_serve,
     "warmup": _cmd_warmup,
     "loadgen": _cmd_loadgen,

@@ -289,6 +289,9 @@ async def run_stream_load(
     timeout: float = 30.0,
     enhanced: bool = False,
     self_check: bool = False,
+    node: Optional[str] = None,
+    vdd: Optional[float] = None,
+    f_clk: Optional[float] = None,
 ) -> Tuple[LoadReport, List[StreamSessionResult]]:
     """Streaming workload: long-lived sessions over keep-alive connections.
 
@@ -323,6 +326,16 @@ async def run_stream_load(
         result.statuses.append(status)
         return status, (json.loads(raw) if raw.startswith(b"{") else None)
 
+    create_payload = {
+        "kind": kind, "width": width, "enhanced": enhanced,
+        "self_check": self_check,
+    }
+    # Calibration fields ride along only when set, so node-less runs stay
+    # wire-identical to older servers.
+    for key, value in (("node", node), ("vdd", vdd), ("f_clk", f_clk)):
+        if value is not None:
+            create_payload[key] = value
+
     async def drive_session(index: int) -> None:
         result = results[index]
         rng = np.random.default_rng(seed + 7919 * index)
@@ -330,10 +343,7 @@ async def run_stream_load(
         try:
             status, answer = await exchange(
                 reader, writer, "POST", "/v1/sessions",
-                {
-                    "kind": kind, "width": width, "enhanced": enhanced,
-                    "self_check": self_check,
-                },
+                dict(create_payload),
                 result,
             )
             if status != 201 or not answer:

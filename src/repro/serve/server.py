@@ -121,6 +121,33 @@ class _Request:
         return payload
 
 
+def _parse_calibration(payload: Dict[str, Any]):
+    """Resolve optional ``node``/``vdd``/``f_clk`` request fields.
+
+    Calibration is post-hoc: it never touches model lookup or registry
+    keys, and requests without these fields get the identity calibration
+    (responses byte-identical to the pre-calibration protocol).
+    """
+    from ..tech import Calibration
+
+    node = payload.get("node")
+    if node is not None and not isinstance(node, (str, int, float)):
+        raise ApiError(400, "bad_request",
+                       "'node' must be a technology node name")
+    for key in ("vdd", "f_clk"):
+        value = payload.get(key)
+        if value is not None and (
+            not isinstance(value, (int, float)) or isinstance(value, bool)
+        ):
+            raise ApiError(400, "bad_request", f"'{key}' must be a number")
+    try:
+        return Calibration.from_spec(
+            node=node, vdd=payload.get("vdd"), f_clk=payload.get("f_clk")
+        )
+    except ValueError as error:
+        raise ApiError(400, "bad_request", str(error))
+
+
 class EstimationServer:
     """The asyncio front-end wiring registry, batcher and metrics.
 
@@ -607,6 +634,7 @@ class EstimationServer:
                            "'width' (positive integer) required")
         enhanced = bool(payload.get("enhanced", False))
         mode = payload.get("mode", "auto")
+        calibration = _parse_calibration(payload)
         served = await self._get_model(kind, width, enhanced, mode)
 
         if endpoint == "bits":
@@ -669,6 +697,11 @@ class EstimationServer:
             body["n_cycles"] = int(len(result.cycle_charge))
             if payload.get("per_cycle"):
                 body["cycle_charge"] = result.cycle_charge.tolist()
+        physical = calibration.physical_block(
+            result.average_charge, netlist=served.module
+        )
+        if physical is not None:
+            body["physical"] = physical
         return 200, body
 
     # ------------------------------------------------------------------
@@ -693,6 +726,7 @@ class EstimationServer:
             except (TypeError, ValueError):
                 raise ApiError(400, "bad_request",
                                "'check_prefix' must be an integer")
+            calibration = _parse_calibration(payload)
             estimate = await self._admit(lambda: loop.run_in_executor(
                 self._load_pool,
                 tracing.wrap(
@@ -702,6 +736,7 @@ class EstimationServer:
                     payload.get("mode", "auto"),
                     bool(payload.get("self_check", False)),
                     check_prefix,
+                    calibration,
                 ),
             ))
             self.metrics.sessions_created_total.inc()

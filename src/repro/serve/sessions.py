@@ -113,6 +113,10 @@ class RunningEstimate:
             one-shot estimate on the concatenated trace to ≪ 1e-9.
         self_checked_transitions: Transitions re-verified against the
             per-gate oracle so far (0 unless ``self_check`` is on).
+        physical: Physical-unit block (``repro.tech`` calibration) for
+            sessions opened with a node/voltage; ``None`` otherwise —
+            and then absent from the wire dict, keeping node-less
+            sessions byte-identical to the pre-calibration protocol.
     """
 
     session_id: str
@@ -123,9 +127,10 @@ class RunningEstimate:
     total_charge: float
     average_charge: float
     self_checked_transitions: int = 0
+    physical: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        body = {
             "session_id": self.session_id,
             "model": self.model,
             "source": self.source,
@@ -135,6 +140,9 @@ class RunningEstimate:
             "average_charge": self.average_charge,
             "self_checked_transitions": self.self_checked_transitions,
         }
+        if self.physical is not None:
+            body["physical"] = self.physical
+        return body
 
 
 class StreamingEstimator:
@@ -149,6 +157,11 @@ class StreamingEstimator:
         check_prefix: Transitions per append the self-check re-simulates.
         session_id: Label carried into :class:`RunningEstimate` (set by
             the store; empty for direct facade use).
+        calibration: Optional :class:`~repro.tech.Calibration`; when set
+            (and not the identity) every :class:`RunningEstimate` carries
+            a ``physical`` unit block alongside the normalized figures.
+            Purely post-hoc — accumulator state and parity contracts are
+            untouched.
     """
 
     def __init__(
@@ -157,6 +170,7 @@ class StreamingEstimator:
         self_check: bool = False,
         check_prefix: int = 8,
         session_id: str = "",
+        calibration: Any = None,
     ):
         self.served = served
         self.width = served.module.input_bits
@@ -167,6 +181,7 @@ class StreamingEstimator:
         self.check_prefix = int(check_prefix)
         self.self_checked_transitions = 0
         self.session_id = session_id
+        self.calibration = calibration
 
     # ------------------------------------------------------------------
     def append(self, bits: Any) -> RunningEstimate:
@@ -210,6 +225,12 @@ class StreamingEstimator:
 
     def estimate(self) -> RunningEstimate:
         """The running estimate (cheap: two accumulator reductions)."""
+        physical = None
+        if self.calibration is not None:
+            physical = self.calibration.physical_block(
+                self.accumulator.average_charge,
+                netlist=self.served.module,
+            )
         return RunningEstimate(
             session_id=self.session_id,
             model=self.served.name,
@@ -219,6 +240,7 @@ class StreamingEstimator:
             total_charge=float(self.accumulator.sums.sum()),
             average_charge=self.accumulator.average_charge,
             self_checked_transitions=self.self_checked_transitions,
+            physical=physical,
         )
 
     #: Finalize is an estimate read; the *store* handles removal.
@@ -255,7 +277,7 @@ class StreamingEstimator:
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """JSON-compatible, bit-exact state (model resolved on restore)."""
-        return {
+        state = {
             "kind": self.served.kind,
             "width": self.served.width,
             "enhanced": self.served.enhanced,
@@ -270,16 +292,25 @@ class StreamingEstimator:
             ),
             "accumulator": self.accumulator.snapshot(),
         }
+        if self.calibration is not None:
+            state["calibration"] = self.calibration.to_dict()
+        return state
 
     @classmethod
     def restore(
         cls, data: Dict[str, Any], served: ServedModel
     ) -> "StreamingEstimator":
+        calibration = None
+        if data.get("calibration") is not None:
+            from ..tech import Calibration
+
+            calibration = Calibration.from_dict(data["calibration"])
         stream = cls(
             served,
             self_check=bool(data.get("self_check", False)),
             check_prefix=int(data.get("check_prefix", 8)),
             session_id=str(data.get("session_id", "")),
+            calibration=calibration,
         )
         stream.accumulator = ClassAccumulator.restore(data["accumulator"])
         if stream.accumulator.width != stream.width:
@@ -371,6 +402,7 @@ class SessionStore:
         mode: str = "auto",
         self_check: bool = False,
         check_prefix: int = 8,
+        calibration: Any = None,
     ) -> RunningEstimate:
         """Open a session; returns its (empty) running estimate."""
         self.sweep()
@@ -385,7 +417,7 @@ class SessionStore:
         session_id = f"s{self.worker_id}-{secrets.token_hex(6)}"
         stream = StreamingEstimator(
             served, self_check=self_check, check_prefix=check_prefix,
-            session_id=session_id,
+            session_id=session_id, calibration=calibration,
         )
         now = self.clock()
         slot = _SessionSlot(

@@ -1,0 +1,68 @@
+"""Technology calibration: normalized charge → coulombs/joules/watts/area.
+
+The characterization stack (ROADMAP item 4) answers everything in
+normalized switched-capacitance units — 1 unit is the capacitance of a
+reference gate pin.  That is exactly what the paper needs (only relative
+errors are ever compared), but deployment questions are physical:
+*"energy per op of a 16-bit CSA multiplier at 22 nm vs 45 nm"*.  This
+package is the per-technology constant factor that turns one
+characterized Hd macro-model into answers across process nodes, the same
+way per-component technology tables drive pre-RTL accelerator estimators
+(ALADDIN's per-cycle-time component tables, the Charm adder model's
+node-indexed power densities):
+
+* :mod:`nodes` — a versioned table of technology nodes (180 nm → 22 nm)
+  carrying capacitance-per-gate-unit, nominal V_dd/f_clk, area-per-gate-
+  unit and per-gate-unit leakage, plus Dennard-style scaling rules for
+  off-nominal voltage and frequency;
+* :mod:`calibrate` — the :class:`Calibration` object mapping any
+  normalized estimate (point, batch, distribution, analytic, streaming
+  session) to physical units, and a compiled netlist's gate inventory to
+  area and leakage.  ``node=None`` is the identity: the normalized path
+  is bit-identical to a build without this package;
+* :mod:`report` — the power-area-energy (PAE) report generator sweeping
+  module families across nodes and widths (``repro-power report pae``).
+
+Calibration is **post-hoc**: models, cache keys and registry entries are
+node-independent; a node only rescales results on the way out.  See
+docs/TECHNOLOGY.md for the table schema and the calibration math.
+"""
+
+from ..circuit.units import CAP_UNIT_FARAD, OperatingPoint
+from .calibrate import CalibratedEstimate, Calibration, gate_area_units
+from .nodes import (
+    NODES,
+    TECH_TABLE_VERSION,
+    TechNode,
+    get_node,
+    node_names,
+    validate_node,
+)
+from .report import (
+    PAE_REPORT_VERSION,
+    PaeCell,
+    PaeReport,
+    pae_report,
+    render_pae,
+    validate_pae,
+)
+
+__all__ = [
+    "CAP_UNIT_FARAD",
+    "CalibratedEstimate",
+    "Calibration",
+    "NODES",
+    "OperatingPoint",
+    "PAE_REPORT_VERSION",
+    "PaeCell",
+    "PaeReport",
+    "TECH_TABLE_VERSION",
+    "TechNode",
+    "gate_area_units",
+    "get_node",
+    "node_names",
+    "pae_report",
+    "render_pae",
+    "validate_node",
+    "validate_pae",
+]

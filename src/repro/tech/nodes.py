@@ -1,0 +1,165 @@
+"""The versioned technology-node table and its scaling rules.
+
+One row per process node, 180 nm down to 22 nm.  The figures are
+synthetic but shaped like the published trend lines (ITRS-era logic
+scaling; compare the Charm adder model's node-indexed power densities and
+ALADDIN's per-component tables): dynamic energy per gate unit
+(``cap_per_unit * nominal_vdd**2``) and area per gate unit shrink
+strictly monotonically with feature size, while per-gate leakage *grows*
+— the classic end-of-Dennard picture.  The monotone-energy property is a
+load-bearing contract: the differential fuzzer re-checks it on every
+calibration case (docs/VERIFICATION.md).
+
+Units are strict SI throughout: farads, volts, hertz, square metres,
+watts.  A "gate unit" is the normalized capacitance unit the simulator
+already counts charge in (one reference gate pin ≈ 1 fF at the 180 nm
+anchor, :data:`~repro.circuit.units.CAP_UNIT_FARAD`).
+
+Off-nominal operation uses Dennard-style rules, deliberately simple and
+documented rather than device-accurate:
+
+* dynamic energy   ``E ∝ C · V_dd²``          (exact CV² accounting);
+* dynamic power    ``P ∝ E · f_clk``          (linear in frequency);
+* leakage power    ``P_leak ∝ V_dd / V_nom``  (linearized subthreshold);
+* max frequency    ``f_max ≈ f_nom · V_dd / V_nom`` (alpha-power, α≈1).
+
+The table is versioned (:data:`TECH_TABLE_VERSION`) so persisted PAE
+reports and serve envelopes can state which calibration produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+#: Bumped whenever any node constant changes; echoed into every PAE
+#: report and physical-unit envelope so results are traceable to a table.
+TECH_TABLE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """One technology node of the calibration table.
+
+    Attributes:
+        name: Canonical name (``"45nm"``).
+        feature_nm: Drawn feature size in nanometres.
+        cap_per_unit: Farads represented by one normalized gate-capacitance
+            unit at this node.
+        nominal_vdd: Nominal supply voltage in volts.
+        nominal_f_clk: Nominal clock frequency in hertz.
+        area_per_unit: Square metres of silicon per gate unit.
+        leakage_per_unit: Watts of leakage per gate unit at nominal V_dd.
+    """
+
+    name: str
+    feature_nm: float
+    cap_per_unit: float
+    nominal_vdd: float
+    nominal_f_clk: float
+    area_per_unit: float
+    leakage_per_unit: float
+
+    def __post_init__(self):
+        validate_node(self)
+
+    @property
+    def energy_per_unit(self) -> float:
+        """Joules per switched gate unit at nominal V_dd (``C·V²``)."""
+        return self.cap_per_unit * self.nominal_vdd**2
+
+    def scaled_leakage_per_unit(self, vdd: float) -> float:
+        """Leakage per gate unit at an off-nominal supply (linearized)."""
+        if vdd <= 0:
+            raise ValueError("vdd must be positive")
+        return self.leakage_per_unit * (vdd / self.nominal_vdd)
+
+    def max_frequency(self, vdd: float) -> float:
+        """Alpha-power (α≈1) guidance for the fastest clock at ``vdd``."""
+        if vdd <= 0:
+            raise ValueError("vdd must be positive")
+        return self.nominal_f_clk * (vdd / self.nominal_vdd)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "table_version": TECH_TABLE_VERSION,
+            "name": self.name,
+            "feature_nm": self.feature_nm,
+            "cap_per_unit_farad": self.cap_per_unit,
+            "nominal_vdd": self.nominal_vdd,
+            "nominal_f_clk": self.nominal_f_clk,
+            "area_per_unit_m2": self.area_per_unit,
+            "leakage_per_unit_watt": self.leakage_per_unit,
+        }
+
+
+def validate_node(node: "TechNode") -> None:
+    """Every physical constant of a node must be strictly positive.
+
+    Raises:
+        ValueError: On the first non-positive field.
+    """
+    for field_name in (
+        "feature_nm", "cap_per_unit", "nominal_vdd", "nominal_f_clk",
+        "area_per_unit", "leakage_per_unit",
+    ):
+        value = getattr(node, field_name)
+        if not (value > 0):
+            raise ValueError(
+                f"node {node.name!r}: {field_name} must be positive, "
+                f"got {value!r}"
+            )
+    if not node.name:
+        raise ValueError("node name must be non-empty")
+
+
+#: The version-1 table.  The 180 nm row anchors the normalized unit: one
+#: gate unit is exactly :data:`~repro.circuit.units.CAP_UNIT_FARAD`
+#: (1 fF) there, and successive nodes scale capacitance, voltage and area
+#: down while leakage density climbs.
+NODES: Dict[str, TechNode] = {
+    node.name: node
+    for node in (
+        TechNode("180nm", 180.0, 1.00e-15, 1.8, 200e6, 1.00e-11, 10e-12),
+        TechNode("130nm", 130.0, 0.70e-15, 1.3, 400e6, 5.20e-12, 30e-12),
+        TechNode("90nm", 90.0, 0.48e-15, 1.2, 600e6, 2.50e-12, 80e-12),
+        TechNode("65nm", 65.0, 0.33e-15, 1.1, 800e6, 1.30e-12, 150e-12),
+        TechNode("45nm", 45.0, 0.23e-15, 1.0, 1.0e9, 6.50e-13, 250e-12),
+        TechNode("32nm", 32.0, 0.16e-15, 0.9, 1.2e9, 3.30e-13, 350e-12),
+        TechNode("22nm", 22.0, 0.11e-15, 0.8, 1.4e9, 1.70e-13, 450e-12),
+    )
+}
+
+
+def node_names() -> List[str]:
+    """Node names ordered from the largest feature size to the smallest."""
+    return [
+        node.name
+        for node in sorted(NODES.values(), key=lambda n: -n.feature_nm)
+    ]
+
+
+def get_node(spec: Union[str, int, float, TechNode]) -> TechNode:
+    """Resolve a node spec — ``"45nm"``, ``"45"``, ``45`` — to its row.
+
+    Raises:
+        ValueError: If the spec names no node in the table.
+    """
+    if isinstance(spec, TechNode):
+        return spec
+    name = str(spec).strip().lower()
+    if not name.endswith("nm"):
+        name += "nm"
+    # "45.0nm" and "45nm" both hit the 45 nm row.
+    normalized = name[:-2]
+    try:
+        normalized = f"{float(normalized):g}"
+    except ValueError:
+        pass
+    name = normalized + "nm"
+    try:
+        return NODES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown technology node {spec!r}; known: {node_names()}"
+        ) from None

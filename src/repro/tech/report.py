@@ -1,0 +1,268 @@
+"""Power-area-energy (PAE) reports: module families × widths × nodes.
+
+The deployment-facing face of the calibration layer: characterize (or
+cache-hit) each requested ``(family, width)`` **once**, then answer the
+whole node sweep post-hoc — the same fitted Hd model prices a 16-bit CSA
+multiplier at 180 nm and at 22 nm.  Surfaced as ``repro-power report
+pae`` (JSON envelope + fixed-width table) and ``make tech-smoke``.
+
+The JSON envelope is versioned and schema-checked by :func:`validate_pae`
+so CI and downstream tooling can rely on its shape.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from .calibrate import Calibration, gate_area_units
+from .nodes import TECH_TABLE_VERSION, TechNode, get_node
+
+#: Envelope schema version for persisted/served PAE reports.
+PAE_REPORT_VERSION = 1
+
+#: Stimulus class driving the normalized estimate (Section 4 data types).
+DEFAULT_DATA_TYPE = "III"
+
+
+@dataclass(frozen=True)
+class PaeCell:
+    """One (family, width, node) cell of a PAE report."""
+
+    kind: str
+    width: int
+    node: str
+    vdd: float
+    f_clk: float
+    average_charge_units: float
+    charge_coulombs: float
+    energy_joules: float
+    power_watts: float
+    area_m2: float
+    leakage_watts: float
+    n_gates: int
+    gate_units: float
+    source: str
+
+    @property
+    def total_power_watts(self) -> float:
+        return self.power_watts + self.leakage_watts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "width": self.width,
+            "node": self.node,
+            "vdd": self.vdd,
+            "f_clk": self.f_clk,
+            "average_charge_units": self.average_charge_units,
+            "charge_coulombs": self.charge_coulombs,
+            "energy_joules": self.energy_joules,
+            "power_watts": self.power_watts,
+            "total_power_watts": self.total_power_watts,
+            "area_m2": self.area_m2,
+            "leakage_watts": self.leakage_watts,
+            "n_gates": self.n_gates,
+            "gate_units": self.gate_units,
+            "source": self.source,
+        }
+
+
+@dataclass
+class PaeReport:
+    """A full sweep: every requested family at every width and node."""
+
+    kinds: List[str]
+    widths: List[int]
+    nodes: List[str]
+    data_type: str
+    n_patterns: int
+    seed: int
+    cells: List[PaeCell] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "report": "pae",
+            "version": PAE_REPORT_VERSION,
+            "table_version": TECH_TABLE_VERSION,
+            "kinds": list(self.kinds),
+            "widths": [int(w) for w in self.widths],
+            "nodes": list(self.nodes),
+            "data_type": self.data_type,
+            "n_patterns": int(self.n_patterns),
+            "seed": int(self.seed),
+            "seconds": self.seconds,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+
+def pae_report(
+    kinds: Sequence[str],
+    widths: Sequence[int],
+    nodes: Sequence[Union[str, int, float, TechNode]],
+    session: Any = None,
+    data_type: str = DEFAULT_DATA_TYPE,
+    n_patterns: int = 1500,
+    seed: int = 0,
+    vdd: Optional[float] = None,
+    f_clk: Optional[float] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> PaeReport:
+    """Sweep families across widths and technology nodes.
+
+    Args:
+        kinds: Module families (registry kind names).
+        widths: Operand widths per family.
+        nodes: Technology nodes (any :func:`~repro.tech.nodes.get_node`
+            spec).
+        session: A configured :class:`repro.Session`; a cache-less
+            default is created when omitted.  Models materialize once per
+            ``(kind, width)`` through its registry — the node loop is
+            pure post-hoc rescaling.
+        data_type: Stimulus class for the normalized trace estimate.
+        n_patterns: Stimulus patterns per estimate.
+        seed: Stimulus seed.
+        vdd/f_clk: Optional off-nominal operating point applied to every
+            node (each node's nominals when omitted).
+        progress: Optional line sink for per-model status.
+    """
+    from ..modules import make_module
+    from ..signals import make_operand_streams, module_stimulus
+
+    if session is None:
+        import repro
+
+        session = repro.Session()
+    resolved = [get_node(node) for node in nodes]
+    report = PaeReport(
+        kinds=[str(k) for k in kinds],
+        widths=[int(w) for w in widths],
+        nodes=[node.name for node in resolved],
+        data_type=data_type,
+        n_patterns=int(n_patterns),
+        seed=int(seed),
+    )
+    started = time.perf_counter()
+    for kind in report.kinds:
+        for width in report.widths:
+            module = make_module(kind, width)
+            streams = make_operand_streams(
+                module, data_type, n_patterns, seed=seed + 1
+            )
+            bits = module_stimulus(module, streams)
+            served = session.registry().get(kind, width)
+            estimate = served.estimator.estimate_from_bits(bits)
+            if progress is not None:
+                progress(
+                    f"{served.name}: {estimate.average_charge:.2f} "
+                    f"charge units/cycle ({served.source})"
+                )
+            units = gate_area_units(module)
+            for node in resolved:
+                calibration = Calibration(node=node, vdd=vdd, f_clk=f_clk)
+                physical = calibration.apply(estimate, netlist=module)
+                report.cells.append(PaeCell(
+                    kind=kind,
+                    width=width,
+                    node=node.name,
+                    vdd=physical.vdd,
+                    f_clk=physical.f_clk,
+                    average_charge_units=physical.average_charge_units,
+                    charge_coulombs=physical.charge_coulombs,
+                    energy_joules=physical.energy_joules,
+                    power_watts=physical.power_watts,
+                    area_m2=physical.area_m2,
+                    leakage_watts=physical.leakage_watts,
+                    n_gates=module.netlist.n_gates,
+                    gate_units=units,
+                    source=served.source,
+                ))
+    report.seconds = time.perf_counter() - started
+    return report
+
+
+def render_pae(report: PaeReport) -> str:
+    """Fixed-width table rendition (engineering units, SI envelope)."""
+    from ..eval.report import format_table
+
+    headers = [
+        "module", "w", "node", "vdd", "f_clk", "E/op (pJ)", "P_dyn (uW)",
+        "P_leak (uW)", "area (um^2)", "gates",
+    ]
+    rows = []
+    for cell in report.cells:
+        rows.append([
+            cell.kind,
+            cell.width,
+            cell.node,
+            f"{cell.vdd:.2f}",
+            f"{cell.f_clk / 1e6:.0f}MHz",
+            f"{cell.energy_joules * 1e12:.4f}",
+            f"{cell.power_watts * 1e6:.2f}",
+            f"{cell.leakage_watts * 1e6:.3f}",
+            f"{cell.area_m2 * 1e12:.1f}",
+            cell.n_gates,
+        ])
+    title = (
+        f"PAE report (table v{TECH_TABLE_VERSION}): data type "
+        f"{report.data_type}, {report.n_patterns} patterns, "
+        f"seed {report.seed}"
+    )
+    return format_table(headers, rows, title=title)
+
+
+def validate_pae(envelope: Dict[str, Any]) -> None:
+    """Schema-check a :meth:`PaeReport.to_dict` envelope.
+
+    Raises:
+        ValueError: On any missing key, type mismatch, coverage hole
+            (a requested combination without a cell) or non-finite /
+            non-positive physical figure.
+    """
+    import math
+
+    for key, expected in (
+        ("report", str), ("version", int), ("table_version", int),
+        ("kinds", list), ("widths", list), ("nodes", list),
+        ("data_type", str), ("cells", list),
+    ):
+        if key not in envelope:
+            raise ValueError(f"PAE envelope missing {key!r}")
+        if not isinstance(envelope[key], expected):
+            raise ValueError(
+                f"PAE envelope {key!r} must be {expected.__name__}, got "
+                f"{type(envelope[key]).__name__}"
+            )
+    if envelope["report"] != "pae":
+        raise ValueError(f"not a PAE envelope: report={envelope['report']!r}")
+    expected_cells = {
+        (kind, width, node)
+        for kind in envelope["kinds"]
+        for width in envelope["widths"]
+        for node in envelope["nodes"]
+    }
+    seen = set()
+    numeric_keys = (
+        "vdd", "f_clk", "average_charge_units", "charge_coulombs",
+        "energy_joules", "power_watts", "area_m2", "leakage_watts",
+    )
+    for cell in envelope["cells"]:
+        key = (cell.get("kind"), cell.get("width"), cell.get("node"))
+        seen.add(key)
+        for name in numeric_keys:
+            value = cell.get(name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"cell {key}: {name!r} must be numeric")
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(
+                    f"cell {key}: {name!r} must be finite and >= 0, got "
+                    f"{value!r}"
+                )
+    missing = expected_cells - seen
+    if missing:
+        raise ValueError(
+            f"PAE envelope misses {len(missing)} requested combinations, "
+            f"first: {sorted(missing)[0]}"
+        )

@@ -453,6 +453,79 @@ def check_session_stream(
     return out
 
 
+def check_calibration(
+    case: FuzzCase, module: DatapathModule, bits: np.ndarray
+) -> List[Mismatch]:
+    """Technology-calibration relations (``repro.tech``), on a real trace.
+
+    Four metamorphic relations over the same normalized simulator charge:
+
+    * ``E ∝ V_dd²`` exactly (doubling vdd quadruples per-op energy);
+    * dynamic power is exactly linear in ``f_clk``;
+    * at each node's nominal operating point, energy per op decreases
+      strictly monotonically as the feature size shrinks (the table's
+      Dennard-ordering invariant applied through a live estimate);
+    * the identity calibration (``node=None``) returns the underlying
+      estimate object itself — the normalized path is bit-identical.
+    """
+    if case.n_transitions < 1:
+        return []
+    from ..tech import Calibration, get_node, node_names
+
+    charge = float(
+        _simulator(case, module, "auto").simulate(bits).average_charge
+    )
+    out = []
+    if charge <= 0.0:
+        return out
+
+    # 1) E ∝ V_dd² — exact, not approximate: same floats, one multiply.
+    node = get_node("45nm")
+    base = Calibration(node=node, vdd=1.0)
+    doubled = Calibration(node=node, vdd=2.0)
+    ratio = doubled.energy_joules(charge) / base.energy_joules(charge)
+    if ratio != 4.0:
+        out.append(Mismatch(
+            "calibration_vdd_square", case,
+            f"E(2·vdd)/E(vdd) = {ratio!r}, expected exactly 4.0",
+        ))
+
+    # 2) P linear in f_clk — doubling the clock doubles dynamic power.
+    slow = Calibration(node=node, f_clk=1e8).power_watts(charge)
+    fast = Calibration(node=node, f_clk=2e8).power_watts(charge)
+    if fast != 2.0 * slow:
+        out.append(Mismatch(
+            "calibration_f_clk_linear", case,
+            f"P(2·f)/P(f) = {fast / slow!r}, expected exactly 2.0",
+        ))
+
+    # 3) Monotone energy across shrinking nodes at nominal conditions.
+    energies = [
+        float(Calibration(node=get_node(name)).energy_joules(charge))
+        for name in node_names()
+    ]
+    for previous, current, name in zip(
+        energies, energies[1:], node_names()[1:]
+    ):
+        if not current < previous:
+            out.append(Mismatch(
+                "calibration_node_monotone", case,
+                f"energy/op did not decrease shrinking into {name}: "
+                f"{previous!r} -> {current!r}",
+            ))
+
+    # 4) node=None is the identity: the very same estimate object.
+    from ..core.estimator import EstimationResult
+
+    estimate = EstimationResult(average_charge=charge, method="fuzz")
+    if Calibration().apply(estimate) is not estimate:
+        out.append(Mismatch(
+            "calibration_identity", case,
+            "identity calibration did not return the estimate unchanged",
+        ))
+    return out
+
+
 def check_cache_key_engine_independence() -> List[Mismatch]:
     """Cache keys must not depend on the (bit-identical) engine choice."""
     from ..eval.harness import ExperimentConfig
@@ -495,6 +568,7 @@ CASE_CHECKS: Tuple[Callable, ...] = (
     check_operand_swap,
     check_classification_permutation,
     check_session_stream,
+    check_calibration,
 )
 
 

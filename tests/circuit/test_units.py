@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.circuit import CAP_UNIT_FARAD, OperatingPoint
+from repro.circuit import CAP_UNIT_FARAD
+from repro.tech import OperatingPoint
 
 
 def test_cycle_charge():
@@ -55,3 +56,58 @@ def test_validation():
 
 def test_cap_unit_constant():
     assert CAP_UNIT_FARAD == pytest.approx(1e-15)
+
+
+def test_negative_parameters_rejected():
+    with pytest.raises(ValueError):
+        OperatingPoint(vdd=-1.0)
+    with pytest.raises(ValueError):
+        OperatingPoint(f_clk=-5e6)
+
+
+def test_defaults_match_paper_era():
+    op = OperatingPoint()
+    assert op.vdd == pytest.approx(2.5)
+    assert op.f_clk == pytest.approx(50e6)
+
+
+def test_zero_switched_cap_is_zero_power():
+    op = OperatingPoint(vdd=3.3, f_clk=100e6)
+    assert op.cycle_charge(0.0) == 0.0
+    assert op.cycle_energy(0.0) == 0.0
+    assert op.average_power(0.0) == 0.0
+
+
+def test_circuit_import_is_deprecated_warn_once():
+    """The repro.circuit spelling still works — same class, one warning."""
+    import repro.circuit
+    from repro._compat import reset_deprecation_registry
+
+    reset_deprecation_registry()
+    with pytest.warns(DeprecationWarning, match="repro.tech"):
+        legacy = repro.circuit.OperatingPoint
+    assert legacy is OperatingPoint
+    # Warn-once: the second access is silent.
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert repro.circuit.OperatingPoint is OperatingPoint
+
+
+def test_legacy_numerics_bit_identical_through_calibration():
+    """Calibration(vdd=...) reproduces OperatingPoint to 1e-12."""
+    from repro.tech import Calibration
+
+    op = OperatingPoint(vdd=2.5, f_clk=50e6)
+    cal = Calibration.from_spec(vdd=2.5)
+    for charge in (0.0, 1.0, 26.36, 1234.5):
+        assert cal.charge_coulombs(charge) == pytest.approx(
+            op.cycle_charge(charge), rel=1e-12
+        )
+        assert cal.energy_joules(charge) == pytest.approx(
+            op.cycle_energy(charge), rel=1e-12
+        )
+        assert cal.power_watts(charge) == pytest.approx(
+            op.average_power(charge), rel=1e-12
+        )

@@ -340,3 +340,97 @@ def test_api_session_stream_facade(serve_registry, served_adder4):
         running = stream.feed(bits[start:start + 16])
     assert running.n_rows == 80
     assert_parity(stream.finalize(), served_adder4, bits)
+
+
+# ----------------------------------------------------------------------
+# Technology calibration on sessions (repro.tech)
+# ----------------------------------------------------------------------
+def test_calibrated_session_physical_block(serve_registry, served_adder4):
+    from repro.tech import Calibration, get_node
+
+    store = SessionStore(resolver=serve_registry.get)
+    created = store.create(KIND, WIDTH,
+                           calibration=Calibration.from_spec(node="45nm"))
+    sid = created.session_id
+    assert created.physical is not None  # present from the first read
+    bits = _bits(60, seed=11)
+    running = store.append(sid, bits.tolist())
+    node = get_node("45nm")
+    expected = (running.average_charge * node.cap_per_unit
+                * node.nominal_vdd**2)
+    assert running.physical["energy_joules"] == pytest.approx(expected)
+    assert running.physical["node"] == "45nm"
+    assert running.physical["area_m2"] > 0
+    # The wire dict carries the block; uncalibrated sessions must not.
+    assert "physical" in running.to_dict()
+    plain = store.create(KIND, WIDTH)
+    assert plain.physical is None
+    assert "physical" not in plain.to_dict()
+
+
+def test_calibrated_session_normalized_figures_unchanged(
+    serve_registry, served_adder4
+):
+    """Calibration is post-hoc: the normalized stream is bit-identical."""
+    from repro.tech import Calibration
+
+    bits = _bits(100, seed=12)
+    plain = StreamingEstimator(served_adder4)
+    calibrated = StreamingEstimator(
+        served_adder4, calibration=Calibration.from_spec(node="22nm")
+    )
+    for start in range(0, 100, 25):
+        a = plain.append(bits[start:start + 25])
+        b = calibrated.append(bits[start:start + 25])
+    assert b.average_charge == a.average_charge  # bit-identical
+    assert b.total_charge == a.total_charge
+
+
+def test_calibration_survives_snapshot_restore(serve_registry):
+    from repro.tech import Calibration
+
+    store = SessionStore(resolver=serve_registry.get, worker_id=1)
+    sid = store.create(
+        KIND, WIDTH,
+        calibration=Calibration.from_spec(node="90nm", vdd=1.0),
+    ).session_id
+    store.append(sid, _bits(40, seed=13).tolist())
+    before = store.get(sid)
+
+    data = json.loads(json.dumps(store.snapshot()))  # the wire format
+    successor = SessionStore(resolver=serve_registry.get, worker_id=1)
+    assert successor.restore(data) == 1
+    after = successor.get(sid)
+    assert after.physical == before.physical
+    assert after.physical["node"] == "90nm"
+    assert after.physical["vdd"] == 1.0
+
+
+def test_http_session_with_node(session_server, served_adder4):
+    port = session_server.port
+    status, created = request_once(port, "POST", "/v1/sessions", {
+        "kind": KIND, "width": WIDTH, "node": "65nm",
+    })
+    assert status == 201
+    sid = created["session_id"]
+    bits = _bits(50, seed=14)
+    status, running = request_once(
+        port, "POST", f"/v1/sessions/{sid}/append", {"bits": bits.tolist()},
+    )
+    assert status == 200
+    assert running["physical"]["node"] == "65nm"
+    assert_parity_dict(running, served_adder4, bits)
+    status, final = request_once(port, "DELETE", f"/v1/sessions/{sid}")
+    assert status == 200 and final["physical"]["node"] == "65nm"
+
+
+def test_http_session_rejects_unknown_node(session_server):
+    port = session_server.port
+    status, answer = request_once(port, "POST", "/v1/sessions", {
+        "kind": KIND, "width": WIDTH, "node": "3nm",
+    })
+    assert status == 400 and answer["error"]["code"] == "bad_request"
+    status, answer = request_once(port, "POST", "/v1/sessions", {
+        "kind": KIND, "width": WIDTH, "vdd": "high",
+    })
+    assert status == 400

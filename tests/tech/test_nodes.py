@@ -1,0 +1,93 @@
+"""The versioned technology-node table and its scaling rules."""
+
+import pytest
+
+from repro.tech import (
+    NODES,
+    TECH_TABLE_VERSION,
+    TechNode,
+    get_node,
+    node_names,
+    validate_node,
+)
+
+
+def test_table_has_enough_nodes():
+    assert len(NODES) >= 6
+    features = [node.feature_nm for node in NODES.values()]
+    assert min(features) <= 22.0 and max(features) >= 180.0
+
+
+def test_every_node_validates():
+    for node in NODES.values():
+        validate_node(node)
+
+
+def test_nonpositive_fields_rejected_at_construction():
+    with pytest.raises(ValueError, match="cap_per_unit"):
+        TechNode(
+            name="bad", feature_nm=45.0, cap_per_unit=0.0, nominal_vdd=1.0,
+            nominal_f_clk=1e9, area_per_unit=1e-12, leakage_per_unit=1e-12,
+        )
+
+
+def test_node_names_ordered_largest_first():
+    names = node_names()
+    features = [get_node(name).feature_nm for name in names]
+    assert features == sorted(features, reverse=True)
+
+
+def test_get_node_spec_forms():
+    by_name = get_node("45nm")
+    assert get_node("45") is by_name
+    assert get_node(45) is by_name
+    assert get_node(45.0) is by_name
+    assert get_node(by_name) is by_name
+
+
+def test_get_node_unknown_raises():
+    with pytest.raises(ValueError, match="unknown technology node"):
+        get_node("7nm")
+
+
+def test_nominal_energy_strictly_decreasing():
+    """The table's Dennard ordering: smaller node, less energy per unit."""
+    energies = [get_node(name).energy_per_unit for name in node_names()]
+    assert all(b < a for a, b in zip(energies, energies[1:]))
+
+
+def test_area_decreasing_leakage_increasing():
+    nodes = [get_node(name) for name in node_names()]
+    areas = [node.area_per_unit for node in nodes]
+    leakages = [node.leakage_per_unit for node in nodes]
+    assert all(b < a for a, b in zip(areas, areas[1:]))
+    assert all(b > a for a, b in zip(leakages, leakages[1:]))
+
+
+def test_nominal_round_trips():
+    for node in NODES.values():
+        assert node.energy_per_unit == pytest.approx(
+            node.cap_per_unit * node.nominal_vdd**2
+        )
+        assert node.scaled_leakage_per_unit(node.nominal_vdd) == (
+            pytest.approx(node.leakage_per_unit)
+        )
+        assert node.max_frequency(node.nominal_vdd) == pytest.approx(
+            node.nominal_f_clk
+        )
+
+
+def test_off_nominal_scaling_directions():
+    node = get_node("45nm")
+    assert node.scaled_leakage_per_unit(0.8) < node.leakage_per_unit
+    assert node.max_frequency(0.8) < node.nominal_f_clk
+    with pytest.raises(ValueError):
+        node.scaled_leakage_per_unit(0.0)
+    with pytest.raises(ValueError):
+        node.max_frequency(-1.0)
+
+
+def test_to_dict_carries_version():
+    data = get_node("90nm").to_dict()
+    assert data["name"] == "90nm"
+    assert data["table_version"] == TECH_TABLE_VERSION

@@ -1,0 +1,127 @@
+"""PAE report generation, rendering and envelope validation."""
+
+import copy
+
+import pytest
+
+import repro
+from repro.eval import ExperimentConfig
+from repro.tech import (
+    PAE_REPORT_VERSION,
+    get_node,
+    pae_report,
+    render_pae,
+    validate_pae,
+)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    session = repro.Session(
+        config=ExperimentConfig(n_characterization=300, seed=5)
+    )
+    return pae_report(
+        ["ripple_adder"], [4, 8], ["90nm", "45nm"],
+        session=session, n_patterns=200, seed=0,
+    )
+
+
+def test_full_coverage(small_report):
+    assert len(small_report.cells) == 1 * 2 * 2
+    combos = {(c.kind, c.width, c.node) for c in small_report.cells}
+    assert ("ripple_adder", 4, "90nm") in combos
+    assert ("ripple_adder", 8, "45nm") in combos
+
+
+def test_node_loop_is_post_hoc(small_report):
+    """Same (kind, width) shares one normalized estimate across nodes."""
+    by_key = {}
+    for cell in small_report.cells:
+        by_key.setdefault((cell.kind, cell.width), set()).add(
+            cell.average_charge_units
+        )
+    for charges in by_key.values():
+        assert len(charges) == 1
+
+
+def test_energy_orders_by_node(small_report):
+    for width in (4, 8):
+        cells = {
+            c.node: c for c in small_report.cells if c.width == width
+        }
+        assert cells["45nm"].energy_joules < cells["90nm"].energy_joules
+        assert cells["45nm"].area_m2 < cells["90nm"].area_m2
+
+
+def test_envelope_validates(small_report):
+    envelope = small_report.to_dict()
+    assert envelope["report"] == "pae"
+    assert envelope["version"] == PAE_REPORT_VERSION
+    validate_pae(envelope)
+
+
+def test_validate_rejects_coverage_hole(small_report):
+    envelope = copy.deepcopy(small_report.to_dict())
+    envelope["cells"].pop()
+    with pytest.raises(ValueError, match="misses"):
+        validate_pae(envelope)
+
+
+def test_validate_rejects_bad_numerics(small_report):
+    envelope = copy.deepcopy(small_report.to_dict())
+    envelope["cells"][0]["energy_joules"] = float("nan")
+    with pytest.raises(ValueError, match="finite"):
+        validate_pae(envelope)
+    envelope = copy.deepcopy(small_report.to_dict())
+    envelope["cells"][0]["vdd"] = "high"
+    with pytest.raises(ValueError, match="numeric"):
+        validate_pae(envelope)
+
+
+def test_validate_rejects_missing_keys():
+    with pytest.raises(ValueError, match="missing"):
+        validate_pae({"report": "pae"})
+    with pytest.raises(ValueError, match="not a PAE envelope"):
+        validate_pae({
+            "report": "other", "version": 1, "table_version": 1,
+            "kinds": [], "widths": [], "nodes": [], "data_type": "III",
+            "cells": [],
+        })
+
+
+def test_render_mentions_every_cell(small_report):
+    text = render_pae(small_report)
+    assert "ripple_adder" in text
+    assert "90nm" in text and "45nm" in text
+    assert "E/op (pJ)" in text
+
+
+def test_vdd_override_applies_to_every_node():
+    session = repro.Session(
+        config=ExperimentConfig(n_characterization=300, seed=5)
+    )
+    report = pae_report(
+        ["ripple_adder"], [4], ["90nm", "45nm"],
+        session=session, n_patterns=100, vdd=0.95,
+    )
+    assert all(cell.vdd == 0.95 for cell in report.cells)
+
+
+def test_unknown_node_raises():
+    session = repro.Session(
+        config=ExperimentConfig(n_characterization=300, seed=5)
+    )
+    with pytest.raises(ValueError, match="unknown technology node"):
+        pae_report(["ripple_adder"], [4], ["5nm"], session=session,
+                   n_patterns=100)
+
+
+def test_nodes_accept_resolved_rows():
+    session = repro.Session(
+        config=ExperimentConfig(n_characterization=300, seed=5)
+    )
+    report = pae_report(
+        ["ripple_adder"], [4], [get_node("22nm")],
+        session=session, n_patterns=100,
+    )
+    assert report.nodes == ["22nm"]

@@ -253,3 +253,53 @@ def test_new_spellings_do_not_warn(tmp_path):
             config=CONFIG, jobs=1,
         )
     assert _deprecations(record) == []
+
+
+# ----------------------------------------------------------------------
+# Technology calibration through the facade (repro.tech)
+# ----------------------------------------------------------------------
+def test_estimate_with_node_wraps_physical(session, rng):
+    from repro.tech import CalibratedEstimate, get_node
+
+    bits = rng.integers(0, 2, size=(60, 4)).astype(bool)
+    plain = session.estimate("ripple_adder", 2, bits)
+    physical = session.estimate("ripple_adder", 2, bits, node="45nm")
+    assert isinstance(physical, CalibratedEstimate)
+    # Post-hoc: the normalized figure is bit-identical to the plain call.
+    assert physical.average_charge_units == plain.average_charge
+    node = get_node("45nm")
+    assert physical.energy_joules == pytest.approx(
+        plain.average_charge * node.cap_per_unit * node.nominal_vdd**2
+    )
+    assert physical.area_m2 > 0 and physical.leakage_watts > 0
+
+
+def test_estimate_without_node_returns_bare_result(session, rng):
+    bits = rng.integers(0, 2, size=(40, 4)).astype(bool)
+    result = session.estimate("ripple_adder", 2, bits)
+    assert not hasattr(result, "physical")
+    assert not hasattr(result, "energy_joules")
+
+
+def test_estimate_analytic_with_node(session):
+    physical = session.estimate_analytic(
+        "ripple_adder", 2,
+        operand_stats=[{"mean": 0.0, "variance": 1.0, "rho": 0.0}] * 2,
+        node="90nm", vdd=1.0,
+    )
+    assert physical.node == "90nm" and physical.vdd == 1.0
+    assert physical.power_watts > 0
+
+
+def test_stream_with_node_carries_physical(session, rng):
+    stream = session.stream("ripple_adder", 2, node="22nm")
+    bits = rng.integers(0, 2, size=(30, 4))
+    running = stream.feed(bits)
+    assert running.physical is not None
+    assert running.physical["node"] == "22nm"
+
+
+def test_facade_rejects_unknown_node(session, rng):
+    bits = rng.integers(0, 2, size=(10, 4)).astype(bool)
+    with pytest.raises(ValueError, match="unknown technology node"):
+        session.estimate("ripple_adder", 2, bits, node="3nm")

@@ -361,7 +361,7 @@ def test_estimate_json_envelope(capsys):
     assert envelope["status"] == "ok"
     assert envelope["method"] == "trace"
     assert envelope["average_charge"] > 0
-    assert envelope["power_watts"] > 0
+    assert envelope["physical"]["power_watts"] > 0
 
 
 def test_verify_fuzz_json_envelope(tmp_path, capsys):
@@ -398,3 +398,79 @@ def test_profile_writes_loadable_chrome_trace(tmp_path, capsys):
     # The human span tree goes to stderr, keeping stdout machine-clean.
     assert "cli.characterize" in captured.err
     assert "profile written" in captured.err
+
+
+def test_estimate_json_physical_block(capsys):
+    """--node yields the complete physical block in the envelope."""
+    code = main([
+        "estimate", "--kind", "ripple_adder", "--width", "4",
+        "--patterns", "400", "--node", "45nm", "--json",
+    ])
+    assert code == 0
+    envelope = json.loads(capsys.readouterr().out)
+    physical = envelope["physical"]
+    assert {"charge_coulombs", "energy_joules", "power_watts",
+            "node", "vdd", "f_clk", "table_version"} <= set(physical)
+    assert physical["node"] == "45nm"
+    assert physical["energy_joules"] > 0
+    # Area/leakage come along because the module netlist is at hand.
+    assert physical["area_m2"] > 0 and physical["leakage_watts"] > 0
+
+
+def test_estimate_json_no_node_no_physical(capsys):
+    code = main([
+        "estimate", "--kind", "ripple_adder", "--width", "4",
+        "--patterns", "400", "--json",
+    ])
+    assert code == 0
+    envelope = json.loads(capsys.readouterr().out)
+    assert "physical" not in envelope
+    assert "power_watts" not in envelope  # the old lone key is gone
+
+
+def test_estimate_json_vdd_only_legacy(capsys):
+    code = main([
+        "estimate", "--kind", "ripple_adder", "--width", "4",
+        "--patterns", "400", "--vdd", "2.5", "--json",
+    ])
+    assert code == 0
+    physical = json.loads(capsys.readouterr().out)["physical"]
+    assert physical["node"] is None
+    assert physical["vdd"] == 2.5 and physical["f_clk"] == 50e6
+
+
+def test_estimate_unknown_node_exit_2(capsys):
+    code = main([
+        "estimate", "--kind", "ripple_adder", "--width", "4",
+        "--patterns", "400", "--node", "3nm",
+    ])
+    assert code == 2
+    assert "unknown technology node" in capsys.readouterr().err
+
+
+def test_report_pae_json(tmp_path, capsys):
+    from repro.tech import validate_pae
+
+    out_path = tmp_path / "pae.json"
+    code = main([
+        "report", "pae", "--kinds", "ripple_adder", "--widths", "2,4",
+        "--nodes", "90nm,45nm", "--patterns", "200",
+        "-o", str(out_path), "--json",
+    ])
+    assert code == 0
+    envelope = json.loads(capsys.readouterr().out)
+    assert envelope["status"] == "ok" and envelope["report"] == "pae"
+    assert len(envelope["cells"]) == 2 * 2
+    validate_pae(json.loads(out_path.read_text()))
+
+
+def test_report_pae_bad_inputs(capsys):
+    assert main([
+        "report", "pae", "--widths", "x",
+    ]) == 2
+    assert main([
+        "report", "pae", "--nodes", "3nm", "--widths", "2",
+        "--kinds", "ripple_adder", "--patterns", "100",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "bad --widths" in err and "unknown technology node" in err
