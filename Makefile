@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test test-all fuzz verify coverage bench bench-small bench-sim bench-serve bench-fleet bench-smoke serve-smoke serve-fleet-smoke stream-smoke tech-smoke profile-smoke report examples clean
+.PHONY: install test test-all fuzz verify coverage bench bench-small bench-sim bench-serve bench-fleet bench-smoke serve-smoke serve-fleet-smoke stream-smoke tech-smoke pareto-smoke profile-smoke report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -83,6 +83,15 @@ stream-smoke:
 # nodes).
 tech-smoke:
 	PYTHONPATH=src python scripts/tech_smoke.py
+
+# End-to-end check of the parameterized variant sweep (docs/MODULES.md):
+# a power-vs-error pareto report over two approximate adder families x
+# three parameter values x two widths with schema validation, full
+# combination coverage, a zero-error-anchored front, bit-identical
+# degenerate collapse onto the parent, strictly monotone charge vs the
+# truncation cut, and a schema-valid `report pareto --json` CLI envelope.
+pareto-smoke:
+	PYTHONPATH=src python scripts/pareto_smoke.py
 
 # Tier-1 suite under pytest-cov with targeted floors on the incremental
 # core and the serve layer; the global number is informational only.

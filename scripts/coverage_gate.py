@@ -7,7 +7,9 @@ minimums only where this repo has made explicit promises:
   sessions and property suite lean on;
 * ``src/repro/serve/`` — the serving layer, sessions included;
 * ``src/repro/tech/`` — the technology calibration layer and its PAE
-  reports.
+  reports;
+* ``src/repro/modules/`` — the datapath library, spec addressing and
+  the parameterized variant generators.
 
 There is deliberately **no hard global gate**: the global number is
 printed (and appended to ``$GITHUB_STEP_SUMMARY`` when set) so the trend
@@ -37,6 +39,7 @@ FLOORS = (
     ("src/repro/core/accumulator.py", 75.0),
     ("src/repro/serve/", 55.0),
     ("src/repro/tech/", 80.0),
+    ("src/repro/modules/", 70.0),
 )
 
 

@@ -1,0 +1,149 @@
+"""Smoke-test the power-vs-error Pareto reports end to end.
+
+The ``make pareto-smoke`` target (and the CI gate): runs a small
+parameterized-variant sweep the way deployment uses it
+(docs/MODULES.md), asserting in order:
+
+1. a full ``pareto_report`` sweep — two approximate adder families,
+   three parameter values, two widths — passes the
+   :func:`~repro.eval.pareto.validate_pareto` schema check, also after
+   a JSON round-trip;
+2. every (family, value, width) combination lands in exactly one of
+   ``cells`` / ``skipped`` — no silent truncation;
+3. the per-width front is non-empty and anchored at zero error (the
+   exact parent is never dominated away), and degenerate ``k=0`` cells
+   collapse onto the parent bit-identically;
+4. truncating more bits strictly reduces switched charge — the
+   monotone trade-off the report exists to surface;
+5. the CLI face (``repro-power report pareto --json``) emits a valid
+   envelope with the same shape.
+
+Everything runs in-process with a throwaway cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import repro  # noqa: E402
+from repro.eval import ExperimentConfig  # noqa: E402
+from repro.eval.pareto import (  # noqa: E402
+    pareto_report,
+    render_pareto,
+    validate_pareto,
+)
+
+FAMILIES = ("trunc_adder", "lor_adder")
+VALUES = (0, 1, 2)
+WIDTHS = (4, 6)
+CONFIG = ExperimentConfig(n_characterization=200, seed=3)
+
+
+def check_sweep(session: repro.Session):
+    report = pareto_report(
+        list(FAMILIES), list(VALUES), list(WIDTHS),
+        session=session, n_patterns=200, seed=1,
+    )
+    print(render_pareto(report))
+    envelope = report.to_dict()
+    validate_pareto(envelope)
+    # Round-trip through JSON the way -o / CI consumers see it.
+    validate_pareto(json.loads(json.dumps(envelope)))
+
+    measured = {
+        (c.family, c.value, c.width) for c in report.cells
+        if c.value is not None
+    }
+    skipped = {(s["family"], s["value"], s["width"]) for s in report.skipped}
+    wanted = {
+        (family, value, width)
+        for family in FAMILIES for value in VALUES for width in WIDTHS
+    }
+    assert measured | skipped == wanted and not (measured & skipped), (
+        f"sweep coverage leak: measured={measured} skipped={skipped}"
+    )
+    print(f"  sweep: {len(report.cells)} cells cover "
+          f"{len(FAMILIES)}x{len(VALUES)}x{len(WIDTHS)} + parent baselines")
+    return report
+
+
+def check_front_and_collapse(report):
+    for width in WIDTHS:
+        front = report.front(width)
+        assert front, f"width {width}: empty pareto front"
+        column = [c for c in report.cells if c.width == width]
+        assert min(c.mean_error for c in front) == 0.0, (
+            f"width {width}: front not anchored at the exact parent"
+        )
+        assert all(c.mean_error >= 0 for c in column)
+        parent = next(c for c in column if c.value is None)
+        for cell in column:
+            if cell.collapsed:
+                assert cell.kind == "ripple_adder", cell
+                assert cell.average_charge == parent.average_charge, (
+                    f"width {width}: degenerate cell not bit-equal to "
+                    f"parent ({cell.average_charge} vs "
+                    f"{parent.average_charge})"
+                )
+                assert cell.max_error == 0.0
+    print("  front: non-empty per width, zero-error anchored, "
+          "degenerate cells bit-equal to the parent")
+
+
+def check_charge_monotone(report):
+    for width in WIDTHS:
+        cells = sorted(
+            (c for c in report.cells
+             if c.family == "trunc_adder" and c.width == width
+             and c.value is not None),
+            key=lambda c: c.value,
+        )
+        charges = [c.average_charge for c in cells]
+        assert charges == sorted(charges, reverse=True) and (
+            len(set(charges)) == len(charges)
+        ), f"trunc_adder/{width}: charge not strictly decreasing in k: " \
+           f"{charges}"
+    print("  trade-off: charge strictly decreasing in the truncation cut")
+
+
+def check_cli(cache_dir: str):
+    command = [
+        sys.executable, "-m", "repro.cli", "report", "pareto",
+        "--families", ",".join(FAMILIES), "--values", "0,1",
+        "--widths", "4", "--patterns", "120", "--seed", "1",
+        "--cache-dir", cache_dir, "--json",
+    ]
+    env = dict(os.environ, PYTHONPATH="src")
+    proc = subprocess.run(
+        command, cwd=ROOT, env=env, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    # --json merges the pareto payload into the one-object CLI envelope.
+    envelope = json.loads(proc.stdout)
+    assert envelope["status"] == "ok", envelope
+    validate_pareto(envelope)
+    print("  cli: report pareto --json emits a schema-valid envelope")
+
+
+def main() -> int:
+    print(f"pareto smoke: {'+'.join(FAMILIES)} x {VALUES} x {WIDTHS}")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        session = repro.Session(cache_dir=cache_dir, config=CONFIG)
+        report = check_sweep(session)
+        check_front_and_collapse(report)
+        check_charge_monotone(report)
+        check_cli(cache_dir)
+    print("pareto smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,13 @@ Everything the facade does is a thin, parity-tested delegation — the
 same seeds, the same configuration plumbing — so results match the
 layered calls exactly (``tests/test_api.py`` pins ≤ 1e-9).
 
+Every ``kind`` argument also accepts a canonical variant spec string
+(``"trunc_adder[k=4]"``) addressing the parameterized approximate /
+rewritten datapath families — the registry canonicalizes specs, so
+``session.estimate("trunc_adder[k=0]", 8, ...)`` is served by the very
+same model as ``session.estimate("ripple_adder", 8, ...)``.  See
+``docs/MODULES.md`` for the grammar and the parameter reference.
+
 See ``docs/API.md`` for the full surface and the old→new migration
 table.
 """

@@ -323,16 +323,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "report",
         help="deployment-facing reports (see docs/TECHNOLOGY.md)",
     )
-    p.add_argument("action", choices=["pae"],
+    p.add_argument("action", choices=["pae", "pareto"],
                    help="'pae': power-area-energy sweep of module families "
-                        "across widths and technology nodes")
+                        "across widths and technology nodes; 'pareto': "
+                        "power-vs-error sweep of parameterized variant "
+                        "families (docs/MODULES.md)")
     p.add_argument("--kinds", default="ripple_adder,csa_multiplier",
-                   help="comma-separated module families")
+                   help="comma-separated module families (pae)")
     p.add_argument("--widths", default="4,8,16",
                    help="comma-separated operand widths")
     p.add_argument("--nodes", default="90nm,45nm,22nm",
                    help="comma-separated technology nodes from the "
-                        "repro.tech table")
+                        "repro.tech table (pae)")
+    p.add_argument("--families", default="trunc_adder,lor_adder",
+                   help="comma-separated variant families (pareto)")
+    p.add_argument("--values", default="0,1,2,4",
+                   help="comma-separated parameter values swept per "
+                        "family (pareto)")
+    p.add_argument("--node",
+                   help="optional technology node: pareto cells carry a "
+                        "calibrated physical block")
     p.add_argument("--data-type", default="III",
                    choices=list("I II III IV V".split()),
                    help="stimulus class for the normalized estimates")
@@ -415,6 +425,10 @@ def _cmd_list_modules(args) -> int:
                 "paper": name in PAPER_MODULE_KINDS,
                 "features": list(entry.feature_names),
             }
+            if entry.params:
+                record["params"] = [p.to_schema() for p in entry.params]
+            if entry.parent is not None:
+                record["parent"] = entry.parent
             min_width = None
             for width in range(1, 9):
                 try:
@@ -1114,16 +1128,10 @@ def _cmd_report(args) -> int:
     from .tech import pae_report, render_pae, validate_pae
 
     started = time.perf_counter()
-    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
     try:
         widths = [int(w) for w in args.widths.split(",") if w.strip()]
     except ValueError:
         print(f"error: bad --widths {args.widths!r}", file=sys.stderr)
-        return 2
-    nodes = [n.strip() for n in args.nodes.split(",") if n.strip()]
-    if not (kinds and widths and nodes):
-        print("error: --kinds, --widths and --nodes must be non-empty",
-              file=sys.stderr)
         return 2
     info = sys.stderr if args.as_json else sys.stdout
     from .eval import ExperimentConfig
@@ -1135,6 +1143,54 @@ def _cmd_report(args) -> int:
             n_characterization=args.patterns, n_eval=args.patterns
         ),
     )
+
+    if args.action == "pareto":
+        from .eval import pareto_report, render_pareto, validate_pareto
+
+        families = [f.strip() for f in args.families.split(",") if f.strip()]
+        values = [
+            int(v) if v.strip().lstrip("-").isdigit() else v.strip()
+            for v in args.values.split(",") if v.strip()
+        ]
+        if not (families and values and widths):
+            print("error: --families, --values and --widths must be "
+                  "non-empty", file=sys.stderr)
+            return 2
+        try:
+            report = pareto_report(
+                families, values, widths,
+                session=session,
+                node=args.node,
+                data_type=args.data_type,
+                n_patterns=args.patterns,
+                seed=args.seed,
+                vdd=args.vdd,
+                f_clk=args.f_clk,
+                progress=lambda line: print(line, file=info),
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        envelope = report.to_dict()
+        validate_pareto(envelope)
+        print(render_pareto(report), file=info)
+        if args.output:
+            with open(args.output, "w") as handle:
+                json.dump(envelope, handle, indent=2)
+            print(f"report written to {args.output}", file=info)
+        if args.as_json:
+            _emit_envelope(
+                args, "report", "ok", started, envelope,
+                artifacts=[args.output] if args.output else (),
+            )
+        return 0
+
+    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    nodes = [n.strip() for n in args.nodes.split(",") if n.strip()]
+    if not (kinds and widths and nodes):
+        print("error: --kinds, --widths and --nodes must be non-empty",
+              file=sys.stderr)
+        return 2
     try:
         report = pae_report(
             kinds, widths, nodes,

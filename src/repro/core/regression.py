@@ -18,7 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..modules.library import MODULE_KINDS, make_module
+from ..modules.library import MODULE_KINDS, make_module, registry_entry
 from .characterize import CharacterizationResult, characterize_module
 from .hd_model import HdPowerModel, _fill_missing
 
@@ -40,14 +40,14 @@ class WidthRegression:
 
     @property
     def n_features(self) -> int:
-        entry = MODULE_KINDS[self.kind]
+        entry = registry_entry(self.kind)
         return len(entry.complexity_features(4))
 
     def coefficient(self, i: int, width: int) -> float:
         """Predict ``p_i`` for an instance of the given operand width."""
         if i >= len(self.rows) or self.rows[i] is None:
             raise ValueError(f"no regression data for Hd class {i}")
-        features = MODULE_KINDS[self.kind].complexity_features(width)
+        features = registry_entry(self.kind).complexity_features(width)
         return float(self.rows[i] @ features)
 
     def predict_model(self, width: int, input_bits: int) -> HdPowerModel:
@@ -63,7 +63,7 @@ class WidthRegression:
         """
         coefficients = np.full(input_bits + 1, np.nan)
         coefficients[0] = 0.0
-        features = MODULE_KINDS[self.kind].complexity_features(width)
+        features = registry_entry(self.kind).complexity_features(width)
         for i in range(1, min(len(self.rows), input_bits + 1)):
             row = self.rows[i]
             if row is not None:
@@ -95,11 +95,12 @@ def fit_width_regression(
     features, ``numpy.linalg.lstsq`` returns the minimum-norm solution —
     exactly determined or underdetermined fits degrade gracefully.
     """
-    if kind not in MODULE_KINDS:
-        raise KeyError(f"unknown module kind {kind!r}")
+    try:
+        entry = registry_entry(kind)
+    except ValueError:
+        raise KeyError(f"unknown module kind {kind!r}") from None
     if not prototypes:
         raise ValueError("need at least one prototype")
-    entry = MODULE_KINDS[kind]
     max_class = max(model.width for model in prototypes.values())
     rows: List[Optional[np.ndarray]] = [None] * (max_class + 1)
     for i in range(1, max_class + 1):

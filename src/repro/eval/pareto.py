@@ -1,0 +1,463 @@
+"""Power-vs-error Pareto reports for parameterized module variants.
+
+The approximate datapath families (:mod:`repro.modules.approx`) trade
+arithmetic accuracy for switched charge along an explicit parameter axis
+— the truncation cut ``k``, the carry-segment length ``s``.  This module
+characterizes a whole variant family across its parameter values and
+operand widths, attaches the golden-vs-exact error statistics measured
+over the *same* operand streams that drive the charge estimate, and
+marks the per-width Pareto front of the (average charge, mean error)
+plane.  The exact parent of every family is swept alongside as the
+zero-error baseline, so "how much power does the last bit of accuracy
+cost?" is answered directly by the envelope.
+
+Surfaced as ``repro-power report pareto`` (JSON envelope + fixed-width
+table) and ``make pareto-smoke``; the envelope is versioned and
+schema-checked by :func:`validate_pareto` so CI and downstream tooling
+can rely on its shape.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..modules.spec import ModuleSpec, UnknownModuleError, resolve_spec
+
+#: Envelope schema version for persisted pareto reports.
+PARETO_REPORT_VERSION = 1
+
+#: Stimulus class driving both the charge estimate and the error
+#: statistics (Section 4 data types).
+DEFAULT_DATA_TYPE = "III"
+
+
+@dataclass(frozen=True)
+class ParetoCell:
+    """One (family, parameter value, width) point of the sweep.
+
+    ``value is None`` marks the exact-parent baseline row; ``collapsed``
+    marks swept values whose parameters are degenerate (the cell *is*
+    the parent model — same canonical kind, same cache entry, and
+    therefore bit-equal charge).
+    """
+
+    family: str
+    param: Optional[str]
+    value: Any
+    kind: str
+    width: int
+    average_charge: float
+    mean_error: float
+    max_error: float
+    mse: float
+    error_bound: Optional[float]
+    exact: bool
+    collapsed: bool
+    on_front: bool
+    n_gates: int
+    source: str
+    physical: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "family": self.family,
+            "param": self.param,
+            "value": self.value,
+            "kind": self.kind,
+            "width": self.width,
+            "average_charge": self.average_charge,
+            "mean_error": self.mean_error,
+            "max_error": self.max_error,
+            "mse": self.mse,
+            "error_bound": self.error_bound,
+            "exact": self.exact,
+            "collapsed": self.collapsed,
+            "on_front": self.on_front,
+            "n_gates": self.n_gates,
+            "source": self.source,
+        }
+        if self.physical is not None:
+            record["physical"] = self.physical
+        return record
+
+
+@dataclass
+class ParetoReport:
+    """A full sweep: every requested family at every value and width."""
+
+    families: List[str]
+    values: List[Any]
+    widths: List[int]
+    data_type: str
+    n_patterns: int
+    seed: int
+    node: Optional[str] = None
+    cells: List[ParetoCell] = field(default_factory=list)
+    skipped: List[Dict[str, Any]] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def front(self, width: Optional[int] = None) -> List[ParetoCell]:
+        """The non-dominated cells (optionally of one width)."""
+        return [
+            cell for cell in self.cells
+            if cell.on_front and (width is None or cell.width == width)
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "report": "pareto",
+            "version": PARETO_REPORT_VERSION,
+            "families": list(self.families),
+            "values": list(self.values),
+            "widths": [int(w) for w in self.widths],
+            "data_type": self.data_type,
+            "n_patterns": int(self.n_patterns),
+            "seed": int(self.seed),
+            "node": self.node,
+            "seconds": self.seconds,
+            "cells": [cell.to_dict() for cell in self.cells],
+            "skipped": list(self.skipped),
+        }
+
+
+def _mark_front(cells: List[ParetoCell]) -> List[ParetoCell]:
+    """Non-dominated cells of one width's (charge, mean error) cloud.
+
+    A cell is dominated when another cell is no worse on both axes and
+    strictly better on at least one.  Ties on both axes (the collapsed
+    duplicates of a parent) survive together.
+    """
+    marked = []
+    for cell in cells:
+        dominated = any(
+            other.average_charge <= cell.average_charge
+            and other.mean_error <= cell.mean_error
+            and (other.average_charge < cell.average_charge
+                 or other.mean_error < cell.mean_error)
+            for other in cells
+        )
+        marked.append(ParetoCell(**{
+            **cell.__dict__, "on_front": not dominated,
+        }))
+    return marked
+
+
+def pareto_report(
+    families: Sequence[str],
+    values: Sequence[Any],
+    widths: Sequence[int],
+    session: Any = None,
+    node: Any = None,
+    data_type: str = DEFAULT_DATA_TYPE,
+    n_patterns: int = 1500,
+    seed: int = 0,
+    vdd: Optional[float] = None,
+    f_clk: Optional[float] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ParetoReport:
+    """Sweep variant families across parameter values and widths.
+
+    Args:
+        families: Variant family names (each must declare a parent and
+            at least one parameter, e.g. ``trunc_adder``).
+        values: Parameter values swept for every family's first (and
+            only) declared parameter.  Values invalid for a particular
+            ``(family, width)`` — e.g. a cut ``k >= width`` — are
+            recorded under ``skipped`` instead of failing the sweep.
+        widths: Operand widths per family.
+        session: A configured :class:`repro.Session`; a cache-less
+            default is created when omitted.  Models materialize once
+            per canonical kind through its registry.
+        node: Optional technology node (any
+            :func:`~repro.tech.nodes.get_node` spec); when given every
+            cell carries a calibrated ``physical`` block.
+        data_type: Stimulus class shared by the charge estimate and the
+            error statistics.
+        n_patterns: Stimulus patterns per estimate.
+        seed: Stimulus seed.
+        vdd/f_clk: Optional off-nominal operating point for ``node``.
+        progress: Optional line sink for per-model status.
+
+    The exact parent of each family is included as a ``value=None``
+    baseline cell per width, driven by the *same* operand streams, so
+    the zero-error anchor of every front is measured, not assumed.
+    """
+    from ..modules import make_module
+    from ..modules.spec import family_entry
+    from ..signals import make_operand_streams, module_stimulus
+
+    if session is None:
+        import repro
+
+        session = repro.Session()
+    calibration = None
+    node_name = None
+    if node is not None:
+        from ..tech.calibrate import Calibration
+
+        calibration = Calibration.from_spec(node, vdd=vdd, f_clk=f_clk)
+        node_name = calibration.node_name
+
+    report = ParetoReport(
+        families=[str(f) for f in families],
+        values=list(values),
+        widths=[int(w) for w in widths],
+        data_type=data_type,
+        n_patterns=int(n_patterns),
+        seed=int(seed),
+        node=node_name,
+    )
+    if not report.families or not report.values or not report.widths:
+        raise ValueError("pareto_report needs families, values and widths")
+    entries = {}
+    for family in report.families:
+        entry = family_entry(family)
+        if entry.parent is None or not entry.params:
+            raise ValueError(
+                f"{family!r} is not a parameterized variant family "
+                f"(it has no parent/parameter axis to sweep)"
+            )
+        entries[family] = entry
+
+    started = time.perf_counter()
+
+    def measure(family, param, value, kind, width, collapsed, bound):
+        module = make_module(kind, width)
+        streams = make_operand_streams(
+            module, data_type, report.n_patterns, seed=report.seed + 1
+        )
+        bits = module_stimulus(module, streams)
+        served = session.registry().get(kind, width)
+        estimate = served.estimator.estimate_from_bits(bits)
+        if module.exact is None:
+            mean_error = max_error = mse = 0.0
+        else:
+            words = [s.unsigned()[: len(bits)] for s in streams]
+            total = abs_max = sq = 0
+            for row in zip(*words):
+                ops = tuple(int(w) for w in row)
+                err = abs(module.exact(*ops) - module.golden(*ops))
+                total += err
+                sq += err * err
+                if err > abs_max:
+                    abs_max = err
+            n = len(bits)
+            mean_error = total / n
+            max_error = float(abs_max)
+            mse = sq / n
+        physical = None
+        if calibration is not None:
+            physical = calibration.physical_block(
+                estimate.average_charge, netlist=module
+            )
+        cell = ParetoCell(
+            family=family,
+            param=param,
+            value=value,
+            kind=kind,
+            width=width,
+            average_charge=float(estimate.average_charge),
+            mean_error=mean_error,
+            max_error=max_error,
+            mse=mse,
+            error_bound=bound,
+            exact=module.exact is None,
+            collapsed=collapsed,
+            on_front=False,
+            n_gates=module.netlist.n_gates,
+            source=served.source,
+            physical=physical,
+        )
+        if progress is not None:
+            progress(
+                f"{cell.kind}/{width}: {cell.average_charge:.2f} "
+                f"charge units/cycle, mean error {cell.mean_error:.3f} "
+                f"({cell.source})"
+            )
+        return cell
+
+    for width in report.widths:
+        column: List[ParetoCell] = []
+        baselines = set()
+        for family in report.families:
+            entry = entries[family]
+            param = entry.params[0].name
+            if entry.parent not in baselines:
+                baselines.add(entry.parent)
+                column.append(measure(
+                    family, None, None, entry.parent, width,
+                    collapsed=False, bound=0.0,
+                ))
+            for value in report.values:
+                try:
+                    resolved = resolve_spec(
+                        family, width=width, params={param: value}
+                    )
+                except UnknownModuleError as error:
+                    report.skipped.append({
+                        "family": family,
+                        "value": value,
+                        "width": width,
+                        "reason": str(error),
+                    })
+                    if progress is not None:
+                        progress(
+                            f"skip {family}[{param}={value}]/{width}: "
+                            f"{error}"
+                        )
+                    continue
+                collapsed = resolved.kind == entry.parent
+                bound = (
+                    0.0 if collapsed
+                    else float(entry.error_bound(resolved.params, width))
+                    if entry.error_bound is not None else None
+                )
+                column.append(measure(
+                    family, param, value, resolved.kind, width,
+                    collapsed=collapsed, bound=bound,
+                ))
+        report.cells.extend(_mark_front(column))
+    report.seconds = time.perf_counter() - started
+    return report
+
+
+def render_pareto(report: ParetoReport) -> str:
+    """Fixed-width table rendition, Pareto-front cells starred."""
+    from .report import format_table
+
+    headers = [
+        "module", "w", "value", "charge/cyc", "mean err", "max err",
+        "bound", "front", "gates",
+    ]
+    rows = []
+    for cell in report.cells:
+        label = "exact" if cell.value is None else f"{cell.param}={cell.value}"
+        if cell.collapsed:
+            label += " (=parent)"
+        rows.append([
+            cell.kind,
+            cell.width,
+            label,
+            f"{cell.average_charge:.3f}",
+            f"{cell.mean_error:.4f}",
+            f"{cell.max_error:.1f}",
+            "-" if cell.error_bound is None else f"{cell.error_bound:.1f}",
+            "*" if cell.on_front else "",
+            cell.n_gates,
+        ])
+    title = (
+        f"Power-vs-error Pareto sweep: data type {report.data_type}, "
+        f"{report.n_patterns} patterns, seed {report.seed}"
+        + (f", node {report.node}" if report.node else "")
+    )
+    lines = [format_table(headers, rows, title=title)]
+    if report.skipped:
+        lines.append(
+            f"skipped {len(report.skipped)} invalid combinations "
+            f"(e.g. {report.skipped[0]['family']}"
+            f"[{report.skipped[0]['value']}]"
+            f"/{report.skipped[0]['width']})"
+        )
+    return "\n".join(lines)
+
+
+def validate_pareto(envelope: Dict[str, Any]) -> None:
+    """Schema-check a :meth:`ParetoReport.to_dict` envelope.
+
+    Raises:
+        ValueError: On any missing key, type mismatch, coverage hole (a
+            requested combination neither measured nor skipped), an
+            exact cell with nonzero error, a measured error above its
+            analytic bound, an empty per-width front, or a front anchor
+            that fails to dominate on error.
+    """
+    import math
+
+    for key, expected in (
+        ("report", str), ("version", int), ("families", list),
+        ("values", list), ("widths", list), ("data_type", str),
+        ("cells", list), ("skipped", list),
+    ):
+        if key not in envelope:
+            raise ValueError(f"pareto envelope missing {key!r}")
+        if not isinstance(envelope[key], expected):
+            raise ValueError(
+                f"pareto envelope {key!r} must be {expected.__name__}, "
+                f"got {type(envelope[key]).__name__}"
+            )
+    if envelope["report"] != "pareto":
+        raise ValueError(
+            f"not a pareto envelope: report={envelope['report']!r}"
+        )
+    expected_combos = {
+        (family, _value_key(value), width)
+        for family in envelope["families"]
+        for value in envelope["values"]
+        for width in envelope["widths"]
+    }
+    seen = set()
+    numeric_keys = ("average_charge", "mean_error", "max_error", "mse")
+    for cell in envelope["cells"]:
+        key = (cell.get("kind"), cell.get("width"), cell.get("value"))
+        for name in numeric_keys:
+            value = cell.get(name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"cell {key}: {name!r} must be numeric")
+            if not math.isfinite(value) or value < 0:
+                raise ValueError(
+                    f"cell {key}: {name!r} must be finite and >= 0, "
+                    f"got {value!r}"
+                )
+        if cell.get("exact") and (
+            cell["mean_error"] != 0 or cell["max_error"] != 0
+        ):
+            raise ValueError(f"cell {key}: exact cell with nonzero error")
+        bound = cell.get("error_bound")
+        if bound is not None and cell["max_error"] > bound:
+            raise ValueError(
+                f"cell {key}: max error {cell['max_error']} exceeds the "
+                f"analytic bound {bound}"
+            )
+        if cell.get("value") is not None:
+            seen.add((
+                cell.get("family"), _value_key(cell.get("value")),
+                cell.get("width"),
+            ))
+    for record in envelope["skipped"]:
+        seen.add((
+            record.get("family"), _value_key(record.get("value")),
+            record.get("width"),
+        ))
+    missing = expected_combos - seen
+    if missing:
+        raise ValueError(
+            f"pareto envelope misses {len(missing)} requested "
+            f"combinations, first: {sorted(missing, key=repr)[0]}"
+        )
+    for width in envelope["widths"]:
+        column = [
+            cell for cell in envelope["cells"] if cell["width"] == width
+        ]
+        if not column:
+            continue
+        front = [cell for cell in column if cell.get("on_front")]
+        if not front:
+            raise ValueError(f"width {width}: empty pareto front")
+        min_error = min(cell["mean_error"] for cell in column)
+        if min(cell["mean_error"] for cell in front) != min_error:
+            raise ValueError(
+                f"width {width}: no front cell attains the minimum "
+                f"mean error (exact baseline must dominate on error)"
+            )
+
+
+def _value_key(value: Any) -> str:
+    """Hashable, order-stable key for heterogeneous parameter values."""
+    return f"{type(value).__name__}:{value!r}"
+
+
+def pareto_spec_label(family: str, param: str, value: Any) -> str:
+    """Canonical spec string of one sweep point (for logs and tests)."""
+    return ModuleSpec(family, ((param, value),)).canonical

@@ -1,0 +1,188 @@
+"""Approximate adder families with analytic error models.
+
+Three parameterized low-power adder structures from the approximate-
+arithmetic literature (see PAPERS.md: *Optimization of DSP Applications
+Using Parameterized Error Models for Low Power Approximate Adders*).
+Each trades the exact lower-bit carry chain for gates — and therefore
+switched capacitance — against a bounded arithmetic error:
+
+* :func:`trunc_adder` — lower ``k`` input bits ignored, sum bits forced
+  to 0.  Error ``(a mod 2^k) + (b mod 2^k)``: one-sided, max
+  ``2^(k+1) - 2``.
+* :func:`lor_adder` — lower ``k`` result bits are ``a_i OR b_i`` with a
+  speculated carry ``a_{k-1} AND b_{k-1}`` into the exact upper part.
+  Error ``(a_l AND b_l) - 2^k·msb(a_l AND b_l)``: two-sided, magnitude
+  at most ``2^(k-1)``.
+* :func:`seg_adder` — carry chain cut into ``s``-bit segments, each with
+  a speculated zero carry-in.  Error is the weighted sum of the dropped
+  boundary carries: one-sided, max ``Σ 2^(j·s)`` over internal
+  boundaries.
+
+Every family's *structural* golden (``golden_*``) computes exactly what
+the netlist computes, so the differential fuzzer verifies variants like
+any other kind; the exact reference for error measurement is the parent
+ripple adder's golden.  At the degenerate parameter (``k=0`` /
+``s >= width``) the generators emit the parent's gate structure
+bit-identically — and the registry collapses such specs to the parent
+kind outright.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuit.builder import NetlistBuilder
+from ..circuit.netlist import CONST0, Netlist
+
+__all__ = [
+    "golden_lor_adder",
+    "golden_seg_adder",
+    "golden_trunc_adder",
+    "lor_adder",
+    "lor_adder_error_bound",
+    "seg_adder",
+    "seg_adder_error_bound",
+    "trunc_adder",
+    "trunc_adder_error_bound",
+]
+
+
+def _check_cut(width: int, k: int) -> None:
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if not 0 <= k < width:
+        raise ValueError(f"cut k={k} must be in [0, width) = [0, {width})")
+
+
+# ----------------------------------------------------------------------
+# Truncation adder
+# ----------------------------------------------------------------------
+def trunc_adder(width: int, k: int) -> Netlist:
+    """Truncated ripple adder: lower ``k`` bits dropped from the sum.
+
+    Inputs ``a[w], b[w]``; outputs ``sum[w], cout`` with
+    ``sum[0..k-1] = 0`` and the upper part an exact ripple chain with a
+    zero carry-in at bit ``k``.  ``k = 0`` is the plain ripple adder.
+    """
+    _check_cut(width, k)
+    b = NetlistBuilder(f"trunc_adder_k{k}_{width}")
+    a_bits = b.add_inputs(width, "a")
+    b_bits = b.add_inputs(width, "b")
+    carry = CONST0
+    sums: List[int] = [CONST0] * k
+    for i in range(k, width):
+        s, carry = b.full_adder(a_bits[i], b_bits[i], carry)
+        sums.append(s)
+    return b.build(outputs=sums + [carry])
+
+
+def golden_trunc_adder(width: int, k: int):
+    """Structural golden: what the truncated netlist actually computes."""
+    mask = (1 << (width + 1)) - 1
+
+    def fn(ua: int, ub: int) -> int:
+        return (((ua >> k) + (ub >> k)) << k) & mask
+
+    return fn
+
+
+def trunc_adder_error_bound(width: int, k: int) -> int:
+    """Max ``exact - approx`` (one-sided): both truncated tails maximal."""
+    return 2 * ((1 << k) - 1)
+
+
+# ----------------------------------------------------------------------
+# Lower-OR adder
+# ----------------------------------------------------------------------
+def lor_adder(width: int, k: int) -> Netlist:
+    """Lower-OR adder: approximate low part, speculative carry, exact top.
+
+    The lower ``k`` sum bits are ``a_i OR b_i`` (one gate per bit instead
+    of a full adder); the carry into the exact upper chain is speculated
+    as ``a_{k-1} AND b_{k-1}``.  ``k = 0`` is the plain ripple adder.
+    """
+    _check_cut(width, k)
+    b = NetlistBuilder(f"lor_adder_k{k}_{width}")
+    a_bits = b.add_inputs(width, "a")
+    b_bits = b.add_inputs(width, "b")
+    sums: List[int] = []
+    for i in range(k):
+        sums.append(b.gate("OR2", a_bits[i], b_bits[i]))
+    carry = (
+        b.gate("AND2", a_bits[k - 1], b_bits[k - 1]) if k > 0 else CONST0
+    )
+    for i in range(k, width):
+        s, carry = b.full_adder(a_bits[i], b_bits[i], carry)
+        sums.append(s)
+    return b.build(outputs=sums + [carry])
+
+
+def golden_lor_adder(width: int, k: int):
+    """Structural golden for the lower-OR adder netlist."""
+    mask = (1 << (width + 1)) - 1
+    low_mask = (1 << k) - 1
+
+    def fn(ua: int, ub: int) -> int:
+        low = (ua | ub) & low_mask
+        cin = ((ua >> (k - 1)) & (ub >> (k - 1)) & 1) if k > 0 else 0
+        high = (ua >> k) + (ub >> k) + cin
+        return ((high << k) | low) & mask
+
+    return fn
+
+
+def lor_adder_error_bound(width: int, k: int) -> int:
+    """Max ``|exact - approx|``: ``(a_l & b_l) - 2^k·msb`` magnitude."""
+    return (1 << (k - 1)) if k > 0 else 0
+
+
+# ----------------------------------------------------------------------
+# Segmented (speculative-carry) adder
+# ----------------------------------------------------------------------
+def seg_adder(width: int, s: int) -> Netlist:
+    """Segmented adder: independent ``s``-bit ripple segments.
+
+    The carry crossing each internal segment boundary is speculated as
+    zero (the boundary carry-out is simply dropped); the final segment's
+    carry-out is the adder's carry output.  ``s >= width`` is the plain
+    ripple adder.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if s < 1:
+        raise ValueError(f"segment length s={s} must be >= 1")
+    b = NetlistBuilder(f"seg_adder_s{s}_{width}")
+    a_bits = b.add_inputs(width, "a")
+    b_bits = b.add_inputs(width, "b")
+    sums: List[int] = []
+    carry = CONST0
+    for i in range(width):
+        if i > 0 and i % s == 0:
+            carry = CONST0  # speculate: drop the boundary carry
+        fs, carry = b.full_adder(a_bits[i], b_bits[i], carry)
+        sums.append(fs)
+    return b.build(outputs=sums + [carry])
+
+
+def golden_seg_adder(width: int, s: int):
+    """Structural golden for the segmented adder netlist."""
+    mask = (1 << (width + 1)) - 1
+
+    def fn(ua: int, ub: int) -> int:
+        out = 0
+        for start in range(0, width, s):
+            length = min(s, width - start)
+            seg_mask = (1 << length) - 1
+            seg = ((ua >> start) & seg_mask) + ((ub >> start) & seg_mask)
+            if start + length >= width:
+                out |= seg << start  # last segment keeps its carry-out
+            else:
+                out |= (seg & seg_mask) << start
+        return out & mask
+
+    return fn
+
+
+def seg_adder_error_bound(width: int, s: int) -> int:
+    """Max one-sided error: every internal boundary carry dropped."""
+    return sum(1 << p for p in range(s, width, s))

@@ -14,13 +14,29 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuit.compiled import CompiledNetlist
 from ..circuit.netlist import Netlist
+from .spec import ParamSpec, resolve_spec
 from .absval import absval as _absval_fn, golden_absval as _golden_absval
+from .approx import (
+    golden_lor_adder as _golden_lor_adder,
+    golden_seg_adder as _golden_seg_adder,
+    golden_trunc_adder as _golden_trunc_adder,
+    lor_adder as _lor_adder,
+    lor_adder_error_bound as _lor_bound,
+    seg_adder as _seg_adder,
+    seg_adder_error_bound as _seg_bound,
+    trunc_adder as _trunc_adder,
+    trunc_adder_error_bound as _trunc_bound,
+)
+from .rewrite import (
+    csa_reordered_multiplier as _csa_reordered_fn,
+    mac_reordered as _mac_reordered_fn,
+)
 from .adders import (
     carry_select_adder as _carry_select_adder,
     cla_adder as _cla_adder,
@@ -73,8 +89,14 @@ class DatapathModule:
         operand_specs: ``(name, width)`` per operand, in input-vector order.
         netlist: The structural netlist.
         golden: Integer reference function: takes one unsigned bit-pattern
-            int per operand, returns the output bit pattern.
+            int per operand, returns the output bit pattern.  Always the
+            *structural* truth — for approximate variants it computes the
+            approximate result the netlist produces.
         output_width: Number of output bits.
+        exact: For approximate variants, the parent kind's exact integer
+            reference (error per transition is ``exact(...) -
+            golden(...)``); ``None`` when the golden is already exact.
+        params: Validated variant parameters (empty for plain kinds).
     """
 
     kind: str
@@ -83,6 +105,8 @@ class DatapathModule:
     golden: Callable[..., int]
     output_width: int
     _compiled: Optional[CompiledNetlist] = field(default=None, repr=False)
+    exact: Optional[Callable[..., int]] = None
+    params: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def input_bits(self) -> int:
@@ -142,18 +166,33 @@ class ModuleKind:
     """Registry entry: constructor plus regression metadata.
 
     Attributes:
-        name: Registry key.
-        build: ``(width) -> DatapathModule`` constructor.
+        name: Registry key (the family name for parameterized variants).
+        build: ``(width) -> DatapathModule`` constructor; variant
+            families take the validated params as keyword arguments
+            (``(width, **params) -> DatapathModule``).
         complexity_features: Maps the operand width to the complexity
             parameter vector ``M`` of Eq. 9 (e.g. ``[m, 1]`` for the ripple
             adder, ``[m^2, m, 1]`` for the CSA multiplier).
         feature_names: Human-readable names of the features.
+        params: Parameter schema (empty for plain kinds).
+        parent: Exact parent kind of a variant family (``None`` for
+            plain kinds).
+        degenerate: ``(params, width) -> bool`` — True when the
+            parameters reduce the variant to the exact parent; such
+            specs collapse to ``parent`` during resolution.
+        error_bound: ``(params, width) -> float`` analytic bound on the
+            per-transition ``|exact - approx|`` error (0 for exact
+            rewrites).
     """
 
     name: str
-    build: Callable[[int], "DatapathModule"]
+    build: Callable[..., "DatapathModule"]
     complexity_features: Callable[[int], np.ndarray]
     feature_names: Tuple[str, ...]
+    params: Tuple[ParamSpec, ...] = ()
+    parent: Optional[str] = None
+    degenerate: Optional[Callable[[Dict[str, Any], int], bool]] = None
+    error_bound: Optional[Callable[[Dict[str, Any], int], float]] = None
 
 
 def _linear_features(width: int) -> np.ndarray:
@@ -399,6 +438,135 @@ def _build_mux_word(width: int) -> DatapathModule:
     )
 
 
+# ----------------------------------------------------------------------
+# Parameterized variant families (see docs/MODULES.md)
+# ----------------------------------------------------------------------
+def _variant_kind(family: str, params: Dict[str, Any]) -> str:
+    from .spec import ModuleSpec
+
+    return ModuleSpec(family, tuple(sorted(params.items()))).canonical
+
+
+def _build_trunc_adder(width: int, k: int) -> DatapathModule:
+    netlist = _trunc_adder(width, k)
+    return DatapathModule(
+        kind=_variant_kind("trunc_adder", {"k": k}),
+        operand_specs=(("a", width), ("b", width)),
+        netlist=netlist,
+        golden=_golden_trunc_adder(width, k),
+        output_width=width + 1,
+        exact=_golden_adder(width),
+        params={"k": k},
+    )
+
+
+def _build_lor_adder(width: int, k: int) -> DatapathModule:
+    netlist = _lor_adder(width, k)
+    return DatapathModule(
+        kind=_variant_kind("lor_adder", {"k": k}),
+        operand_specs=(("a", width), ("b", width)),
+        netlist=netlist,
+        golden=_golden_lor_adder(width, k),
+        output_width=width + 1,
+        exact=_golden_adder(width),
+        params={"k": k},
+    )
+
+
+def _build_seg_adder(width: int, s: int) -> DatapathModule:
+    netlist = _seg_adder(width, s)
+    return DatapathModule(
+        kind=_variant_kind("seg_adder", {"s": s}),
+        operand_specs=(("a", width), ("b", width)),
+        netlist=netlist,
+        golden=_golden_seg_adder(width, s),
+        output_width=width + 1,
+        exact=_golden_adder(width),
+        params={"s": s},
+    )
+
+
+def _build_mac_reordered(width: int, order: str) -> DatapathModule:
+    netlist = _mac_reordered_fn(width, order)
+    return DatapathModule(
+        kind=_variant_kind("mac_reordered", {"order": order}),
+        operand_specs=(("a", width), ("b", width), ("c", 2 * width)),
+        netlist=netlist,
+        golden=_golden_mac(width),
+        output_width=2 * width,
+        params={"order": order},
+    )
+
+
+def _build_csa_reordered(width: int, order: str) -> DatapathModule:
+    netlist = _csa_reordered_fn(width, order)
+    return DatapathModule(
+        kind=_variant_kind("csa_reordered_multiplier", {"order": order}),
+        operand_specs=(("a", width), ("b", width)),
+        netlist=netlist,
+        golden=_golden_multiplier(width, width),
+        output_width=2 * width,
+        params={"order": order},
+    )
+
+
+_CUT_PARAM = ParamSpec(
+    name="k", type="int", default=1, minimum=0, width_cap="width-1",
+    doc="number of approximated low-order bits",
+)
+
+_VARIANT_KINDS: Tuple[ModuleKind, ...] = (
+    ModuleKind(
+        "trunc_adder", _build_trunc_adder, _linear_features, ("m", "1"),
+        params=(_CUT_PARAM,),
+        parent="ripple_adder",
+        degenerate=lambda params, width: params["k"] == 0,
+        error_bound=lambda params, width: _trunc_bound(width, params["k"]),
+    ),
+    ModuleKind(
+        "lor_adder", _build_lor_adder, _linear_features, ("m", "1"),
+        params=(_CUT_PARAM,),
+        parent="ripple_adder",
+        degenerate=lambda params, width: params["k"] == 0,
+        error_bound=lambda params, width: _lor_bound(width, params["k"]),
+    ),
+    ModuleKind(
+        "seg_adder", _build_seg_adder, _linear_features, ("m", "1"),
+        params=(ParamSpec(
+            name="s", type="int", default=2, minimum=1,
+            doc="carry-chain segment length (s >= width is exact)",
+        ),),
+        parent="ripple_adder",
+        degenerate=lambda params, width: params["s"] >= width,
+        error_bound=lambda params, width: _seg_bound(width, params["s"]),
+    ),
+    ModuleKind(
+        "mac_reordered", _build_mac_reordered, _quadratic_features,
+        ("m^2", "m", "1"),
+        params=(ParamSpec(
+            name="order", type="choice", default="ba",
+            choices=("ab", "ba"),
+            doc="operand roles in the partial-product array",
+        ),),
+        parent="mac",
+        degenerate=lambda params, width: params["order"] == "ab",
+        error_bound=lambda params, width: 0.0,
+    ),
+    ModuleKind(
+        "csa_reordered_multiplier", _build_csa_reordered,
+        _quadratic_features, ("m^2", "m", "1"),
+        params=(ParamSpec(
+            name="order", type="choice", default="msb",
+            choices=("lsb", "msb"),
+            doc="partial-product row accumulation order",
+        ),),
+        parent="csa_multiplier",
+        degenerate=lambda params, width: params["order"] == "lsb",
+        error_bound=lambda params, width: 0.0,
+    ),
+)
+
+
 MODULE_KINDS: Dict[str, ModuleKind] = {
     kind.name: kind
     for kind in (
@@ -448,6 +616,7 @@ MODULE_KINDS: Dict[str, ModuleKind] = {
         ModuleKind(
             "register_bank", _build_register_bank, _linear_features, ("m", "1")
         ),
+        *_VARIANT_KINDS,
     )
 }
 
@@ -466,20 +635,36 @@ def module_kinds() -> List[str]:
     return sorted(MODULE_KINDS)
 
 
-def make_module(kind: str, width: int) -> DatapathModule:
-    """Build a datapath module by registry name and operand width."""
-    try:
-        entry = MODULE_KINDS[kind]
-    except KeyError:
-        raise KeyError(
-            f"unknown module kind {kind!r}; known: {module_kinds()}"
-        ) from None
-    return entry.build(width)
+def make_module(
+    kind: str,
+    width: Optional[int] = None,
+    params: Optional[Dict[str, Any]] = None,
+) -> DatapathModule:
+    """Build a datapath module by registry name (or spec) and width.
+
+    ``kind`` accepts a bare registry name, a canonical spec string
+    (``"trunc_adder[k=4]"`` or ``"trunc_adder[k=4]/16"``) or a
+    :class:`~repro.modules.spec.ModuleSpec`; ``params`` merges extra
+    variant parameters in.  Unknown kinds raise :class:`ValueError`
+    naming the nearest matches; degenerate variant parameters build the
+    exact parent kind.
+    """
+    resolved = resolve_spec(kind, width=width, params=params)
+    if resolved.width is None:
+        raise TypeError(f"make_module({kind!r}): width is required")
+    if resolved.params:
+        return resolved.entry.build(resolved.width, **resolved.params)
+    return resolved.entry.build(resolved.width)
+
+
+def registry_entry(kind: str) -> ModuleKind:
+    """Registry entry for a bare kind or canonical spec string."""
+    return resolve_spec(kind).entry
 
 
 def complexity_features(kind: str, width: int) -> np.ndarray:
     """Complexity parameter vector ``M`` (Eq. 9) for a kind at a width."""
-    return MODULE_KINDS[kind].complexity_features(width)
+    return registry_entry(kind).complexity_features(width)
 
 
 def make_rect_multiplier(kind: str, width_a: int, width_b: int) -> DatapathModule:

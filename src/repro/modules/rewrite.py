@@ -1,0 +1,122 @@
+"""Rewriting-derived exact variants of existing arithmetic functions.
+
+Datapath rewriting (see PAPERS.md: *Combining Power and Arithmetic
+Optimization via Datapath Rewriting*) produces structurally different
+implementations of the *same* arithmetic function — the golden is
+unchanged and the error is exactly zero, but the switching activity (and
+therefore the power) differs.  Two families:
+
+* :func:`mac_reordered` — the fused Baugh-Wooley MAC with the operand
+  roles of ``a`` and ``b`` swapped inside the partial-product array
+  (``order="ba"``).  Multiplication commutes, so the function is
+  bit-for-bit ``golden_mac``; the array rows see different bit streams.
+* :func:`csa_reordered_multiplier` — the Baugh-Wooley carry-save array
+  with the partial-product rows accumulated most-significant-row first
+  (``order="msb"``).  Full-adder accumulation into (sum, carry) vectors
+  preserves the column-weighted total under any row order (mod
+  ``2^(m+n)``), so the product is exactly ``golden_multiplier``.
+
+The default orders (``"ab"`` / ``"lsb"``) reproduce the parent structure
+and are registered as degenerate — such specs collapse to the parent
+kind in the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..circuit.builder import NetlistBuilder
+from ..circuit.netlist import CONST0, Netlist
+from .multipliers import _baugh_wooley_rows
+
+__all__ = [
+    "csa_reordered_multiplier",
+    "mac_reordered",
+]
+
+
+def _accumulate_rows(
+    b: NetlistBuilder,
+    rows,
+    sum_vec: List[int],
+    product_width: int,
+) -> List[int]:
+    """Fold partial-product rows into (sum, carry) vectors, then merge.
+
+    The same row-by-row FA accumulation as the parent generators
+    (:func:`repro.modules.multipliers.csa_multiplier`), factored so the
+    rewrite families can feed rows in a different order.
+    """
+    carry_vec: List[int] = [CONST0] * product_width
+    for row in rows:
+        passes: List[Dict[int, int]] = []
+        for col, bits in row.items():
+            for depth, bit in enumerate(bits):
+                while len(passes) <= depth:
+                    passes.append({})
+                passes[depth][col] = bit
+        for row_pass in passes:
+            new_sum = list(sum_vec)
+            new_carry: List[int] = [CONST0] * product_width
+            for col in range(product_width):
+                bit = row_pass.get(col, CONST0)
+                s, cout = b.full_adder(sum_vec[col], carry_vec[col], bit)
+                new_sum[col] = s
+                if col + 1 < product_width:
+                    new_carry[col + 1] = cout
+            sum_vec, carry_vec = new_sum, new_carry
+    outputs: List[int] = []
+    carry = CONST0
+    for col in range(product_width):
+        s, carry = b.full_adder(sum_vec[col], carry_vec[col], carry)
+        outputs.append(s)
+    return outputs
+
+
+def mac_reordered(width: int, order: str = "ba") -> Netlist:
+    """Fused MAC with swapped operand roles in the partial-product array.
+
+    ``order="ab"`` is the parent :func:`repro.modules.dsp.mac` structure;
+    ``order="ba"`` builds the array from ``b``'s rows instead.  Both
+    compute ``(a*b + c) mod 2^(2w)`` exactly.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    if order not in ("ab", "ba"):
+        raise ValueError(f"order must be 'ab' or 'ba', got {order!r}")
+    b = NetlistBuilder(f"mac_reordered_{order}_{width}")
+    a_bits = b.add_inputs(width, "a")
+    b_bits = b.add_inputs(width, "b")
+    c_bits = b.add_inputs(2 * width, "c")
+    product_width = 2 * width
+    if order == "ba":
+        rows = _baugh_wooley_rows(b, b_bits, a_bits)
+    else:
+        rows = _baugh_wooley_rows(b, a_bits, b_bits)
+    outputs = _accumulate_rows(b, rows, list(c_bits), product_width)
+    return b.build(outputs=outputs)
+
+
+def csa_reordered_multiplier(width: int, order: str = "msb") -> Netlist:
+    """Baugh-Wooley CSA multiplier with a rewritten row-accumulation order.
+
+    ``order="lsb"`` is the parent
+    :func:`repro.modules.multipliers.csa_multiplier` structure (rows
+    accumulated least-significant first); ``order="msb"`` feeds the rows
+    in reverse.  The product is exact in both cases.
+    """
+    if width < 2:
+        raise ValueError("signed multiplier widths must be >= 2")
+    if order not in ("lsb", "msb"):
+        raise ValueError(f"order must be 'lsb' or 'msb', got {order!r}")
+    b = NetlistBuilder(f"csa_reordered_multiplier_{order}_{width}")
+    a_bits = b.add_inputs(width, "a")
+    b_bits = b.add_inputs(width, "b")
+    product_width = 2 * width
+    rows = _baugh_wooley_rows(b, a_bits, b_bits)
+    if order == "msb":
+        rows = list(reversed(rows))
+    outputs = _accumulate_rows(
+        b, rows, [CONST0] * product_width, product_width
+    )
+    return b.build(outputs=outputs)

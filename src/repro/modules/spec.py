@@ -1,0 +1,407 @@
+"""ModuleSpec: the parameterized module addressing layer.
+
+Every layer of the system names a model by a *kind string*.  Plain
+library components keep their bare names (``"ripple_adder"``); the
+parameterized variant families introduced with the approximate/rewritten
+datapaths are addressed by a canonical spec string::
+
+    trunc_adder[k=4]          # kind + params
+    trunc_adder[k=4]/16       # kind + params + operand width
+
+The canonical form is what flows through registry single-flight keys,
+cache keys, characterization jobs, warmup manifests and streaming-session
+snapshots — because it is *just a string*, every existing ``(kind,
+width)`` call site keeps working unchanged and every existing cache key
+stays byte-identical (bare kinds canonicalize to themselves).
+
+Canonicalization rules (:func:`canonical_kind`):
+
+* parameters are sorted by name and spelled out in full, defaults
+  included — ``"trunc_adder"`` and ``"trunc_adder[k=1]"`` are the same
+  model and map to the same key;
+* *degenerate* parameter values collapse to the exact parent kind —
+  ``"trunc_adder[k=0]/16"`` IS ``"ripple_adder/16"`` (same registry
+  entry, same cache entry, exactly equal charge).
+
+See docs/MODULES.md for the grammar and the variant parameter reference.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "ModuleSpec",
+    "ParamSpec",
+    "ResolvedSpec",
+    "UnknownModuleError",
+    "canonical_kind",
+    "parse_spec",
+    "resolve_spec",
+]
+
+
+class UnknownModuleError(ValueError):
+    """An addressing error: unknown family, bad syntax or bad params.
+
+    ``family_unknown`` distinguishes "no such kind at all" (the legacy
+    404 path in serve) from "kind exists but the parameters are wrong"
+    (a 400).
+    """
+
+    def __init__(self, message: str, kind: str = "",
+                 family_unknown: bool = False):
+        super().__init__(message)
+        self.kind = kind
+        self.family_unknown = family_unknown
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Schema of one variant parameter.
+
+    Attributes:
+        name: Parameter name (the ``k`` in ``trunc_adder[k=4]``).
+        type: ``"int"`` or ``"choice"``.
+        default: Value used when the parameter is omitted.
+        minimum: Smallest legal value (int params).
+        maximum: Largest legal value (int params); ``None`` with
+            ``width_cap`` set means the cap depends on the operand width.
+        width_cap: Symbolic width-relative cap: ``"width"`` allows values
+            up to the operand width, ``"width-1"`` up to ``width - 1``.
+        choices: Legal values for choice params.
+        doc: One-line description for ``list-modules --json``.
+    """
+
+    name: str
+    type: str = "int"
+    default: Any = 0
+    minimum: Optional[int] = None
+    maximum: Optional[int] = None
+    width_cap: Optional[str] = None
+    choices: Tuple[str, ...] = ()
+    doc: str = ""
+
+    def _cap(self, width: Optional[int]) -> Optional[int]:
+        if self.maximum is not None:
+            return self.maximum
+        if self.width_cap is None or width is None:
+            return None
+        if self.width_cap == "width":
+            return int(width)
+        if self.width_cap == "width-1":
+            return int(width) - 1
+        raise ValueError(f"bad width_cap {self.width_cap!r}")
+
+    def validate(self, value: Any, width: Optional[int] = None) -> Any:
+        """Coerce and range-check one value; raises ValueError."""
+        if self.type == "choice":
+            value = str(value)
+            if value not in self.choices:
+                raise ValueError(
+                    f"param {self.name}={value!r} is not one of "
+                    f"{sorted(self.choices)}"
+                )
+            return value
+        if isinstance(value, bool) or not isinstance(value, (int, str)):
+            raise ValueError(
+                f"param {self.name} must be an integer, got {value!r}"
+            )
+        try:
+            value = int(value)
+        except ValueError:
+            raise ValueError(
+                f"param {self.name} must be an integer, got {value!r}"
+            ) from None
+        if self.minimum is not None and value < self.minimum:
+            raise ValueError(
+                f"param {self.name}={value} is below the minimum "
+                f"{self.minimum}"
+            )
+        cap = self._cap(width)
+        if cap is not None and value > cap:
+            bound = self.width_cap or str(self.maximum)
+            raise ValueError(
+                f"param {self.name}={value} exceeds the maximum "
+                f"({bound} = {cap})"
+            )
+        return value
+
+    def to_schema(self) -> Dict[str, Any]:
+        """JSON-facing schema record (``list-modules --json``)."""
+        record: Dict[str, Any] = {
+            "name": self.name,
+            "type": self.type,
+            "default": self.default,
+        }
+        if self.type == "choice":
+            record["choices"] = list(self.choices)
+        else:
+            record["minimum"] = self.minimum
+            record["maximum"] = (
+                self.width_cap if self.maximum is None else self.maximum
+            )
+        if self.doc:
+            record["doc"] = self.doc
+        return record
+
+
+#: Spec grammar: ``kind`` · ``kind[p=v,...]`` · either with ``/width``.
+_SPEC_RE = re.compile(
+    r"^(?P<kind>[A-Za-z_][A-Za-z0-9_]*)"
+    r"(?:\[(?P<params>[^\]]*)\])?"
+    r"(?:/(?P<width>\d+))?$"
+)
+_PARAM_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*=\s*"
+    r"(?P<value>-?\d+|[A-Za-z_][A-Za-z0-9_]*)$"
+)
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """A parsed (but not yet validated) module address.
+
+    ``params`` is a name-sorted tuple of ``(name, value)`` pairs so specs
+    are hashable and parameter order never matters.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    width: Optional[int] = None
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "params", tuple(sorted(self.params))
+        )
+
+    @property
+    def canonical(self) -> str:
+        """Canonical kind string (no width component)."""
+        if not self.params:
+            return self.kind
+        inner = ",".join(f"{n}={v}" for n, v in self.params)
+        return f"{self.kind}[{inner}]"
+
+    @property
+    def label(self) -> str:
+        """Canonical string including the width, when known."""
+        if self.width is None:
+            return self.canonical
+        return f"{self.canonical}/{self.width}"
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "params": self.params_dict,
+            "width": self.width,
+        }
+
+    @classmethod
+    def parse(cls, text: str) -> "ModuleSpec":
+        return parse_spec(text)
+
+    @classmethod
+    def coerce(
+        cls,
+        value: Any,
+        width: Optional[int] = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> "ModuleSpec":
+        """Normalize any accepted spelling into one ModuleSpec.
+
+        Accepts a ModuleSpec, a bare kind, or a spec string; ``width``
+        and ``params`` arguments merge in (and must not conflict with
+        components already present in the string).
+        """
+        if isinstance(value, ModuleSpec):
+            spec = value
+        elif isinstance(value, str):
+            spec = parse_spec(value)
+        else:
+            raise UnknownModuleError(
+                f"module kind must be a string or ModuleSpec, "
+                f"got {type(value).__name__}"
+            )
+        if params:
+            overlap = set(dict(spec.params)) & set(params)
+            if overlap:
+                raise UnknownModuleError(
+                    f"params {sorted(overlap)} given both in the spec "
+                    f"string {spec.canonical!r} and the params argument",
+                    kind=spec.kind,
+                )
+            spec = ModuleSpec(
+                spec.kind,
+                spec.params + tuple(sorted(params.items())),
+                spec.width,
+            )
+        if width is not None:
+            width = int(width)
+            if spec.width is not None and spec.width != width:
+                raise UnknownModuleError(
+                    f"conflicting widths: {spec.label!r} vs width={width}",
+                    kind=spec.kind,
+                )
+            spec = ModuleSpec(spec.kind, spec.params, width)
+        return spec
+
+
+def parse_spec(text: str) -> ModuleSpec:
+    """Parse ``kind[p=v,...]/width`` (every component optional but kind)."""
+    if not isinstance(text, str):
+        raise UnknownModuleError(
+            f"module kind must be a string, got {type(text).__name__}"
+        )
+    match = _SPEC_RE.match(text.strip())
+    if not match:
+        raise UnknownModuleError(
+            f"bad module spec {text!r} (grammar: kind[p=v,...]/width)",
+            kind=text,
+        )
+    params: Dict[str, Any] = {}
+    raw = match.group("params")
+    if raw is not None:
+        for item in raw.split(","):
+            item = item.strip()
+            if not item:
+                raise UnknownModuleError(
+                    f"bad module spec {text!r}: empty parameter",
+                    kind=match.group("kind"),
+                )
+            pmatch = _PARAM_RE.match(item)
+            if not pmatch:
+                raise UnknownModuleError(
+                    f"bad module spec {text!r}: parameter {item!r} is not "
+                    f"name=value",
+                    kind=match.group("kind"),
+                )
+            name, value = pmatch.group("name"), pmatch.group("value")
+            if name in params:
+                raise UnknownModuleError(
+                    f"bad module spec {text!r}: duplicate param {name!r}",
+                    kind=match.group("kind"),
+                )
+            params[name] = (
+                int(value) if re.match(r"^-?\d+$", value) else value
+            )
+    width = match.group("width")
+    return ModuleSpec(
+        kind=match.group("kind"),
+        params=tuple(sorted(params.items())),
+        width=int(width) if width is not None else None,
+    )
+
+
+@dataclass(frozen=True)
+class ResolvedSpec:
+    """A validated spec bound to its registry entry.
+
+    ``kind`` is the canonical kind string *after* degenerate collapse,
+    ``entry`` the (possibly parent) registry entry, ``params`` the full
+    defaults-filled parameter dict for that entry (empty for plain
+    kinds and collapsed variants).
+    """
+
+    kind: str
+    entry: Any
+    params: Dict[str, Any] = field(default_factory=dict)
+    width: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        if self.width is None:
+            return self.kind
+        return f"{self.kind}/{self.width}"
+
+
+def family_entry(kind: str):
+    """Registry entry for a family name; raises with near-miss hints."""
+    from .library import MODULE_KINDS, module_kinds
+
+    entry = MODULE_KINDS.get(kind)
+    if entry is not None:
+        return entry
+    hints = difflib.get_close_matches(kind, module_kinds(), n=3)
+    suggestion = f"; did you mean {', '.join(hints)}?" if hints else ""
+    raise UnknownModuleError(
+        f"unknown module kind {kind!r}{suggestion} "
+        f"(known: {', '.join(module_kinds())})",
+        kind=kind,
+        family_unknown=True,
+    )
+
+
+def resolve_spec(
+    spec: Any,
+    width: Optional[int] = None,
+    params: Optional[Dict[str, Any]] = None,
+) -> ResolvedSpec:
+    """Validate a spec against the registry and collapse degenerates.
+
+    Raises :class:`UnknownModuleError` for unknown families, unknown or
+    out-of-range parameters, or parameters given to a plain kind.  Range
+    checks that depend on the operand width are skipped when no width is
+    known yet (the registry and :func:`make_module` always have one).
+    """
+    spec = ModuleSpec.coerce(spec, width=width, params=params)
+    entry = family_entry(spec.kind)
+    schema = {p.name: p for p in entry.params}
+    given = spec.params_dict
+    unknown = sorted(set(given) - set(schema))
+    if unknown:
+        detail = (
+            f"takes {sorted(schema)}" if schema else "takes no params"
+        )
+        raise UnknownModuleError(
+            f"unknown param(s) {unknown} for {spec.kind!r} ({detail})",
+            kind=spec.kind,
+        )
+    resolved: Dict[str, Any] = {}
+    for name, pspec in schema.items():
+        value = given.get(name, pspec.default)
+        try:
+            resolved[name] = pspec.validate(value, spec.width)
+        except ValueError as exc:
+            raise UnknownModuleError(
+                f"{spec.kind!r}: {exc}", kind=spec.kind
+            ) from None
+    if (
+        entry.parent is not None
+        and entry.degenerate is not None
+        and spec.width is not None
+        and entry.degenerate(resolved, spec.width)
+    ):
+        # Degenerate parameters ARE the exact parent: same registry
+        # entry, same cache key, identical charge by construction.
+        return resolve_spec(entry.parent, width=spec.width)
+    canonical = ModuleSpec(
+        spec.kind, tuple(sorted(resolved.items())), spec.width
+    )
+    return ResolvedSpec(
+        kind=canonical.canonical,
+        entry=entry,
+        params=resolved,
+        width=spec.width,
+    )
+
+
+def canonical_kind(
+    kind: Any,
+    width: Optional[int] = None,
+    params: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Canonical kind string for any accepted spelling.
+
+    Bare library kinds come back unchanged; variant specs come back
+    defaults-filled and name-sorted, collapsed to the parent kind when
+    the parameters are degenerate (which needs ``width``).
+    """
+    return resolve_spec(kind, width=width, params=params).kind

@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.estimator import PowerEstimator
 from ..core.regression import fit_width_regression
 from ..modules.library import MODULE_KINDS, DatapathModule, make_module
+from ..modules.spec import UnknownModuleError, canonical_kind
 from ..obs.tracing import span
 from ..runtime.cache import ModelCache
 from ..runtime.service import CharacterizationJob, characterize_jobs
@@ -134,10 +135,37 @@ class ModelRegistry:
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    def canonicalize(self, kind: str, width: int) -> str:
+        """Canonical kind string for a request (registry error mapping).
+
+        Bare kinds pass through byte-identically; variant specs come back
+        defaults-filled, name-sorted and degenerate-collapsed, so every
+        spelling of the same model shares one single-flight key and one
+        cache entry.  Unknown families keep the legacy
+        :class:`UnknownKindError` message; bad variant parameters carry
+        the detailed message.
+        """
+        entry = MODULE_KINDS.get(kind)
+        if entry is not None and not entry.params:
+            return kind  # fast path: plain kinds are their own canonical
+        # Bare variant family names still canonicalize (defaults fill
+        # in), or every spelling of the default model would get its own
+        # single-flight slot and cache entry.
+        try:
+            return canonical_kind(kind, int(width))
+        except UnknownModuleError as exc:
+            if exc.family_unknown:
+                raise UnknownKindError(
+                    f"unknown module kind {kind!r}"
+                ) from None
+            raise UnknownKindError(str(exc)) from None
+        except ValueError as exc:
+            raise UnknownKindError(str(exc)) from None
+
     def resolve_mode(self, kind: str, width: int, mode: str = "auto") -> str:
         """Map a requested mode to ``"exact"`` or ``"regressed"``."""
         if kind not in MODULE_KINDS:
-            raise UnknownKindError(f"unknown module kind {kind!r}")
+            self.canonicalize(kind, width)  # raises for unknown specs
         if mode not in ("auto", "exact", "regressed"):
             raise RegistryError(
                 f"mode must be auto/exact/regressed, got {mode!r}"
@@ -160,6 +188,8 @@ class ModelRegistry:
         Blocking; safe to call from many threads at once.  Exactly one
         caller per distinct key does the expensive work.
         """
+        if width >= 1:
+            kind = self.canonicalize(kind, width)
         resolved = self.resolve_mode(kind, width, mode)
         if resolved == "regressed" and enhanced:
             raise RegistryError(

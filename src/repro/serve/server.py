@@ -51,6 +51,7 @@ from typing import Any, Dict, Optional, Set, Tuple
 import numpy as np
 
 from ..modules.library import module_kinds
+from ..modules.spec import UnknownModuleError, resolve_spec
 from ..obs import tracing
 from ..obs.export import chrome_trace, span_summary
 from .batching import MicroBatcher
@@ -119,6 +120,99 @@ class _Request:
         if not isinstance(payload, dict):
             raise ApiError(400, "bad_request", "body must be a JSON object")
         return payload
+
+
+#: Response header marking the deprecated top-level addressing fields
+#: (RFC 8594 style); see docs/API.md "Module addressing".
+_DEPRECATION_HEADER = {"Deprecation": "true"}
+
+
+def _parse_module(payload: Dict[str, Any]) -> Tuple[str, int, bool, list]:
+    """Module addressing shared by estimation and session-create routes.
+
+    Returns ``(kind, width, enhanced, deprecations)``.  Two request
+    shapes are accepted (docs/API.md "Module addressing"):
+
+    * the unified ``module`` object —
+      ``{"module": {"kind", "width", "params", "enhanced"}}`` — where
+      ``kind`` may be a bare library kind or a canonical variant spec
+      string and ``params`` an optional parameter object.  Validation
+      goes through the spec layer: an unknown family or bad parameter
+      answers a structured ``400 unknown_module`` with near-miss
+      suggestions, and every spelling canonicalizes before it reaches
+      the registry.
+    * the legacy top-level ``kind``/``width``/``enhanced`` fields —
+      still accepted, parsed byte-identically (unknown bare kinds keep
+      their legacy ``404 unknown_kind``), and flagged deprecated via the
+      ``Deprecation`` response header.
+
+    When both shapes appear in one request the ``module`` object wins
+    and the ignored legacy fields are named in ``deprecations`` (which
+    the caller folds into the response envelope).
+    """
+    if "module" not in payload:
+        kind = payload.get("kind")
+        width = payload.get("width")
+        if not isinstance(kind, str):
+            raise ApiError(400, "bad_request", "'kind' (string) required")
+        if not isinstance(width, int) or isinstance(width, bool) or width < 1:
+            raise ApiError(400, "bad_request",
+                           "'width' (positive integer) required")
+        return kind, width, bool(payload.get("enhanced", False)), []
+
+    module = payload["module"]
+    if not isinstance(module, dict):
+        raise ApiError(
+            400, "unknown_module",
+            "'module' must be an object with 'kind', 'width' and "
+            "optional 'params'/'enhanced'",
+        )
+    kind = module.get("kind")
+    if not isinstance(kind, str):
+        raise ApiError(400, "unknown_module",
+                       "'module.kind' (string) required")
+    width = module.get("width")
+    if width is not None and (
+        not isinstance(width, int) or isinstance(width, bool) or width < 1
+    ):
+        raise ApiError(400, "unknown_module",
+                       "'module.width' must be a positive integer")
+    params = module.get("params")
+    if params is not None and not (
+        isinstance(params, dict)
+        and all(isinstance(name, str) for name in params)
+    ):
+        raise ApiError(
+            400, "unknown_module",
+            "'module.params' must be an object mapping parameter "
+            "names to values",
+        )
+    try:
+        resolved = resolve_spec(kind, width=width, params=params or None)
+    except UnknownModuleError as error:
+        raise ApiError(400, "unknown_module", str(error))
+    if resolved.width is None:
+        raise ApiError(
+            400, "unknown_module",
+            "'module.width' (positive integer) required "
+            "(or a /width suffix on 'module.kind')",
+        )
+    deprecations = []
+    stale = sorted(
+        name for name in ("kind", "width", "enhanced") if name in payload
+    )
+    if stale:
+        deprecations.append(
+            "top-level " + ", ".join(repr(name) for name in stale)
+            + " ignored: the 'module' object takes precedence; the "
+            "legacy fields are deprecated (docs/API.md)"
+        )
+    return (
+        resolved.kind,
+        resolved.width,
+        bool(module.get("enhanced", False)),
+        deprecations,
+    )
 
 
 def _parse_calibration(payload: Dict[str, Any]):
@@ -527,9 +621,11 @@ class EstimationServer:
             session_route = self._session_route(request.method, request.path)
             if session_route is not None:
                 endpoint, session_id = session_route
-                status, payload = await self._session(
+                status, payload, *rest = await self._session(
                     endpoint, request, session_id
                 )
+                if rest:
+                    extra.update(rest[0])
             elif request.method == "GET":
                 if request.path == "/healthz":
                     endpoint = "healthz"
@@ -548,7 +644,10 @@ class EstimationServer:
                 if endpoint == "other":
                     raise ApiError(404, "not_found",
                                    f"no route for {request.path}")
-                status, payload = await self._estimate(endpoint, request)
+                status, payload, extra_est = await self._estimate(
+                    endpoint, request
+                )
+                extra.update(extra_est)
             else:
                 raise ApiError(405, "method_not_allowed",
                                f"{request.method} not supported")
@@ -616,7 +715,7 @@ class EstimationServer:
 
     async def _estimate(
         self, endpoint: str, request: _Request
-    ) -> Tuple[int, Any]:
+    ) -> Tuple[int, Any, Dict[str, str]]:
         payload = request.json()
         return await self._admit(
             lambda: self._estimate_inner(endpoint, payload)
@@ -624,15 +723,8 @@ class EstimationServer:
 
     async def _estimate_inner(
         self, endpoint: str, payload: Dict[str, Any]
-    ) -> Tuple[int, Any]:
-        kind = payload.get("kind")
-        width = payload.get("width")
-        if not isinstance(kind, str):
-            raise ApiError(400, "bad_request", "'kind' (string) required")
-        if not isinstance(width, int) or isinstance(width, bool) or width < 1:
-            raise ApiError(400, "bad_request",
-                           "'width' (positive integer) required")
-        enhanced = bool(payload.get("enhanced", False))
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        kind, width, enhanced, deprecations = _parse_module(payload)
         mode = payload.get("mode", "auto")
         calibration = _parse_calibration(payload)
         served = await self._get_model(kind, width, enhanced, mode)
@@ -702,25 +794,21 @@ class EstimationServer:
         )
         if physical is not None:
             body["physical"] = physical
-        return 200, body
+        if deprecations:
+            body["deprecations"] = deprecations
+        headers = {} if "module" in payload else dict(_DEPRECATION_HEADER)
+        return 200, body, headers
 
     # ------------------------------------------------------------------
     # Streaming session endpoints (docs/SERVING.md "Streaming sessions")
     # ------------------------------------------------------------------
     async def _session(
         self, endpoint: str, request: _Request, session_id: Optional[str]
-    ) -> Tuple[int, Any]:
+    ) -> Tuple:  # (status, body[, extra headers])
         loop = asyncio.get_running_loop()
         if endpoint == "session_create":
             payload = request.json()
-            kind = payload.get("kind")
-            width = payload.get("width")
-            if not isinstance(kind, str):
-                raise ApiError(400, "bad_request", "'kind' (string) required")
-            if (not isinstance(width, int) or isinstance(width, bool)
-                    or width < 1):
-                raise ApiError(400, "bad_request",
-                               "'width' (positive integer) required")
+            kind, width, enhanced, deprecations = _parse_module(payload)
             try:
                 check_prefix = int(payload.get("check_prefix", 8))
             except (TypeError, ValueError):
@@ -732,7 +820,7 @@ class EstimationServer:
                 tracing.wrap(
                     self._session_call, self.sessions.create,
                     kind, width,
-                    bool(payload.get("enhanced", False)),
+                    enhanced,
                     payload.get("mode", "auto"),
                     bool(payload.get("self_check", False)),
                     check_prefix,
@@ -741,7 +829,13 @@ class EstimationServer:
             ))
             self.metrics.sessions_created_total.inc()
             self.metrics.sessions_open.set(len(self.sessions))
-            return 201, estimate.to_dict()
+            body = estimate.to_dict()
+            if deprecations:
+                body["deprecations"] = deprecations
+            headers = (
+                {} if "module" in payload else dict(_DEPRECATION_HEADER)
+            )
+            return 201, body, headers
 
         if endpoint == "session_append":
             payload = request.json()

@@ -17,9 +17,15 @@ Manifest JSON schema (``version`` 1, see docs/SERVING.md)::
       "version": 1,
       "entries": [
         {"kind": "csa_multiplier", "widths": [4, 8, 16, 32]},
-        {"kind": "ripple_adder",   "widths": [8, 16], "enhanced": true}
+        {"kind": "ripple_adder",   "widths": [8, 16], "enhanced": true},
+        {"kind": "trunc_adder",    "widths": [16], "params": {"k": 4}}
       ]
     }
+
+Parameterized variant families (docs/MODULES.md) are addressed either
+with a ``params`` object or a canonical spec string in ``kind``
+(``"trunc_adder[k=4]"``); both spellings canonicalize to the same
+worklist entries and cache keys.
 
 ``repro-power warmup`` is the CLI face: it loads (or synthesizes) a
 manifest and fills the persistent cache so later ``serve`` processes —
@@ -35,6 +41,12 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..modules.library import MODULE_KINDS, PAPER_MODULE_KINDS
+from ..modules.spec import (
+    ModuleSpec,
+    UnknownModuleError,
+    canonical_kind,
+    resolve_spec,
+)
 from .registry import ModelRegistry, RegistryError
 
 #: Manifest layout generation; bump on breaking schema changes.
@@ -47,11 +59,18 @@ DEFAULT_WIDTH_SWEEP: Tuple[int, ...] = (4, 6, 8, 12, 16, 24, 32, 48, 64)
 
 @dataclass(frozen=True)
 class WarmupEntry:
-    """One module family's slice of the manifest."""
+    """One module family's slice of the manifest.
+
+    ``kind`` may be a bare library kind or a canonical variant spec
+    string; ``params`` carries a variant's parameters when the manifest
+    spells them as a separate object (name-sorted pairs so entries stay
+    hashable).  Both spellings meet in :meth:`WarmupManifest.jobs`.
+    """
 
     kind: str
     widths: Tuple[int, ...]
     enhanced: bool = False
+    params: Tuple[Tuple[str, Any], ...] = ()
 
 
 @dataclass
@@ -62,12 +81,32 @@ class WarmupManifest:
     version: int = MANIFEST_VERSION
 
     def jobs(self) -> List[Tuple[str, int, bool]]:
-        """Deduplicated, deterministic (kind, width, enhanced) worklist."""
+        """Deduplicated, deterministic (kind, width, enhanced) worklist.
+
+        Variant entries canonicalize *per width* — degenerate collapse
+        (``trunc_adder[k=0]`` IS ``ripple_adder``) depends on the
+        operand width — so every spelling of the same model dedupes to
+        one job and one cache entry.
+        """
         seen = set()
         jobs = []
         for entry in self.entries:
             for width in entry.widths:
-                key = (entry.kind, int(width), bool(entry.enhanced))
+                kind = entry.kind
+                library = MODULE_KINDS.get(kind)
+                if library is None or library.params or entry.params:
+                    params = dict(entry.params) or None
+                    try:
+                        kind = canonical_kind(kind, int(width), params)
+                    except ValueError:
+                        # Invalid at this width (e.g. a cut >= width):
+                        # keep the literal spelling so warm_registry
+                        # records a per-model failure instead of the
+                        # whole manifest crashing.
+                        kind = ModuleSpec.coerce(
+                            entry.kind, params=params
+                        ).canonical
+                key = (kind, int(width), bool(entry.enhanced))
                 if key not in seen:
                     seen.add(key)
                     jobs.append(key)
@@ -82,6 +121,7 @@ class WarmupManifest:
                     "kind": e.kind,
                     "widths": list(e.widths),
                     **({"enhanced": True} if e.enhanced else {}),
+                    **({"params": dict(e.params)} if e.params else {}),
                 }
                 for e in self.entries
             ],
@@ -108,10 +148,38 @@ class WarmupManifest:
             if not isinstance(raw, dict):
                 raise ValueError(f"{where} must be an object")
             kind = raw.get("kind")
-            if kind not in MODULE_KINDS:
+            if not isinstance(kind, str):
                 raise ValueError(
                     f"{where}: unknown module kind {kind!r}"
                 )
+            raw_params = raw.get("params")
+            if raw_params is not None and not (
+                isinstance(raw_params, dict)
+                and all(isinstance(name, str) for name in raw_params)
+            ):
+                raise ValueError(
+                    f"{where}: 'params' must be an object mapping "
+                    f"parameter names to values"
+                )
+            params = dict(raw_params) if raw_params else {}
+            if kind not in MODULE_KINDS or params:
+                # Variant spec: validate family and parameters now so a
+                # bad manifest fails at load, not mid-warmup.  Width-
+                # dependent range checks wait for jobs().
+                try:
+                    spec = ModuleSpec.coerce(kind, params=params or None)
+                    if spec.width is not None:
+                        raise ValueError(
+                            f"{where}: kind {kind!r} must not carry a "
+                            f"/width component; use 'widths'"
+                        )
+                    resolve_spec(spec)
+                except UnknownModuleError as exc:
+                    if exc.family_unknown:
+                        raise ValueError(
+                            f"{where}: unknown module kind {kind!r}"
+                        ) from None
+                    raise ValueError(f"{where}: {exc}") from None
             widths = raw.get("widths")
             if (not isinstance(widths, list) or not widths
                     or not all(
@@ -127,6 +195,7 @@ class WarmupManifest:
                 raise ValueError(f"{where}: 'enhanced' must be a boolean")
             entries.append(WarmupEntry(
                 kind=kind, widths=tuple(widths), enhanced=enhanced,
+                params=tuple(sorted(params.items())),
             ))
         return cls(entries=tuple(entries), version=version)
 
@@ -151,7 +220,15 @@ def default_manifest(
 ) -> WarmupManifest:
     """The stock manifest: every Table-1 module family across the
     default width sweep."""
-    unknown = sorted(set(kinds) - set(MODULE_KINDS))
+    bad = []
+    for kind in kinds:
+        if kind in MODULE_KINDS:
+            continue
+        try:
+            resolve_spec(kind)
+        except UnknownModuleError:
+            bad.append(kind)
+    unknown = sorted(set(bad))
     if unknown:
         raise ValueError(f"unknown module kinds: {unknown}")
     return WarmupManifest(entries=tuple(
@@ -219,11 +296,16 @@ def warm_registry(
         # costs a cache load per model instead of a characterization.
         from ..runtime.service import CharacterizationJob, characterize_jobs
 
-        exact = [
-            CharacterizationJob(kind=kind, width=width, enhanced=enhanced)
-            for kind, width, enhanced in worklist
-            if registry.resolve_mode(kind, width) == "exact"
-        ]
+        exact = []
+        for kind, width, enhanced in worklist:
+            try:
+                mode = registry.resolve_mode(kind, width)
+            except RegistryError:
+                continue  # the serial pass below records the failure
+            if mode == "exact":
+                exact.append(CharacterizationJob(
+                    kind=kind, width=width, enhanced=enhanced,
+                ))
         if exact:
             characterize_jobs(
                 exact, config=registry.config, jobs=jobs,

@@ -558,6 +558,120 @@ def check_cache_key_engine_independence() -> List[Mismatch]:
     return out
 
 
+def check_variant_spec() -> List[Mismatch]:
+    """Spec-layer metamorphic relations for parameterized variants.
+
+    For every registered family: the canonical string round-trips
+    through the parser, canonicalization is idempotent, spelling the
+    parameters in the kind string vs the ``params`` argument lands on
+    the same canonical kind (and therefore the same cache key), and
+    degenerate parameter values collapse to the exact parent with a
+    zero error bound.  Plain kinds must canonicalize to themselves.
+    """
+    from ..eval.harness import ExperimentConfig
+    from ..modules.library import MODULE_KINDS
+    from ..modules.spec import (
+        ModuleSpec,
+        UnknownModuleError,
+        canonical_kind,
+        parse_spec,
+        resolve_spec,
+    )
+    from ..runtime.cache import ModelCache
+
+    out: List[Mismatch] = []
+    width = 6
+    case = FuzzCase(kind="<spec>", width=width, n_patterns=2, seed=0)
+    cache = ModelCache("/nonexistent-but-never-touched")
+    config = ExperimentConfig()
+
+    # Name-sorted params: spelling order never matters.
+    ordered = ModuleSpec("x", (("a", 1), ("b", 2)))
+    swapped = ModuleSpec("x", (("b", 2), ("a", 1)))
+    if ordered.canonical != swapped.canonical:
+        out.append(Mismatch(
+            "spec_param_order", case,
+            f"param order leaked into the canonical form: "
+            f"{ordered.canonical!r} != {swapped.canonical!r}",
+        ))
+
+    for name, entry in MODULE_KINDS.items():
+        if not entry.params:
+            if canonical_kind(name, width) != name:
+                out.append(Mismatch(
+                    "spec_plain_identity", case,
+                    f"plain kind {name!r} did not canonicalize to itself",
+                ))
+            continue
+        canonical = canonical_kind(name, width)
+        spec = parse_spec(canonical)
+        if spec.canonical != canonical:
+            out.append(Mismatch(
+                "spec_roundtrip", case,
+                f"{canonical!r} parsed back as {spec.canonical!r}",
+            ))
+        if canonical_kind(canonical, width) != canonical:
+            out.append(Mismatch(
+                "spec_idempotent", case,
+                f"canonicalization of {name!r} is not idempotent",
+            ))
+        pspec = entry.params[0]
+        candidates = (
+            pspec.choices if pspec.type == "choice"
+            else range(0, width + 1)
+        )
+        for value in candidates:
+            try:
+                resolved = resolve_spec(
+                    name, width=width, params={pspec.name: value}
+                )
+            except UnknownModuleError:
+                continue
+            via_string = canonical_kind(
+                f"{name}[{pspec.name}={value}]", width
+            )
+            if via_string != resolved.kind:
+                out.append(Mismatch(
+                    "spec_spelling", case,
+                    f"{name}[{pspec.name}={value}]: string spelling "
+                    f"gave {via_string!r}, params argument "
+                    f"{resolved.kind!r}",
+                ))
+            key_string = cache.characterization_key(
+                via_string, width, False, config, 7
+            )
+            key_params = cache.characterization_key(
+                resolved.kind, width, False, config, 7
+            )
+            if key_string != key_params:
+                out.append(Mismatch(
+                    "spec_cache_key", case,
+                    f"{name}[{pspec.name}={value}]: cache keys split "
+                    f"across spellings",
+                ))
+            filled = {p.name: p.default for p in entry.params}
+            filled[pspec.name] = pspec.validate(value, width)
+            if entry.degenerate is not None and entry.degenerate(
+                filled, width
+            ):
+                if resolved.kind != entry.parent:
+                    out.append(Mismatch(
+                        "spec_degenerate_collapse", case,
+                        f"{name}[{pspec.name}={value}]/{width} should "
+                        f"collapse to {entry.parent!r}, got "
+                        f"{resolved.kind!r}",
+                    ))
+                if entry.error_bound is not None and float(
+                    entry.error_bound(filled, width)
+                ) != 0.0:
+                    out.append(Mismatch(
+                        "spec_degenerate_bound", case,
+                        f"{name}[{pspec.name}={value}]/{width}: "
+                        f"degenerate params with a nonzero error bound",
+                    ))
+    return out
+
+
 #: All per-case checks, in execution order.
 CASE_CHECKS: Tuple[Callable, ...] = (
     check_engine_parity,
@@ -694,6 +808,7 @@ def run_fuzz(
     rng = np.random.default_rng(seed)
     report = FuzzReport(budget=budget, seed=seed)
     report.mismatches.extend(check_cache_key_engine_independence())
+    report.mismatches.extend(check_variant_spec())
     pool = tuple(kinds) if kinds else DEFAULT_KINDS
     failing_cases = 0
     while report.n_transitions < budget:

@@ -36,8 +36,12 @@ def test_paper_kind_set_matches_table1():
 
 
 def test_unknown_kind_raises():
-    with pytest.raises(KeyError, match="unknown module kind"):
+    # ValueError (not the old bare KeyError) so `except ValueError`
+    # callers catch it; close misses carry suggestions.
+    with pytest.raises(ValueError, match="unknown module kind"):
         make_module("quantum_adder", 8)
+    with pytest.raises(ValueError, match="did you mean"):
+        make_module("ripple_addr", 8)
 
 
 @pytest.mark.parametrize("kind", sorted(MODULE_KINDS))

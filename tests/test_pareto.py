@@ -1,0 +1,158 @@
+"""Power-vs-error Pareto reports: sweep, validation and front shape."""
+
+import copy
+
+import pytest
+
+import repro
+from repro.eval import ExperimentConfig
+from repro.eval.pareto import (
+    pareto_report,
+    render_pareto,
+    validate_pareto,
+)
+
+CONFIG = ExperimentConfig(n_characterization=200, seed=3)
+
+
+@pytest.fixture(scope="module")
+def report():
+    session = repro.Session(config=CONFIG)
+    return pareto_report(
+        ["trunc_adder", "lor_adder"], [0, 1, 2], [4, 6],
+        session=session, n_patterns=200, seed=1,
+    )
+
+
+def test_envelope_validates(report):
+    validate_pareto(report.to_dict())
+
+
+def test_every_combination_covered(report):
+    measured = {
+        (c.family, c.value, c.width) for c in report.cells
+        if c.value is not None
+    }
+    skipped = {
+        (s["family"], s["value"], s["width"]) for s in report.skipped
+    }
+    wanted = {
+        (family, value, width)
+        for family in ("trunc_adder", "lor_adder")
+        for value in (0, 1, 2)
+        for width in (4, 6)
+    }
+    assert measured | skipped == wanted
+    assert not (measured & skipped)
+
+
+def test_degenerate_value_equals_parent_exactly(report):
+    # trunc_adder[k=0] IS ripple_adder: same canonical kind, same cached
+    # model, same stimulus -> bit-equal charge and exactly zero error.
+    for width in (4, 6):
+        parent = next(
+            c for c in report.cells
+            if c.width == width and c.value is None
+        )
+        for family in ("trunc_adder", "lor_adder"):
+            k0 = next(
+                c for c in report.cells
+                if c.width == width and c.family == family and c.value == 0
+            )
+            assert k0.kind == "ripple_adder"
+            assert k0.collapsed
+            assert k0.average_charge == parent.average_charge
+            assert abs(k0.average_charge - parent.average_charge) < 1e-9
+            assert k0.mean_error == 0.0
+            assert k0.max_error == 0.0
+
+
+def test_exact_cells_anchor_the_front(report):
+    for width in (4, 6):
+        front = report.front(width)
+        assert front, "per-width front must be non-empty"
+        column = [c for c in report.cells if c.width == width]
+        assert (min(c.mean_error for c in front)
+                == min(c.mean_error for c in column) == 0.0)
+
+
+def test_charge_monotone_in_cut(report):
+    # More truncated bits -> strictly less switched charge.
+    for width in (4, 6):
+        cells = sorted(
+            (c for c in report.cells
+             if c.family == "trunc_adder" and c.width == width
+             and c.value is not None),
+            key=lambda c: c.value,
+        )
+        charges = [c.average_charge for c in cells]
+        assert charges == sorted(charges, reverse=True)
+        assert len(set(charges)) == len(charges)
+
+
+def test_error_within_analytic_bound(report):
+    for cell in report.cells:
+        if cell.error_bound is not None:
+            assert cell.max_error <= cell.error_bound
+
+
+def test_render_smoke(report):
+    text = render_pareto(report)
+    assert "trunc_adder[k=1]" in text
+    assert "exact" in text
+    assert "*" in text
+
+
+def test_invalid_values_skipped_not_fatal():
+    session = repro.Session(config=CONFIG)
+    rep = pareto_report(
+        ["trunc_adder"], [0, 9], [4],
+        session=session, n_patterns=120, seed=0,
+    )
+    assert any(s["value"] == 9 for s in rep.skipped)
+    validate_pareto(rep.to_dict())
+
+
+def test_non_variant_family_rejected():
+    session = repro.Session(config=CONFIG)
+    with pytest.raises(ValueError, match="not a parameterized variant"):
+        pareto_report(["ripple_adder"], [0], [4], session=session,
+                      n_patterns=120)
+
+
+def test_validator_rejects_corruptions(report):
+    envelope = report.to_dict()
+
+    broken = copy.deepcopy(envelope)
+    broken["cells"][0]["mean_error"] = float("nan")
+    with pytest.raises(ValueError, match="finite"):
+        validate_pareto(broken)
+
+    broken = copy.deepcopy(envelope)
+    for cell in broken["cells"]:
+        if cell["exact"]:
+            cell["mean_error"] = 1.0
+            break
+    with pytest.raises(ValueError, match="exact cell"):
+        validate_pareto(broken)
+
+    broken = copy.deepcopy(envelope)
+    target = next(c for c in broken["cells"]
+                  if c["error_bound"] not in (None, 0.0))
+    target["max_error"] = target["error_bound"] + 1
+    with pytest.raises(ValueError, match="exceeds the analytic bound"):
+        validate_pareto(broken)
+
+    broken = copy.deepcopy(envelope)
+    broken["cells"] = [c for c in broken["cells"]
+                       if not (c["family"] == "lor_adder"
+                               and c["value"] == 2)]
+    with pytest.raises(ValueError, match="misses"):
+        validate_pareto(broken)
+
+    broken = copy.deepcopy(envelope)
+    for cell in broken["cells"]:
+        if cell["width"] == 4:
+            cell["on_front"] = False
+    with pytest.raises(ValueError, match="empty pareto front"):
+        validate_pareto(broken)

@@ -1,0 +1,182 @@
+"""Approximate/rewritten variant netlists: goldens, bounds, degeneracy.
+
+Every variant family carries two integer references — ``golden`` (the
+structural truth of what the approximate netlist computes) and ``exact``
+(the parent's arithmetic) — plus an analytic error bound.  This file
+checks all three against the gate-level netlists exhaustively at small
+widths: netlist == golden bit-for-bit, |exact - golden| never exceeds
+the bound (and attains it), approximation errors are one-sided where
+claimed, degenerate parameters emit the parent structure gate-for-gate,
+and the rewrite families are exactly their parents' functions."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.simulate import evaluate_outputs
+from repro.modules import (
+    golden_adder,
+    golden_mac,
+    golden_multiplier,
+    lor_adder_error_bound,
+    make_module,
+    seg_adder_error_bound,
+    trunc_adder_error_bound,
+)
+from repro.modules.approx import (
+    golden_lor_adder,
+    golden_seg_adder,
+    golden_trunc_adder,
+    lor_adder,
+    seg_adder,
+    trunc_adder,
+)
+from repro.modules.adders import ripple_adder
+from repro.modules.rewrite import csa_reordered_multiplier, mac_reordered
+
+WIDTHS = (4, 6)
+
+
+def _netlist_words(netlist, width, n_operands=2):
+    """Evaluate a netlist over every operand combination; return ints."""
+    span = 1 << width
+    combos = [
+        tuple((index >> (op * width)) & (span - 1)
+              for op in range(n_operands))
+        for index in range(span ** n_operands)
+    ]
+    rows = np.zeros((len(combos), n_operands * width), dtype=bool)
+    for row, ops in enumerate(combos):
+        for op, word in enumerate(ops):
+            for bit in range(width):
+                rows[row, op * width + bit] = (word >> bit) & 1
+    from repro.circuit.program import CompiledNetlist
+
+    outputs = evaluate_outputs(CompiledNetlist(netlist), rows)
+    weights = 1 << np.arange(outputs.shape[1], dtype=np.int64)
+    return combos, outputs.astype(np.int64) @ weights
+
+
+class TestApproximateAdders:
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_trunc_netlist_matches_golden_and_bound(self, width):
+        exact = golden_adder(width)
+        for k in range(width):
+            golden = golden_trunc_adder(width, k)
+            bound = trunc_adder_error_bound(width, k)
+            combos, got = _netlist_words(trunc_adder(width, k), width)
+            worst = 0
+            for (a, b), value in zip(combos, got):
+                assert int(value) == golden(a, b), (width, k, a, b)
+                err = exact(a, b) - golden(a, b)
+                assert err >= 0, "truncation error must be one-sided"
+                assert err <= bound
+                worst = max(worst, err)
+            assert worst == bound, "analytic bound must be attained"
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_lor_netlist_matches_golden_and_bound(self, width):
+        exact = golden_adder(width)
+        for k in range(width):
+            golden = golden_lor_adder(width, k)
+            bound = lor_adder_error_bound(width, k)
+            combos, got = _netlist_words(lor_adder(width, k), width)
+            worst = 0
+            for (a, b), value in zip(combos, got):
+                assert int(value) == golden(a, b), (width, k, a, b)
+                err = abs(exact(a, b) - golden(a, b))
+                assert err <= bound
+                worst = max(worst, err)
+            if k > 0:
+                assert worst == bound, "analytic bound must be attained"
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_seg_netlist_matches_golden_and_bound(self, width):
+        exact = golden_adder(width)
+        for s in range(1, width + 1):
+            golden = golden_seg_adder(width, s)
+            bound = seg_adder_error_bound(width, s)
+            combos, got = _netlist_words(seg_adder(width, s), width)
+            worst = 0
+            for (a, b), value in zip(combos, got):
+                assert int(value) == golden(a, b), (width, s, a, b)
+                err = exact(a, b) - golden(a, b)
+                assert err >= 0, "dropped carries only ever subtract"
+                assert err <= bound
+                worst = max(worst, err)
+            assert worst == bound, "analytic bound must be attained"
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_degenerate_generators_are_bit_identical(self, width):
+        parent = ripple_adder(width)
+        for variant in (trunc_adder(width, 0), lor_adder(width, 0),
+                        seg_adder(width, width)):
+            assert variant.n_gates == parent.n_gates
+            _, parent_words = _netlist_words(parent, width)
+            _, variant_words = _netlist_words(variant, width)
+            assert np.array_equal(parent_words, variant_words)
+
+    def test_cut_validation(self):
+        with pytest.raises(ValueError):
+            trunc_adder(4, 4)
+        with pytest.raises(ValueError):
+            trunc_adder(4, -1)
+        with pytest.raises(ValueError):
+            seg_adder(4, 0)
+
+
+class TestRewrites:
+    @pytest.mark.parametrize("order", ["ab", "ba"])
+    def test_mac_reordered_is_exact(self, order):
+        width = 3
+        golden = golden_mac(width)
+        # mac takes (a:w, b:w, c:2w) = 4w input bits; slice by hand.
+        netlist = mac_reordered(width, order)
+        rows = np.array([
+            [(index >> bit) & 1 for bit in range(4 * width)]
+            for index in range(1 << (4 * width))
+        ], dtype=bool)
+        from repro.circuit.program import CompiledNetlist
+
+        outputs = evaluate_outputs(CompiledNetlist(netlist), rows)
+        weights = 1 << np.arange(outputs.shape[1], dtype=np.int64)
+        values = outputs.astype(np.int64) @ weights
+        mask_w = (1 << width) - 1
+        mask_2w = (1 << (2 * width)) - 1
+        for index in range(1 << (4 * width)):
+            a = index & mask_w
+            b = (index >> width) & mask_w
+            c = (index >> (2 * width)) & mask_2w
+            assert int(values[index]) == golden(a, b, c)
+
+    @pytest.mark.parametrize("order", ["lsb", "msb"])
+    def test_csa_reordered_is_exact(self, order):
+        width = 4
+        golden = golden_multiplier(width, width)
+        combos, values = _netlist_words(
+            csa_reordered_multiplier(width, order), width
+        )
+        for (a, b), value in zip(combos, values):
+            assert int(value) == golden(a, b)
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            mac_reordered(4, "xy")
+        with pytest.raises(ValueError):
+            csa_reordered_multiplier(4, "xy")
+
+
+class TestModuleMetadata:
+    def test_variant_module_exact_reference(self):
+        module = make_module("trunc_adder[k=2]", 6)
+        exact = golden_adder(6)
+        golden = golden_trunc_adder(6, 2)
+        for a, b in ((0, 0), (3, 7), (63, 63), (5, 60)):
+            assert module.golden(a, b) == golden(a, b)
+            assert module.exact(a, b) == exact(a, b)
+
+    def test_rewrite_module_is_exact(self):
+        module = make_module("csa_reordered_multiplier[order=msb]", 4)
+        assert module.exact is None  # golden already exact
+        golden = golden_multiplier(4, 4)
+        for a, b in ((0, 0), (3, 7), (15, 15)):
+            assert module.golden(a, b) == golden(a, b)
